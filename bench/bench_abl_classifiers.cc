@@ -1,0 +1,83 @@
+// A4 — Ablation: classifier choice. The paper selects ADTrees over
+// standard decision trees and other learners for (a) interpretability,
+// (b) prediction *scores* usable for ranked resolution, (c) graceful
+// missing-value handling on schema-diverse pairs (§4.2, Fig. 5). This
+// ablation pits the ADTree against a CART-style decision tree and the
+// classical Fellegi-Sunter log-likelihood model on the same tagged
+// pairs, both at native missingness and with extra feature knockout.
+
+#include <cstdio>
+
+#include "common.h"
+#include "ml/adtree_trainer.h"
+#include "ml/decision_tree.h"
+#include "ml/fellegi_sunter.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace yver;
+
+// Removes each present feature value with probability p (simulating even
+// sparser sources).
+std::vector<ml::Instance> Knockout(std::vector<ml::Instance> instances,
+                                   double p, uint64_t seed) {
+  util::Rng rng(seed);
+  for (auto& inst : instances) {
+    for (auto& v : inst.features.values) {
+      if (!std::isnan(v) && rng.Bernoulli(p)) {
+        v = features::MissingValue();
+      }
+    }
+  }
+  return instances;
+}
+
+template <typename Model>
+double Accuracy(const Model& model,
+                const std::vector<ml::Instance>& test) {
+  size_t correct = 0;
+  for (const auto& inst : test) {
+    correct += model.Classify(inst.features) == (inst.label > 0);
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("A4: Classifier ablation (ADTree vs DT vs F-S)",
+                     "motivated by §4.2 / Fig. 5");
+  auto generated = bench::MakeItalySet();
+  synth::Gazetteer gazetteer;
+  core::UncertainErPipeline pipeline(generated.dataset,
+                                     gazetteer.MakeGeoResolver());
+  synth::TagOracle oracle(&generated.dataset);
+  auto instances = ml::ApplyMaybePolicy(
+      bench::MakeTaggedInstances(pipeline, oracle), ml::MaybePolicy::kOmit);
+  util::Rng rng(5);
+  auto split = ml::SplitTrainTest(instances, 0.7, rng);
+  std::printf("train %zu / test %zu tagged pairs\n\n", split.train.size(),
+              split.test.size());
+
+  std::printf("%-22s %12s %12s %12s\n", "Missingness", "ADTree",
+              "DecisionTree", "FellegiSunter");
+  for (double knockout : {0.0, 0.2, 0.4}) {
+    auto train = Knockout(split.train, knockout, 11);
+    auto test = Knockout(split.test, knockout, 13);
+    auto adt = ml::TrainAdTree(train, {});
+    auto dt = ml::DecisionTree::Train(train);
+    auto fs = ml::FellegiSunter::Train(train);
+    char label[32];
+    std::snprintf(label, sizeof(label), "native +%d%% knockout",
+                  static_cast<int>(knockout * 100));
+    std::printf("%-22s %11.1f%% %11.1f%% %11.1f%%\n", label,
+                Accuracy(adt, test) * 100.0, Accuracy(dt, test) * 100.0,
+                Accuracy(fs, test) * 100.0);
+  }
+  std::printf("\n(The paper's argument: the ADTree degrades most "
+              "gracefully as features go missing, while still producing "
+              "a rankable confidence score.)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// A3 — Ablation: name-equivalence preprocessing. The Names Project spent
+// years building equivalence classes of name variants before any ER ran
+// (§2); this ablation quantifies why. We generate the Italy-like corpus
+// in a *pre-cleaning* state (elevated spelling noise), then run MFIBlocks
+// on the raw records and on records normalized by the learned equivalence
+// classes. Expected: normalization recovers a large share of the recall
+// the noise destroys, at equal or better precision.
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/evaluation.h"
+#include "text/normalizer.h"
+
+int main() {
+  using namespace yver;
+  bench::PrintHeader("A3: Equivalence-class preprocessing ablation",
+                     "motivated by §2");
+
+  synth::GeneratorConfig config = synth::ItalyConfig();
+  // Pre-cleaning noise levels: heavy transliteration variance.
+  config.noise.transliteration = 0.22;
+  config.noise.nickname = 0.10;
+  config.noise.clerical = 0.05;
+  config.noise.city_variant = 0.12;
+  auto generated = synth::Generate(config);
+  std::printf("noisy corpus: %zu records, %zu gold pairs\n\n",
+              generated.dataset.size(), generated.dataset.NumGoldPairs());
+
+  synth::Gazetteer gazetteer;
+  blocking::MfiBlocksConfig bc;
+  bc.max_minsup = 5;
+  bc.ng = 3.5;
+  bc.expert_weighting = true;
+
+  std::printf("%-28s %8s %10s %8s %10s\n", "Condition", "Recall",
+              "Precision", "F-1", "#pairs");
+  {
+    core::UncertainErPipeline pipeline(generated.dataset,
+                                       gazetteer.MakeGeoResolver());
+    auto result = pipeline.RunBlocking(bc);
+    auto q = core::EvaluatePairs(generated.dataset, result.pairs);
+    std::printf("%-28s %8.3f %10.3f %8.3f %10zu\n", "raw (pre-cleaning)",
+                q.Recall(), q.Precision(), q.F1(), result.pairs.size());
+  }
+  {
+    auto normalizer = text::NameNormalizer::Build(generated.dataset);
+    data::Dataset normalized = normalizer.Apply(generated.dataset);
+    std::printf("(learned %zu non-trivial equivalence classes, folded %zu "
+                "values)\n",
+                normalizer.NumNonTrivialClasses(),
+                normalizer.NumFoldedValues());
+    core::UncertainErPipeline pipeline(normalized,
+                                       gazetteer.MakeGeoResolver());
+    auto result = pipeline.RunBlocking(bc);
+    auto q = core::EvaluatePairs(normalized, result.pairs);
+    std::printf("%-28s %8.3f %10.3f %8.3f %10zu\n",
+                "normalized (post-cleaning)", q.Recall(), q.Precision(),
+                q.F1(), result.pairs.size());
+  }
+  return 0;
+}

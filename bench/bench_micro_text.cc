@@ -1,0 +1,121 @@
+// A2 — Micro-benchmarks (google-benchmark) of the similarity kernels,
+// FP-tree insertion, feature extraction and block scoring that dominate
+// pipeline runtime.
+
+#include <benchmark/benchmark.h>
+
+#include "blocking/block_scoring.h"
+#include "data/item_dictionary.h"
+#include "features/feature_extractor.h"
+#include "mining/fp_growth.h"
+#include "mining/fp_tree.h"
+#include "synth/gazetteer.h"
+#include "synth/generator.h"
+#include "text/jaccard.h"
+#include "text/jaro_winkler.h"
+#include "text/levenshtein.h"
+
+namespace {
+
+using namespace yver;
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::JaroWinklerSimilarity("kirszenbaum", "kirshenboym"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::LevenshteinDistance("kirszenbaum", "kirshenboym"));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_QGramJaccard(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::QGramJaccard("kirszenbaum", "kirshenboym"));
+  }
+}
+BENCHMARK(BM_QGramJaccard);
+
+void BM_FpTreeInsert(benchmark::State& state) {
+  std::vector<std::vector<uint32_t>> transactions;
+  util::Rng rng(7);
+  for (int t = 0; t < 1000; ++t) {
+    std::vector<uint32_t> txn;
+    for (int i = 0; i < 12; ++i) {
+      txn.push_back(static_cast<uint32_t>(rng.UniformInt(0, 499)));
+    }
+    std::sort(txn.begin(), txn.end());
+    txn.erase(std::unique(txn.begin(), txn.end()), txn.end());
+    transactions.push_back(std::move(txn));
+  }
+  for (auto _ : state) {
+    mining::FpTree tree(500);
+    for (const auto& txn : transactions) tree.Insert(txn, 1);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+}
+BENCHMARK(BM_FpTreeInsert);
+
+void BM_MineMaximal1K(benchmark::State& state) {
+  auto generated =
+      synth::Generate([] {
+        auto c = synth::ItalyConfig();
+        c.num_persons = 450;
+        return c;
+      }());
+  auto encoded = data::EncodeDataset(generated.dataset);
+  mining::MinerOptions options;
+  options.minsup = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mining::MineMaximalItemsets(encoded.bags, options));
+  }
+}
+BENCHMARK(BM_MineMaximal1K)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  auto generated = synth::Generate([] {
+    auto c = synth::ItalyConfig();
+    c.num_persons = 450;
+    return c;
+  }());
+  synth::Gazetteer gazetteer;
+  auto encoded =
+      data::EncodeDataset(generated.dataset, gazetteer.MakeGeoResolver());
+  features::FeatureExtractor extractor(encoded);
+  data::RecordIdx i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(i, i + 1));
+    i = (i + 2) % static_cast<data::RecordIdx>(generated.dataset.size() - 2);
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_ClusterJaccardScore(benchmark::State& state) {
+  auto generated = synth::Generate([] {
+    auto c = synth::ItalyConfig();
+    c.num_persons = 450;
+    return c;
+  }());
+  auto encoded = data::EncodeDataset(generated.dataset);
+  blocking::Block block;
+  block.key = {0, 1};
+  for (data::RecordIdx r = 0; r < 6; ++r) block.records.push_back(r);
+  auto weights = blocking::DefaultExpertWeights();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        blocking::ClusterJaccardScore(encoded, block, weights));
+  }
+}
+BENCHMARK(BM_ClusterJaccardScore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

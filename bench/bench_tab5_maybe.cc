@@ -1,0 +1,56 @@
+// E5 — Table 5: classifier quality under the three Maybe-handling
+// policies: Maybe := No, Maybe omitted, and Identify-Maybe (three-class).
+// Accuracy is 5-fold cross-validated on the tagged Italy-like pairs.
+
+#include <cstdio>
+
+#include "common.h"
+#include "ml/metrics.h"
+
+int main() {
+  using namespace yver;
+  bench::PrintHeader("E5: Maybe-tag handling", "Table 5, §6.4");
+  auto generated = bench::MakeItalySet();
+  synth::Gazetteer gazetteer;
+  core::UncertainErPipeline pipeline(generated.dataset,
+                                     gazetteer.MakeGeoResolver());
+  synth::TagOracle oracle(&generated.dataset);
+  auto instances = bench::MakeTaggedInstances(pipeline, oracle);
+  size_t maybes = 0;
+  for (const auto& inst : instances) {
+    if (inst.tag == ml::ExpertTag::kMaybe) ++maybes;
+  }
+  std::printf("tagged pairs: %zu (of which Maybe: %zu)\n\n",
+              instances.size(), maybes);
+  std::printf("%-24s %8s %10s\n", "Condition", "N", "Accuracy");
+
+  ml::AdTreeTrainerOptions options;
+
+  {  // Maybe := No.
+    auto labeled =
+        ml::ApplyMaybePolicy(instances, ml::MaybePolicy::kAsNo);
+    double acc = ml::CrossValidatedAccuracy(labeled, options, 5, 1);
+    std::printf("%-24s %8zu %9.1f%%\n", "Maybe:=No", labeled.size(),
+                acc * 100.0);
+  }
+  {  // Maybe omitted.
+    auto labeled = ml::ApplyMaybePolicy(instances, ml::MaybePolicy::kOmit);
+    double acc = ml::CrossValidatedAccuracy(labeled, options, 5, 1);
+    std::printf("%-24s %8zu %9.1f%%\n", "Maybe values omitted",
+                labeled.size(), acc * 100.0);
+  }
+  {  // Identify Maybe (three-class): cross-validate manually.
+    auto labeled =
+        ml::ApplyMaybePolicy(instances, ml::MaybePolicy::kOwnClass);
+    util::Rng rng(1);
+    auto folds = ml::KFolds(labeled, 5, rng);
+    double sum = 0.0;
+    for (const auto& fold : folds) {
+      auto model = ml::TrainThreeClass(fold.train, options);
+      sum += ml::EvaluateThreeClassAccuracy(model, fold.test);
+    }
+    std::printf("%-24s %8zu %9.1f%%\n", "Identify Maybe values",
+                labeled.size(), sum / folds.size() * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+#ifndef YVER_BENCH_COMMON_H_
+#define YVER_BENCH_COMMON_H_
+
+// Shared helpers for the experiment harnesses. Each bench_*.cc regenerates
+// one table or figure of the paper (see DESIGN.md experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/gold_standard.h"
+#include "core/pipeline.h"
+#include "synth/gazetteer.h"
+#include "synth/generator.h"
+#include "synth/tag_oracle.h"
+
+namespace yver::bench {
+
+/// The Italy-like tagged evaluation dataset (ItalySet of §5.1).
+inline synth::GeneratedData MakeItalySet() {
+  return synth::Generate(synth::ItalyConfig());
+}
+
+/// The stratified random sample. scale=1.0 gives ~100K reports; the
+/// default 0.25 keeps single-core bench runtimes reasonable.
+inline synth::GeneratedData MakeRandomSet(double scale = 0.25) {
+  return synth::Generate(synth::RandomSetConfig(scale));
+}
+
+/// The "full dataset" stand-in. The paper's corpus holds 6.5M reports; we
+/// scale to laptop size while preserving the pattern/prevalence shape.
+inline synth::GeneratedData MakeFullSet(double scale = 2.0) {
+  auto config = synth::RandomSetConfig(scale);
+  config.seed = 5;
+  return synth::Generate(config);
+}
+
+/// Tagger bound to a TagOracle.
+inline core::PairTagger MakeTagger(synth::TagOracle& oracle) {
+  return [&oracle](data::RecordIdx a, data::RecordIdx b) {
+    return oracle.Tag(a, b);
+  };
+}
+
+/// The blocking configurations whose candidate union forms the tagged
+/// standard, mirroring "MFIBlocks was run several times and with several
+/// configurations on the Italy set" (§5.1).
+inline std::vector<blocking::MfiBlocksConfig> StandardConfigs() {
+  std::vector<blocking::MfiBlocksConfig> configs;
+  for (uint32_t mms : {4u, 5u, 6u}) {
+    for (double ng : {2.0, 3.0, 4.0}) {
+      blocking::MfiBlocksConfig c;
+      c.max_minsup = mms;
+      c.ng = ng;
+      configs.push_back(c);
+    }
+  }
+  return configs;
+}
+
+/// Labeled instances for the classifier experiments: blocking candidates
+/// of the default configuration, tagged by the oracle.
+inline std::vector<ml::Instance> MakeTaggedInstances(
+    core::UncertainErPipeline& pipeline, synth::TagOracle& oracle,
+    double ng = 3.5, uint32_t max_minsup = 5) {
+  blocking::MfiBlocksConfig config;
+  config.max_minsup = max_minsup;
+  config.ng = ng;
+  config.expert_weighting = true;
+  auto blocking_result = pipeline.RunBlocking(config);
+  return pipeline.MakeInstances(blocking_result.pairs, MakeTagger(oracle));
+}
+
+/// Prints a standard experiment header.
+inline void PrintHeader(const char* experiment, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (reproduces %s)\n", experiment, paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace yver::bench
+
+#endif  // YVER_BENCH_COMMON_H_

@@ -1,0 +1,79 @@
+// Submitter deduplication (§2): "the same person may have submitted
+// multiple testimonies ... grouping the submitters by first name, last
+// name, and city results in 514,251 different submitters. Some are
+// obvious duplicates, misspellings of names and city names ... but short
+// of performing entity resolution on the submitter data, we must remain
+// with this figure." Here we perform exactly that ER pass on the
+// synthetic submitter table and compare the naive grouping count, the
+// resolved count, and the latent truth.
+//
+//   ./build/examples/example_submitter_dedup
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/entity_clusters.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "synth/gazetteer.h"
+#include "synth/generator.h"
+#include "synth/tag_oracle.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace yver;
+  synth::GeneratorConfig config;
+  config.num_persons = 4000;
+  config.seed = 23;
+  auto generated = synth::Generate(config);
+  const data::Dataset& submitters = generated.submitters;
+
+  // Naive grouping by (first, last, city) — the paper's 514,251 figure.
+  std::set<std::string> naive_groups;
+  std::set<int64_t> latent;
+  for (const auto& r : submitters.records()) {
+    std::string key = util::ToLower(r.FirstValue(data::AttributeId::kFirstName));
+    key += "|";
+    key += util::ToLower(r.FirstValue(data::AttributeId::kLastName));
+    key += "|";
+    key += util::ToLower(r.FirstValue(data::AttributeId::kPermCity));
+    naive_groups.insert(std::move(key));
+    latent.insert(r.entity_id);
+  }
+  std::printf("submitter registrations: %zu\n", submitters.size());
+  std::printf("naive (first,last,city) grouping: %zu submitters\n",
+              naive_groups.size());
+
+  // Entity resolution on the submitter table itself.
+  synth::Gazetteer gazetteer;
+  core::UncertainErPipeline pipeline(submitters,
+                                     gazetteer.MakeGeoResolver());
+  synth::TagOracle oracle(&submitters);
+  core::PipelineConfig pc;
+  pc.blocking.max_minsup = 4;
+  pc.blocking.ng = 3.0;
+  pc.blocking.expert_weighting = true;
+  pc.discard_same_source = false;
+  pc.use_classifier = true;
+  auto result = pipeline.Run(
+      pc, [&oracle](data::RecordIdx a, data::RecordIdx b) {
+        return oracle.Tag(a, b);
+      });
+  core::EntityClusters clusters(result.resolution, submitters.size(), 0.0);
+  auto q = core::EvaluateMatches(submitters, result.resolution.matches());
+  std::printf("after submitter ER: %zu submitters "
+              "(pair precision %.3f, recall %.3f)\n",
+              clusters.size(), q.Precision(), q.Recall());
+  std::printf("latent truth: %zu distinct submitters\n", latent.size());
+  std::printf("\nNaive grouping overcounts by %+.1f%%; ER closes the gap "
+              "to %+.1f%%.\n",
+              100.0 * (static_cast<double>(naive_groups.size()) /
+                           static_cast<double>(latent.size()) -
+                       1.0),
+              100.0 * (static_cast<double>(clusters.size()) /
+                           static_cast<double>(latent.size()) -
+                       1.0));
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Certainty-tunable querying (§4.2): "a person searching for perished
+// relatives can control the size of the response by tuning a certainty
+// parameter in a Web-query interface". This example resolves a corpus
+// once, then replays a search session: the same relative query at
+// decreasing certainty thresholds returns a growing ranked result set.
+//
+//   ./build/examples/example_web_query
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "core/narrative.h"
+#include "core/pipeline.h"
+#include "synth/gazetteer.h"
+#include "synth/generator.h"
+#include "synth/tag_oracle.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace yver;
+
+// Finds records whose first+last name matches the query (the retrieval
+// step a name-search front end would do).
+std::vector<data::RecordIdx> NameSearch(const data::Dataset& dataset,
+                                        std::string_view first,
+                                        std::string_view last) {
+  std::vector<data::RecordIdx> hits;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    bool first_ok = first.empty();
+    for (auto v : dataset[r].Values(data::AttributeId::kFirstName)) {
+      if (util::ToLower(v) == util::ToLower(first)) first_ok = true;
+    }
+    bool last_ok = false;
+    for (auto v : dataset[r].Values(data::AttributeId::kLastName)) {
+      if (util::ToLower(v) == util::ToLower(last)) last_ok = true;
+    }
+    if (first_ok && last_ok) hits.push_back(r);
+  }
+  return hits;
+}
+
+}  // namespace
+
+int main() {
+  synth::GeneratorConfig config = synth::ItalyConfig();
+  config.num_persons = 1500;
+  auto generated = synth::Generate(config);
+  synth::Gazetteer gazetteer;
+  core::UncertainErPipeline pipeline(generated.dataset,
+                                     gazetteer.MakeGeoResolver());
+  synth::TagOracle oracle(&generated.dataset);
+  auto result = pipeline.Run(
+      core::RecommendedConfig(),
+      [&oracle](data::RecordIdx a, data::RecordIdx b) {
+        return oracle.Tag(a, b);
+      });
+  std::printf("Index built: %zu reports, %zu ranked matches\n\n",
+              generated.dataset.size(), result.resolution.size());
+
+  // Use the most-reported surname in the corpus as the sample query.
+  std::map<std::string, size_t> surnames;
+  for (const auto& r : generated.dataset.records()) {
+    auto ln = r.FirstValue(data::AttributeId::kLastName);
+    if (!ln.empty()) ++surnames[util::ToLower(ln)];
+  }
+  std::string query_last;
+  size_t best = 0;
+  for (const auto& [name, count] : surnames) {
+    if (count > best) {
+      best = count;
+      query_last = name;
+    }
+  }
+  auto hits = NameSearch(generated.dataset, "", query_last);
+  std::printf("Query: last name \"%s\" -> %zu direct record hits\n",
+              query_last.c_str(), hits.size());
+
+  // Anchor on the hit with the most linked reports so the session shows a
+  // non-trivial result set.
+  data::RecordIdx anchor = hits.front();
+  size_t best_links = 0;
+  for (data::RecordIdx r : hits) {
+    size_t links = result.resolution.ForRecord(r, 0.0).size();
+    if (links > best_links) {
+      best_links = links;
+      anchor = r;
+    }
+  }
+  std::printf("Anchor record: BookID %llu\n\n",
+              static_cast<unsigned long long>(
+                  generated.dataset[anchor].book_id));
+  for (double certainty : {3.0, 2.0, 1.0, 0.5, 0.0}) {
+    auto related = result.resolution.ForRecord(anchor, certainty);
+    std::printf("certainty > %.1f : %zu linked report(s)\n", certainty,
+                related.size());
+    for (const auto& m : related) {
+      data::RecordIdx other = m.pair.a == anchor ? m.pair.b : m.pair.a;
+      auto profile = core::BuildProfile(generated.dataset, {other});
+      std::printf("   %.2f  %s\n", m.confidence,
+                  core::RenderNarrative(profile).c_str());
+    }
+  }
+  std::printf("\nLowering the certainty parameter grows the response — the "
+              "uncertain-ER contract of §4.2.\n");
+  return 0;
+}

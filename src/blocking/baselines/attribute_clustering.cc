@@ -1,0 +1,59 @@
+#include "blocking/baselines/attribute_clustering.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace yver::blocking::baselines {
+
+std::string AttributeClustering::ClusterKey(std::string_view token) {
+  if (token.empty()) return "";
+  std::string key;
+  char first = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(token[0])));
+  // The transliteration pairs apply to the leading character too
+  // (Kaminski ~ Caminsky).
+  if (first == 'k') first = 'c';
+  if (first == 'v') first = 'f';
+  if (first == 'z') first = 's';
+  key.push_back(first);
+  key.push_back('_');
+  char prev = 0;
+  for (size_t i = 1; i < token.size(); ++i) {
+    char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(token[i])));
+    // Drop vowels and 'h'/'w' (near-silent), collapse doubled consonants,
+    // and unify common transliteration pairs.
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u' ||
+        c == 'y' || c == 'h' || c == 'w') {
+      continue;
+    }
+    if (c == 'k') c = 'c';
+    if (c == 'v') c = 'f';
+    if (c == 'z') c = 's';
+    if (c == prev) continue;
+    key.push_back(c);
+    prev = c;
+  }
+  return key;
+}
+
+std::vector<BaselineBlock> AttributeClustering::BuildBlocks(
+    const data::Dataset& dataset) const {
+  std::unordered_map<std::string, BaselineBlock> by_key;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    for (const auto& token :
+         RecordTokens(dataset[r], /*attribute_prefixed=*/false)) {
+      std::string key = ClusterKey(token);
+      auto& block = by_key[key];
+      if (block.empty() || block.back() != r) block.push_back(r);
+    }
+  }
+  std::vector<BaselineBlock> blocks;
+  blocks.reserve(by_key.size());
+  for (auto& [key, block] : by_key) {
+    if (block.size() >= 2) blocks.push_back(std::move(block));
+  }
+  return PurgeOversized(std::move(blocks), max_block_size_);
+}
+
+}  // namespace yver::blocking::baselines

@@ -1,0 +1,32 @@
+#ifndef YVER_BLOCKING_BASELINES_ATTRIBUTE_CLUSTERING_H_
+#define YVER_BLOCKING_BASELINES_ATTRIBUTE_CLUSTERING_H_
+
+#include "blocking/baselines/baseline.h"
+
+namespace yver::blocking::baselines {
+
+/// ACl — Attribute Clustering blocking [Papadakis 2013]: standard blocking
+/// preceded by a step "in which similar tokens (e.g., John and Jhon) are
+/// grouped together by some similarity measure". We canonicalize each
+/// token to a phonetic-skeleton cluster key (first letter + de-voweled,
+/// de-doubled consonant skeleton), so spelling variants share a block.
+class AttributeClustering : public BlockingBaseline {
+ public:
+  explicit AttributeClustering(size_t max_block_size = 500)
+      : max_block_size_(max_block_size) {}
+
+  std::string_view name() const override { return "ACl"; }
+  std::vector<BaselineBlock> BuildBlocks(
+      const data::Dataset& dataset) const override;
+
+  /// The cluster key of a token (exposed for tests): e.g. john and jhon
+  /// both map to "j_hn".
+  static std::string ClusterKey(std::string_view token);
+
+ private:
+  size_t max_block_size_;
+};
+
+}  // namespace yver::blocking::baselines
+
+#endif  // YVER_BLOCKING_BASELINES_ATTRIBUTE_CLUSTERING_H_

@@ -1,0 +1,55 @@
+#ifndef YVER_BLOCKING_BASELINES_BASELINE_H_
+#define YVER_BLOCKING_BASELINES_BASELINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace yver::blocking::baselines {
+
+/// A baseline block: a set of records sharing a blocking key.
+using BaselineBlock = std::vector<data::RecordIdx>;
+
+/// Interface of the comparison blocking techniques of §6.6 (Table 10),
+/// following the method of Papadakis et al.'s survey: each technique is a
+/// block-building algorithm run in its default configuration; comparison
+/// cleaning is deliberately NOT applied (the paper avoids giving MFIBlocks
+/// an unfair advantage by comparing without classification).
+class BlockingBaseline {
+ public:
+  virtual ~BlockingBaseline() = default;
+
+  /// Technique acronym as printed in Table 10 ("StBl", "ACl", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Builds (possibly overlapping) blocks over the dataset.
+  virtual std::vector<BaselineBlock> BuildBlocks(
+      const data::Dataset& dataset) const = 0;
+};
+
+/// Block purging (the survey's default block-cleaning step): drops blocks
+/// with more than `max_block_size` records. Oversized blocks — e.g. the
+/// block keyed on Gender=M — contribute quadratic comparisons with no
+/// discriminative power.
+std::vector<BaselineBlock> PurgeOversized(std::vector<BaselineBlock> blocks,
+                                          size_t max_block_size);
+
+/// Tokens of a record: each attribute value is lowercased and split on
+/// whitespace. When `attribute_prefixed` the token carries the attribute
+/// short name (schema-aware keys); otherwise tokens are schema-agnostic.
+std::vector<std::string> RecordTokens(const data::Record& record,
+                                      bool attribute_prefixed);
+
+/// Deduplicated candidate pairs of a block collection.
+std::vector<data::RecordPair> PairsOfBlocks(
+    const std::vector<BaselineBlock>& blocks);
+
+/// Number of distinct candidate pairs of a block collection, without
+/// materializing them all at once (used for the comparisons column).
+size_t CountDistinctPairs(const std::vector<BaselineBlock>& blocks);
+
+}  // namespace yver::blocking::baselines
+
+#endif  // YVER_BLOCKING_BASELINES_BASELINE_H_

@@ -1,0 +1,102 @@
+#include "blocking/baselines/baseline_runner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "blocking/baselines/attribute_clustering.h"
+#include "blocking/baselines/canopy_clustering.h"
+#include "blocking/baselines/qgram_blocking.h"
+#include "blocking/baselines/sorted_neighborhood.h"
+#include "blocking/baselines/standard_blocking.h"
+#include "blocking/baselines/suffix_arrays.h"
+#include "blocking/baselines/typi_match.h"
+#include "util/string_util.h"
+
+namespace yver::blocking::baselines {
+
+std::vector<BaselineBlock> PurgeOversized(std::vector<BaselineBlock> blocks,
+                                          size_t max_block_size) {
+  if (max_block_size == 0) return blocks;
+  std::vector<BaselineBlock> kept;
+  kept.reserve(blocks.size());
+  for (auto& b : blocks) {
+    if (b.size() <= max_block_size) kept.push_back(std::move(b));
+  }
+  return kept;
+}
+
+std::vector<std::string> RecordTokens(const data::Record& record,
+                                      bool attribute_prefixed) {
+  std::vector<std::string> tokens;
+  for (const auto& entry : record.entries()) {
+    for (const auto& word : util::SplitWhitespace(entry.value)) {
+      std::string token = util::ToLower(word);
+      if (attribute_prefixed) {
+        std::string prefixed(data::AttributeShortName(entry.attr));
+        prefixed.push_back('_');
+        prefixed += token;
+        tokens.push_back(std::move(prefixed));
+      } else {
+        tokens.push_back(std::move(token));
+      }
+    }
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+namespace {
+
+uint64_t PairKey(data::RecordIdx a, data::RecordIdx b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+std::vector<data::RecordPair> PairsOfBlocks(
+    const std::vector<BaselineBlock>& blocks) {
+  std::unordered_set<uint64_t> seen;
+  std::vector<data::RecordPair> pairs;
+  for (const auto& block : blocks) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      for (size_t j = i + 1; j < block.size(); ++j) {
+        if (block[i] == block[j]) continue;
+        if (seen.insert(PairKey(block[i], block[j])).second) {
+          pairs.emplace_back(block[i], block[j]);
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+size_t CountDistinctPairs(const std::vector<BaselineBlock>& blocks) {
+  std::unordered_set<uint64_t> seen;
+  for (const auto& block : blocks) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      for (size_t j = i + 1; j < block.size(); ++j) {
+        if (block[i] != block[j]) seen.insert(PairKey(block[i], block[j]));
+      }
+    }
+  }
+  return seen.size();
+}
+
+std::vector<std::unique_ptr<BlockingBaseline>> AllBaselines() {
+  std::vector<std::unique_ptr<BlockingBaseline>> out;
+  out.push_back(std::make_unique<StandardBlocking>());
+  out.push_back(std::make_unique<AttributeClustering>());
+  out.push_back(std::make_unique<CanopyClustering>());
+  out.push_back(std::make_unique<ExtendedCanopyClustering>());
+  out.push_back(std::make_unique<QGramBlocking>());
+  out.push_back(std::make_unique<ExtendedQGramBlocking>());
+  out.push_back(std::make_unique<ExtendedSortedNeighborhood>());
+  out.push_back(std::make_unique<SuffixArrays>());
+  out.push_back(std::make_unique<ExtendedSuffixArrays>());
+  out.push_back(std::make_unique<TypiMatch>());
+  return out;
+}
+
+}  // namespace yver::blocking::baselines

@@ -1,0 +1,17 @@
+#ifndef YVER_BLOCKING_BASELINES_BASELINE_RUNNER_H_
+#define YVER_BLOCKING_BASELINES_BASELINE_RUNNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "blocking/baselines/baseline.h"
+
+namespace yver::blocking::baselines {
+
+/// All ten comparison techniques of Table 10, in the table's row order,
+/// each in its default configuration.
+std::vector<std::unique_ptr<BlockingBaseline>> AllBaselines();
+
+}  // namespace yver::blocking::baselines
+
+#endif  // YVER_BLOCKING_BASELINES_BASELINE_RUNNER_H_

@@ -1,0 +1,137 @@
+#include "blocking/baselines/canopy_clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace yver::blocking::baselines {
+
+namespace {
+
+// Token-set representation with an inverted index for candidate lookup.
+struct TokenIndex {
+  std::vector<std::vector<uint32_t>> record_tokens;  // token ids, sorted
+  std::vector<std::vector<data::RecordIdx>> postings;
+
+  explicit TokenIndex(const data::Dataset& dataset) {
+    std::unordered_map<std::string, uint32_t> dict;
+    record_tokens.resize(dataset.size());
+    for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+      for (auto& token :
+           RecordTokens(dataset[r], /*attribute_prefixed=*/true)) {
+        auto [it, inserted] =
+            dict.try_emplace(std::move(token),
+                             static_cast<uint32_t>(dict.size()));
+        record_tokens[r].push_back(it->second);
+      }
+      auto& v = record_tokens[r];
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+    postings.resize(dict.size());
+    for (data::RecordIdx r = 0; r < record_tokens.size(); ++r) {
+      for (uint32_t t : record_tokens[r]) postings[t].push_back(r);
+    }
+  }
+
+  double Jaccard(data::RecordIdx a, data::RecordIdx b) const {
+    const auto& ta = record_tokens[a];
+    const auto& tb = record_tokens[b];
+    if (ta.empty() && tb.empty()) return 1.0;
+    size_t inter = 0;
+    size_t i = 0, j = 0;
+    while (i < ta.size() && j < tb.size()) {
+      if (ta[i] == tb[j]) {
+        ++inter;
+        ++i;
+        ++j;
+      } else if (ta[i] < tb[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    size_t uni = ta.size() + tb.size() - inter;
+    return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+  }
+};
+
+}  // namespace
+
+std::vector<BaselineBlock> CanopyClustering::BuildCanopies(
+    const data::Dataset& dataset, bool extend) const {
+  TokenIndex index(dataset);
+  util::Rng rng(seed_);
+  std::vector<data::RecordIdx> pool(dataset.size());
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) pool[r] = r;
+  rng.Shuffle(pool);
+  std::vector<bool> removed(dataset.size(), false);
+  std::vector<bool> assigned(dataset.size(), false);
+  std::vector<BaselineBlock> canopies;
+
+  for (data::RecordIdx seed : pool) {
+    if (removed[seed]) continue;
+    removed[seed] = true;
+    BaselineBlock canopy = {seed};
+    // Candidates: records sharing at least one token with the seed.
+    std::unordered_set<data::RecordIdx> candidates;
+    for (uint32_t t : index.record_tokens[seed]) {
+      for (data::RecordIdx r : index.postings[t]) {
+        if (r != seed && !removed[r]) candidates.insert(r);
+      }
+    }
+    for (data::RecordIdx r : candidates) {
+      double sim = index.Jaccard(seed, r);
+      if (sim >= loose_) {
+        canopy.push_back(r);
+        if (sim >= tight_) removed[r] = true;
+      }
+    }
+    if (canopy.size() >= 2) {
+      for (data::RecordIdx r : canopy) assigned[r] = true;
+      std::sort(canopy.begin(), canopy.end());
+      canopies.push_back(std::move(canopy));
+    }
+  }
+
+  if (extend) {
+    // ECaCl: attach records no canopy claimed to their most similar
+    // canopy (by similarity to the canopy's first record, its seed).
+    for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+      if (assigned[r]) continue;
+      double best = 0.0;
+      long best_canopy = -1;
+      std::unordered_set<data::RecordIdx> seeds;
+      for (uint32_t t : index.record_tokens[r]) {
+        for (data::RecordIdx other : index.postings[t]) seeds.insert(other);
+      }
+      for (size_t c = 0; c < canopies.size(); ++c) {
+        if (!seeds.count(canopies[c].front())) continue;
+        double sim = index.Jaccard(r, canopies[c].front());
+        if (sim > best) {
+          best = sim;
+          best_canopy = static_cast<long>(c);
+        }
+      }
+      if (best_canopy >= 0) {
+        canopies[static_cast<size_t>(best_canopy)].push_back(r);
+      }
+    }
+    for (auto& c : canopies) std::sort(c.begin(), c.end());
+  }
+  return PurgeOversized(std::move(canopies), max_block_size_);
+}
+
+std::vector<BaselineBlock> CanopyClustering::BuildBlocks(
+    const data::Dataset& dataset) const {
+  return BuildCanopies(dataset, /*extend=*/false);
+}
+
+std::vector<BaselineBlock> ExtendedCanopyClustering::BuildBlocks(
+    const data::Dataset& dataset) const {
+  return BuildCanopies(dataset, /*extend=*/true);
+}
+
+}  // namespace yver::blocking::baselines

@@ -1,0 +1,54 @@
+#ifndef YVER_BLOCKING_BASELINES_CANOPY_CLUSTERING_H_
+#define YVER_BLOCKING_BASELINES_CANOPY_CLUSTERING_H_
+
+#include "blocking/baselines/baseline.h"
+
+namespace yver::blocking::baselines {
+
+/// CaCl — Canopy Clustering [McCallum et al. 2000]: "a random seed record
+/// is iteratively removed from a candidate pool and used to create a block
+/// using records which share the seed record's attribute values"; records
+/// within the tight threshold leave the pool (non-overlapping selection).
+/// Similarity is token-set Jaccard over q-gram keys (as in the survey, the
+/// keys come from QGBl).
+class CanopyClustering : public BlockingBaseline {
+ public:
+  CanopyClustering(double loose_threshold = 0.25,
+                   double tight_threshold = 0.5, uint64_t seed = 31,
+                   size_t max_block_size = 500)
+      : loose_(loose_threshold),
+        tight_(tight_threshold),
+        seed_(seed),
+        max_block_size_(max_block_size) {}
+
+  std::string_view name() const override { return "CaCl"; }
+  std::vector<BaselineBlock> BuildBlocks(
+      const data::Dataset& dataset) const override;
+
+ protected:
+  /// Shared canopy construction; `extend` adds unassigned leftovers to
+  /// their nearest canopy (the ECaCl extension).
+  std::vector<BaselineBlock> BuildCanopies(const data::Dataset& dataset,
+                                           bool extend) const;
+
+  double loose_;
+  double tight_;
+  uint64_t seed_;
+  size_t max_block_size_;
+};
+
+/// ECaCl — Extended Canopy Clustering [Christen 2012]: CaCl that
+/// additionally assigns records the plain pass left unassigned to their
+/// most similar existing canopy, producing overlap.
+class ExtendedCanopyClustering : public CanopyClustering {
+ public:
+  using CanopyClustering::CanopyClustering;
+
+  std::string_view name() const override { return "ECaCl"; }
+  std::vector<BaselineBlock> BuildBlocks(
+      const data::Dataset& dataset) const override;
+};
+
+}  // namespace yver::blocking::baselines
+
+#endif  // YVER_BLOCKING_BASELINES_CANOPY_CLUSTERING_H_

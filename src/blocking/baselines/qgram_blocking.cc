@@ -1,0 +1,59 @@
+#include "blocking/baselines/qgram_blocking.h"
+
+#include <unordered_map>
+
+#include "text/qgram.h"
+
+namespace yver::blocking::baselines {
+
+namespace {
+
+std::vector<BaselineBlock> CollectBlocks(
+    std::unordered_map<std::string, BaselineBlock>&& by_key,
+    size_t max_block_size) {
+  std::vector<BaselineBlock> blocks;
+  blocks.reserve(by_key.size());
+  for (auto& [key, block] : by_key) {
+    if (block.size() >= 2) blocks.push_back(std::move(block));
+  }
+  return PurgeOversized(std::move(blocks), max_block_size);
+}
+
+void AddRecord(std::unordered_map<std::string, BaselineBlock>& by_key,
+               const std::string& key, data::RecordIdx r) {
+  auto& block = by_key[key];
+  if (block.empty() || block.back() != r) block.push_back(r);
+}
+
+}  // namespace
+
+std::vector<BaselineBlock> QGramBlocking::BuildBlocks(
+    const data::Dataset& dataset) const {
+  std::unordered_map<std::string, BaselineBlock> by_key;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    for (const auto& token :
+         RecordTokens(dataset[r], /*attribute_prefixed=*/false)) {
+      for (const auto& gram : text::ExtractQGramsNoPad(token, q_)) {
+        AddRecord(by_key, gram, r);
+      }
+    }
+  }
+  return CollectBlocks(std::move(by_key), max_block_size_);
+}
+
+std::vector<BaselineBlock> ExtendedQGramBlocking::BuildBlocks(
+    const data::Dataset& dataset) const {
+  std::unordered_map<std::string, BaselineBlock> by_key;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    for (const auto& token :
+         RecordTokens(dataset[r], /*attribute_prefixed=*/false)) {
+      for (const auto& key :
+           text::ExtractExtendedQGrams(token, q_, threshold_)) {
+        AddRecord(by_key, key, r);
+      }
+    }
+  }
+  return CollectBlocks(std::move(by_key), max_block_size_);
+}
+
+}  // namespace yver::blocking::baselines

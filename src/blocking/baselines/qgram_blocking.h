@@ -1,0 +1,44 @@
+#ifndef YVER_BLOCKING_BASELINES_QGRAM_BLOCKING_H_
+#define YVER_BLOCKING_BASELINES_QGRAM_BLOCKING_H_
+
+#include "blocking/baselines/baseline.h"
+
+namespace yver::blocking::baselines {
+
+/// QGBl — Q-Grams Blocking [Gravano et al. 2001]: standard blocking where
+/// "each attribute value is converted to all subsequences of q characters
+/// (q-grams)"; every q-gram keys a block.
+class QGramBlocking : public BlockingBaseline {
+ public:
+  explicit QGramBlocking(size_t q = 3, size_t max_block_size = 500)
+      : q_(q), max_block_size_(max_block_size) {}
+
+  std::string_view name() const override { return "QGBl"; }
+  std::vector<BaselineBlock> BuildBlocks(
+      const data::Dataset& dataset) const override;
+
+ protected:
+  size_t q_;
+  size_t max_block_size_;
+};
+
+/// EQBl — Extended Q-Grams Blocking [Christen 2012]: "concatenates q-grams
+/// in an effort to increase the blocking keys' discriminative abilities";
+/// keys are combinations of at least ceil(T * k) of a value's k q-grams.
+class ExtendedQGramBlocking : public QGramBlocking {
+ public:
+  explicit ExtendedQGramBlocking(size_t q = 3, double threshold = 0.8,
+                                 size_t max_block_size = 500)
+      : QGramBlocking(q, max_block_size), threshold_(threshold) {}
+
+  std::string_view name() const override { return "EQBl"; }
+  std::vector<BaselineBlock> BuildBlocks(
+      const data::Dataset& dataset) const override;
+
+ private:
+  double threshold_;
+};
+
+}  // namespace yver::blocking::baselines
+
+#endif  // YVER_BLOCKING_BASELINES_QGRAM_BLOCKING_H_

@@ -1,0 +1,39 @@
+#include "blocking/baselines/sorted_neighborhood.h"
+
+#include <algorithm>
+#include <map>
+
+namespace yver::blocking::baselines {
+
+std::vector<BaselineBlock> ExtendedSortedNeighborhood::BuildBlocks(
+    const data::Dataset& dataset) const {
+  // Sorted distinct tokens -> postings.
+  std::map<std::string, BaselineBlock> sorted_tokens;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    for (auto& token :
+         RecordTokens(dataset[r], /*attribute_prefixed=*/false)) {
+      auto& postings = sorted_tokens[std::move(token)];
+      if (postings.empty() || postings.back() != r) postings.push_back(r);
+    }
+  }
+  std::vector<const BaselineBlock*> postings_list;
+  postings_list.reserve(sorted_tokens.size());
+  for (const auto& [token, postings] : sorted_tokens) {
+    postings_list.push_back(&postings);
+  }
+  std::vector<BaselineBlock> blocks;
+  if (postings_list.size() < window_) return blocks;
+  for (size_t start = 0; start + window_ <= postings_list.size(); ++start) {
+    BaselineBlock block;
+    for (size_t w = 0; w < window_; ++w) {
+      const auto& postings = *postings_list[start + w];
+      block.insert(block.end(), postings.begin(), postings.end());
+    }
+    std::sort(block.begin(), block.end());
+    block.erase(std::unique(block.begin(), block.end()), block.end());
+    if (block.size() >= 2) blocks.push_back(std::move(block));
+  }
+  return PurgeOversized(std::move(blocks), max_block_size_);
+}
+
+}  // namespace yver::blocking::baselines

@@ -1,0 +1,31 @@
+#ifndef YVER_BLOCKING_BASELINES_SORTED_NEIGHBORHOOD_H_
+#define YVER_BLOCKING_BASELINES_SORTED_NEIGHBORHOOD_H_
+
+#include "blocking/baselines/baseline.h"
+
+namespace yver::blocking::baselines {
+
+/// ESoNe — Extended Sorted Neighborhood [Christen 2012]: "sorts the
+/// attribute values in alphabetical order and then uses a sliding window
+/// of fixed size to create a block from all records which have one of the
+/// values in the window". The window slides over the *distinct value*
+/// list, not the record list, which makes the approach robust to skewed
+/// value frequencies.
+class ExtendedSortedNeighborhood : public BlockingBaseline {
+ public:
+  explicit ExtendedSortedNeighborhood(size_t window = 3,
+                                      size_t max_block_size = 500)
+      : window_(window), max_block_size_(max_block_size) {}
+
+  std::string_view name() const override { return "ESoNe"; }
+  std::vector<BaselineBlock> BuildBlocks(
+      const data::Dataset& dataset) const override;
+
+ private:
+  size_t window_;
+  size_t max_block_size_;
+};
+
+}  // namespace yver::blocking::baselines
+
+#endif  // YVER_BLOCKING_BASELINES_SORTED_NEIGHBORHOOD_H_

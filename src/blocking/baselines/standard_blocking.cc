@@ -1,0 +1,23 @@
+#include "blocking/baselines/standard_blocking.h"
+
+#include <unordered_map>
+
+namespace yver::blocking::baselines {
+
+std::vector<BaselineBlock> StandardBlocking::BuildBlocks(
+    const data::Dataset& dataset) const {
+  std::unordered_map<std::string, BaselineBlock> by_key;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    for (auto& token : RecordTokens(dataset[r], /*attribute_prefixed=*/true)) {
+      by_key[std::move(token)].push_back(r);
+    }
+  }
+  std::vector<BaselineBlock> blocks;
+  blocks.reserve(by_key.size());
+  for (auto& [key, block] : by_key) {
+    if (block.size() >= 2) blocks.push_back(std::move(block));
+  }
+  return PurgeOversized(std::move(blocks), max_block_size_);
+}
+
+}  // namespace yver::blocking::baselines

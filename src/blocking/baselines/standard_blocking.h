@@ -1,0 +1,27 @@
+#ifndef YVER_BLOCKING_BASELINES_STANDARD_BLOCKING_H_
+#define YVER_BLOCKING_BASELINES_STANDARD_BLOCKING_H_
+
+#include "blocking/baselines/baseline.h"
+
+namespace yver::blocking::baselines {
+
+/// StBl — Standard Blocking [Christen 2012; Papadakis 2013]: "creates a
+/// block for each attribute value shared by more than one record". Tokens
+/// are attribute-prefixed, so FirstName=Guido and FatherName=Guido key
+/// different blocks.
+class StandardBlocking : public BlockingBaseline {
+ public:
+  explicit StandardBlocking(size_t max_block_size = 500)
+      : max_block_size_(max_block_size) {}
+
+  std::string_view name() const override { return "StBl"; }
+  std::vector<BaselineBlock> BuildBlocks(
+      const data::Dataset& dataset) const override;
+
+ private:
+  size_t max_block_size_;
+};
+
+}  // namespace yver::blocking::baselines
+
+#endif  // YVER_BLOCKING_BASELINES_STANDARD_BLOCKING_H_

@@ -1,0 +1,66 @@
+#include "blocking/baselines/suffix_arrays.h"
+
+#include <unordered_map>
+
+namespace yver::blocking::baselines {
+
+namespace {
+
+void AddRecord(std::unordered_map<std::string, BaselineBlock>& by_key,
+               std::string key, data::RecordIdx r) {
+  auto& block = by_key[std::move(key)];
+  if (block.empty() || block.back() != r) block.push_back(r);
+}
+
+std::vector<BaselineBlock> CollectBlocks(
+    std::unordered_map<std::string, BaselineBlock>&& by_key,
+    size_t max_block_size) {
+  std::vector<BaselineBlock> blocks;
+  blocks.reserve(by_key.size());
+  for (auto& [key, block] : by_key) {
+    if (block.size() >= 2) blocks.push_back(std::move(block));
+  }
+  return PurgeOversized(std::move(blocks), max_block_size);
+}
+
+}  // namespace
+
+std::vector<BaselineBlock> SuffixArrays::BuildBlocks(
+    const data::Dataset& dataset) const {
+  std::unordered_map<std::string, BaselineBlock> by_key;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    for (const auto& token :
+         RecordTokens(dataset[r], /*attribute_prefixed=*/false)) {
+      if (token.size() < min_length_) {
+        AddRecord(by_key, token, r);
+        continue;
+      }
+      for (size_t start = 0; start + min_length_ <= token.size(); ++start) {
+        AddRecord(by_key, token.substr(start), r);
+      }
+    }
+  }
+  return CollectBlocks(std::move(by_key), max_block_size_);
+}
+
+std::vector<BaselineBlock> ExtendedSuffixArrays::BuildBlocks(
+    const data::Dataset& dataset) const {
+  std::unordered_map<std::string, BaselineBlock> by_key;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    for (const auto& token :
+         RecordTokens(dataset[r], /*attribute_prefixed=*/false)) {
+      if (token.size() < min_length_) {
+        AddRecord(by_key, token, r);
+        continue;
+      }
+      for (size_t start = 0; start + min_length_ <= token.size(); ++start) {
+        for (size_t len = min_length_; start + len <= token.size(); ++len) {
+          AddRecord(by_key, token.substr(start, len), r);
+        }
+      }
+    }
+  }
+  return CollectBlocks(std::move(by_key), max_block_size_);
+}
+
+}  // namespace yver::blocking::baselines

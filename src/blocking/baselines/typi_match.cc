@@ -1,0 +1,92 @@
+#include "blocking/baselines/typi_match.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace yver::blocking::baselines {
+
+namespace {
+
+// Union-find over token ids.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<BaselineBlock> TypiMatch::BuildBlocks(
+    const data::Dataset& dataset) const {
+  // Tokenize and intern.
+  std::unordered_map<std::string, uint32_t> dict;
+  std::vector<std::vector<uint32_t>> record_tokens(dataset.size());
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    for (auto& token :
+         RecordTokens(dataset[r], /*attribute_prefixed=*/false)) {
+      auto [it, inserted] = dict.try_emplace(
+          std::move(token), static_cast<uint32_t>(dict.size()));
+      record_tokens[r].push_back(it->second);
+    }
+    auto& v = record_tokens[r];
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  const size_t num_tokens = dict.size();
+  std::vector<uint32_t> freq(num_tokens, 0);
+  for (const auto& tokens : record_tokens) {
+    for (uint32_t t : tokens) ++freq[t];
+  }
+  // Pairwise co-occurrence counts (only within records; tokens of a record
+  // are few, so this is near-linear overall).
+  std::unordered_map<uint64_t, uint32_t> cooc;
+  for (const auto& tokens : record_tokens) {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      for (size_t j = i + 1; j < tokens.size(); ++j) {
+        cooc[(static_cast<uint64_t>(tokens[i]) << 32) | tokens[j]] += 1;
+      }
+    }
+  }
+  // Thresholded co-occurrence graph -> type clusters (connected
+  // components; see header for the clique relaxation).
+  UnionFind uf(num_tokens);
+  for (const auto& [key, count] : cooc) {
+    uint32_t t1 = static_cast<uint32_t>(key >> 32);
+    uint32_t t2 = static_cast<uint32_t>(key & 0xffffffffu);
+    double r1 = static_cast<double>(count) / freq[t1];
+    double r2 = static_cast<double>(count) / freq[t2];
+    if (r1 >= min_cooccurrence_ && r2 >= min_cooccurrence_) {
+      uf.Union(t1, t2);
+    }
+  }
+  // Standard blocking within each type cluster: block key =
+  // (type, token).
+  std::unordered_map<uint64_t, BaselineBlock> by_key;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    for (uint32_t t : record_tokens[r]) {
+      uint64_t key = (static_cast<uint64_t>(uf.Find(t)) << 32) | t;
+      auto& block = by_key[key];
+      if (block.empty() || block.back() != r) block.push_back(r);
+    }
+  }
+  std::vector<BaselineBlock> blocks;
+  for (auto& [key, block] : by_key) {
+    if (block.size() >= 2) blocks.push_back(std::move(block));
+  }
+  return PurgeOversized(std::move(blocks), max_block_size_);
+}
+
+}  // namespace yver::blocking::baselines

@@ -1,0 +1,36 @@
+#ifndef YVER_BLOCKING_BASELINES_TYPI_MATCH_H_
+#define YVER_BLOCKING_BASELINES_TYPI_MATCH_H_
+
+#include "blocking/baselines/baseline.h"
+
+namespace yver::blocking::baselines {
+
+/// TYPiMatch [Ma & Tran 2013]: "constructs a co-occurrence graph for all
+/// tokens and the maximal cliques are extracted from it to create large
+/// blocks that are decomposed to smaller blocks by standard blocking".
+///
+/// Simplification (documented in DESIGN.md): instead of exact maximal
+/// clique enumeration (NP-hard) we use the dense connected components of
+/// the thresholded co-occurrence graph as type clusters — the standard
+/// practical relaxation — then run standard blocking within each type.
+class TypiMatch : public BlockingBaseline {
+ public:
+  /// `min_cooccurrence` is the conditional co-occurrence ratio
+  /// P(t2 | t1) required to draw a graph edge.
+  explicit TypiMatch(double min_cooccurrence = 0.25,
+                     size_t max_block_size = 500)
+      : min_cooccurrence_(min_cooccurrence),
+        max_block_size_(max_block_size) {}
+
+  std::string_view name() const override { return "TYPiMatch"; }
+  std::vector<BaselineBlock> BuildBlocks(
+      const data::Dataset& dataset) const override;
+
+ private:
+  double min_cooccurrence_;
+  size_t max_block_size_;
+};
+
+}  // namespace yver::blocking::baselines
+
+#endif  // YVER_BLOCKING_BASELINES_TYPI_MATCH_H_

@@ -1,0 +1,40 @@
+#ifndef YVER_BLOCKING_BLOCK_H_
+#define YVER_BLOCKING_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/item_dictionary.h"
+
+namespace yver::blocking {
+
+/// A soft block: the support set of a maximal frequent itemset, i.e. the
+/// records sharing the block key. Blocks may overlap — the same record may
+/// live in several blocks under different keys, which is what makes the
+/// resolution "uncertain" (paper §4.1).
+struct Block {
+  /// The mined itemset acting as the (dynamic, data-driven) blocking key.
+  std::vector<data::ItemId> key;
+
+  /// Records supporting the key, sorted ascending.
+  std::vector<data::RecordIdx> records;
+
+  /// Block quality score (ClusterJaccard or expert similarity).
+  double score = 0.0;
+
+  /// The minsup level of the MFIBlocks iteration that produced the block.
+  uint32_t minsup_level = 0;
+};
+
+/// A candidate duplicate pair emitted by blocking, carrying the best score
+/// among the blocks that produced it.
+struct CandidatePair {
+  data::RecordPair pair;
+  double block_score = 0.0;
+  uint32_t minsup_level = 0;
+};
+
+}  // namespace yver::blocking
+
+#endif  // YVER_BLOCKING_BLOCK_H_

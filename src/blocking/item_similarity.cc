@@ -1,0 +1,95 @@
+#include "blocking/item_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "geo/geo.h"
+#include "text/jaro_winkler.h"
+
+namespace yver::blocking {
+
+namespace {
+
+double NumericValue(const std::string& s) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return 0.0;
+  return v;
+}
+
+}  // namespace
+
+double ExpertItemSimilarity(const data::ItemDictionary& dict,
+                            data::ItemId a, data::ItemId b) {
+  data::AttributeId attr_a = dict.attribute(a);
+  data::AttributeId attr_b = dict.attribute(b);
+  if (attr_a != attr_b) return 0.0;
+  const std::string& va = dict.value(a);
+  const std::string& vb = dict.value(b);
+  switch (data::AttributeClass(attr_a)) {
+    case data::ValueClass::kName:
+    case data::ValueClass::kPlacePart:
+      return text::JaroWinklerSimilarity(va, vb);
+    case data::ValueClass::kCategorical:
+      return va == vb ? 1.0 : 0.0;
+    case data::ValueClass::kYear:
+      return std::max(
+          0.0, 1.0 - std::abs(NumericValue(va) - NumericValue(vb)) / 50.0);
+    case data::ValueClass::kMonth:
+      return std::max(
+          0.0, 1.0 - std::abs(NumericValue(va) - NumericValue(vb)) / 12.0);
+    case data::ValueClass::kDay:
+      return std::max(
+          0.0, 1.0 - std::abs(NumericValue(va) - NumericValue(vb)) / 31.0);
+    case data::ValueClass::kGeo: {
+      const auto& ga = dict.geo(a);
+      const auto& gb = dict.geo(b);
+      if (ga.has_value() && gb.has_value()) {
+        return std::max(0.0, 1.0 - geo::HaversineKm(*ga, *gb) / 100.0);
+      }
+      return text::JaroWinklerSimilarity(va, vb);
+    }
+  }
+  return 0.0;
+}
+
+AttributeWeights UniformWeights() {
+  AttributeWeights w;
+  w.fill(1.0);
+  return w;
+}
+
+AttributeWeights DefaultExpertWeights() {
+  AttributeWeights w;
+  w.fill(1.0);
+  auto set = [&w](data::AttributeId attr, double value) {
+    w[static_cast<size_t>(attr)] = value;
+  };
+  // Identity-bearing names dominate.
+  set(data::AttributeId::kFirstName, 2.0);
+  set(data::AttributeId::kLastName, 2.0);
+  set(data::AttributeId::kMaidenName, 1.8);
+  set(data::AttributeId::kFathersName, 1.6);
+  set(data::AttributeId::kMothersName, 1.6);
+  set(data::AttributeId::kMothersMaiden, 1.6);
+  set(data::AttributeId::kSpouseName, 1.4);
+  // Birth date parts: year discriminates well; day/month moderately.
+  set(data::AttributeId::kBirthYear, 1.5);
+  set(data::AttributeId::kBirthMonth, 1.0);
+  set(data::AttributeId::kBirthDay, 1.0);
+  // Low-cardinality attributes contribute little to a block's quality.
+  set(data::AttributeId::kGender, 0.2);
+  set(data::AttributeId::kProfession, 0.6);
+  // City-level places are informative; coarse parts much less so.
+  for (auto type : {data::PlaceType::kBirth, data::PlaceType::kPermanent,
+                    data::PlaceType::kWartime, data::PlaceType::kDeath}) {
+    set(data::PlaceAttribute(type, data::PlacePart::kCity), 1.2);
+    set(data::PlaceAttribute(type, data::PlacePart::kCounty), 0.7);
+    set(data::PlaceAttribute(type, data::PlacePart::kRegion), 0.5);
+    set(data::PlaceAttribute(type, data::PlacePart::kCountry), 0.3);
+  }
+  return w;
+}
+
+}  // namespace yver::blocking

@@ -1,0 +1,38 @@
+#ifndef YVER_BLOCKING_ITEM_SIMILARITY_H_
+#define YVER_BLOCKING_ITEM_SIMILARITY_H_
+
+#include <array>
+
+#include "data/item_dictionary.h"
+#include "data/schema.h"
+
+namespace yver::blocking {
+
+/// Expert item similarity fsim(i1, i2) of Eq. 1 in the paper:
+///   0                          when the items belong to different attributes
+///   JaroWinkler(v1, v2)        for name-class items
+///   1 - |y1 - y2| / 50         for birth years (clamped to [0, 1])
+///   1 - monthDiff / 12         for birth months
+///   1 - dayDiff / 31           for birth days
+///   max(0, 1 - geoDist / 100)  for geo-coded cities (falls back to
+///                              Jaro-Winkler when coordinates are missing)
+///   equality (1 or 0)          for categorical items
+///   JaroWinkler(v1, v2)        for county/region/country place parts
+double ExpertItemSimilarity(const data::ItemDictionary& dict,
+                            data::ItemId a, data::ItemId b);
+
+/// Per-attribute weights used when "expert weighting" is enabled for the
+/// block score (§6.5 Expert Weighting condition).
+using AttributeWeights = std::array<double, data::kNumAttributes>;
+
+/// Uniform weights (the Base condition).
+AttributeWeights UniformWeights();
+
+/// The expert-derived weighting scheme: discriminative identity attributes
+/// (names, birth year) weigh high; low-cardinality attributes (gender) and
+/// coarse places weigh low.
+AttributeWeights DefaultExpertWeights();
+
+}  // namespace yver::blocking
+
+#endif  // YVER_BLOCKING_ITEM_SIMILARITY_H_

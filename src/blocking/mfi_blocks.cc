@@ -1,0 +1,170 @@
+#include "blocking/mfi_blocks.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "blocking/block_scoring.h"
+#include "blocking/neighborhood.h"
+#include "data/inverted_index.h"
+#include "mining/fp_growth.h"
+#include "util/check.h"
+
+namespace yver::blocking {
+
+namespace {
+
+// Hashes a sorted record set for block deduplication.
+struct RecordSetHash {
+  size_t operator()(const std::vector<data::RecordIdx>& v) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (data::RecordIdx r : v) {
+      h ^= r;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+MfiBlocksResult RunMfiBlocks(const data::EncodedDataset& encoded,
+                             const MfiBlocksConfig& config,
+                             util::ThreadPool* pool) {
+  YVER_CHECK(config.max_minsup >= 2);
+  YVER_CHECK(config.ng > 0.0);
+  MfiBlocksResult result;
+  const size_t n = encoded.bags.size();
+
+  const AttributeWeights weights = config.expert_weighting
+                                       ? DefaultExpertWeights()
+                                       : UniformWeights();
+
+  // Optional frequent-item pruning applies to the mining input only; the
+  // scores still see full bags.
+  std::vector<data::ItemBag> mining_bags =
+      config.prune_frequent_fraction > 0.0
+          ? encoded.PruneMostFrequent(config.prune_frequent_fraction)
+          : encoded.bags;
+
+  std::vector<bool> covered(n, false);
+  std::unordered_map<data::RecordPair, CandidatePair, data::RecordPairHash>
+      pair_map;
+
+  for (uint32_t minsup = config.max_minsup; minsup >= 2; --minsup) {
+    // Collect uncovered records (D \ P) and their bags; mining runs on
+    // local transaction ids which we map back to record indices.
+    std::vector<data::RecordIdx> local_to_global;
+    std::vector<data::ItemBag> local_bags;
+    for (size_t r = 0; r < n; ++r) {
+      if (covered[r]) continue;
+      local_to_global.push_back(static_cast<data::RecordIdx>(r));
+      local_bags.push_back(mining_bags[r]);
+    }
+    if (local_to_global.size() < minsup) continue;
+
+    mining::MinerOptions miner_options;
+    miner_options.minsup = minsup;
+    miner_options.max_itemsets = config.max_mfis_per_iteration;
+    std::vector<mining::FrequentItemset> mfis =
+        config.itemset_kind == ItemsetKind::kMaximal
+            ? mining::MineMaximalItemsets(local_bags, miner_options)
+            : mining::MineClosedItemsets(local_bags, miner_options);
+    result.num_mfis_mined += mfis.size();
+
+    // FindSupport: support sets are exactly the mined supports; recompute
+    // membership via a local inverted index to obtain the record lists.
+    data::InvertedIndex index(local_bags, encoded.dictionary.size());
+
+    // Filter by block size: 2 <= |B| <= minsup * ng.
+    const size_t max_block_size = static_cast<size_t>(
+        std::max(2.0, config.ng * static_cast<double>(minsup)));
+    std::vector<Block> blocks;
+    std::unordered_map<std::vector<data::RecordIdx>, size_t, RecordSetHash>
+        dedup;
+    for (auto& mfi : mfis) {
+      std::vector<data::RecordIdx> support = index.Support(mfi.items);
+      if (support.size() < 2 || support.size() > max_block_size) continue;
+      for (auto& r : support) r = local_to_global[r];
+      auto [it, inserted] = dedup.try_emplace(support, blocks.size());
+      if (!inserted) {
+        // Same record set reachable via several keys: keep the longer key
+        // (more shared content; scores higher under ClusterJaccard).
+        Block& existing = blocks[it->second];
+        if (mfi.items.size() > existing.key.size()) {
+          existing.key = std::move(mfi.items);
+        }
+        continue;
+      }
+      Block block;
+      block.key = std::move(mfi.items);
+      block.records = it->first;
+      block.minsup_level = minsup;
+      blocks.push_back(std::move(block));
+    }
+    result.num_blocks_considered += blocks.size();
+
+    // Score blocks (parallelized; this is the paper's Spark stage).
+    auto score_one = [&](size_t i) {
+      Block& b = blocks[i];
+      b.score = config.score_kind == BlockScoreKind::kClusterJaccard
+                    ? ClusterJaccardScore(encoded, b, weights)
+                    : ExpertSimScore(encoded, b, weights);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(blocks.size(), score_one);
+    } else {
+      for (size_t i = 0; i < blocks.size(); ++i) score_one(i);
+    }
+
+    // Sparse-neighborhood condition: derive minTh and filter.
+    double min_th = ComputeMinThreshold(blocks, n, config.ng, minsup);
+    std::vector<Block> kept;
+    kept.reserve(blocks.size());
+    for (auto& b : blocks) {
+      if (b.score > min_th) kept.push_back(std::move(b));
+    }
+
+    // Emit candidate pairs and mark coverage.
+    for (const Block& b : kept) {
+      for (size_t i = 0; i < b.records.size(); ++i) {
+        for (size_t j = i + 1; j < b.records.size(); ++j) {
+          data::RecordPair rp(b.records[i], b.records[j]);
+          auto it = pair_map.find(rp);
+          if (it == pair_map.end()) {
+            pair_map.emplace(rp, CandidatePair{rp, b.score, minsup});
+          } else if (b.score > it->second.block_score) {
+            it->second.block_score = b.score;
+            it->second.minsup_level = minsup;
+          }
+          covered[rp.a] = true;
+          covered[rp.b] = true;
+        }
+      }
+    }
+    for (auto& b : kept) result.blocks.push_back(std::move(b));
+
+    bool all_covered = true;
+    for (size_t r = 0; r < n; ++r) {
+      if (!covered[r]) {
+        all_covered = false;
+        break;
+      }
+    }
+    if (all_covered) break;
+  }
+
+  result.pairs.reserve(pair_map.size());
+  for (auto& [rp, cp] : pair_map) result.pairs.push_back(cp);
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const CandidatePair& a, const CandidatePair& b) {
+              if (a.block_score != b.block_score) {
+                return a.block_score > b.block_score;
+              }
+              return a.pair < b.pair;
+            });
+  for (bool c : covered) result.num_records_covered += c ? 1 : 0;
+  return result;
+}
+
+}  // namespace yver::blocking

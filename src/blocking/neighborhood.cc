@@ -1,0 +1,68 @@
+#include "blocking/neighborhood.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace yver::blocking {
+
+double ComputeMinThreshold(const std::vector<Block>& blocks,
+                           size_t num_records, double ng, uint32_t minsup) {
+  YVER_CHECK(ng > 0.0);
+  size_t cap = static_cast<size_t>(
+      std::ceil(ng * static_cast<double>(minsup)));
+  // Per-record list of block indices.
+  std::vector<std::vector<uint32_t>> record_blocks(num_records);
+  for (uint32_t b = 0; b < blocks.size(); ++b) {
+    for (data::RecordIdx r : blocks[b].records) {
+      YVER_CHECK(r < num_records);
+      record_blocks[r].push_back(b);
+    }
+  }
+  double min_th = 0.0;
+  std::unordered_set<data::RecordIdx> neighbors;
+  for (size_t r = 0; r < num_records; ++r) {
+    auto& bs = record_blocks[r];
+    if (bs.size() <= 1) continue;
+    std::sort(bs.begin(), bs.end(), [&blocks](uint32_t a, uint32_t b) {
+      return blocks[a].score > blocks[b].score;
+    });
+    neighbors.clear();
+    for (uint32_t bi : bs) {
+      size_t added = 0;
+      for (data::RecordIdx other : blocks[bi].records) {
+        if (other == r) continue;
+        if (!neighbors.count(other)) ++added;
+      }
+      if (neighbors.size() + added > cap) {
+        // This block (and all lower-scoring ones for r) must go.
+        min_th = std::max(min_th, blocks[bi].score);
+        break;
+      }
+      for (data::RecordIdx other : blocks[bi].records) {
+        if (other != r) neighbors.insert(other);
+      }
+    }
+  }
+  return min_th;
+}
+
+std::vector<size_t> NeighborhoodSizes(const std::vector<Block>& blocks,
+                                      size_t num_records, double threshold) {
+  std::vector<std::unordered_set<data::RecordIdx>> neighbor_sets(num_records);
+  for (const Block& block : blocks) {
+    if (block.score <= threshold) continue;
+    for (data::RecordIdx r : block.records) {
+      for (data::RecordIdx other : block.records) {
+        if (other != r) neighbor_sets[r].insert(other);
+      }
+    }
+  }
+  std::vector<size_t> sizes(num_records);
+  for (size_t r = 0; r < num_records; ++r) sizes[r] = neighbor_sets[r].size();
+  return sizes;
+}
+
+}  // namespace yver::blocking

@@ -1,0 +1,35 @@
+#ifndef YVER_BLOCKING_NEIGHBORHOOD_H_
+#define YVER_BLOCKING_NEIGHBORHOOD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "blocking/block.h"
+
+namespace yver::blocking {
+
+/// Sparse-neighborhood (SN) enforcement — Algorithm 1 lines 9-14.
+///
+/// The NG (neighborhood growth) parameter caps how many candidate
+/// neighbors a single record may accumulate across the (possibly
+/// overlapping) blocks of one iteration: a record's neighborhood may not
+/// exceed ceil(NG * minsup). ComputeMinThreshold scans each record's
+/// blocks in descending score order and, where the accumulated distinct
+/// neighbor count would exceed the cap, raises the global minTh to the
+/// score of the offending block so that the subsequent filter
+/// (score > minTh) restores sparsity.
+///
+/// Returns the minimal threshold; blocks with score <= threshold violate
+/// the SN condition for at least one record.
+double ComputeMinThreshold(const std::vector<Block>& blocks,
+                           size_t num_records, double ng, uint32_t minsup);
+
+/// Neighborhood size helper: number of distinct records co-blocked with
+/// each record across `blocks` (only counting blocks with score >
+/// threshold). Exposed for tests and diagnostics.
+std::vector<size_t> NeighborhoodSizes(const std::vector<Block>& blocks,
+                                      size_t num_records, double threshold);
+
+}  // namespace yver::blocking
+
+#endif  // YVER_BLOCKING_NEIGHBORHOOD_H_

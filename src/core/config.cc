@@ -1,0 +1,16 @@
+#include "core/config.h"
+
+namespace yver::core {
+
+PipelineConfig RecommendedConfig() {
+  PipelineConfig config;
+  config.blocking.max_minsup = 5;
+  config.blocking.ng = 3.5;
+  config.blocking.expert_weighting = true;
+  config.blocking.score_kind = blocking::BlockScoreKind::kClusterJaccard;
+  config.discard_same_source = true;
+  config.use_classifier = true;
+  return config;
+}
+
+}  // namespace yver::core

@@ -1,0 +1,41 @@
+#ifndef YVER_CORE_CONFIG_H_
+#define YVER_CORE_CONFIG_H_
+
+#include <cstddef>
+
+#include "blocking/mfi_blocks.h"
+#include "ml/adtree_trainer.h"
+
+namespace yver::core {
+
+/// Full configuration of the uncertain ER pipeline — the experimental
+/// conditions of §6.5 map onto these fields:
+///   Expert Weighting -> blocking.expert_weighting
+///   ExpertSim        -> blocking.score_kind = kExpertSim
+///   SameSrc          -> discard_same_source
+///   Cls              -> use_classifier
+struct PipelineConfig {
+  blocking::MfiBlocksConfig blocking;
+
+  /// Discard candidate pairs emanating from the same source ("it is deemed
+  /// unlikely that the same person would appear twice in the same source").
+  bool discard_same_source = false;
+
+  /// Filter/score candidates with a trained ADTree; when false the ranked
+  /// resolution carries block scores only.
+  bool use_classifier = true;
+
+  ml::AdTreeTrainerOptions trainer;
+
+  /// Worker threads for block scoring (0 = std::thread::hardware_concurrency).
+  size_t num_threads = 0;
+};
+
+/// Returns the configuration the paper converged on for the Italian set:
+/// MaxMinSup = 5, NG = 3.5, expert weighting on, monotone ClusterJaccard
+/// score, SameSrc + Cls filters (§6.5).
+PipelineConfig RecommendedConfig();
+
+}  // namespace yver::core
+
+#endif  // YVER_CORE_CONFIG_H_

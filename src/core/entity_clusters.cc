@@ -1,0 +1,70 @@
+#include "core/entity_clusters.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace yver::core {
+
+namespace {
+
+// Simple union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+EntityClusters::EntityClusters(const RankedResolution& resolution,
+                               size_t num_records, double certainty)
+    : cluster_of_(num_records, 0) {
+  UnionFind uf(num_records);
+  for (const auto& m : resolution.matches()) {
+    if (m.confidence <= certainty) break;  // sorted descending
+    YVER_CHECK(m.pair.a < num_records && m.pair.b < num_records);
+    uf.Union(m.pair.a, m.pair.b);
+  }
+  std::vector<long> root_to_cluster(num_records, -1);
+  for (size_t r = 0; r < num_records; ++r) {
+    size_t root = uf.Find(r);
+    if (root_to_cluster[root] < 0) {
+      root_to_cluster[root] = static_cast<long>(clusters_.size());
+      clusters_.emplace_back();
+    }
+    size_t c = static_cast<size_t>(root_to_cluster[root]);
+    clusters_[c].push_back(static_cast<data::RecordIdx>(r));
+  }
+  std::sort(clusters_.begin(), clusters_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    for (data::RecordIdx r : clusters_[c]) cluster_of_[r] = c;
+  }
+}
+
+size_t EntityClusters::NumNonSingleton() const {
+  size_t n = 0;
+  for (const auto& c : clusters_) {
+    if (c.size() >= 2) ++n;
+  }
+  return n;
+}
+
+}  // namespace yver::core

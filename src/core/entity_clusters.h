@@ -1,0 +1,50 @@
+#ifndef YVER_CORE_ENTITY_CLUSTERS_H_
+#define YVER_CORE_ENTITY_CLUSTERS_H_
+
+#include <vector>
+
+#include "core/ranked_resolution.h"
+#include "data/dataset.h"
+
+namespace yver::core {
+
+/// Query-time entity formation: connected components of the match graph
+/// restricted to matches above a certainty threshold. Lower thresholds
+/// merge more aggressively — moving the granularity dial from strict
+/// person identity toward nuclear-family / community grouping (§4.1's
+/// multiple levels of granularity).
+class EntityClusters {
+ public:
+  /// Builds clusters over `num_records` records from the matches of
+  /// `resolution` with confidence > certainty. Singleton clusters are
+  /// included.
+  EntityClusters(const RankedResolution& resolution, size_t num_records,
+                 double certainty);
+
+  /// Record clusters (each sorted ascending), largest first.
+  const std::vector<std::vector<data::RecordIdx>>& clusters() const {
+    return clusters_;
+  }
+
+  /// Cluster index containing a record.
+  size_t ClusterOf(data::RecordIdx r) const { return cluster_of_[r]; }
+
+  /// Records in the same cluster as r (including r).
+  const std::vector<data::RecordIdx>& Members(data::RecordIdx r) const {
+    return clusters_[cluster_of_[r]];
+  }
+
+  /// Number of clusters (including singletons).
+  size_t size() const { return clusters_.size(); }
+
+  /// Number of clusters with at least two records.
+  size_t NumNonSingleton() const;
+
+ private:
+  std::vector<std::vector<data::RecordIdx>> clusters_;
+  std::vector<size_t> cluster_of_;
+};
+
+}  // namespace yver::core
+
+#endif  // YVER_CORE_ENTITY_CLUSTERS_H_

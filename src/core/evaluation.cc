@@ -1,0 +1,82 @@
+#include "core/evaluation.h"
+
+#include <unordered_map>
+
+namespace yver::core {
+
+double PairQuality::Precision() const {
+  size_t denom = true_pos + false_pos;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_pos) / static_cast<double>(denom);
+}
+
+double PairQuality::Recall() const {
+  if (gold_pairs == 0) return 0.0;
+  return static_cast<double>(true_pos) / static_cast<double>(gold_pairs);
+}
+
+double PairQuality::F1() const {
+  double p = Precision();
+  double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+PairQuality EvaluatePairs(const data::Dataset& dataset,
+                          const std::vector<data::RecordPair>& pairs) {
+  PairQuality q;
+  q.gold_pairs = dataset.NumGoldPairs();
+  for (const auto& p : pairs) {
+    if (dataset.IsGoldMatch(p.a, p.b)) {
+      ++q.true_pos;
+    } else {
+      ++q.false_pos;
+    }
+  }
+  return q;
+}
+
+PairQuality EvaluatePairs(const data::Dataset& dataset,
+                          const std::vector<blocking::CandidatePair>& pairs) {
+  std::vector<data::RecordPair> raw;
+  raw.reserve(pairs.size());
+  for (const auto& p : pairs) raw.push_back(p.pair);
+  return EvaluatePairs(dataset, raw);
+}
+
+PairQuality EvaluateMatches(const data::Dataset& dataset,
+                            const std::vector<RankedMatch>& matches) {
+  std::vector<data::RecordPair> raw;
+  raw.reserve(matches.size());
+  for (const auto& m : matches) raw.push_back(m.pair);
+  return EvaluatePairs(dataset, raw);
+}
+
+PairQuality EvaluateFamilyPairs(const data::Dataset& dataset,
+                                const std::vector<data::RecordPair>& pairs) {
+  PairQuality q;
+  // Gold family pairs: records sharing a known family id.
+  std::unordered_map<int64_t, size_t> family_sizes;
+  for (const auto& r : dataset.records()) {
+    if (r.family_id != data::kUnknownEntity) ++family_sizes[r.family_id];
+  }
+  for (const auto& [fid, n] : family_sizes) q.gold_pairs += n * (n - 1) / 2;
+  for (const auto& p : pairs) {
+    if (dataset.IsGoldFamilyMatch(p.a, p.b)) {
+      ++q.true_pos;
+    } else {
+      ++q.false_pos;
+    }
+  }
+  return q;
+}
+
+double ReductionRatio(size_t num_records, size_t num_candidate_pairs) {
+  if (num_records < 2) return 0.0;
+  double exhaustive = 0.5 * static_cast<double>(num_records) *
+                      static_cast<double>(num_records - 1);
+  double ratio = 1.0 - static_cast<double>(num_candidate_pairs) / exhaustive;
+  return ratio < 0.0 ? 0.0 : ratio;
+}
+
+}  // namespace yver::core

@@ -1,0 +1,46 @@
+#ifndef YVER_CORE_EVALUATION_H_
+#define YVER_CORE_EVALUATION_H_
+
+#include <vector>
+
+#include "blocking/block.h"
+#include "core/ranked_resolution.h"
+#include "data/dataset.h"
+
+namespace yver::core {
+
+/// Pair-level quality against the ground truth.
+struct PairQuality {
+  size_t true_pos = 0;
+  size_t false_pos = 0;
+  size_t gold_pairs = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+/// Evaluates a set of candidate pairs against the dataset's gold matches.
+PairQuality EvaluatePairs(const data::Dataset& dataset,
+                          const std::vector<data::RecordPair>& pairs);
+
+/// Convenience overloads.
+PairQuality EvaluatePairs(const data::Dataset& dataset,
+                          const std::vector<blocking::CandidatePair>& pairs);
+PairQuality EvaluateMatches(const data::Dataset& dataset,
+                            const std::vector<RankedMatch>& matches);
+
+/// Family-level variant: a pair counts as correct when the two records
+/// belong to the same latent family (the coarser granularity of §4.1).
+PairQuality EvaluateFamilyPairs(const data::Dataset& dataset,
+                                const std::vector<data::RecordPair>& pairs);
+
+/// Reduction Ratio (Christen's survey): the share of the exhaustive
+/// n(n-1)/2 comparison space a blocking method avoids — the paper's "87-
+/// 97%" framing of what blocking buys. 0 when nothing is saved, ~1 when
+/// almost all comparisons are avoided.
+double ReductionRatio(size_t num_records, size_t num_candidate_pairs);
+
+}  // namespace yver::core
+
+#endif  // YVER_CORE_EVALUATION_H_

@@ -1,0 +1,168 @@
+#include "core/family_resolution.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+#include "core/narrative.h"
+#include "text/jaro_winkler.h"
+#include "util/string_util.h"
+
+namespace yver::core {
+
+namespace {
+
+using data::AttributeId;
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+// Consolidated relationship view of one person-level cluster.
+struct ClusterProfile {
+  std::string first;
+  std::string last;
+  std::string father;
+  std::string mother;
+  std::string spouse;
+  std::set<std::string> cities;
+};
+
+ClusterProfile ProfileOf(const data::Dataset& dataset,
+                         const std::vector<data::RecordIdx>& cluster) {
+  EntityProfile ep = BuildProfile(dataset, cluster);
+  ClusterProfile p;
+  p.first = util::ToLower(ep.Consensus(AttributeId::kFirstName));
+  p.last = util::ToLower(ep.Consensus(AttributeId::kLastName));
+  p.father = util::ToLower(ep.Consensus(AttributeId::kFathersName));
+  p.mother = util::ToLower(ep.Consensus(AttributeId::kMothersName));
+  p.spouse = util::ToLower(ep.Consensus(AttributeId::kSpouseName));
+  for (AttributeId attr :
+       {AttributeId::kPermCity, AttributeId::kBirthCity,
+        AttributeId::kWarCity}) {
+    std::string v = util::ToLower(ep.Consensus(attr));
+    if (!v.empty()) p.cities.insert(std::move(v));
+  }
+  return p;
+}
+
+bool SameName(const std::string& a, const std::string& b,
+              double threshold) {
+  if (a.empty() || b.empty()) return false;
+  return text::JaroWinklerSimilarity(a, b) >= threshold;
+}
+
+bool SharePlace(const ClusterProfile& a, const ClusterProfile& b) {
+  for (const auto& city : a.cities) {
+    if (b.cities.count(city)) return true;
+  }
+  return false;
+}
+
+bool FamilyEvidence(const ClusterProfile& a, const ClusterProfile& b,
+                    const FamilyResolutionOptions& options) {
+  if (!SameName(a.last, b.last, options.name_threshold)) return false;
+  bool place_ok = !options.require_shared_place || SharePlace(a, b);
+  // Sibling rule.
+  if (place_ok && SameName(a.father, b.father, options.name_threshold) &&
+      SameName(a.mother, b.mother, options.name_threshold)) {
+    return true;
+  }
+  // Spouse rule (cross-referenced spouse names).
+  if (SameName(a.spouse, b.first, options.name_threshold) &&
+      SameName(b.spouse, a.first, options.name_threshold)) {
+    return true;
+  }
+  // Parent rule: a is b's father or mother (or vice versa).
+  if (place_ok && (SameName(a.first, b.father, options.name_threshold) ||
+                   SameName(a.first, b.mother, options.name_threshold) ||
+                   SameName(b.first, a.father, options.name_threshold) ||
+                   SameName(b.first, a.mother, options.name_threshold))) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<FamilyCluster> ResolveFamilies(
+    const data::Dataset& dataset, const EntityClusters& person_clusters,
+    const FamilyResolutionOptions& options) {
+  const auto& clusters = person_clusters.clusters();
+  std::vector<ClusterProfile> profiles;
+  profiles.reserve(clusters.size());
+  for (const auto& cluster : clusters) {
+    profiles.push_back(ProfileOf(dataset, cluster));
+  }
+  // Candidate generation: bucket clusters by last name (skeletonized via
+  // lowercase exact key; the JW check refines within buckets).
+  std::unordered_map<std::string, std::vector<size_t>> by_last;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    if (!profiles[c].last.empty()) {
+      by_last[profiles[c].last].push_back(c);
+    }
+  }
+  UnionFind uf(clusters.size());
+  for (const auto& [last, members] : by_last) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (FamilyEvidence(profiles[members[i]], profiles[members[j]],
+                           options)) {
+          uf.Union(members[i], members[j]);
+        }
+      }
+    }
+  }
+  std::unordered_map<size_t, FamilyCluster> families;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    FamilyCluster& fc = families[uf.Find(c)];
+    fc.person_clusters.push_back(c);
+    fc.records.insert(fc.records.end(), clusters[c].begin(),
+                      clusters[c].end());
+  }
+  std::vector<FamilyCluster> out;
+  out.reserve(families.size());
+  for (auto& [root, fc] : families) {
+    std::sort(fc.records.begin(), fc.records.end());
+    out.push_back(std::move(fc));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FamilyCluster& a, const FamilyCluster& b) {
+              if (a.records.size() != b.records.size()) {
+                return a.records.size() > b.records.size();
+              }
+              return a.records < b.records;
+            });
+  return out;
+}
+
+PairQuality EvaluateFamilyClusters(
+    const data::Dataset& dataset,
+    const std::vector<FamilyCluster>& clusters) {
+  std::vector<data::RecordPair> pairs;
+  for (const auto& fc : clusters) {
+    for (size_t i = 0; i < fc.records.size(); ++i) {
+      for (size_t j = i + 1; j < fc.records.size(); ++j) {
+        pairs.emplace_back(fc.records[i], fc.records[j]);
+      }
+    }
+  }
+  return EvaluateFamilyPairs(dataset, pairs);
+}
+
+}  // namespace yver::core

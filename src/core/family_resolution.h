@@ -1,0 +1,60 @@
+#ifndef YVER_CORE_FAMILY_RESOLUTION_H_
+#define YVER_CORE_FAMILY_RESOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/entity_clusters.h"
+#include "core/evaluation.h"
+#include "data/dataset.h"
+
+namespace yver::core {
+
+/// Family-level entity resolution — the paper's §7 open question ("Can we
+/// effectively perform entity resolution on different levels of
+/// resolution, e.g., families in this dataset?") made concrete: the
+/// inter-record relationship attributes (father, mother, spouse) are
+/// exploited as edges, not just as similarity features.
+///
+/// Person-level clusters are merged into nuclear-family clusters when
+/// their consolidated profiles exhibit relationship evidence:
+///   * sibling rule   — same last name and same father & mother first
+///     names, sharing a place;
+///   * spouse rule    — cross-referenced spouse names (A's spouse is B's
+///     first name and vice versa) under one last name;
+///   * parent rule    — A's first name is B's father (or mother) name,
+///     same last name, sharing a place.
+struct FamilyCluster {
+  /// Indices into the person-level clustering.
+  std::vector<size_t> person_clusters;
+  /// All member records, sorted.
+  std::vector<data::RecordIdx> records;
+};
+
+struct FamilyResolutionOptions {
+  /// Minimum Jaro-Winkler similarity for two names to count as "the same"
+  /// in a relationship rule.
+  double name_threshold = 0.92;
+  /// Require a shared city between clusters for sibling/parent evidence.
+  bool require_shared_place = true;
+};
+
+/// Merges person-level clusters into family clusters.
+std::vector<FamilyCluster> ResolveFamilies(
+    const data::Dataset& dataset, const EntityClusters& person_clusters,
+    const FamilyResolutionOptions& options);
+inline std::vector<FamilyCluster> ResolveFamilies(
+    const data::Dataset& dataset, const EntityClusters& person_clusters) {
+  return ResolveFamilies(dataset, person_clusters,
+                         FamilyResolutionOptions());
+}
+
+/// Family-level pair quality of a family clustering: every record pair
+/// co-clustered counts, judged against latent family ids.
+PairQuality EvaluateFamilyClusters(
+    const data::Dataset& dataset,
+    const std::vector<FamilyCluster>& clusters);
+
+}  // namespace yver::core
+
+#endif  // YVER_CORE_FAMILY_RESOLUTION_H_

@@ -1,0 +1,74 @@
+#include "core/gold_standard.h"
+
+#include "util/check.h"
+
+namespace yver::core {
+
+bool TaggedStandard::IsPositive(const data::RecordPair& pair) const {
+  auto it = tags.find(pair);
+  return it != tags.end() && (it->second == ml::ExpertTag::kYes ||
+                              it->second == ml::ExpertTag::kProbablyYes);
+}
+
+std::optional<ml::ExpertTag> TaggedStandard::TagOf(
+    const data::RecordPair& pair) const {
+  auto it = tags.find(pair);
+  if (it == tags.end()) return std::nullopt;
+  return it->second;
+}
+
+TaggedStandard BuildTaggedStandard(
+    UncertainErPipeline& pipeline,
+    const std::vector<blocking::MfiBlocksConfig>& configs,
+    const PairTagger& tagger) {
+  YVER_CHECK(!configs.empty());
+  YVER_CHECK(tagger != nullptr);
+  TaggedStandard standard;
+  for (const auto& config : configs) {
+    blocking::MfiBlocksResult result = pipeline.RunBlocking(config);
+    for (const auto& cp : result.pairs) {
+      auto [it, inserted] = standard.tags.try_emplace(cp.pair);
+      if (!inserted) continue;
+      it->second = tagger(cp.pair.a, cp.pair.b);
+      if (it->second == ml::ExpertTag::kYes ||
+          it->second == ml::ExpertTag::kProbablyYes) {
+        ++standard.num_positive;
+      }
+    }
+  }
+  return standard;
+}
+
+PairQuality EvaluateAgainstStandard(
+    const TaggedStandard& standard,
+    const std::vector<data::RecordPair>& pairs) {
+  PairQuality q;
+  q.gold_pairs = standard.num_positive;
+  for (const auto& p : pairs) {
+    if (standard.IsPositive(p)) {
+      ++q.true_pos;
+    } else {
+      ++q.false_pos;
+    }
+  }
+  return q;
+}
+
+PairQuality EvaluateAgainstStandard(
+    const TaggedStandard& standard,
+    const std::vector<blocking::CandidatePair>& pairs) {
+  std::vector<data::RecordPair> raw;
+  raw.reserve(pairs.size());
+  for (const auto& cp : pairs) raw.push_back(cp.pair);
+  return EvaluateAgainstStandard(standard, raw);
+}
+
+PairQuality EvaluateAgainstStandard(const TaggedStandard& standard,
+                                    const std::vector<RankedMatch>& matches) {
+  std::vector<data::RecordPair> raw;
+  raw.reserve(matches.size());
+  for (const auto& m : matches) raw.push_back(m.pair);
+  return EvaluateAgainstStandard(standard, raw);
+}
+
+}  // namespace yver::core

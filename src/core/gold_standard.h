@@ -1,0 +1,58 @@
+#ifndef YVER_CORE_GOLD_STANDARD_H_
+#define YVER_CORE_GOLD_STANDARD_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "blocking/mfi_blocks.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "data/dataset.h"
+#include "ml/instances.h"
+
+namespace yver::core {
+
+/// The expert-tagged pair standard of §5.1: "To obtain expert tags,
+/// MFIBlocks was run several times and with several configurations on the
+/// Italy set. The candidate pairs from this process were bundled into a
+/// tagging application" — i.e. the reference set is the union of candidate
+/// pairs over several blocking configurations, each pair tagged by the
+/// experts. Quality numbers (Figs. 15/16, Tables 9/10) are measured
+/// against this standard; pairs no configuration ever produced remain
+/// untagged, which the paper concedes as possible false negatives.
+struct TaggedStandard {
+  std::unordered_map<data::RecordPair, ml::ExpertTag, data::RecordPairHash>
+      tags;
+  /// Number of pairs tagged Yes or Probably Yes.
+  size_t num_positive = 0;
+
+  /// True when the pair is tagged Yes or Probably Yes.
+  bool IsPositive(const data::RecordPair& pair) const;
+
+  /// The tag of a pair, if it was ever produced and tagged.
+  std::optional<ml::ExpertTag> TagOf(const data::RecordPair& pair) const;
+};
+
+/// Builds the tagged standard by unioning MFIBlocks candidates over the
+/// provided configurations and tagging each pair once. Matches the
+/// paper's data-preparation process with the tag oracle standing in for
+/// the Yad Vashem archival experts.
+TaggedStandard BuildTaggedStandard(
+    UncertainErPipeline& pipeline,
+    const std::vector<blocking::MfiBlocksConfig>& configs,
+    const PairTagger& tagger);
+
+/// Precision/recall of a pair set against the standard: TP = pairs tagged
+/// positive; untagged or negatively tagged pairs count as false positives;
+/// recall denominator = standard.num_positive.
+PairQuality EvaluateAgainstStandard(const TaggedStandard& standard,
+                                    const std::vector<data::RecordPair>& pairs);
+PairQuality EvaluateAgainstStandard(
+    const TaggedStandard& standard,
+    const std::vector<blocking::CandidatePair>& pairs);
+PairQuality EvaluateAgainstStandard(const TaggedStandard& standard,
+                                    const std::vector<RankedMatch>& matches);
+
+}  // namespace yver::core
+
+#endif  // YVER_CORE_GOLD_STANDARD_H_

@@ -1,0 +1,101 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace yver::core {
+
+IncrementalResolver::IncrementalResolver(
+    const data::Dataset& initial, const RankedResolution& initial_resolution,
+    ml::AdTree model, data::GeoResolver geo_resolver, const Options& options)
+    : options_(options),
+      model_(std::move(model)),
+      geo_resolver_(std::move(geo_resolver)),
+      dataset_(initial) {
+  encoded_ = data::EncodeDataset(dataset_, geo_resolver_);
+  encoded_.dataset = &dataset_;
+  extractor_ = std::make_unique<features::FeatureExtractor>(encoded_);
+  postings_.resize(encoded_.dictionary.size());
+  for (size_t r = 0; r < encoded_.bags.size(); ++r) {
+    for (data::ItemId item : encoded_.bags[r]) {
+      postings_[item].push_back(static_cast<data::RecordIdx>(r));
+    }
+  }
+  matches_ = initial_resolution.matches();
+}
+
+data::RecordIdx IncrementalResolver::AddRecord(data::Record record) {
+  last_matches_.clear();
+  data::RecordIdx idx = dataset_.Add(std::move(record));
+  const data::Record& r = dataset_[idx];
+
+  // Encode the new record's item bag.
+  data::ItemBag bag;
+  bag.reserve(r.NumValues());
+  for (const auto& entry : r.entries()) {
+    data::ItemId item = encoded_.dictionary.Intern(entry.attr, entry.value);
+    bag.push_back(item);
+    if (geo_resolver_ &&
+        data::AttributeClass(entry.attr) == data::ValueClass::kGeo &&
+        !encoded_.dictionary.geo(item).has_value()) {
+      if (auto point = geo_resolver_(entry.attr, entry.value)) {
+        encoded_.dictionary.SetGeo(item, *point);
+      }
+    }
+  }
+  std::sort(bag.begin(), bag.end());
+  bag.erase(std::unique(bag.begin(), bag.end()), bag.end());
+  for (data::ItemId item : bag) encoded_.dictionary.IncrementFrequency(item);
+
+  // Candidate generation: existing records sharing enough items.
+  if (postings_.size() < encoded_.dictionary.size()) {
+    postings_.resize(encoded_.dictionary.size());
+  }
+  std::unordered_map<data::RecordIdx, size_t> shared_counts;
+  for (data::ItemId item : bag) {
+    for (data::RecordIdx other : postings_[item]) {
+      ++shared_counts[other];
+    }
+  }
+  std::vector<std::pair<size_t, data::RecordIdx>> candidates;
+  for (const auto& [other, count] : shared_counts) {
+    if (count >= options_.min_shared_items) {
+      candidates.emplace_back(count, other);
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());
+  if (candidates.size() > options_.max_candidates) {
+    candidates.resize(options_.max_candidates);
+  }
+
+  // Index the new record (after candidate generation: no self-pairs).
+  encoded_.bags.push_back(bag);
+  for (data::ItemId item : bag) postings_[item].push_back(idx);
+
+  // Score candidates with the deployed model.
+  for (const auto& [count, other] : candidates) {
+    features::FeatureVector fv = extractor_->Extract(other, idx);
+    double score = model_.Score(fv);
+    if (score <= 0.0) continue;
+    RankedMatch match;
+    match.pair = data::RecordPair(other, idx);
+    match.confidence = score;
+    match.block_score =
+        static_cast<double>(count) / static_cast<double>(bag.size());
+    last_matches_.push_back(match);
+    matches_.push_back(match);
+  }
+  std::sort(last_matches_.begin(), last_matches_.end(),
+            [](const RankedMatch& a, const RankedMatch& b) {
+              return a.confidence > b.confidence;
+            });
+  return idx;
+}
+
+RankedResolution IncrementalResolver::Resolution() const {
+  return RankedResolution(matches_);
+}
+
+}  // namespace yver::core

@@ -1,0 +1,80 @@
+#ifndef YVER_CORE_INCREMENTAL_H_
+#define YVER_CORE_INCREMENTAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/ranked_resolution.h"
+#include "data/dataset.h"
+#include "data/item_dictionary.h"
+#include "features/feature_extractor.h"
+#include "ml/adtree.h"
+
+namespace yver::core {
+
+/// Incremental uncertain ER. The Names database never stops growing
+/// (30,000 Pages of Testimony a year through the 1990s, §2); re-running
+/// the full blocking pipeline per arriving report is wasteful. The
+/// resolver keeps the item-level inverted index live: each new record's
+/// items retrieve existing records sharing enough content, the trained
+/// ADTree scores those candidate pairs, and positive-scoring matches
+/// extend the ranked resolution immediately.
+///
+/// This trades MFIBlocks' sparse-neighborhood control for a simple
+/// shared-item candidate rule — appropriate for the trickle of new
+/// reports, with periodic full re-blocking as the batch path.
+class IncrementalResolver {
+ public:
+  struct Options {
+    /// Minimum items a candidate must share with the new record.
+    size_t min_shared_items = 2;
+    /// At most this many candidates (by shared-item count) are scored per
+    /// new record.
+    size_t max_candidates = 64;
+  };
+
+  /// Seeds the resolver with an existing corpus, its resolved matches and
+  /// the deployed classifier. `geo_resolver` may be empty.
+  IncrementalResolver(const data::Dataset& initial,
+                      const RankedResolution& initial_resolution,
+                      ml::AdTree model, data::GeoResolver geo_resolver,
+                      const Options& options);
+  IncrementalResolver(const data::Dataset& initial,
+                      const RankedResolution& initial_resolution,
+                      ml::AdTree model, data::GeoResolver geo_resolver = {})
+      : IncrementalResolver(initial, initial_resolution, std::move(model),
+                            std::move(geo_resolver), Options()) {}
+
+  /// Ingests one report: indexes it and matches it against the corpus.
+  /// Returns the record's index and appends any new matches.
+  data::RecordIdx AddRecord(data::Record record);
+
+  /// The matches discovered for the most recent AddRecord call.
+  const std::vector<RankedMatch>& last_matches() const {
+    return last_matches_;
+  }
+
+  /// Current corpus (initial + ingested records).
+  const data::Dataset& dataset() const { return dataset_; }
+
+  /// All matches (initial + incremental), as a ranked resolution.
+  RankedResolution Resolution() const;
+
+  size_t num_matches() const { return matches_.size(); }
+
+ private:
+  Options options_;
+  ml::AdTree model_;
+  data::GeoResolver geo_resolver_;
+  data::Dataset dataset_;
+  data::EncodedDataset encoded_;
+  std::unique_ptr<features::FeatureExtractor> extractor_;
+  // item -> records containing it (live postings).
+  std::vector<std::vector<data::RecordIdx>> postings_;
+  std::vector<RankedMatch> matches_;
+  std::vector<RankedMatch> last_matches_;
+};
+
+}  // namespace yver::core
+
+#endif  // YVER_CORE_INCREMENTAL_H_

@@ -1,0 +1,152 @@
+#include "core/knowledge_graph.h"
+
+#include <map>
+
+#include "text/jaro_winkler.h"
+#include "util/string_util.h"
+
+namespace yver::core {
+
+namespace {
+using data::AttributeId;
+
+const char* NodeShape(KnowledgeGraph::NodeKind kind) {
+  switch (kind) {
+    case KnowledgeGraph::NodeKind::kPerson:
+      return "box";
+    case KnowledgeGraph::NodeKind::kPlace:
+      return "ellipse";
+    case KnowledgeGraph::NodeKind::kRelative:
+      return "plaintext";
+    case KnowledgeGraph::NodeKind::kReport:
+      return "note";
+  }
+  return "ellipse";
+}
+
+std::string Escape(const std::string& s) {
+  // Escape quotes only: labels intentionally carry DOT escape sequences
+  // such as "\n" (see AddEntity), which must reach Graphviz unmangled.
+  std::string out;
+  for (char c : s) {
+    if (c == '"') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t KnowledgeGraph::InternNode(NodeKind kind, const std::string& label) {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == kind && nodes_[i].label == label) return i;
+  }
+  nodes_.push_back(Node{kind, label});
+  return nodes_.size() - 1;
+}
+
+void KnowledgeGraph::AddPlaceEdges(size_t person,
+                                   const EntityProfile& profile,
+                                   data::PlaceType type,
+                                   const std::string& edge_label) {
+  std::string city = profile.Consensus(
+      data::PlaceAttribute(type, data::PlacePart::kCity));
+  if (city.empty()) return;
+  size_t place = InternNode(NodeKind::kPlace, city);
+  edges_.push_back(Edge{person, place, edge_label});
+}
+
+size_t KnowledgeGraph::AddEntity(
+    const data::Dataset& dataset,
+    const std::vector<data::RecordIdx>& cluster) {
+  EntityProfile profile = BuildProfile(dataset, cluster);
+  std::string first = profile.Consensus(AttributeId::kFirstName);
+  std::string last = profile.Consensus(AttributeId::kLastName);
+  std::string label = first.empty() && last.empty()
+                          ? "(unnamed)"
+                          : first + (last.empty() ? "" : " " + last);
+  std::string year = profile.Consensus(AttributeId::kBirthYear);
+  if (!year.empty()) label += "\\nb. " + year;
+  size_t person = InternNode(NodeKind::kPerson, label);
+
+  AddPlaceEdges(person, profile, data::PlaceType::kBirth, "born in");
+  AddPlaceEdges(person, profile, data::PlaceType::kPermanent, "resided in");
+  AddPlaceEdges(person, profile, data::PlaceType::kWartime,
+                "during the war in");
+  AddPlaceEdges(person, profile, data::PlaceType::kDeath, "perished in");
+
+  struct RelativeAttr {
+    AttributeId attr;
+    const char* role;
+  };
+  const RelativeAttr relatives[] = {
+      {AttributeId::kFathersName, "father"},
+      {AttributeId::kMothersName, "mother"},
+      {AttributeId::kSpouseName, "spouse"},
+  };
+  for (const auto& rel : relatives) {
+    std::string name = profile.Consensus(rel.attr);
+    if (name.empty()) continue;
+    size_t node = InternNode(NodeKind::kRelative, name);
+    edges_.push_back(Edge{person, node, rel.role});
+  }
+  for (uint64_t book : profile.book_ids) {
+    size_t report =
+        InternNode(NodeKind::kReport, "BookID " + std::to_string(book));
+    edges_.push_back(Edge{report, person, "reports"});
+  }
+
+  persons_.push_back(PersonInfo{person, util::ToLower(first),
+                                util::ToLower(last),
+                                util::ToLower(profile.Consensus(
+                                    AttributeId::kSpouseName))});
+  return person;
+}
+
+KnowledgeGraph KnowledgeGraph::FromClusters(const data::Dataset& dataset,
+                                            const EntityClusters& clusters,
+                                            size_t max_entities) {
+  KnowledgeGraph graph;
+  size_t added = 0;
+  for (const auto& cluster : clusters.clusters()) {
+    if (cluster.size() < 2) break;  // sorted largest-first
+    graph.AddEntity(dataset, cluster);
+    if (++added == max_entities) break;
+  }
+  return graph;
+}
+
+size_t KnowledgeGraph::LinkSpouses() {
+  size_t added = 0;
+  for (size_t i = 0; i < persons_.size(); ++i) {
+    for (size_t j = i + 1; j < persons_.size(); ++j) {
+      const auto& a = persons_[i];
+      const auto& b = persons_[j];
+      if (a.spouse.empty() || b.spouse.empty()) continue;
+      if (a.last.empty() || a.last != b.last) continue;
+      if (text::JaroWinklerSimilarity(a.spouse, b.first) >= 0.92 &&
+          text::JaroWinklerSimilarity(b.spouse, a.first) >= 0.92) {
+        edges_.push_back(Edge{a.node, b.node, "married to"});
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
+std::string KnowledgeGraph::ToDot() const {
+  std::string out = "digraph yver {\n  rankdir=LR;\n";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    out += "  n" + std::to_string(i) + " [label=\"" +
+           Escape(nodes_[i].label) + "\", shape=" +
+           NodeShape(nodes_[i].kind) + "];\n";
+  }
+  for (const auto& e : edges_) {
+    out += "  n" + std::to_string(e.from) + " -> n" +
+           std::to_string(e.to) + " [label=\"" + Escape(e.label) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace yver::core

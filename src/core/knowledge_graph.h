@@ -1,0 +1,76 @@
+#ifndef YVER_CORE_KNOWLEDGE_GRAPH_H_
+#define YVER_CORE_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/entity_clusters.h"
+#include "core/narrative.h"
+#include "data/dataset.h"
+
+namespace yver::core {
+
+/// The knowledge graph of the paper's Fig. 2: resolved person entities
+/// connected to places (born in / resided in / wartime / perished in),
+/// named relatives, and the reports supporting them. Rendered to
+/// Graphviz DOT for inspection.
+class KnowledgeGraph {
+ public:
+  enum class NodeKind : uint8_t { kPerson, kPlace, kRelative, kReport };
+
+  struct Node {
+    NodeKind kind;
+    std::string label;
+  };
+  struct Edge {
+    size_t from = 0;
+    size_t to = 0;
+    std::string label;
+  };
+
+  KnowledgeGraph() = default;
+
+  /// Adds the subgraph of one resolved entity (profile + provenance).
+  /// Returns the person node index. Place and relative nodes are shared
+  /// across entities (same label = same node), which is what knits
+  /// individual stories into a community graph.
+  size_t AddEntity(const data::Dataset& dataset,
+                   const std::vector<data::RecordIdx>& cluster);
+
+  /// Builds a graph from the largest `max_entities` multi-record clusters.
+  static KnowledgeGraph FromClusters(const data::Dataset& dataset,
+                                     const EntityClusters& clusters,
+                                     size_t max_entities);
+
+  /// Links person entities whose profiles cross-reference as spouses
+  /// (A's spouse name is B's first name and vice versa, same last name).
+  /// Returns the number of added links.
+  size_t LinkSpouses();
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Graphviz rendering ("dot -Tsvg graph.dot").
+  std::string ToDot() const;
+
+ private:
+  size_t InternNode(NodeKind kind, const std::string& label);
+  void AddPlaceEdges(size_t person, const EntityProfile& profile,
+                     data::PlaceType type, const std::string& edge_label);
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  // Person node -> consensus names used by LinkSpouses.
+  struct PersonInfo {
+    size_t node = 0;
+    std::string first;
+    std::string last;
+    std::string spouse;
+  };
+  std::vector<PersonInfo> persons_;
+};
+
+}  // namespace yver::core
+
+#endif  // YVER_CORE_KNOWLEDGE_GRAPH_H_

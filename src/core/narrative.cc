@@ -1,0 +1,90 @@
+#include "core/narrative.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace yver::core {
+
+namespace {
+using data::AttributeId;
+}  // namespace
+
+std::string EntityProfile::Consensus(AttributeId attr) const {
+  auto it = values.find(attr);
+  if (it == values.end() || it->second.empty()) return "";
+  return it->second.front().value;
+}
+
+EntityProfile BuildProfile(const data::Dataset& dataset,
+                           const std::vector<data::RecordIdx>& cluster) {
+  EntityProfile profile;
+  profile.records = cluster;
+  std::set<uint32_t> sources;
+  std::map<AttributeId, std::unordered_map<std::string, size_t>> tallies;
+  for (data::RecordIdx r : cluster) {
+    const data::Record& record = dataset[r];
+    profile.book_ids.push_back(record.book_id);
+    sources.insert(record.source_id);
+    for (const auto& entry : record.entries()) {
+      ++tallies[entry.attr][entry.value];
+    }
+  }
+  profile.num_sources = sources.size();
+  for (auto& [attr, tally] : tallies) {
+    auto& out = profile.values[attr];
+    for (auto& [value, count] : tally) {
+      out.push_back(EntityProfile::ValueSupport{value, count});
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.value < b.value;
+    });
+  }
+  return profile;
+}
+
+std::string RenderNarrative(const EntityProfile& profile) {
+  std::string first = profile.Consensus(AttributeId::kFirstName);
+  std::string last = profile.Consensus(AttributeId::kLastName);
+  std::string father = profile.Consensus(AttributeId::kFathersName);
+  std::string mother = profile.Consensus(AttributeId::kMothersName);
+  std::string day = profile.Consensus(AttributeId::kBirthDay);
+  std::string month = profile.Consensus(AttributeId::kBirthMonth);
+  std::string year = profile.Consensus(AttributeId::kBirthYear);
+  std::string birth_city = profile.Consensus(AttributeId::kBirthCity);
+  std::string birth_country = profile.Consensus(AttributeId::kBirthCountry);
+  std::string perm_city = profile.Consensus(AttributeId::kPermCity);
+  std::string death_city = profile.Consensus(AttributeId::kDeathCity);
+
+  std::string text;
+  text += first.empty() ? "An unnamed person" : first;
+  if (!last.empty()) text += " " + last;
+  if (!father.empty() || !mother.empty()) {
+    text += ", child of ";
+    if (!father.empty()) text += father;
+    if (!father.empty() && !mother.empty()) text += " and ";
+    if (!mother.empty()) text += mother;
+  }
+  if (!year.empty()) {
+    text += ", born ";
+    if (!day.empty() && !month.empty()) {
+      text += day + "/" + month + "/";
+    }
+    text += year;
+    if (!birth_city.empty()) {
+      text += " in " + birth_city;
+      if (!birth_country.empty()) text += " (" + birth_country + ")";
+    }
+  } else if (!birth_city.empty()) {
+    text += ", born in " + birth_city;
+  }
+  if (!perm_city.empty()) text += "; resided in " + perm_city;
+  if (!death_city.empty()) text += "; perished in " + death_city;
+  text += ". Based on " + std::to_string(profile.records.size()) +
+          " report(s) from " + std::to_string(profile.num_sources) +
+          " source(s).";
+  return text;
+}
+
+}  // namespace yver::core

@@ -1,0 +1,45 @@
+#ifndef YVER_CORE_NARRATIVE_H_
+#define YVER_CORE_NARRATIVE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace yver::core {
+
+/// A consolidated view of one resolved entity: every attribute value
+/// reported about it, with provenance, merged across the cluster's
+/// records. This is the knowledge-graph node of the paper's Fig. 2, the
+/// stepping stone toward automatic narrative construction.
+struct EntityProfile {
+  std::vector<data::RecordIdx> records;
+  std::vector<uint64_t> book_ids;
+  size_t num_sources = 0;
+
+  /// attribute -> distinct reported values with their report counts,
+  /// most-supported first.
+  struct ValueSupport {
+    std::string value;
+    size_t count = 0;
+  };
+  std::map<data::AttributeId, std::vector<ValueSupport>> values;
+
+  /// The most-supported value of an attribute ("" when absent).
+  std::string Consensus(data::AttributeId attr) const;
+};
+
+/// Merges a cluster of records into an entity profile.
+EntityProfile BuildProfile(const data::Dataset& dataset,
+                           const std::vector<data::RecordIdx>& cluster);
+
+/// Renders a human-readable narrative paragraph for a profile, e.g.
+///   "Guido Foa, son of Donato and Olga, born 18/11/1920 in Torino
+///    (Italy); resided in Torino; perished in Auschwitz. Based on 3
+///    reports from 3 sources."
+std::string RenderNarrative(const EntityProfile& profile);
+
+}  // namespace yver::core
+
+#endif  // YVER_CORE_NARRATIVE_H_

@@ -1,0 +1,89 @@
+#include "core/pipeline.h"
+
+#include <thread>
+
+#include "util/check.h"
+
+namespace yver::core {
+
+UncertainErPipeline::UncertainErPipeline(const data::Dataset& dataset,
+                                         data::GeoResolver geo_resolver)
+    : dataset_(&dataset),
+      encoded_(data::EncodeDataset(dataset, geo_resolver)) {
+  extractor_ = std::make_unique<features::FeatureExtractor>(encoded_);
+}
+
+blocking::MfiBlocksResult UncertainErPipeline::RunBlocking(
+    const blocking::MfiBlocksConfig& config, size_t num_threads) {
+  size_t n = num_threads == 0 ? std::thread::hardware_concurrency()
+                              : num_threads;
+  if (n <= 1) {
+    return blocking::RunMfiBlocks(encoded_, config, nullptr);
+  }
+  util::ThreadPool pool(n);
+  return blocking::RunMfiBlocks(encoded_, config, &pool);
+}
+
+std::vector<blocking::CandidatePair> UncertainErPipeline::DiscardSameSource(
+    const std::vector<blocking::CandidatePair>& pairs) const {
+  std::vector<blocking::CandidatePair> out;
+  out.reserve(pairs.size());
+  for (const auto& cp : pairs) {
+    const data::Record& a = (*dataset_)[cp.pair.a];
+    const data::Record& b = (*dataset_)[cp.pair.b];
+    if (a.source_id == b.source_id) continue;
+    out.push_back(cp);
+  }
+  return out;
+}
+
+std::vector<ml::Instance> UncertainErPipeline::MakeInstances(
+    const std::vector<blocking::CandidatePair>& pairs,
+    const PairTagger& tagger) const {
+  YVER_CHECK(tagger != nullptr);
+  std::vector<ml::Instance> instances;
+  instances.reserve(pairs.size());
+  for (const auto& cp : pairs) {
+    ml::Instance inst;
+    inst.pair = cp.pair;
+    inst.features = extractor_->Extract(cp.pair.a, cp.pair.b);
+    inst.tag = tagger(cp.pair.a, cp.pair.b);
+    instances.push_back(std::move(inst));
+  }
+  return instances;
+}
+
+PipelineResult UncertainErPipeline::Run(const PipelineConfig& config,
+                                        const PairTagger& tagger) {
+  PipelineResult result;
+  result.blocking = RunBlocking(config.blocking, config.num_threads);
+  result.candidates = config.discard_same_source
+                          ? DiscardSameSource(result.blocking.pairs)
+                          : result.blocking.pairs;
+
+  std::vector<RankedMatch> matches;
+  if (config.use_classifier) {
+    YVER_CHECK_MSG(tagger != nullptr,
+                   "classifier requested but no tagger provided");
+    result.training_instances = ml::ApplyMaybePolicy(
+        MakeInstances(result.candidates, tagger), ml::MaybePolicy::kOmit);
+    result.model = ml::TrainAdTree(result.training_instances, config.trainer);
+    for (const auto& cp : result.candidates) {
+      features::FeatureVector fv =
+          extractor_->Extract(cp.pair.a, cp.pair.b);
+      double score = result.model.Score(fv);
+      if (score <= 0.0) continue;  // the Cls filter drops low scorers
+      matches.push_back(RankedMatch{cp.pair, score, cp.block_score});
+    }
+  } else {
+    matches.reserve(result.candidates.size());
+    for (const auto& cp : result.candidates) {
+      matches.push_back(
+          RankedMatch{cp.pair, cp.block_score, cp.block_score});
+    }
+  }
+  result.resolution = RankedResolution(std::move(matches));
+  return result;
+}
+
+}  // namespace yver::core

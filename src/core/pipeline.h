@@ -1,0 +1,81 @@
+#ifndef YVER_CORE_PIPELINE_H_
+#define YVER_CORE_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "blocking/mfi_blocks.h"
+#include "core/config.h"
+#include "core/ranked_resolution.h"
+#include "data/dataset.h"
+#include "data/item_dictionary.h"
+#include "features/feature_extractor.h"
+#include "ml/adtree.h"
+#include "ml/instances.h"
+#include "util/thread_pool.h"
+
+namespace yver::core {
+
+/// Callback that tags a candidate pair like the archival experts would.
+/// In the Yad Vashem deployment this was a tagging application (Fig. 7);
+/// here it is usually synth::TagOracle.
+using PairTagger =
+    std::function<ml::ExpertTag(data::RecordIdx, data::RecordIdx)>;
+
+/// Outcome of a full pipeline run.
+struct PipelineResult {
+  blocking::MfiBlocksResult blocking;
+  /// Candidate pairs after the SameSrc filter (== blocking.pairs when the
+  /// filter is off).
+  std::vector<blocking::CandidatePair> candidates;
+  /// Labeled instances used to train the classifier (empty when
+  /// use_classifier is false).
+  std::vector<ml::Instance> training_instances;
+  /// The trained ADTree (default-constructed when use_classifier = false).
+  ml::AdTree model;
+  /// Ranked matches: ADTree scores when classified (pairs the model
+  /// rejects are dropped), block scores otherwise.
+  RankedResolution resolution;
+};
+
+/// The end-to-end uncertain entity-resolution system of Fig. 9:
+/// preprocessing -> MFIBlocks -> (SameSrc) -> ADTree -> ranked resolution.
+class UncertainErPipeline {
+ public:
+  /// Encodes the dataset on construction. The dataset must outlive the
+  /// pipeline. `geo_resolver` supplies city coordinates (may be empty).
+  UncertainErPipeline(const data::Dataset& dataset,
+                      data::GeoResolver geo_resolver = {});
+
+  const data::Dataset& dataset() const { return *dataset_; }
+  const data::EncodedDataset& encoded() const { return encoded_; }
+  const features::FeatureExtractor& extractor() const { return *extractor_; }
+
+  /// Stage 1: blocking only.
+  blocking::MfiBlocksResult RunBlocking(
+      const blocking::MfiBlocksConfig& config, size_t num_threads = 0);
+
+  /// Applies the SameSrc filter to candidate pairs.
+  std::vector<blocking::CandidatePair> DiscardSameSource(
+      const std::vector<blocking::CandidatePair>& pairs) const;
+
+  /// Builds labeled instances for candidate pairs using a tagger.
+  std::vector<ml::Instance> MakeInstances(
+      const std::vector<blocking::CandidatePair>& pairs,
+      const PairTagger& tagger) const;
+
+  /// Full run: blocking, optional SameSrc, optional ADTree training on the
+  /// tagger's labels (Maybe := omit, the best condition of Table 5) and
+  /// classification; returns ranked resolution.
+  PipelineResult Run(const PipelineConfig& config, const PairTagger& tagger);
+
+ private:
+  const data::Dataset* dataset_;
+  data::EncodedDataset encoded_;
+  std::unique_ptr<features::FeatureExtractor> extractor_;
+};
+
+}  // namespace yver::core
+
+#endif  // YVER_CORE_PIPELINE_H_

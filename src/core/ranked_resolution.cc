@@ -1,0 +1,48 @@
+#include "core/ranked_resolution.h"
+
+#include <algorithm>
+
+namespace yver::core {
+
+RankedResolution::RankedResolution(std::vector<RankedMatch> matches)
+    : matches_(std::move(matches)) {
+  std::sort(matches_.begin(), matches_.end(),
+            [](const RankedMatch& a, const RankedMatch& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.pair < b.pair;
+            });
+}
+
+std::vector<RankedMatch> RankedResolution::AboveThreshold(
+    double certainty) const {
+  std::vector<RankedMatch> out;
+  for (const auto& m : matches_) {
+    if (m.confidence > certainty) {
+      out.push_back(m);
+    } else {
+      break;  // sorted descending
+    }
+  }
+  return out;
+}
+
+std::vector<RankedMatch> RankedResolution::TopK(size_t k) const {
+  std::vector<RankedMatch> out(matches_.begin(),
+                               matches_.begin() +
+                                   std::min(k, matches_.size()));
+  return out;
+}
+
+std::vector<RankedMatch> RankedResolution::ForRecord(data::RecordIdx r,
+                                                     double certainty) const {
+  std::vector<RankedMatch> out;
+  for (const auto& m : matches_) {
+    if (m.confidence <= certainty) break;
+    if (m.pair.a == r || m.pair.b == r) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace yver::core

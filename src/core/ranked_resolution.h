@@ -1,0 +1,53 @@
+#ifndef YVER_CORE_RANKED_RESOLUTION_H_
+#define YVER_CORE_RANKED_RESOLUTION_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace yver::core {
+
+/// One ranked match: a record pair with a confidence score. Confidence is
+/// the ADTree prediction score when classification is enabled, otherwise
+/// the block score.
+struct RankedMatch {
+  data::RecordPair pair;
+  double confidence = 0.0;
+  double block_score = 0.0;
+};
+
+/// The output of uncertain entity resolution: "a ranked list of results,
+/// associating a similarity value for each match, rather than a binary
+/// match / non-match decision" (§3.2). Entities are disambiguated only at
+/// query time, by certainty threshold.
+class RankedResolution {
+ public:
+  RankedResolution() = default;
+
+  /// Takes ownership of matches; sorts descending by confidence.
+  explicit RankedResolution(std::vector<RankedMatch> matches);
+
+  /// All matches, best first.
+  const std::vector<RankedMatch>& matches() const { return matches_; }
+
+  size_t size() const { return matches_.size(); }
+  bool empty() const { return matches_.empty(); }
+
+  /// Matches with confidence > certainty — the Web-query-style tunable
+  /// response (§4.2).
+  std::vector<RankedMatch> AboveThreshold(double certainty) const;
+
+  /// The k best matches.
+  std::vector<RankedMatch> TopK(size_t k) const;
+
+  /// Matches involving a specific record, best first, above certainty.
+  std::vector<RankedMatch> ForRecord(data::RecordIdx r,
+                                     double certainty) const;
+
+ private:
+  std::vector<RankedMatch> matches_;
+};
+
+}  // namespace yver::core
+
+#endif  // YVER_CORE_RANKED_RESOLUTION_H_

@@ -1,0 +1,91 @@
+#include "data/csv_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace yver::data {
+
+namespace {
+constexpr char kHeader[] =
+    "book_id,source_id,source_kind,entity_id,family_id,values";
+}  // namespace
+
+std::string DatasetToCsv(const Dataset& dataset) {
+  std::string out = kHeader;
+  out.push_back('\n');
+  for (const Record& r : dataset.records()) {
+    std::vector<std::string> value_parts;
+    value_parts.reserve(r.NumValues());
+    for (const auto& e : r.entries()) {
+      std::string part(AttributeShortName(e.attr));
+      part.push_back('_');
+      part.append(e.value);
+      value_parts.push_back(std::move(part));
+    }
+    std::vector<std::string> fields = {
+        std::to_string(r.book_id),
+        std::to_string(r.source_id),
+        r.source_kind == SourceKind::kPageOfTestimony ? "POT" : "LIST",
+        std::to_string(r.entity_id),
+        std::to_string(r.family_id),
+        util::Join(value_parts, ";"),
+    };
+    out += util::FormatCsvRow(fields);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << DatasetToCsv(dataset);
+  return static_cast<bool>(f);
+}
+
+std::optional<Dataset> DatasetFromCsv(const std::string& text) {
+  auto rows = util::ParseCsv(text);
+  if (rows.empty() || util::FormatCsvRow(rows[0]) != kHeader) {
+    return std::nullopt;
+  }
+  Dataset dataset;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() == 1 && row[0].empty()) continue;  // trailing blank line
+    if (row.size() != 6) return std::nullopt;
+    Record r;
+    try {
+      r.book_id = std::stoull(row[0]);
+      r.source_id = static_cast<uint32_t>(std::stoul(row[1]));
+      r.entity_id = std::stoll(row[3]);
+      r.family_id = std::stoll(row[4]);
+    } catch (...) {
+      return std::nullopt;
+    }
+    r.source_kind = row[2] == "POT" ? SourceKind::kPageOfTestimony
+                                    : SourceKind::kVictimList;
+    for (const std::string& part : util::Split(row[5], ';')) {
+      if (part.empty()) continue;
+      size_t underscore = part.find('_');
+      if (underscore == std::string::npos) return std::nullopt;
+      auto attr = AttributeFromShortName(part.substr(0, underscore));
+      if (!attr) return std::nullopt;
+      r.Add(*attr, part.substr(underscore + 1));
+    }
+    dataset.Add(std::move(r));
+  }
+  return dataset;
+}
+
+std::optional<Dataset> LoadDatasetCsv(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return DatasetFromCsv(ss.str());
+}
+
+}  // namespace yver::data

@@ -1,0 +1,33 @@
+#ifndef YVER_DATA_CSV_IO_H_
+#define YVER_DATA_CSV_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace yver::data {
+
+/// CSV persistence for datasets.
+///
+/// Layout: header row
+///   book_id,source_id,source_kind,entity_id,family_id,values
+/// where `values` is a ';'-separated list of SHORTNAME_value entries
+/// (multi-valued attributes repeat the short name), e.g.
+///   "FN_Guido;LN_Foa;G_M;YB_1920;PP1_Torino;PP4_Italy".
+
+/// Serializes the dataset to CSV text.
+std::string DatasetToCsv(const Dataset& dataset);
+
+/// Writes the dataset to a file; returns false on I/O failure.
+bool SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Parses a dataset from CSV text; returns nullopt on malformed input.
+std::optional<Dataset> DatasetFromCsv(const std::string& text);
+
+/// Reads a dataset from a file; returns nullopt on I/O or parse failure.
+std::optional<Dataset> LoadDatasetCsv(const std::string& path);
+
+}  // namespace yver::data
+
+#endif  // YVER_DATA_CSV_IO_H_

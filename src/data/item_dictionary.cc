@@ -1,0 +1,102 @@
+#include "data/item_dictionary.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace yver::data {
+
+namespace {
+
+std::string MakeKey(AttributeId attr, std::string_view value) {
+  std::string key(AttributeShortName(attr));
+  key.push_back('\x1f');
+  key.append(value);
+  return key;
+}
+
+}  // namespace
+
+ItemId ItemDictionary::Intern(AttributeId attr, std::string_view value) {
+  std::string key = MakeKey(attr, value);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  YVER_CHECK_MSG(items_.size() < UINT32_MAX, "item space exhausted");
+  ItemId id = static_cast<ItemId>(items_.size());
+  items_.push_back(ItemInfo{attr, std::string(value), 0, std::nullopt});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<ItemId> ItemDictionary::Find(AttributeId attr,
+                                           std::string_view value) const {
+  auto it = index_.find(MakeKey(attr, value));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ItemDictionary::DebugString(ItemId id) const {
+  std::string out(AttributeShortName(items_[id].attr));
+  out.push_back('_');
+  out.append(items_[id].value);
+  return out;
+}
+
+std::vector<ItemId> EncodedDataset::ItemsByFrequency() const {
+  std::vector<ItemId> ids(dictionary.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<ItemId>(i);
+  std::sort(ids.begin(), ids.end(), [this](ItemId a, ItemId b) {
+    return dictionary.frequency(a) > dictionary.frequency(b);
+  });
+  return ids;
+}
+
+std::vector<ItemBag> EncodedDataset::PruneMostFrequent(double fraction) const {
+  size_t num_pruned = static_cast<size_t>(
+      fraction * static_cast<double>(dictionary.size()));
+  if (num_pruned == 0) return bags;
+  std::vector<ItemId> by_freq = ItemsByFrequency();
+  std::vector<bool> pruned(dictionary.size(), false);
+  for (size_t i = 0; i < num_pruned && i < by_freq.size(); ++i) {
+    pruned[by_freq[i]] = true;
+  }
+  std::vector<ItemBag> out;
+  out.reserve(bags.size());
+  for (const ItemBag& bag : bags) {
+    ItemBag kept;
+    kept.reserve(bag.size());
+    for (ItemId id : bag) {
+      if (!pruned[id]) kept.push_back(id);
+    }
+    out.push_back(std::move(kept));
+  }
+  return out;
+}
+
+EncodedDataset EncodeDataset(const Dataset& dataset,
+                             const GeoResolver& geo_resolver) {
+  EncodedDataset encoded;
+  encoded.dataset = &dataset;
+  encoded.bags.reserve(dataset.size());
+  for (const Record& record : dataset.records()) {
+    ItemBag bag;
+    bag.reserve(record.NumValues());
+    for (const auto& entry : record.entries()) {
+      ItemId id = encoded.dictionary.Intern(entry.attr, entry.value);
+      bag.push_back(id);
+      if (geo_resolver && AttributeClass(entry.attr) == ValueClass::kGeo &&
+          !encoded.dictionary.geo(id).has_value()) {
+        if (auto point = geo_resolver(entry.attr, entry.value)) {
+          encoded.dictionary.SetGeo(id, *point);
+        }
+      }
+    }
+    std::sort(bag.begin(), bag.end());
+    bag.erase(std::unique(bag.begin(), bag.end()), bag.end());
+    for (ItemId id : bag) encoded.dictionary.IncrementFrequency(id);
+    encoded.bags.push_back(std::move(bag));
+  }
+  return encoded;
+}
+
+}  // namespace yver::data

@@ -1,0 +1,40 @@
+#include "data/record.h"
+
+namespace yver::data {
+
+void Record::Add(AttributeId attr, std::string value) {
+  if (value.empty()) return;
+  values_.push_back(Entry{attr, std::move(value)});
+}
+
+std::vector<std::string_view> Record::Values(AttributeId attr) const {
+  std::vector<std::string_view> out;
+  for (const auto& e : values_) {
+    if (e.attr == attr) out.push_back(e.value);
+  }
+  return out;
+}
+
+std::string_view Record::FirstValue(AttributeId attr) const {
+  for (const auto& e : values_) {
+    if (e.attr == attr) return e.value;
+  }
+  return {};
+}
+
+bool Record::Has(AttributeId attr) const {
+  for (const auto& e : values_) {
+    if (e.attr == attr) return true;
+  }
+  return false;
+}
+
+uint32_t Record::PresenceMask() const {
+  uint32_t mask = 0;
+  for (const auto& e : values_) {
+    mask |= 1u << static_cast<uint32_t>(e.attr);
+  }
+  return mask;
+}
+
+}  // namespace yver::data

@@ -1,0 +1,82 @@
+#ifndef YVER_DATA_RECORD_H_
+#define YVER_DATA_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace yver::data {
+
+/// Index of a record within its Dataset.
+using RecordIdx = uint32_t;
+
+/// Sentinel for "unknown" latent ids on real (non-synthetic) data.
+inline constexpr int64_t kUnknownEntity = -1;
+
+/// Kind of source a report came from (paper §2: one third Pages of
+/// Testimony, the rest extracted victim lists).
+enum class SourceKind : uint8_t { kPageOfTestimony = 0, kVictimList };
+
+/// One victim report: a multi-valued bag of attribute values plus source
+/// metadata. A person may legitimately carry several values of the same
+/// attribute (multiple first names, several war-time places); the bag-of-
+/// items model supports this directly (§5.1).
+class Record {
+ public:
+  Record() = default;
+
+  /// Sequential id assigned when the report entered the database.
+  uint64_t book_id = 0;
+
+  /// Source this report came from: a victim-list id or a submitter id for
+  /// Pages of Testimony. Same-source candidate pairs can be discarded
+  /// (SameSrc condition, §6.5).
+  uint32_t source_id = 0;
+
+  /// Whether the report is a Page of Testimony or a list extraction.
+  SourceKind source_kind = SourceKind::kPageOfTestimony;
+
+  /// Latent ground-truth person id (synthetic data only; kUnknownEntity
+  /// otherwise). Two records match iff their entity ids are equal and known.
+  int64_t entity_id = kUnknownEntity;
+
+  /// Latent ground-truth nuclear-family id (synthetic data only), enabling
+  /// family-granularity evaluation (§7 open question; Capelluto example).
+  int64_t family_id = kUnknownEntity;
+
+  /// Adds a value for an attribute (empty values are ignored).
+  void Add(AttributeId attr, std::string value);
+
+  /// All values of an attribute, in insertion order.
+  std::vector<std::string_view> Values(AttributeId attr) const;
+
+  /// First value of the attribute, or empty view when absent.
+  std::string_view FirstValue(AttributeId attr) const;
+
+  /// True when the record has at least one value for attr.
+  bool Has(AttributeId attr) const;
+
+  /// Number of (attribute, value) entries.
+  size_t NumValues() const { return values_.size(); }
+
+  /// Bitmask of present attributes: bit i set iff attribute i has a value.
+  /// This is the record's "data pattern" (paper Fig. 11).
+  uint32_t PresenceMask() const;
+
+  /// Raw (attribute, value) entries in insertion order.
+  struct Entry {
+    AttributeId attr;
+    std::string value;
+  };
+  const std::vector<Entry>& entries() const { return values_; }
+
+ private:
+  std::vector<Entry> values_;
+};
+
+}  // namespace yver::data
+
+#endif  // YVER_DATA_RECORD_H_

@@ -1,0 +1,51 @@
+#include "data/sample.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace yver::data {
+
+Dataset FilterRecords(const Dataset& dataset,
+                      const std::function<bool(const Record&)>& predicate) {
+  Dataset out;
+  for (const Record& r : dataset.records()) {
+    if (predicate(r)) out.Add(r);
+  }
+  return out;
+}
+
+Dataset FilterByCountry(const Dataset& dataset, std::string_view country) {
+  const AttributeId country_attrs[] = {
+      AttributeId::kBirthCountry, AttributeId::kPermCountry,
+      AttributeId::kWarCountry, AttributeId::kDeathCountry};
+  return FilterRecords(dataset, [&](const Record& r) {
+    for (AttributeId attr : country_attrs) {
+      for (auto v : r.Values(attr)) {
+        if (v == country) return true;
+      }
+    }
+    return false;
+  });
+}
+
+Dataset SampleUniform(const Dataset& dataset, double fraction,
+                      util::Rng& rng) {
+  return FilterRecords(
+      dataset, [&](const Record&) { return rng.Bernoulli(fraction); });
+}
+
+Dataset SampleByEntity(const Dataset& dataset, double fraction,
+                       util::Rng& rng) {
+  // Decide per entity once; unknown-entity records decide individually.
+  std::unordered_map<int64_t, bool> chosen;
+  return FilterRecords(dataset, [&](const Record& r) {
+    if (r.entity_id == kUnknownEntity) return rng.Bernoulli(fraction);
+    auto it = chosen.find(r.entity_id);
+    if (it == chosen.end()) {
+      it = chosen.emplace(r.entity_id, rng.Bernoulli(fraction)).first;
+    }
+    return it->second;
+  });
+}
+
+}  // namespace yver::data

@@ -1,0 +1,37 @@
+#ifndef YVER_DATA_SAMPLE_H_
+#define YVER_DATA_SAMPLE_H_
+
+#include <functional>
+#include <string_view>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace yver::data {
+
+/// Dataset extraction utilities mirroring the paper's data preparation
+/// (§5.1): the ItalySet was "all records having Italy as the victim's
+/// place of residence" and the RandomSet a stratified random sample.
+
+/// Records satisfying a predicate, preserving order and metadata.
+Dataset FilterRecords(const Dataset& dataset,
+                      const std::function<bool(const Record&)>& predicate);
+
+/// The paper's ItalySet rule: any place attribute of the record carries
+/// the given country value (case-sensitive, as values are normalized).
+Dataset FilterByCountry(const Dataset& dataset, std::string_view country);
+
+/// Uniform random sample of approximately `fraction` of the records.
+Dataset SampleUniform(const Dataset& dataset, double fraction,
+                      util::Rng& rng);
+
+/// Entity-coherent sample: samples latent entities (not records), keeping
+/// every report of a chosen entity, so gold pair structure is preserved —
+/// the right way to down-sample an ER benchmark. Records with unknown
+/// entity ids are sampled individually.
+Dataset SampleByEntity(const Dataset& dataset, double fraction,
+                       util::Rng& rng);
+
+}  // namespace yver::data
+
+#endif  // YVER_DATA_SAMPLE_H_

@@ -1,0 +1,118 @@
+#include "data/schema.h"
+
+#include "util/check.h"
+
+namespace yver::data {
+
+namespace {
+
+struct AttrInfo {
+  AttributeId id;
+  ValueClass value_class;
+  std::string_view short_name;
+  std::string_view display_name;
+};
+
+constexpr std::array<AttrInfo, kNumAttributes> kAttrInfo = {{
+    {AttributeId::kFirstName, ValueClass::kName, "FN", "First Name"},
+    {AttributeId::kLastName, ValueClass::kName, "LN", "Last Name"},
+    {AttributeId::kMaidenName, ValueClass::kName, "MDN", "Maiden Name"},
+    {AttributeId::kMothersMaiden, ValueClass::kName, "MMN", "Mother's Maiden"},
+    {AttributeId::kMothersName, ValueClass::kName, "MFN", "Mother's Name"},
+    {AttributeId::kFathersName, ValueClass::kName, "FFN", "Father's Name"},
+    {AttributeId::kSpouseName, ValueClass::kName, "SN", "Spouse Name"},
+    {AttributeId::kGender, ValueClass::kCategorical, "G", "Gender"},
+    {AttributeId::kProfession, ValueClass::kCategorical, "PR", "Profession"},
+    {AttributeId::kBirthDay, ValueClass::kDay, "BD", "Birth Day"},
+    {AttributeId::kBirthMonth, ValueClass::kMonth, "BM", "Birth Month"},
+    {AttributeId::kBirthYear, ValueClass::kYear, "YB", "Birth Year"},
+    {AttributeId::kBirthCity, ValueClass::kGeo, "BP1", "Birth City"},
+    {AttributeId::kBirthCounty, ValueClass::kPlacePart, "BP2", "Birth County"},
+    {AttributeId::kBirthRegion, ValueClass::kPlacePart, "BP3", "Birth Region"},
+    {AttributeId::kBirthCountry, ValueClass::kPlacePart, "BP4",
+     "Birth Country"},
+    {AttributeId::kPermCity, ValueClass::kGeo, "PP1", "Perm. City"},
+    {AttributeId::kPermCounty, ValueClass::kPlacePart, "PP2", "Perm. County"},
+    {AttributeId::kPermRegion, ValueClass::kPlacePart, "PP3", "Perm. Region"},
+    {AttributeId::kPermCountry, ValueClass::kPlacePart, "PP4",
+     "Perm. Country"},
+    {AttributeId::kWarCity, ValueClass::kGeo, "WP1", "War City"},
+    {AttributeId::kWarCounty, ValueClass::kPlacePart, "WP2", "War County"},
+    {AttributeId::kWarRegion, ValueClass::kPlacePart, "WP3", "War Region"},
+    {AttributeId::kWarCountry, ValueClass::kPlacePart, "WP4", "War Country"},
+    {AttributeId::kDeathCity, ValueClass::kGeo, "DP1", "Death City"},
+    {AttributeId::kDeathCounty, ValueClass::kPlacePart, "DP2", "Death County"},
+    {AttributeId::kDeathRegion, ValueClass::kPlacePart, "DP3", "Death Region"},
+    {AttributeId::kDeathCountry, ValueClass::kPlacePart, "DP4",
+     "Death Country"},
+}};
+
+}  // namespace
+
+AttributeId PlaceAttribute(PlaceType type, PlacePart part) {
+  size_t base = static_cast<size_t>(AttributeId::kBirthCity) +
+                static_cast<size_t>(type) * kNumPlaceParts;
+  return static_cast<AttributeId>(base + static_cast<size_t>(part));
+}
+
+ValueClass AttributeClass(AttributeId attr) {
+  return kAttrInfo[static_cast<size_t>(attr)].value_class;
+}
+
+std::string_view AttributeShortName(AttributeId attr) {
+  return kAttrInfo[static_cast<size_t>(attr)].short_name;
+}
+
+std::string_view AttributeDisplayName(AttributeId attr) {
+  return kAttrInfo[static_cast<size_t>(attr)].display_name;
+}
+
+std::optional<AttributeId> AttributeFromShortName(std::string_view name) {
+  for (const auto& info : kAttrInfo) {
+    if (info.short_name == name) return info.id;
+  }
+  return std::nullopt;
+}
+
+const std::array<AttributeId, kNumAttributes>& AllAttributes() {
+  static constexpr std::array<AttributeId, kNumAttributes> kAll = [] {
+    std::array<AttributeId, kNumAttributes> a{};
+    for (size_t i = 0; i < kNumAttributes; ++i) {
+      a[i] = static_cast<AttributeId>(i);
+    }
+    return a;
+  }();
+  return kAll;
+}
+
+std::string_view PlaceTypeName(PlaceType type) {
+  switch (type) {
+    case PlaceType::kBirth:
+      return "Birth";
+    case PlaceType::kPermanent:
+      return "Permanent";
+    case PlaceType::kWartime:
+      return "Wartime";
+    case PlaceType::kDeath:
+      return "Death";
+  }
+  YVER_CHECK(false);
+  return "";
+}
+
+std::string_view PlacePartName(PlacePart part) {
+  switch (part) {
+    case PlacePart::kCity:
+      return "City";
+    case PlacePart::kCounty:
+      return "County";
+    case PlacePart::kRegion:
+      return "Region";
+    case PlacePart::kCountry:
+      return "Country";
+  }
+  YVER_CHECK(false);
+  return "";
+}
+
+}  // namespace yver::data

@@ -1,0 +1,99 @@
+#ifndef YVER_DATA_SCHEMA_H_
+#define YVER_DATA_SCHEMA_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace yver::data {
+
+/// The comparable attributes of a victim report, following the Names
+/// Project entity-relationship diagram (paper Fig. 3) and the item types of
+/// Tables 3/4: seven name attributes, gender, profession, the three birth
+/// date components, and 4 place types x 4 place components.
+enum class AttributeId : uint8_t {
+  kFirstName = 0,
+  kLastName,
+  kMaidenName,
+  kMothersMaiden,
+  kMothersName,
+  kFathersName,
+  kSpouseName,
+  kGender,
+  kProfession,
+  kBirthDay,
+  kBirthMonth,
+  kBirthYear,
+  kBirthCity,
+  kBirthCounty,
+  kBirthRegion,
+  kBirthCountry,
+  kPermCity,
+  kPermCounty,
+  kPermRegion,
+  kPermCountry,
+  kWarCity,
+  kWarCounty,
+  kWarRegion,
+  kWarCountry,
+  kDeathCity,
+  kDeathCounty,
+  kDeathRegion,
+  kDeathCountry,
+};
+
+/// Number of attributes in the schema.
+inline constexpr size_t kNumAttributes = 28;
+
+/// Coarse value class of an attribute, driving the expert item similarity
+/// of Eq. 1 (names via Jaro-Winkler, date parts via normalized distance,
+/// geo-coded places via haversine distance, the rest via equality).
+enum class ValueClass : uint8_t {
+  kName,
+  kCategorical,  // gender, profession
+  kDay,
+  kMonth,
+  kYear,
+  kGeo,  // city-level places with gazetteer coordinates
+  kPlacePart,  // county/region/country: compared as tokens
+};
+
+/// The four place types of the schema.
+enum class PlaceType : uint8_t { kBirth = 0, kPermanent, kWartime, kDeath };
+
+/// The four components of a place.
+enum class PlacePart : uint8_t { kCity = 0, kCounty, kRegion, kCountry };
+
+inline constexpr size_t kNumPlaceTypes = 4;
+inline constexpr size_t kNumPlaceParts = 4;
+
+/// Returns the attribute for a (place type, place part) combination.
+AttributeId PlaceAttribute(PlaceType type, PlacePart part);
+
+/// Returns the value class of an attribute.
+ValueClass AttributeClass(AttributeId attr);
+
+/// Short machine name, also used as the item prefix in item-bag encodings
+/// (e.g. "FN" so that first name Moshe becomes item "FN_Moshe", cf. §5.1).
+std::string_view AttributeShortName(AttributeId attr);
+
+/// Human-readable name matching the paper's tables ("Mother's Maiden", ...).
+std::string_view AttributeDisplayName(AttributeId attr);
+
+/// Parses a short name back to an attribute; nullopt when unknown.
+std::optional<AttributeId> AttributeFromShortName(std::string_view name);
+
+/// All attributes, in declaration order.
+const std::array<AttributeId, kNumAttributes>& AllAttributes();
+
+/// Display name of a place type ("Birth", "Permanent", "Wartime", "Death").
+std::string_view PlaceTypeName(PlaceType type);
+
+/// Display name of a place part ("City", "County", "Region", "Country").
+std::string_view PlacePartName(PlacePart part);
+
+}  // namespace yver::data
+
+#endif  // YVER_DATA_SCHEMA_H_

@@ -1,0 +1,98 @@
+#include "data/stats.h"
+
+#include <set>
+
+#include "util/check.h"
+
+namespace yver::data {
+
+std::vector<PatternStats::Bucket> PatternStats::Fig11Buckets() const {
+  static constexpr size_t kLimits[] = {10, 100, 1000, 10000};
+  std::vector<Bucket> buckets = {
+      {"10", 0, 0}, {"100", 0, 0}, {"1000", 0, 0}, {"10000", 0, 0},
+      {"more", 0, 0}};
+  for (const auto& [mask, count] : counts) {
+    size_t b = 4;
+    for (size_t i = 0; i < 4; ++i) {
+      if (count <= kLimits[i]) {
+        b = i;
+        break;
+      }
+    }
+    buckets[b].num_patterns += 1;
+    buckets[b].num_records += count;
+  }
+  return buckets;
+}
+
+std::pair<uint32_t, size_t> PatternStats::MostPrevalent() const {
+  YVER_CHECK(!counts.empty());
+  std::pair<uint32_t, size_t> best{0, 0};
+  for (const auto& [mask, count] : counts) {
+    if (count > best.second) best = {mask, count};
+  }
+  return best;
+}
+
+size_t PatternStats::FullPatternRecords() const {
+  uint32_t full = (kNumAttributes >= 32)
+                      ? ~0u
+                      : ((1u << kNumAttributes) - 1);
+  auto it = counts.find(full);
+  return it == counts.end() ? 0 : it->second;
+}
+
+PatternStats ComputePatternStats(const Dataset& dataset) {
+  PatternStats stats;
+  for (const Record& r : dataset.records()) {
+    ++stats.counts[r.PresenceMask()];
+  }
+  return stats;
+}
+
+std::vector<PrevalenceRow> ComputePrevalence(const Dataset& dataset) {
+  std::array<size_t, kNumAttributes> counts{};
+  for (const Record& r : dataset.records()) {
+    uint32_t mask = r.PresenceMask();
+    for (size_t a = 0; a < kNumAttributes; ++a) {
+      if (mask & (1u << a)) ++counts[a];
+    }
+  }
+  std::vector<PrevalenceRow> rows;
+  rows.reserve(kNumAttributes);
+  double n = static_cast<double>(dataset.size());
+  for (size_t a = 0; a < kNumAttributes; ++a) {
+    rows.push_back(PrevalenceRow{static_cast<AttributeId>(a), counts[a],
+                                 n > 0 ? counts[a] / n : 0.0});
+  }
+  return rows;
+}
+
+std::vector<CardinalityRow> ComputeCardinality(const Dataset& dataset) {
+  std::array<std::set<std::string>, kNumAttributes> values;
+  std::array<size_t, kNumAttributes> occurrences{};
+  for (const Record& r : dataset.records()) {
+    // Count each distinct value once per record (set semantics per record).
+    std::set<std::pair<size_t, std::string>> seen;
+    for (const auto& e : r.entries()) {
+      size_t a = static_cast<size_t>(e.attr);
+      if (seen.emplace(a, e.value).second) {
+        values[a].insert(e.value);
+        ++occurrences[a];
+      }
+    }
+  }
+  std::vector<CardinalityRow> rows;
+  rows.reserve(kNumAttributes);
+  for (size_t a = 0; a < kNumAttributes; ++a) {
+    double rpi = values[a].empty()
+                     ? 0.0
+                     : static_cast<double>(occurrences[a]) /
+                           static_cast<double>(values[a].size());
+    rows.push_back(
+        CardinalityRow{static_cast<AttributeId>(a), values[a].size(), rpi});
+  }
+  return rows;
+}
+
+}  // namespace yver::data

@@ -1,0 +1,66 @@
+#ifndef YVER_DATA_STATS_H_
+#define YVER_DATA_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace yver::data {
+
+/// A data pattern is the set of attributes a record has values for.
+/// Records "share a type if they have values assigned for the same item
+/// types" (paper §6.2, Fig. 11).
+struct PatternStats {
+  /// Pattern mask -> number of records with exactly that pattern.
+  std::map<uint32_t, size_t> counts;
+
+  /// Distinct patterns.
+  size_t NumPatterns() const { return counts.size(); }
+
+  /// Histogram over the paper's buckets: patterns shared by <=10 records,
+  /// (10,100], (100,1000], (1000,10000], more. For each bucket returns the
+  /// number of such patterns and the total records participating.
+  struct Bucket {
+    std::string label;
+    size_t num_patterns = 0;
+    size_t num_records = 0;
+  };
+  std::vector<Bucket> Fig11Buckets() const;
+
+  /// The most prevalent pattern (mask, count). Requires a non-empty stats.
+  std::pair<uint32_t, size_t> MostPrevalent() const;
+
+  /// Number of records carrying the full-information pattern (all
+  /// attributes present).
+  size_t FullPatternRecords() const;
+};
+
+/// Computes the pattern distribution of a dataset.
+PatternStats ComputePatternStats(const Dataset& dataset);
+
+/// Per-attribute prevalence: how many records carry at least one value
+/// (Table 3).
+struct PrevalenceRow {
+  AttributeId attr;
+  size_t num_records = 0;
+  double fraction = 0.0;
+};
+std::vector<PrevalenceRow> ComputePrevalence(const Dataset& dataset);
+
+/// Per-attribute cardinality: distinct values and mean records per value
+/// (Table 4).
+struct CardinalityRow {
+  AttributeId attr;
+  size_t num_items = 0;
+  double records_per_item = 0.0;
+};
+std::vector<CardinalityRow> ComputeCardinality(const Dataset& dataset);
+
+}  // namespace yver::data
+
+#endif  // YVER_DATA_STATS_H_

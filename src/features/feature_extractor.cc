@@ -1,0 +1,230 @@
+#include "features/feature_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "geo/geo.h"
+#include "text/jaccard.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace yver::features {
+
+namespace {
+
+using data::AttributeId;
+using data::PlacePart;
+using data::PlaceType;
+using data::Record;
+
+constexpr AttributeId kNameAttrs[] = {
+    AttributeId::kFirstName,   AttributeId::kLastName,
+    AttributeId::kSpouseName,  AttributeId::kFathersName,
+    AttributeId::kMothersName, AttributeId::kMothersMaiden,
+    AttributeId::kMaidenName,
+};
+
+constexpr PlaceType kPlaceTypes[] = {PlaceType::kBirth, PlaceType::kPermanent,
+                                     PlaceType::kWartime, PlaceType::kDeath};
+
+double ParseNumeric(std::string_view s) {
+  return std::strtod(std::string(s).c_str(), nullptr);
+}
+
+std::set<std::string> LowerSet(const std::vector<std::string_view>& values) {
+  std::set<std::string> out;
+  for (auto v : values) out.insert(util::ToLower(v));
+  return out;
+}
+
+// Trinary agreement of two value sets (sameXName semantics).
+NameAgreement Agreement(const std::set<std::string>& a,
+                        const std::set<std::string>& b) {
+  size_t inter = 0;
+  for (const auto& v : a) inter += b.count(v);
+  if (inter == 0) return NameAgreement::kNo;
+  if (inter == a.size() && inter == b.size()) return NameAgreement::kYes;
+  return NameAgreement::kPartial;
+}
+
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(const data::EncodedDataset& encoded)
+    : encoded_(encoded) {
+  YVER_CHECK(encoded.dataset != nullptr);
+}
+
+FeatureVector FeatureExtractor::Extract(data::RecordIdx a,
+                                        data::RecordIdx b) const {
+  const FeatureSchema& schema = FeatureSchema::Get();
+  const Record& ra = (*encoded_.dataset)[a];
+  const Record& rb = (*encoded_.dataset)[b];
+  FeatureVector fv;
+  fv.values.assign(schema.size(), MissingValue());
+  size_t next = 0;
+  auto emit = [&fv, &next](double v) { fv.values[next++] = v; };
+  auto skip = [&next] { ++next; };
+
+  // 1..7: sameXName.
+  for (AttributeId attr : kNameAttrs) {
+    auto va = ra.Values(attr);
+    auto vb = rb.Values(attr);
+    if (va.empty() || vb.empty()) {
+      skip();
+      continue;
+    }
+    emit(static_cast<double>(Agreement(LowerSet(va), LowerSet(vb))));
+  }
+  // 8..14: XnameDist — maximum q-gram Jaccard over the value cross product.
+  for (AttributeId attr : kNameAttrs) {
+    auto va = ra.Values(attr);
+    auto vb = rb.Values(attr);
+    if (va.empty() || vb.empty()) {
+      skip();
+      continue;
+    }
+    double best = 0.0;
+    for (auto x : va) {
+      for (auto y : vb) {
+        best = std::max(best, text::QGramJaccard(util::ToLower(x),
+                                                 util::ToLower(y)));
+      }
+    }
+    emit(best);
+  }
+  // 15..17: raw birth-date component distances.
+  const AttributeId date_attrs[] = {AttributeId::kBirthDay,
+                                    AttributeId::kBirthMonth,
+                                    AttributeId::kBirthYear};
+  double date_dist[3] = {MissingValue(), MissingValue(), MissingValue()};
+  for (size_t d = 0; d < 3; ++d) {
+    auto va = ra.FirstValue(date_attrs[d]);
+    auto vb = rb.FirstValue(date_attrs[d]);
+    if (va.empty() || vb.empty()) {
+      skip();
+      continue;
+    }
+    date_dist[d] = std::abs(ParseNumeric(va) - ParseNumeric(vb));
+    emit(date_dist[d]);
+  }
+  // 18..33: samePlaceXPartY.
+  for (PlaceType type : kPlaceTypes) {
+    for (size_t p = 0; p < data::kNumPlaceParts; ++p) {
+      AttributeId attr =
+          data::PlaceAttribute(type, static_cast<PlacePart>(p));
+      auto va = ra.Values(attr);
+      auto vb = rb.Values(attr);
+      if (va.empty() || vb.empty()) {
+        skip();
+        continue;
+      }
+      auto sa = LowerSet(va);
+      auto sb = LowerSet(vb);
+      bool any = false;
+      for (const auto& v : sa) {
+        if (sb.count(v)) {
+          any = true;
+          break;
+        }
+      }
+      emit(any ? static_cast<double>(BinaryCode::kYes)
+               : static_cast<double>(BinaryCode::kNo));
+    }
+  }
+  // 34..37: PlaceXGeoDistance in km (min over city value pairs with known
+  // coordinates).
+  for (PlaceType type : kPlaceTypes) {
+    AttributeId attr = data::PlaceAttribute(type, PlacePart::kCity);
+    auto va = ra.Values(attr);
+    auto vb = rb.Values(attr);
+    double best = MissingValue();
+    for (auto x : va) {
+      auto ia = encoded_.dictionary.Find(attr, x);
+      if (!ia || !encoded_.dictionary.geo(*ia)) continue;
+      for (auto y : vb) {
+        auto ib = encoded_.dictionary.Find(attr, y);
+        if (!ib || !encoded_.dictionary.geo(*ib)) continue;
+        double d = geo::HaversineKm(*encoded_.dictionary.geo(*ia),
+                                    *encoded_.dictionary.geo(*ib));
+        if (std::isnan(best) || d < best) best = d;
+      }
+    }
+    if (std::isnan(best)) {
+      skip();
+    } else {
+      emit(best);
+    }
+  }
+  // 38..40: sameSource / sameGender / sameProfession.
+  emit(ra.source_id == rb.source_id
+           ? static_cast<double>(BinaryCode::kYes)
+           : static_cast<double>(BinaryCode::kNo));
+  {
+    auto ga = ra.FirstValue(AttributeId::kGender);
+    auto gb = rb.FirstValue(AttributeId::kGender);
+    if (ga.empty() || gb.empty()) {
+      skip();
+    } else {
+      emit(ga == gb ? static_cast<double>(BinaryCode::kYes)
+                    : static_cast<double>(BinaryCode::kNo));
+    }
+  }
+  {
+    auto pa = ra.FirstValue(AttributeId::kProfession);
+    auto pb = rb.FirstValue(AttributeId::kProfession);
+    if (pa.empty() || pb.empty()) {
+      skip();
+    } else {
+      emit(pa == pb ? static_cast<double>(BinaryCode::kYes)
+                    : static_cast<double>(BinaryCode::kNo));
+    }
+  }
+  // 41..43: normalized birth-date similarities.
+  const double norms[3] = {31.0, 12.0, 100.0};
+  for (size_t d = 0; d < 3; ++d) {
+    if (std::isnan(date_dist[d])) {
+      skip();
+    } else {
+      emit(std::max(0.0, 1.0 - date_dist[d] / norms[d]));
+    }
+  }
+  // 44..47: whole-place agreement per type (all present parts agree).
+  for (PlaceType type : kPlaceTypes) {
+    bool any_compared = false;
+    bool all_agree = true;
+    for (size_t p = 0; p < data::kNumPlaceParts; ++p) {
+      AttributeId attr =
+          data::PlaceAttribute(type, static_cast<PlacePart>(p));
+      auto va = ra.Values(attr);
+      auto vb = rb.Values(attr);
+      if (va.empty() || vb.empty()) continue;
+      any_compared = true;
+      auto sa = LowerSet(va);
+      auto sb = LowerSet(vb);
+      bool agree = false;
+      for (const auto& v : sa) {
+        if (sb.count(v)) {
+          agree = true;
+          break;
+        }
+      }
+      all_agree = all_agree && agree;
+    }
+    if (!any_compared) {
+      skip();
+    } else {
+      emit(all_agree ? static_cast<double>(BinaryCode::kYes)
+                     : static_cast<double>(BinaryCode::kNo));
+    }
+  }
+  // 48: overall item-bag Jaccard.
+  emit(text::JaccardOfSortedIds(encoded_.bags[a], encoded_.bags[b]));
+
+  YVER_CHECK(next == schema.size());
+  return fv;
+}
+
+}  // namespace yver::features

@@ -1,0 +1,29 @@
+#ifndef YVER_FEATURES_FEATURE_EXTRACTOR_H_
+#define YVER_FEATURES_FEATURE_EXTRACTOR_H_
+
+#include "data/dataset.h"
+#include "data/item_dictionary.h"
+#include "features/feature_schema.h"
+
+namespace yver::features {
+
+/// Computes the 48-feature vector of §5.1 for candidate record pairs.
+/// Features over attributes absent from either record are emitted as
+/// missing (NaN); the ADTree then "considers only reachable decision
+/// nodes".
+class FeatureExtractor {
+ public:
+  /// The encoded dataset supplies geo coordinates of place items; the
+  /// extractor holds a reference and must not outlive it.
+  explicit FeatureExtractor(const data::EncodedDataset& encoded);
+
+  /// Extracts the feature vector of a pair.
+  FeatureVector Extract(data::RecordIdx a, data::RecordIdx b) const;
+
+ private:
+  const data::EncodedDataset& encoded_;
+};
+
+}  // namespace yver::features
+
+#endif  // YVER_FEATURES_FEATURE_EXTRACTOR_H_

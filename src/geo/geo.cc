@@ -1,0 +1,24 @@
+#include "geo/geo.h"
+
+#include <cmath>
+
+namespace yver::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double HaversineKm(const GeoPoint& a, const GeoPoint& b) {
+  double lat1 = a.lat_deg * kDegToRad;
+  double lat2 = b.lat_deg * kDegToRad;
+  double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  double s1 = std::sin(dlat / 2.0);
+  double s2 = std::sin(dlon / 2.0);
+  double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  h = std::min(1.0, h);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(h));
+}
+
+}  // namespace yver::geo

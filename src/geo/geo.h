@@ -1,0 +1,21 @@
+#ifndef YVER_GEO_GEO_H_
+#define YVER_GEO_GEO_H_
+
+namespace yver::geo {
+
+/// A WGS-84 latitude/longitude point in degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle (haversine) distance between two points, in kilometers.
+/// Used by the PlaceXGeoDistance features and the expert item similarity
+/// (Eq. 1 in the paper).
+double HaversineKm(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace yver::geo
+
+#endif  // YVER_GEO_GEO_H_

@@ -1,0 +1,58 @@
+#include "mining/brute_force_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "mining/maximal_filter.h"
+
+namespace yver::mining {
+
+uint32_t CountSupport(const std::vector<data::ItemBag>& transactions,
+                      const std::vector<data::ItemId>& itemset) {
+  uint32_t support = 0;
+  for (const auto& bag : transactions) {
+    if (IsSubsetOf(itemset, bag)) ++support;
+  }
+  return support;
+}
+
+std::vector<FrequentItemset> BruteForceFrequentItemsets(
+    const std::vector<data::ItemBag>& transactions, uint32_t minsup) {
+  // Level 1.
+  std::map<data::ItemId, uint32_t> singles;
+  for (const auto& bag : transactions) {
+    for (data::ItemId item : bag) ++singles[item];
+  }
+  std::vector<FrequentItemset> frontier;
+  for (const auto& [item, count] : singles) {
+    if (count >= minsup) frontier.push_back({{item}, count});
+  }
+  std::vector<FrequentItemset> all = frontier;
+  // Level-wise growth: extend each frontier itemset with a strictly larger
+  // frequent single item; dedupe via a set of item vectors.
+  while (!frontier.empty()) {
+    std::set<std::vector<data::ItemId>> next_keys;
+    std::vector<FrequentItemset> next;
+    for (const auto& fi : frontier) {
+      for (const auto& [item, count] : singles) {
+        if (count < minsup || item <= fi.items.back()) continue;
+        std::vector<data::ItemId> candidate = fi.items;
+        candidate.push_back(item);
+        if (!next_keys.insert(candidate).second) continue;
+        uint32_t support = CountSupport(transactions, candidate);
+        if (support >= minsup) next.push_back({std::move(candidate), support});
+      }
+    }
+    all.insert(all.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return all;
+}
+
+std::vector<FrequentItemset> BruteForceMaximalItemsets(
+    const std::vector<data::ItemBag>& transactions, uint32_t minsup) {
+  return FilterMaximal(BruteForceFrequentItemsets(transactions, minsup));
+}
+
+}  // namespace yver::mining

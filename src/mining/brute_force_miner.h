@@ -1,0 +1,28 @@
+#ifndef YVER_MINING_BRUTE_FORCE_MINER_H_
+#define YVER_MINING_BRUTE_FORCE_MINER_H_
+
+#include <vector>
+
+#include "data/item_dictionary.h"
+#include "mining/itemset.h"
+
+namespace yver::mining {
+
+/// Reference miner for tests: Apriori-style level-wise enumeration of all
+/// frequent itemsets. Exponential in the worst case — only use on small
+/// inputs.
+std::vector<FrequentItemset> BruteForceFrequentItemsets(
+    const std::vector<data::ItemBag>& transactions, uint32_t minsup);
+
+/// Reference maximal miner: brute-force frequent itemsets + maximality
+/// filter.
+std::vector<FrequentItemset> BruteForceMaximalItemsets(
+    const std::vector<data::ItemBag>& transactions, uint32_t minsup);
+
+/// Exact support count of an itemset (sorted ascending) over transactions.
+uint32_t CountSupport(const std::vector<data::ItemBag>& transactions,
+                      const std::vector<data::ItemId>& itemset);
+
+}  // namespace yver::mining
+
+#endif  // YVER_MINING_BRUTE_FORCE_MINER_H_

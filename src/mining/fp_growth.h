@@ -1,0 +1,53 @@
+#ifndef YVER_MINING_FP_GROWTH_H_
+#define YVER_MINING_FP_GROWTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/item_dictionary.h"
+#include "mining/itemset.h"
+
+namespace yver::mining {
+
+/// Options controlling the FP-Growth miners.
+struct MinerOptions {
+  /// Minimum support (number of transactions) for a frequent itemset.
+  uint32_t minsup = 2;
+
+  /// Safety cap on the number of reported itemsets (0 = unlimited). When
+  /// hit, mining stops early; MFIBlocks treats this as a signal to tighten
+  /// frequent-item pruning.
+  size_t max_itemsets = 0;
+
+  /// Maximum itemset length to explore (0 = unlimited). Only honored by
+  /// MineFrequentItemsets.
+  size_t max_length = 0;
+};
+
+/// Mines all frequent itemsets (support >= minsup, non-empty) from the
+/// transaction bags via FP-Growth. Itemset items are sorted ascending by
+/// ItemId. Intended for moderate inputs and as a reference for the maximal
+/// miner; MFIBlocks uses MineMaximalItemsets.
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const std::vector<data::ItemBag>& transactions,
+    const MinerOptions& options);
+
+/// Mines the maximal frequent itemsets (MFIs) via FP-Growth with
+/// FPMax-style subsumption pruning: a branch whose head ∪ tail is contained
+/// in a known MFI cannot yield a new maximal set and is skipped.
+std::vector<FrequentItemset> MineMaximalItemsets(
+    const std::vector<data::ItemBag>& transactions,
+    const MinerOptions& options);
+
+/// Mines the closed frequent itemsets (CFIs): frequent itemsets with no
+/// strict superset of equal support. Implemented as a full FP-Growth
+/// enumeration plus a closedness filter — more expensive than the maximal
+/// miner but lossless on support structure. Used by the MFI-vs-CFI
+/// blocking ablation.
+std::vector<FrequentItemset> MineClosedItemsets(
+    const std::vector<data::ItemBag>& transactions,
+    const MinerOptions& options);
+
+}  // namespace yver::mining
+
+#endif  // YVER_MINING_FP_GROWTH_H_

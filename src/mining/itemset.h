@@ -1,0 +1,27 @@
+#ifndef YVER_MINING_ITEMSET_H_
+#define YVER_MINING_ITEMSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/item_dictionary.h"
+
+namespace yver::mining {
+
+/// A frequent itemset together with its support count. Items are sorted
+/// ascending by id.
+struct FrequentItemset {
+  std::vector<data::ItemId> items;
+  uint32_t support = 0;
+
+  friend bool operator==(const FrequentItemset&,
+                         const FrequentItemset&) = default;
+};
+
+/// True when `sub` ⊆ `super`; both must be sorted ascending.
+bool IsSubsetOf(const std::vector<data::ItemId>& sub,
+                const std::vector<data::ItemId>& super);
+
+}  // namespace yver::mining
+
+#endif  // YVER_MINING_ITEMSET_H_

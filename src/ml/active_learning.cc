@@ -1,0 +1,73 @@
+#include "ml/active_learning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/metrics.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace yver::ml {
+
+ActiveLearningResult RunActiveLearning(
+    const std::vector<Instance>& pool, const std::vector<Instance>& holdout,
+    const ActiveLearningOptions& options) {
+  YVER_CHECK(!pool.empty());
+  YVER_CHECK(!holdout.empty());
+  util::Rng rng(options.seed);
+
+  std::vector<size_t> unlabeled(pool.size());
+  for (size_t i = 0; i < unlabeled.size(); ++i) unlabeled[i] = i;
+  rng.Shuffle(unlabeled);
+
+  std::vector<Instance> labeled;
+  auto take = [&](size_t position_in_unlabeled) {
+    size_t pool_index = unlabeled[position_in_unlabeled];
+    unlabeled.erase(unlabeled.begin() +
+                    static_cast<long>(position_in_unlabeled));
+    Instance inst = pool[pool_index];
+    if (inst.tag == ExpertTag::kMaybe) return;  // expert cannot decide
+    inst.label = (inst.tag == ExpertTag::kYes ||
+                  inst.tag == ExpertTag::kProbablyYes)
+                     ? +1
+                     : -1;
+    labeled.push_back(std::move(inst));
+  };
+
+  // Seed with random labels.
+  for (size_t i = 0; i < options.initial_labels && !unlabeled.empty(); ++i) {
+    take(unlabeled.size() - 1);
+  }
+
+  ActiveLearningResult result;
+  for (;;) {
+    result.model = TrainAdTree(labeled, options.trainer);
+    double accuracy = EvaluateBinary(result.model, holdout).Accuracy();
+    result.learning_curve.emplace_back(labeled.size(), accuracy);
+    if (labeled.size() >= options.max_labels || unlabeled.empty()) break;
+
+    for (size_t b = 0; b < options.batch_size && !unlabeled.empty(); ++b) {
+      size_t pick;
+      if (options.strategy == QueryStrategy::kRandom) {
+        pick = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(unlabeled.size()) - 1));
+      } else {
+        // Uncertainty sampling: smallest |score| under the current model.
+        pick = 0;
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t u = 0; u < unlabeled.size(); ++u) {
+          double margin =
+              std::abs(result.model.Score(pool[unlabeled[u]].features));
+          if (margin < best) {
+            best = margin;
+            pick = u;
+          }
+        }
+      }
+      take(pick);
+    }
+  }
+  return result;
+}
+
+}  // namespace yver::ml

@@ -1,0 +1,48 @@
+#ifndef YVER_ML_ACTIVE_LEARNING_H_
+#define YVER_ML_ACTIVE_LEARNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/adtree_trainer.h"
+#include "ml/instances.h"
+
+namespace yver::ml {
+
+/// Active-learning tagging loop. The deployment's tagging application
+/// (Fig. 7) presented MFIBlocks candidates to the archival experts sorted
+/// by similarity; active learning instead queries the pairs the current
+/// model is least certain about (Sarawagi & Bhamidipaty's interactive
+/// deduplication — the paper's reference [26]), stretching a limited
+/// expert-tagging budget further.
+enum class QueryStrategy : uint8_t {
+  kUncertainty = 0,  // label the pair with the smallest |ADT score|
+  kRandom,           // label a random unlabeled pair (baseline)
+};
+
+struct ActiveLearningOptions {
+  QueryStrategy strategy = QueryStrategy::kUncertainty;
+  size_t initial_labels = 50;
+  size_t batch_size = 50;
+  size_t max_labels = 500;
+  AdTreeTrainerOptions trainer;
+  uint64_t seed = 1;
+};
+
+struct ActiveLearningResult {
+  AdTree model;
+  /// (number of labels used, holdout accuracy) after each retraining.
+  std::vector<std::pair<size_t, double>> learning_curve;
+};
+
+/// Runs the loop over an unlabeled pool whose `tag` fields act as the
+/// queryable expert; accuracy is tracked on the labeled holdout.
+/// Maybe-tagged pool pairs are skipped when queried (the expert cannot
+/// decide), mirroring the omitted-Maybe training condition.
+ActiveLearningResult RunActiveLearning(
+    const std::vector<Instance>& pool, const std::vector<Instance>& holdout,
+    const ActiveLearningOptions& options);
+
+}  // namespace yver::ml
+
+#endif  // YVER_ML_ACTIVE_LEARNING_H_

@@ -1,0 +1,135 @@
+#include "ml/adtree.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace yver::ml {
+
+namespace {
+
+// Nominal value names for printing: trinary name agreement or binary.
+const char* NominalName(const features::FeatureDef& def, int value) {
+  if (def.num_nominal_values == 3) {
+    switch (value) {
+      case 0:
+        return "no";
+      case 1:
+        return "partial";
+      case 2:
+        return "yes";
+    }
+  } else {
+    switch (value) {
+      case 0:
+        return "no";
+      case 1:
+        return "yes";
+    }
+  }
+  return "?";
+}
+
+std::string FormatValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string AdtCondition::ToString() const {
+  const auto& def = features::FeatureSchema::Get().def(feature);
+  if (is_nominal) {
+    return def.name + " = " + NominalName(def, nominal_value);
+  }
+  return def.name + " < " + FormatValue(threshold);
+}
+
+AdTree::AdTree(double prior) {
+  predictions_.push_back(PredictionNode{prior, {}});
+}
+
+int AdTree::AddSplitter(int parent_prediction, const AdtCondition& condition,
+                        double true_value, double false_value, int order) {
+  YVER_CHECK(parent_prediction >= 0 &&
+             static_cast<size_t>(parent_prediction) < predictions_.size());
+  int splitter_index = static_cast<int>(splitters_.size());
+  SplitterNode splitter;
+  splitter.condition = condition;
+  splitter.order = order;
+  splitter.true_prediction = static_cast<int>(predictions_.size());
+  predictions_.push_back(PredictionNode{true_value, {}});
+  splitter.false_prediction = static_cast<int>(predictions_.size());
+  predictions_.push_back(PredictionNode{false_value, {}});
+  splitters_.push_back(splitter);
+  predictions_[parent_prediction].child_splitters.push_back(splitter_index);
+  return splitter_index;
+}
+
+double AdTree::Score(const features::FeatureVector& fv) const {
+  YVER_CHECK(!predictions_.empty());
+  double sum = 0.0;
+  ScoreNode(root(), fv, &sum);
+  return sum;
+}
+
+void AdTree::ScoreNode(int prediction, const features::FeatureVector& fv,
+                       double* sum) const {
+  const PredictionNode& node = predictions_[prediction];
+  *sum += node.value;
+  for (int s : node.child_splitters) {
+    const SplitterNode& splitter = splitters_[s];
+    if (fv.IsMissing(splitter.condition.feature)) continue;
+    double value = fv.values[splitter.condition.feature];
+    int next = splitter.condition.Evaluate(value) ? splitter.true_prediction
+                                                  : splitter.false_prediction;
+    ScoreNode(next, fv, sum);
+  }
+}
+
+std::vector<size_t> AdTree::UsedFeatures() const {
+  std::vector<bool> used(features::FeatureSchema::Get().size(), false);
+  for (const auto& s : splitters_) used[s.condition.feature] = true;
+  std::vector<size_t> out;
+  for (size_t i = 0; i < used.size(); ++i) {
+    if (used[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::string AdTree::ToString() const {
+  std::string out = ": " + FormatValue(predictions_[root()].value) + "\n";
+  Print(root(), 1, &out);
+  return out;
+}
+
+void AdTree::Print(int prediction, int depth, std::string* out) const {
+  const PredictionNode& node = predictions_[prediction];
+  for (int s : node.child_splitters) {
+    const SplitterNode& splitter = splitters_[s];
+    const auto& def =
+        features::FeatureSchema::Get().def(splitter.condition.feature);
+    std::string indent;
+    for (int d = 0; d < depth; ++d) indent += "— ";
+    std::string cond_true = splitter.condition.ToString();
+    std::string cond_false;
+    if (splitter.condition.is_nominal) {
+      cond_false = def.name + " != " +
+                   NominalName(def, splitter.condition.nominal_value);
+    } else {
+      cond_false =
+          def.name + " >= " + FormatValue(splitter.condition.threshold);
+    }
+    char order_buf[16];
+    std::snprintf(order_buf, sizeof(order_buf), "(%d)", splitter.order);
+    *out += indent + order_buf + cond_true + ": " +
+            FormatValue(predictions_[splitter.true_prediction].value) + "\n";
+    Print(splitter.true_prediction, depth + 1, out);
+    *out += indent + order_buf + cond_false + ": " +
+            FormatValue(predictions_[splitter.false_prediction].value) + "\n";
+    Print(splitter.false_prediction, depth + 1, out);
+  }
+}
+
+}  // namespace yver::ml

@@ -1,0 +1,97 @@
+#ifndef YVER_ML_ADTREE_H_
+#define YVER_ML_ADTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "features/feature_schema.h"
+
+namespace yver::ml {
+
+/// A splitter condition over one feature. Numeric features test
+/// `value < threshold`; nominal features test `value == nominal_value`.
+struct AdtCondition {
+  size_t feature = 0;
+  bool is_nominal = false;
+  double threshold = 0.0;
+  int nominal_value = 0;
+
+  /// Evaluates the condition on a non-missing value.
+  bool Evaluate(double value) const {
+    return is_nominal ? static_cast<int>(value) == nominal_value
+                      : value < threshold;
+  }
+
+  /// Human-readable form, e.g. "sameFFN = no" or "MFNdist < 0.728".
+  std::string ToString() const;
+};
+
+/// Alternating decision tree (Freund & Mason 1999).
+///
+/// The model alternates prediction nodes (real-valued confidence
+/// contributions) and splitter nodes (decision conditions). An instance's
+/// score is the sum of the prediction values of every reachable prediction
+/// node; the sign classifies, the magnitude ranks (the paper's ranked
+/// resolution, §4.2). A splitter over a missing feature is simply not
+/// descended — "the computation considers only reachable decision nodes".
+class AdTree {
+ public:
+  struct SplitterNode {
+    AdtCondition condition;
+    int order = 0;          // 1-based boosting round, for printing
+    int true_prediction = -1;
+    int false_prediction = -1;
+  };
+  struct PredictionNode {
+    double value = 0.0;
+    std::vector<int> child_splitters;
+  };
+
+  AdTree() = default;
+
+  /// Creates a tree with only the root prediction (the prior).
+  explicit AdTree(double prior);
+
+  /// Adds a splitter under the given prediction node; returns its index.
+  /// Also creates the true/false prediction children.
+  int AddSplitter(int parent_prediction, const AdtCondition& condition,
+                  double true_value, double false_value, int order);
+
+  /// Classification score: sum of reachable prediction values.
+  double Score(const features::FeatureVector& fv) const;
+
+  /// Binary decision at threshold 0: score > 0 is a match (§5.2).
+  bool Classify(const features::FeatureVector& fv) const {
+    return Score(fv) > 0.0;
+  }
+
+  /// Number of splitter nodes (boosting rounds accepted).
+  size_t num_splitters() const { return splitters_.size(); }
+
+  /// Indices of the features actually used by the model.
+  std::vector<size_t> UsedFeatures() const;
+
+  /// Multi-line rendering in the layout of the paper's Tables 7/8:
+  ///   : -0.289
+  ///   — (1)sameFFN = no: -1.314
+  ///   — — (6)MFNdist < 0.728: -0.718
+  std::string ToString() const;
+
+  const std::vector<PredictionNode>& predictions() const {
+    return predictions_;
+  }
+  const std::vector<SplitterNode>& splitters() const { return splitters_; }
+  int root() const { return 0; }
+
+ private:
+  void ScoreNode(int prediction, const features::FeatureVector& fv,
+                 double* sum) const;
+  void Print(int prediction, int depth, std::string* out) const;
+
+  std::vector<PredictionNode> predictions_;
+  std::vector<SplitterNode> splitters_;
+};
+
+}  // namespace yver::ml
+
+#endif  // YVER_ML_ADTREE_H_

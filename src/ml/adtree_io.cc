@@ -1,0 +1,112 @@
+#include "ml/adtree_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace yver::ml {
+
+namespace {
+constexpr char kMagic[] = "yver-adtree v1";
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Recovers the parent prediction index of each splitter by scanning the
+// prediction nodes' child lists.
+std::vector<int> ParentOfSplitters(const AdTree& tree) {
+  std::vector<int> parent(tree.splitters().size(), -1);
+  for (size_t p = 0; p < tree.predictions().size(); ++p) {
+    for (int s : tree.predictions()[p].child_splitters) {
+      parent[static_cast<size_t>(s)] = static_cast<int>(p);
+    }
+  }
+  return parent;
+}
+
+}  // namespace
+
+std::string SerializeAdTree(const AdTree& tree) {
+  std::string out = kMagic;
+  out.push_back('\n');
+  out += "prior " + FormatDouble(tree.predictions()[tree.root()].value) +
+         "\n";
+  auto parents = ParentOfSplitters(tree);
+  for (size_t i = 0; i < tree.splitters().size(); ++i) {
+    const auto& s = tree.splitters()[i];
+    out += "splitter " + std::to_string(s.order) + " " +
+           std::to_string(parents[i]) + " " +
+           (s.condition.is_nominal ? "M" : "N") + " " +
+           std::to_string(s.condition.feature) + " " +
+           (s.condition.is_nominal
+                ? std::to_string(s.condition.nominal_value)
+                : FormatDouble(s.condition.threshold)) +
+           " " + FormatDouble(tree.predictions()[s.true_prediction].value) +
+           " " + FormatDouble(tree.predictions()[s.false_prediction].value) +
+           "\n";
+  }
+  return out;
+}
+
+std::optional<AdTree> ParseAdTree(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || util::Trim(line) != kMagic) {
+    return std::nullopt;
+  }
+  if (!std::getline(in, line)) return std::nullopt;
+  auto prior_fields = util::SplitWhitespace(line);
+  if (prior_fields.size() != 2 || prior_fields[0] != "prior") {
+    return std::nullopt;
+  }
+  AdTree tree(std::strtod(prior_fields[1].c_str(), nullptr));
+  const size_t num_features = features::FeatureSchema::Get().size();
+  while (std::getline(in, line)) {
+    if (util::Trim(line).empty()) continue;
+    auto fields = util::SplitWhitespace(line);
+    if (fields.size() != 8 || fields[0] != "splitter") return std::nullopt;
+    AdtCondition cond;
+    int order = std::atoi(fields[1].c_str());
+    int parent = std::atoi(fields[2].c_str());
+    if (fields[3] != "N" && fields[3] != "M") return std::nullopt;
+    cond.is_nominal = fields[3] == "M";
+    cond.feature = static_cast<size_t>(std::atoll(fields[4].c_str()));
+    if (cond.feature >= num_features) return std::nullopt;
+    if (cond.is_nominal) {
+      cond.nominal_value = std::atoi(fields[5].c_str());
+    } else {
+      cond.threshold = std::strtod(fields[5].c_str(), nullptr);
+    }
+    double true_value = std::strtod(fields[6].c_str(), nullptr);
+    double false_value = std::strtod(fields[7].c_str(), nullptr);
+    if (parent < 0 ||
+        static_cast<size_t>(parent) >= tree.predictions().size()) {
+      return std::nullopt;
+    }
+    tree.AddSplitter(parent, cond, true_value, false_value, order);
+  }
+  return tree;
+}
+
+bool SaveAdTree(const AdTree& tree, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << SerializeAdTree(tree);
+  return static_cast<bool>(f);
+}
+
+std::optional<AdTree> LoadAdTree(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ParseAdTree(ss.str());
+}
+
+}  // namespace yver::ml

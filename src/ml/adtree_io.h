@@ -1,0 +1,34 @@
+#ifndef YVER_ML_ADTREE_IO_H_
+#define YVER_ML_ADTREE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "ml/adtree.h"
+
+namespace yver::ml {
+
+/// Text serialization of ADTree models, so a model trained on the tagged
+/// subset can be deployed against the full corpus (the paper trained on
+/// the Italy set and intends to apply the model generally).
+///
+/// Format (line oriented, versioned):
+///   yver-adtree v1
+///   prior <value>
+///   splitter <order> <parent_prediction> N|M <feature_index>
+///       <threshold_or_nominal> <true_value> <false_value>   (one line)
+/// Splitters appear in insertion order; prediction node indices are
+/// implied by that order (true child = 1 + 2*i, false child = 2 + 2*i).
+std::string SerializeAdTree(const AdTree& tree);
+
+/// Parses a serialized model; nullopt on malformed input or feature
+/// indices outside the current schema.
+std::optional<AdTree> ParseAdTree(const std::string& text);
+
+/// File helpers; return false / nullopt on I/O failure.
+bool SaveAdTree(const AdTree& tree, const std::string& path);
+std::optional<AdTree> LoadAdTree(const std::string& path);
+
+}  // namespace yver::ml
+
+#endif  // YVER_ML_ADTREE_IO_H_

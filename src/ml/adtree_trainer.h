@@ -1,0 +1,57 @@
+#ifndef YVER_ML_ADTREE_TRAINER_H_
+#define YVER_ML_ADTREE_TRAINER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/adtree.h"
+#include "ml/instances.h"
+
+namespace yver::ml {
+
+/// Boosting configuration for ADTree induction.
+struct AdTreeTrainerOptions {
+  /// Number of boosting rounds = number of splitter nodes. The paper's
+  /// final models use 8-10 splitters.
+  size_t num_rounds = 10;
+
+  /// Cap on candidate thresholds per numeric feature (quantile-spaced
+  /// midpoints of the observed values).
+  size_t max_numeric_thresholds = 32;
+
+  /// Laplace smoothing added inside the prediction-value logs (Weka's
+  /// ADTree uses 1.0).
+  double smoothing = 1.0;
+};
+
+/// Trains an alternating decision tree with the boosting procedure of
+/// Freund & Mason (1999):
+///   - every prediction node is a possible attachment point
+///     (precondition);
+///   - each round scans (precondition, condition) pairs and picks the one
+///     minimizing Z = 2(√(W₊(p∧c)W₋(p∧c)) + √(W₊(p∧¬c)W₋(p∧¬c))) + W(¬p);
+///   - the two new prediction values are ½ ln(W₊+s / W₋+s);
+///   - weights of affected instances are multiplied by exp(-y·prediction).
+/// Instances whose split feature is missing stay un-routed (counted in the
+/// residual W(¬p) term), matching the scorer's skip-on-missing semantics.
+AdTree TrainAdTree(const std::vector<Instance>& instances,
+                   const AdTreeTrainerOptions& options);
+
+/// Three-class wrapper for the "Identify Maybe values" condition of
+/// Table 5: a binary match tree (Maybe treated as non-match) plus a
+/// Maybe-vs-rest detector tree.
+struct ThreeClassAdt {
+  AdTree match_tree;
+  AdTree maybe_tree;
+
+  /// Predicted tag class: kYes, kNo, or kMaybe.
+  ExpertTag Predict(const features::FeatureVector& fv) const;
+};
+
+/// Trains the three-class model from tagged instances.
+ThreeClassAdt TrainThreeClass(const std::vector<Instance>& instances,
+                              const AdTreeTrainerOptions& options);
+
+}  // namespace yver::ml
+
+#endif  // YVER_ML_ADTREE_TRAINER_H_

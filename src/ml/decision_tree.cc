@@ -1,0 +1,189 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace yver::ml {
+
+namespace {
+
+double Gini(double pos, double total) {
+  if (total <= 0.0) return 0.0;
+  double p = pos / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+struct SplitEval {
+  double impurity = std::numeric_limits<double>::infinity();
+  size_t feature = 0;
+  bool is_nominal = false;
+  double threshold = 0.0;
+  int nominal_value = 0;
+};
+
+}  // namespace
+
+DecisionTree DecisionTree::Train(const std::vector<Instance>& instances,
+                                 const Options& options) {
+  YVER_CHECK(!instances.empty());
+  DecisionTree tree;
+  std::vector<size_t> all(instances.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  tree.BuildNode(instances, all, 0, options);
+  return tree;
+}
+
+int DecisionTree::BuildNode(const std::vector<Instance>& instances,
+                            const std::vector<size_t>& members, size_t depth,
+                            const Options& options) {
+  int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  size_t positives = 0;
+  for (size_t idx : members) positives += instances[idx].label > 0;
+  {
+    Node& node = nodes_[static_cast<size_t>(index)];
+    node.positive_fraction = members.empty()
+                                 ? 0.5
+                                 : static_cast<double>(positives) /
+                                       static_cast<double>(members.size());
+  }
+  if (depth >= options.max_depth || members.size() < 2 * options.min_leaf_size ||
+      positives == 0 || positives == members.size()) {
+    return index;
+  }
+
+  const auto& schema = features::FeatureSchema::Get();
+  SplitEval best;
+  for (size_t f = 0; f < schema.size(); ++f) {
+    const auto& def = schema.def(f);
+    // Present members, by value.
+    std::vector<std::pair<double, int>> present;  // (value, label)
+    for (size_t idx : members) {
+      double v = instances[idx].features.values[f];
+      if (!std::isnan(v)) present.emplace_back(v, instances[idx].label);
+    }
+    if (present.size() < 2 * options.min_leaf_size) continue;
+    double missing_weight =
+        static_cast<double>(members.size() - present.size());
+    if (def.kind == features::FeatureKind::kNominal) {
+      for (int v = 0; v < def.num_nominal_values; ++v) {
+        double pos_t = 0, n_t = 0, pos_f = 0, n_f = 0;
+        for (const auto& [value, label] : present) {
+          if (static_cast<int>(value) == v) {
+            ++n_t;
+            pos_t += label > 0;
+          } else {
+            ++n_f;
+            pos_f += label > 0;
+          }
+        }
+        if (n_t < options.min_leaf_size || n_f < options.min_leaf_size) {
+          continue;
+        }
+        double imp = n_t * Gini(pos_t, n_t) + n_f * Gini(pos_f, n_f) +
+                     missing_weight;  // missing values count as impurity
+        if (imp < best.impurity) {
+          best = SplitEval{imp, f, true, 0.0, v};
+        }
+      }
+    } else {
+      std::sort(present.begin(), present.end());
+      // Prefix sums over sorted values; candidate thresholds between
+      // distinct consecutive values.
+      size_t total_pos = 0;
+      for (const auto& [value, label] : present) total_pos += label > 0;
+      size_t pos_left = 0;
+      for (size_t i = 0; i + 1 < present.size(); ++i) {
+        pos_left += present[i].second > 0;
+        if (present[i].first == present[i + 1].first) continue;
+        double n_l = static_cast<double>(i + 1);
+        double n_r = static_cast<double>(present.size() - i - 1);
+        if (n_l < options.min_leaf_size || n_r < options.min_leaf_size) {
+          continue;
+        }
+        double imp = n_l * Gini(static_cast<double>(pos_left), n_l) +
+                     n_r * Gini(static_cast<double>(total_pos - pos_left),
+                                n_r) +
+                     missing_weight;
+        if (imp < best.impurity) {
+          best = SplitEval{imp, f, false,
+                           (present[i].first + present[i + 1].first) / 2.0,
+                           0};
+        }
+      }
+    }
+  }
+  if (!std::isfinite(best.impurity)) return index;
+
+  // Partition and recurse.
+  std::vector<size_t> true_members;
+  std::vector<size_t> false_members;
+  for (size_t idx : members) {
+    double v = instances[idx].features.values[best.feature];
+    bool truth;
+    if (std::isnan(v)) {
+      truth = true_members.size() >= false_members.size();  // provisional
+      // Missing values follow the (eventual) majority; to keep this
+      // single-pass we route them after the split below instead.
+      continue;
+    }
+    truth = best.is_nominal
+                ? static_cast<int>(v) == best.nominal_value
+                : v < best.threshold;
+    (truth ? true_members : false_members).push_back(idx);
+  }
+  bool majority_true = true_members.size() >= false_members.size();
+  for (size_t idx : members) {
+    if (std::isnan(instances[idx].features.values[best.feature])) {
+      (majority_true ? true_members : false_members).push_back(idx);
+    }
+  }
+  if (true_members.empty() || false_members.empty()) return index;
+
+  int true_child =
+      BuildNode(instances, true_members, depth + 1, options);
+  int false_child =
+      BuildNode(instances, false_members, depth + 1, options);
+  Node& node = nodes_[static_cast<size_t>(index)];
+  node.is_leaf = false;
+  node.feature = best.feature;
+  node.is_nominal = best.is_nominal;
+  node.threshold = best.threshold;
+  node.nominal_value = best.nominal_value;
+  node.majority_goes_true = majority_true;
+  node.true_child = true_child;
+  node.false_child = false_child;
+  return index;
+}
+
+const DecisionTree::Node& DecisionTree::Leaf(
+    const features::FeatureVector& fv) const {
+  YVER_CHECK(!nodes_.empty());
+  const Node* node = &nodes_[0];
+  while (!node->is_leaf) {
+    double v = fv.values[node->feature];
+    bool truth;
+    if (std::isnan(v)) {
+      truth = node->majority_goes_true;
+    } else {
+      truth = node->is_nominal ? static_cast<int>(v) == node->nominal_value
+                               : v < node->threshold;
+    }
+    node = &nodes_[static_cast<size_t>(truth ? node->true_child
+                                             : node->false_child)];
+  }
+  return *node;
+}
+
+bool DecisionTree::Classify(const features::FeatureVector& fv) const {
+  return Leaf(fv).positive_fraction > 0.5;
+}
+
+double DecisionTree::Score(const features::FeatureVector& fv) const {
+  return Leaf(fv).positive_fraction;
+}
+
+}  // namespace yver::ml

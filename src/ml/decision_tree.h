@@ -1,0 +1,67 @@
+#ifndef YVER_ML_DECISION_TREE_H_
+#define YVER_ML_DECISION_TREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/instances.h"
+
+namespace yver::ml {
+
+/// A standard top-down decision tree (CART-style, Gini impurity) over the
+/// pairwise features — the classical classifier the paper contrasts
+/// ADTrees against (Fig. 5a). Provided as a comparison baseline: unlike
+/// the ADTree it produces no additive confidence score and handles
+/// missing values only by majority fallback, which is exactly why the
+/// paper chose ADTrees for the multi-source, schema-diverse setting.
+class DecisionTree {
+ public:
+  struct Options {
+    size_t max_depth = 8;
+    size_t min_leaf_size = 5;
+  };
+
+  DecisionTree() = default;
+
+  /// Trains on labeled instances (+1/-1).
+  static DecisionTree Train(const std::vector<Instance>& instances,
+                            const Options& options);
+  static DecisionTree Train(const std::vector<Instance>& instances) {
+    return Train(instances, Options());
+  }
+
+  /// Classifies; missing split features fall through to the node's
+  /// majority branch.
+  bool Classify(const features::FeatureVector& fv) const;
+
+  /// Leaf positive-fraction as a crude score in [0, 1].
+  double Score(const features::FeatureVector& fv) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    double positive_fraction = 0.5;
+    size_t feature = 0;
+    bool is_nominal = false;
+    double threshold = 0.0;
+    int nominal_value = 0;
+    bool majority_goes_true = true;  // routing for missing values
+    int true_child = -1;
+    int false_child = -1;
+  };
+
+  int BuildNode(const std::vector<Instance>& instances,
+                const std::vector<size_t>& members, size_t depth,
+                const Options& options);
+  const Node& Leaf(const features::FeatureVector& fv) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace yver::ml
+
+#endif  // YVER_ML_DECISION_TREE_H_

@@ -1,0 +1,94 @@
+#include "ml/fellegi_sunter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace yver::ml {
+
+FellegiSunter FellegiSunter::Train(const std::vector<Instance>& instances,
+                                   const Options& options) {
+  YVER_CHECK(!instances.empty());
+  FellegiSunter model;
+  model.options_ = options;
+  const auto& schema = features::FeatureSchema::Get();
+  model.bin_bounds_.resize(schema.size());
+  model.log_ratios_.resize(schema.size());
+
+  for (size_t f = 0; f < schema.size(); ++f) {
+    const auto& def = schema.def(f);
+    size_t num_levels;
+    if (def.kind == features::FeatureKind::kNominal) {
+      num_levels = static_cast<size_t>(def.num_nominal_values);
+    } else {
+      // Equal-frequency bin bounds over observed values.
+      std::vector<double> values;
+      for (const auto& inst : instances) {
+        double v = inst.features.values[f];
+        if (!std::isnan(v)) values.push_back(v);
+      }
+      num_levels = options.num_levels;
+      if (values.size() < num_levels * 2) {
+        model.log_ratios_[f].assign(std::max<size_t>(num_levels, 1), 0.0);
+        continue;
+      }
+      std::sort(values.begin(), values.end());
+      for (size_t level = 1; level < num_levels; ++level) {
+        model.bin_bounds_[f].push_back(
+            values[values.size() * level / num_levels]);
+      }
+    }
+    // Count level occurrences among matches and non-matches.
+    std::vector<double> m_counts(num_levels, options.smoothing);
+    std::vector<double> u_counts(num_levels, options.smoothing);
+    double m_total = options.smoothing * static_cast<double>(num_levels);
+    double u_total = options.smoothing * static_cast<double>(num_levels);
+    for (const auto& inst : instances) {
+      double v = inst.features.values[f];
+      if (std::isnan(v)) continue;
+      int level = model.LevelOf(f, v);
+      if (inst.label > 0) {
+        ++m_counts[static_cast<size_t>(level)];
+        ++m_total;
+      } else {
+        ++u_counts[static_cast<size_t>(level)];
+        ++u_total;
+      }
+    }
+    model.log_ratios_[f].resize(num_levels);
+    for (size_t level = 0; level < num_levels; ++level) {
+      double m = m_counts[level] / m_total;
+      double u = u_counts[level] / u_total;
+      model.log_ratios_[f][level] = std::log2(m / u);
+    }
+  }
+  return model;
+}
+
+int FellegiSunter::LevelOf(size_t feature, double value) const {
+  const auto& def = features::FeatureSchema::Get().def(feature);
+  if (def.kind == features::FeatureKind::kNominal) {
+    int v = static_cast<int>(value);
+    return std::clamp(v, 0, def.num_nominal_values - 1);
+  }
+  const auto& bounds = bin_bounds_[feature];
+  int level = 0;
+  for (double bound : bounds) {
+    if (value >= bound) ++level;
+  }
+  return level;
+}
+
+double FellegiSunter::Score(const features::FeatureVector& fv) const {
+  YVER_CHECK(!log_ratios_.empty());
+  double sum = 0.0;
+  for (size_t f = 0; f < log_ratios_.size(); ++f) {
+    double v = fv.values[f];
+    if (std::isnan(v) || log_ratios_[f].empty()) continue;
+    sum += log_ratios_[f][static_cast<size_t>(LevelOf(f, v))];
+  }
+  return sum;
+}
+
+}  // namespace yver::ml

@@ -1,0 +1,101 @@
+#include "ml/instances.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace yver::ml {
+
+const char* ExpertTagName(ExpertTag tag) {
+  switch (tag) {
+    case ExpertTag::kNo:
+      return "No";
+    case ExpertTag::kProbablyNo:
+      return "Probably No";
+    case ExpertTag::kMaybe:
+      return "Maybe";
+    case ExpertTag::kProbablyYes:
+      return "Probably Yes";
+    case ExpertTag::kYes:
+      return "Yes";
+  }
+  return "?";
+}
+
+std::vector<Instance> ApplyMaybePolicy(std::vector<Instance> instances,
+                                       MaybePolicy policy) {
+  std::vector<Instance> out;
+  out.reserve(instances.size());
+  for (auto& inst : instances) {
+    switch (inst.tag) {
+      case ExpertTag::kYes:
+      case ExpertTag::kProbablyYes:
+        inst.label = +1;
+        break;
+      case ExpertTag::kNo:
+      case ExpertTag::kProbablyNo:
+        inst.label = -1;
+        break;
+      case ExpertTag::kMaybe:
+        if (policy == MaybePolicy::kOmit) continue;
+        // kAsNo and kOwnClass both map to -1 for the binary learner; under
+        // kOwnClass the caller additionally trains a Maybe-detector (see
+        // adtree_trainer.h).
+        inst.label = -1;
+        break;
+    }
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+TrainTestSplit SplitTrainTest(std::vector<Instance> instances,
+                              double train_fraction, util::Rng& rng) {
+  YVER_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  rng.Shuffle(instances);
+  // Stratify: separate by label, then split each stream proportionally.
+  TrainTestSplit split;
+  std::vector<Instance> pos, neg;
+  for (auto& inst : instances) {
+    (inst.label > 0 ? pos : neg).push_back(std::move(inst));
+  }
+  auto divide = [&](std::vector<Instance>& v) {
+    size_t cut = static_cast<size_t>(train_fraction * v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+      (i < cut ? split.train : split.test).push_back(std::move(v[i]));
+    }
+  };
+  divide(pos);
+  divide(neg);
+  rng.Shuffle(split.train);
+  rng.Shuffle(split.test);
+  return split;
+}
+
+std::vector<TrainTestSplit> KFolds(const std::vector<Instance>& instances,
+                                   size_t k, util::Rng& rng) {
+  YVER_CHECK(k >= 2);
+  std::vector<size_t> order(instances.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  // Stratified round-robin fold assignment.
+  std::vector<size_t> fold_of(instances.size(), 0);
+  size_t pos_counter = 0, neg_counter = 0;
+  for (size_t idx : order) {
+    if (instances[idx].label > 0) {
+      fold_of[idx] = pos_counter++ % k;
+    } else {
+      fold_of[idx] = neg_counter++ % k;
+    }
+  }
+  std::vector<TrainTestSplit> folds(k);
+  for (size_t f = 0; f < k; ++f) {
+    for (size_t i = 0; i < instances.size(); ++i) {
+      (fold_of[i] == f ? folds[f].test : folds[f].train)
+          .push_back(instances[i]);
+    }
+  }
+  return folds;
+}
+
+}  // namespace yver::ml

@@ -1,0 +1,61 @@
+#ifndef YVER_ML_INSTANCES_H_
+#define YVER_ML_INSTANCES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "features/feature_schema.h"
+#include "util/rng.h"
+
+namespace yver::ml {
+
+/// Expert tag vocabulary used by the Yad Vashem archival experts (§5.1).
+enum class ExpertTag : uint8_t {
+  kNo = 0,
+  kProbablyNo,
+  kMaybe,
+  kProbablyYes,
+  kYes,
+};
+
+/// Returns the display name of a tag.
+const char* ExpertTagName(ExpertTag tag);
+
+/// One labeled candidate pair.
+struct Instance {
+  data::RecordPair pair;
+  features::FeatureVector features;
+  ExpertTag tag = ExpertTag::kNo;
+  /// Binary label: +1 match, -1 non-match (set by the Maybe policy).
+  int label = -1;
+};
+
+/// How Maybe-tagged pairs enter training (paper Table 5).
+enum class MaybePolicy : uint8_t {
+  kAsNo = 0,    // Maybe := No
+  kOmit,        // drop Maybe instances
+  kOwnClass,    // keep as a third class; see notes in adtree_trainer.h
+};
+
+/// Applies the tag simplification of §5.1 (Yes+ProbablyYes -> +1,
+/// No+ProbablyNo -> -1) and the chosen Maybe policy. Instances removed by
+/// kOmit are dropped from the returned set.
+std::vector<Instance> ApplyMaybePolicy(std::vector<Instance> instances,
+                                       MaybePolicy policy);
+
+/// Shuffled stratified train/test split. `train_fraction` in (0, 1).
+struct TrainTestSplit {
+  std::vector<Instance> train;
+  std::vector<Instance> test;
+};
+TrainTestSplit SplitTrainTest(std::vector<Instance> instances,
+                              double train_fraction, util::Rng& rng);
+
+/// K-fold cross-validation folds (stratified by label).
+std::vector<TrainTestSplit> KFolds(const std::vector<Instance>& instances,
+                                   size_t k, util::Rng& rng);
+
+}  // namespace yver::ml
+
+#endif  // YVER_ML_INSTANCES_H_

@@ -1,0 +1,88 @@
+#include "ml/metrics.h"
+
+#include "util/rng.h"
+
+namespace yver::ml {
+
+double Confusion::Accuracy() const {
+  size_t t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(true_pos + true_neg) / static_cast<double>(t);
+}
+
+double Confusion::Precision() const {
+  size_t denom = true_pos + false_pos;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_pos) / static_cast<double>(denom);
+}
+
+double Confusion::Recall() const {
+  size_t denom = true_pos + false_neg;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_pos) / static_cast<double>(denom);
+}
+
+double Confusion::F1() const {
+  double p = Precision();
+  double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+Confusion EvaluateBinary(const AdTree& tree,
+                         const std::vector<Instance>& instances) {
+  Confusion c;
+  for (const auto& inst : instances) {
+    bool predicted = tree.Classify(inst.features);
+    bool actual = inst.label > 0;
+    if (predicted && actual) {
+      ++c.true_pos;
+    } else if (predicted && !actual) {
+      ++c.false_pos;
+    } else if (!predicted && actual) {
+      ++c.false_neg;
+    } else {
+      ++c.true_neg;
+    }
+  }
+  return c;
+}
+
+double EvaluateThreeClassAccuracy(const ThreeClassAdt& model,
+                                  const std::vector<Instance>& instances) {
+  if (instances.empty()) return 0.0;
+  size_t correct = 0;
+  for (const auto& inst : instances) {
+    ExpertTag predicted = model.Predict(inst.features);
+    ExpertTag actual;
+    switch (inst.tag) {
+      case ExpertTag::kYes:
+      case ExpertTag::kProbablyYes:
+        actual = ExpertTag::kYes;
+        break;
+      case ExpertTag::kMaybe:
+        actual = ExpertTag::kMaybe;
+        break;
+      default:
+        actual = ExpertTag::kNo;
+        break;
+    }
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(instances.size());
+}
+
+double CrossValidatedAccuracy(const std::vector<Instance>& instances,
+                              const AdTreeTrainerOptions& options, size_t k,
+                              uint64_t seed) {
+  util::Rng rng(seed);
+  auto folds = KFolds(instances, k, rng);
+  double sum = 0.0;
+  for (const auto& fold : folds) {
+    AdTree tree = TrainAdTree(fold.train, options);
+    sum += EvaluateBinary(tree, fold.test).Accuracy();
+  }
+  return sum / static_cast<double>(folds.size());
+}
+
+}  // namespace yver::ml

@@ -1,0 +1,46 @@
+#ifndef YVER_ML_METRICS_H_
+#define YVER_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/adtree.h"
+#include "ml/adtree_trainer.h"
+#include "ml/instances.h"
+
+namespace yver::ml {
+
+/// Binary confusion counts.
+struct Confusion {
+  size_t true_pos = 0;
+  size_t false_pos = 0;
+  size_t true_neg = 0;
+  size_t false_neg = 0;
+
+  size_t total() const {
+    return true_pos + false_pos + true_neg + false_neg;
+  }
+  double Accuracy() const;
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+/// Evaluates a binary ADTree against labeled instances.
+Confusion EvaluateBinary(const AdTree& tree,
+                         const std::vector<Instance>& instances);
+
+/// Three-class accuracy for the Identify-Maybe condition: a prediction is
+/// correct when it matches the instance's simplified tag class
+/// (Yes+ProbablyYes -> Yes, No+ProbablyNo -> No, Maybe -> Maybe).
+double EvaluateThreeClassAccuracy(const ThreeClassAdt& model,
+                                  const std::vector<Instance>& instances);
+
+/// Mean of k-fold cross-validated binary accuracy.
+double CrossValidatedAccuracy(const std::vector<Instance>& instances,
+                              const AdTreeTrainerOptions& options, size_t k,
+                              uint64_t seed);
+
+}  // namespace yver::ml
+
+#endif  // YVER_ML_METRICS_H_

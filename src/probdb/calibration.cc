@@ -1,0 +1,68 @@
+#include "probdb/calibration.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace yver::probdb {
+
+namespace {
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+PlattScaler PlattScaler::Fit(const std::vector<double>& scores,
+                             const std::vector<int>& labels,
+                             size_t max_iterations) {
+  YVER_CHECK(scores.size() == labels.size());
+  YVER_CHECK(!scores.empty());
+  // Targets with Platt's prior smoothing.
+  size_t num_pos = 0;
+  for (int y : labels) num_pos += y > 0;
+  size_t num_neg = labels.size() - num_pos;
+  double t_pos = (static_cast<double>(num_pos) + 1.0) /
+                 (static_cast<double>(num_pos) + 2.0);
+  double t_neg = 1.0 / (static_cast<double>(num_neg) + 2.0);
+
+  double a = 1.0;
+  double b = 0.0;
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    // Gradient and Hessian of the regularized log-loss.
+    double ga = 0.0, gb = 0.0;
+    double haa = 1e-8, hab = 0.0, hbb = 1e-8;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      double t = labels[i] > 0 ? t_pos : t_neg;
+      double p = Sigmoid(a * scores[i] + b);
+      double d = p - t;
+      ga += d * scores[i];
+      gb += d;
+      double w = p * (1.0 - p);
+      haa += w * scores[i] * scores[i];
+      hab += w * scores[i];
+      hbb += w;
+    }
+    // Newton step: solve [haa hab; hab hbb] [da db] = [ga gb].
+    double det = haa * hbb - hab * hab;
+    if (std::abs(det) < 1e-12) break;
+    double da = (hbb * ga - hab * gb) / det;
+    double db = (haa * gb - hab * ga) / det;
+    a -= da;
+    b -= db;
+    if (std::abs(da) < 1e-10 && std::abs(db) < 1e-10) break;
+  }
+  return PlattScaler(a, b);
+}
+
+double PlattScaler::Probability(double score) const {
+  return Sigmoid(a_ * score + b_);
+}
+
+}  // namespace yver::probdb

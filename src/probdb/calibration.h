@@ -1,0 +1,40 @@
+#ifndef YVER_PROBDB_CALIBRATION_H_
+#define YVER_PROBDB_CALIBRATION_H_
+
+#include <vector>
+
+#include "ml/instances.h"
+
+namespace yver::probdb {
+
+/// Platt scaling: maps raw ADTree confidence scores to calibrated match
+/// probabilities P(match | score) = sigmoid(a * score + b). The paper's
+/// probabilistic-database view (§3.2) needs probabilities, not margins;
+/// fitting on the expert-tagged pairs turns the ranked resolution into a
+/// same-as probability relation.
+class PlattScaler {
+ public:
+  /// Identity-ish default (a=1, b=0).
+  PlattScaler() = default;
+  PlattScaler(double a, double b) : a_(a), b_(b) {}
+
+  /// Fits by minimizing logistic loss over (score, label) pairs with
+  /// Newton iterations; labels are +1/-1.
+  static PlattScaler Fit(const std::vector<double>& scores,
+                         const std::vector<int>& labels,
+                         size_t max_iterations = 64);
+
+  /// Calibrated probability for a raw score.
+  double Probability(double score) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  double a_ = 1.0;
+  double b_ = 0.0;
+};
+
+}  // namespace yver::probdb
+
+#endif  // YVER_PROBDB_CALIBRATION_H_

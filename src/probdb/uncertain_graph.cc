@@ -1,0 +1,175 @@
+#include "probdb/uncertain_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace yver::probdb {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+UncertainMatchGraph::UncertainMatchGraph(
+    const core::RankedResolution& resolution, size_t num_records,
+    const PlattScaler& scaler)
+    : num_records_(num_records) {
+  edges_.reserve(resolution.size());
+  for (const auto& m : resolution.matches()) {
+    YVER_CHECK(m.pair.a < num_records && m.pair.b < num_records);
+    edges_.push_back(
+        SameAsEdge{m.pair, scaler.Probability(m.confidence)});
+  }
+}
+
+UncertainMatchGraph::UncertainMatchGraph(std::vector<SameAsEdge> edges,
+                                         size_t num_records)
+    : num_records_(num_records), edges_(std::move(edges)) {
+  for (const auto& e : edges_) {
+    YVER_CHECK(e.pair.a < num_records && e.pair.b < num_records);
+    YVER_CHECK(e.probability >= 0.0 && e.probability <= 1.0);
+  }
+}
+
+PossibleWorld UncertainMatchGraph::WorldFromKeptEdges(
+    const std::vector<bool>& kept) const {
+  UnionFind uf(num_records_);
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (kept[i]) uf.Union(edges_[i].pair.a, edges_[i].pair.b);
+  }
+  PossibleWorld world;
+  world.cluster_of.assign(num_records_, 0);
+  std::vector<long> root_to_cluster(num_records_, -1);
+  for (size_t r = 0; r < num_records_; ++r) {
+    size_t root = uf.Find(r);
+    if (root_to_cluster[root] < 0) {
+      root_to_cluster[root] = static_cast<long>(world.num_clusters++);
+    }
+    world.cluster_of[r] = static_cast<size_t>(root_to_cluster[root]);
+  }
+  return world;
+}
+
+PossibleWorld UncertainMatchGraph::SampleWorld(util::Rng& rng) const {
+  std::vector<bool> kept(edges_.size());
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    kept[i] = rng.Bernoulli(edges_[i].probability);
+  }
+  return WorldFromKeptEdges(kept);
+}
+
+PossibleWorld UncertainMatchGraph::MapWorld() const {
+  std::vector<bool> kept(edges_.size());
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    kept[i] = edges_[i].probability > 0.5;
+  }
+  return WorldFromKeptEdges(kept);
+}
+
+std::pair<double, double> UncertainMatchGraph::ExpectedNumEntities(
+    size_t num_samples, util::Rng& rng) const {
+  YVER_CHECK(num_samples > 0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t s = 0; s < num_samples; ++s) {
+    double n = static_cast<double>(SampleWorld(rng).num_clusters);
+    sum += n;
+    sum_sq += n * n;
+  }
+  double mean = sum / static_cast<double>(num_samples);
+  double var = std::max(0.0, sum_sq / static_cast<double>(num_samples) -
+                                 mean * mean);
+  return {mean, std::sqrt(var)};
+}
+
+double UncertainMatchGraph::SameEntityProbability(data::RecordIdx a,
+                                                  data::RecordIdx b,
+                                                  size_t num_samples,
+                                                  util::Rng& rng) const {
+  YVER_CHECK(num_samples > 0);
+  size_t together = 0;
+  for (size_t s = 0; s < num_samples; ++s) {
+    PossibleWorld world = SampleWorld(rng);
+    together += world.cluster_of[a] == world.cluster_of[b];
+  }
+  return static_cast<double>(together) / static_cast<double>(num_samples);
+}
+
+std::vector<AlternativeResolution> UncertainMatchGraph::AlternativesFor(
+    data::RecordIdx record, size_t num_samples, util::Rng& rng) const {
+  YVER_CHECK(num_samples > 0);
+  std::map<std::vector<data::RecordIdx>, size_t> counts;
+  for (size_t s = 0; s < num_samples; ++s) {
+    PossibleWorld world = SampleWorld(rng);
+    std::vector<data::RecordIdx> cluster;
+    size_t target = world.cluster_of[record];
+    for (size_t r = 0; r < num_records_; ++r) {
+      if (world.cluster_of[r] == target) {
+        cluster.push_back(static_cast<data::RecordIdx>(r));
+      }
+    }
+    ++counts[cluster];
+  }
+  std::vector<AlternativeResolution> alternatives;
+  alternatives.reserve(counts.size());
+  for (auto& [cluster, count] : counts) {
+    alternatives.push_back(AlternativeResolution{
+        cluster, static_cast<double>(count) /
+                     static_cast<double>(num_samples)});
+  }
+  std::sort(alternatives.begin(), alternatives.end(),
+            [](const AlternativeResolution& x,
+               const AlternativeResolution& y) {
+              if (x.likelihood != y.likelihood) {
+                return x.likelihood > y.likelihood;
+              }
+              return x.cluster < y.cluster;
+            });
+  return alternatives;
+}
+
+double UncertainMatchGraph::ExpectedEntitiesWhere(
+    const std::function<bool(data::RecordIdx)>& predicate,
+    size_t num_samples, util::Rng& rng) const {
+  YVER_CHECK(num_samples > 0);
+  // Precompute the predicate once.
+  std::vector<bool> satisfies(num_records_);
+  for (size_t r = 0; r < num_records_; ++r) {
+    satisfies[r] = predicate(static_cast<data::RecordIdx>(r));
+  }
+  double sum = 0.0;
+  std::unordered_set<size_t> counted;
+  for (size_t s = 0; s < num_samples; ++s) {
+    PossibleWorld world = SampleWorld(rng);
+    counted.clear();
+    for (size_t r = 0; r < num_records_; ++r) {
+      if (satisfies[r]) counted.insert(world.cluster_of[r]);
+    }
+    sum += static_cast<double>(counted.size());
+  }
+  return sum / static_cast<double>(num_samples);
+}
+
+}  // namespace yver::probdb

@@ -1,0 +1,96 @@
+#ifndef YVER_PROBDB_UNCERTAIN_GRAPH_H_
+#define YVER_PROBDB_UNCERTAIN_GRAPH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/ranked_resolution.h"
+#include "data/dataset.h"
+#include "probdb/calibration.h"
+#include "util/rng.h"
+
+namespace yver::probdb {
+
+/// A probabilistic same-as edge between two records.
+struct SameAsEdge {
+  data::RecordPair pair;
+  double probability = 0.0;
+};
+
+/// One possible world: a sampled deterministic resolution.
+struct PossibleWorld {
+  /// cluster id per record.
+  std::vector<size_t> cluster_of;
+  size_t num_clusters = 0;
+};
+
+/// A possible clustering of one record's neighborhood, with its estimated
+/// likelihood (for presenting "alternative solutions ... ranked according
+/// to some measure of likelihood", §3.2).
+struct AlternativeResolution {
+  std::vector<data::RecordIdx> cluster;  // records resolved together
+  double likelihood = 0.0;               // fraction of sampled worlds
+};
+
+/// The probabilistic database of §3.2: all pairwise matching information
+/// retained as an uncertain same-as relation over records. Tuple-
+/// independent semantics: each edge exists independently with its
+/// probability; a possible world is a sampled edge set whose connected
+/// components form one deterministic entity resolution. Queries are
+/// answered by Monte Carlo over possible worlds, or deterministically via
+/// the MAP world for applications that need a single crisp answer.
+class UncertainMatchGraph {
+ public:
+  /// Builds from a ranked resolution: edge probability is the calibrated
+  /// probability of the match confidence.
+  UncertainMatchGraph(const core::RankedResolution& resolution,
+                      size_t num_records, const PlattScaler& scaler);
+
+  /// Builds from explicit edges.
+  UncertainMatchGraph(std::vector<SameAsEdge> edges, size_t num_records);
+
+  size_t num_records() const { return num_records_; }
+  const std::vector<SameAsEdge>& edges() const { return edges_; }
+
+  /// Samples one possible world.
+  PossibleWorld SampleWorld(util::Rng& rng) const;
+
+  /// The maximum-a-posteriori world: keep edges with probability > 0.5.
+  PossibleWorld MapWorld() const;
+
+  /// Monte Carlo estimate (mean, standard deviation) of the number of
+  /// distinct entities — the deterministic-answer use case ("the number
+  /// of people perished ... requires a single deterministic answer").
+  std::pair<double, double> ExpectedNumEntities(size_t num_samples,
+                                                util::Rng& rng) const;
+
+  /// Probability that two records resolve to the same entity (connected
+  /// through any path, not just a direct edge).
+  double SameEntityProbability(data::RecordIdx a, data::RecordIdx b,
+                               size_t num_samples, util::Rng& rng) const;
+
+  /// The alternative resolutions of one record's neighborhood, ranked by
+  /// likelihood: each distinct sampled cluster containing `record` is an
+  /// alternative narrative anchor.
+  std::vector<AlternativeResolution> AlternativesFor(data::RecordIdx record,
+                                                     size_t num_samples,
+                                                     util::Rng& rng) const;
+
+  /// Monte Carlo expectation of the number of distinct entities whose
+  /// records satisfy `predicate` (e.g. "died in Poland") — each entity is
+  /// counted once when any member satisfies it.
+  double ExpectedEntitiesWhere(
+      const std::function<bool(data::RecordIdx)>& predicate,
+      size_t num_samples, util::Rng& rng) const;
+
+ private:
+  PossibleWorld WorldFromKeptEdges(const std::vector<bool>& kept) const;
+
+  size_t num_records_ = 0;
+  std::vector<SameAsEdge> edges_;
+};
+
+}  // namespace yver::probdb
+
+#endif  // YVER_PROBDB_UNCERTAIN_GRAPH_H_

@@ -1,0 +1,202 @@
+#include "synth/gazetteer.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace yver::synth {
+
+namespace {
+
+std::vector<Place> PolandCities() {
+  return {
+      {"Warszawa", "Warszawa", "Mazowieckie", "Poland", {52.23, 21.01}},
+      {"Lodz", "Lodz", "Lodzkie", "Poland", {51.76, 19.46}},
+      {"Krakow", "Krakow", "Malopolskie", "Poland", {50.06, 19.94}},
+      {"Lublin", "Lublin", "Lubelskie", "Poland", {51.25, 22.57}},
+      {"Lwow", "Lwow", "Lwowskie", "Poland", {49.84, 24.03}},
+      {"Bialystok", "Bialystok", "Bialostockie", "Poland", {53.13, 23.16}},
+      {"Wilno", "Wilno", "Wilenskie", "Poland", {54.69, 25.28}},
+      {"Lubaczow", "Lubaczow", "Lwowskie", "Poland", {50.16, 23.12}},
+      {"Antopol", "Kobryn", "Polesie", "Poland", {52.20, 24.78}},
+      {"Pinsk", "Pinsk", "Polesie", "Poland", {52.11, 26.10}},
+      {"Radom", "Radom", "Kieleckie", "Poland", {51.40, 21.15}},
+      {"Czestochowa", "Czestochowa", "Kieleckie", "Poland", {50.81, 19.12}},
+      {"Przemysl", "Przemysl", "Lwowskie", "Poland", {49.78, 22.77}},
+      {"Tarnow", "Tarnow", "Krakowskie", "Poland", {50.01, 20.99}},
+      {"Grodno", "Grodno", "Bialostockie", "Poland", {53.68, 23.83}},
+      {"Kielce", "Kielce", "Kieleckie", "Poland", {50.87, 20.63}},
+  };
+}
+
+std::vector<Place> ItalyCities() {
+  return {
+      {"Torino", "Torino", "Piemonte", "Italy", {45.07, 7.69}},
+      {"Turin", "Torino", "Piemonte", "Italy", {45.07, 7.69}},
+      {"Moncalieri", "Torino", "Piemonte", "Italy", {45.00, 7.68}},
+      {"Cuorgne", "Torino", "Piemonte", "Italy", {45.39, 7.65}},
+      {"Canischio", "Torino", "Piemonte", "Italy", {45.37, 7.60}},
+      {"Milano", "Milano", "Lombardia", "Italy", {45.46, 9.19}},
+      {"Roma", "Roma", "Lazio", "Italy", {41.90, 12.50}},
+      {"Firenze", "Firenze", "Toscana", "Italy", {43.77, 11.26}},
+      {"Venezia", "Venezia", "Veneto", "Italy", {45.44, 12.32}},
+      {"Trieste", "Trieste", "Friuli", "Italy", {45.65, 13.78}},
+      {"Genova", "Genova", "Liguria", "Italy", {44.41, 8.93}},
+      {"Livorno", "Livorno", "Toscana", "Italy", {43.55, 10.31}},
+      {"Ferrara", "Ferrara", "Emilia", "Italy", {44.84, 11.62}},
+      {"Ancona", "Ancona", "Marche", "Italy", {43.62, 13.51}},
+      {"Casale", "Alessandria", "Piemonte", "Italy", {45.13, 8.45}},
+      {"Asti", "Asti", "Piemonte", "Italy", {44.90, 8.21}},
+  };
+}
+
+std::vector<Place> HungaryCities() {
+  return {
+      {"Budapest", "Pest", "Pest", "Hungary", {47.50, 19.04}},
+      {"Debrecen", "Hajdu", "Hajdu", "Hungary", {47.53, 21.63}},
+      {"Szeged", "Csongrad", "Csongrad", "Hungary", {46.25, 20.15}},
+      {"Miskolc", "Borsod", "Borsod", "Hungary", {48.10, 20.78}},
+      {"Pecs", "Baranya", "Baranya", "Hungary", {46.07, 18.23}},
+      {"Gyor", "Gyor", "Gyor", "Hungary", {47.69, 17.63}},
+      {"Kassa", "Abauj", "Felvidek", "Hungary", {48.72, 21.26}},
+      {"Nagyvarad", "Bihar", "Partium", "Hungary", {47.07, 21.93}},
+      {"Szatmar", "Szatmar", "Partium", "Hungary", {47.79, 22.89}},
+      {"Munkacs", "Bereg", "Karpatalja", "Hungary", {48.44, 22.72}},
+      {"Ungvar", "Ung", "Karpatalja", "Hungary", {48.62, 22.30}},
+      {"Sopron", "Sopron", "Sopron", "Hungary", {47.68, 16.58}},
+  };
+}
+
+std::vector<Place> GermanyCities() {
+  return {
+      {"Berlin", "Berlin", "Brandenburg", "Germany", {52.52, 13.40}},
+      {"Frankfurt", "Frankfurt", "Hessen", "Germany", {50.11, 8.68}},
+      {"Hamburg", "Hamburg", "Hamburg", "Germany", {53.55, 9.99}},
+      {"Koeln", "Koeln", "Rheinland", "Germany", {50.94, 6.96}},
+      {"Muenchen", "Muenchen", "Bayern", "Germany", {48.14, 11.58}},
+      {"Leipzig", "Leipzig", "Sachsen", "Germany", {51.34, 12.37}},
+      {"Breslau", "Breslau", "Schlesien", "Germany", {51.11, 17.03}},
+      {"Nuernberg", "Nuernberg", "Bayern", "Germany", {49.45, 11.08}},
+      {"Stuttgart", "Stuttgart", "Wuerttemberg", "Germany", {48.78, 9.18}},
+      {"Mannheim", "Mannheim", "Baden", "Germany", {49.49, 8.47}},
+      {"Wuerzburg", "Wuerzburg", "Bayern", "Germany", {49.79, 9.93}},
+      {"Dresden", "Dresden", "Sachsen", "Germany", {51.05, 13.74}},
+  };
+}
+
+std::vector<Place> GreeceCities() {
+  return {
+      {"Rhodes", "Rhodes", "Dodecanese", "Greece", {36.43, 28.22}},
+      {"Salonika", "Salonika", "Macedonia", "Greece", {40.64, 22.94}},
+      {"Athens", "Attica", "Attica", "Greece", {37.98, 23.73}},
+      {"Ioannina", "Ioannina", "Epirus", "Greece", {39.66, 20.85}},
+      {"Kavala", "Kavala", "Macedonia", "Greece", {40.94, 24.41}},
+      {"Corfu", "Corfu", "Ionian", "Greece", {39.62, 19.92}},
+      {"Kos", "Kos", "Dodecanese", "Greece", {36.89, 27.29}},
+      {"Volos", "Magnesia", "Thessaly", "Greece", {39.36, 22.94}},
+      {"Larissa", "Larissa", "Thessaly", "Greece", {39.64, 22.42}},
+      {"Drama", "Drama", "Macedonia", "Greece", {41.15, 24.15}},
+  };
+}
+
+std::vector<Place> RomaniaCities() {
+  return {
+      {"Iasi", "Iasi", "Moldova", "Romania", {47.16, 27.59}},
+      {"Bucuresti", "Ilfov", "Muntenia", "Romania", {44.43, 26.10}},
+      {"Cernauti", "Cernauti", "Bukovina", "Romania", {48.29, 25.94}},
+      {"Chisinau", "Lapusna", "Bessarabia", "Romania", {47.01, 28.86}},
+      {"Botosani", "Botosani", "Moldova", "Romania", {47.75, 26.67}},
+      {"Galati", "Covurlui", "Moldova", "Romania", {45.44, 28.05}},
+      {"Cluj", "Cluj", "Transylvania", "Romania", {46.77, 23.60}},
+      {"Timisoara", "Timis", "Banat", "Romania", {45.76, 21.23}},
+      {"Suceava", "Suceava", "Bukovina", "Romania", {47.65, 26.26}},
+      {"Dorohoi", "Dorohoi", "Moldova", "Romania", {47.96, 26.40}},
+      {"Radauti", "Radauti", "Bukovina", "Romania", {47.84, 25.92}},
+      {"Balti", "Balti", "Bessarabia", "Romania", {47.76, 27.93}},
+  };
+}
+
+std::vector<Place> WartimeDestinations() {
+  return {
+      {"Auschwitz", "Oswiecim", "Krakowskie", "Poland", {50.03, 19.20}},
+      {"Sobibor", "Wlodawa", "Lubelskie", "Poland", {51.45, 23.59}},
+      {"Treblinka", "Sokolow", "Mazowieckie", "Poland", {52.63, 22.05}},
+      {"Mauthausen", "Perg", "Oberoesterreich", "Austria", {48.26, 14.52}},
+      {"Drancy", "Seine", "IleDeFrance", "France", {48.92, 2.45}},
+      {"Theresienstadt", "Litomerice", "Bohemia", "Czechoslovakia",
+       {50.51, 14.15}},
+      {"Bergen-Belsen", "Celle", "Niedersachsen", "Germany", {52.76, 9.91}},
+      {"Dachau", "Dachau", "Bayern", "Germany", {48.27, 11.47}},
+      {"Transnistria", "Moghilev", "Transnistria", "Ukraine", {48.45, 27.80}},
+      {"Majdanek", "Lublin", "Lubelskie", "Poland", {51.22, 22.60}},
+      {"Stutthof", "Danzig", "Pomorze", "Poland", {54.33, 19.15}},
+      {"Ravensbrueck", "Templin", "Brandenburg", "Germany", {53.19, 13.17}},
+  };
+}
+
+}  // namespace
+
+Gazetteer::Gazetteer() {
+  cities_.resize(kNumRegions);
+  cities_[static_cast<size_t>(Region::kPoland)] = PolandCities();
+  cities_[static_cast<size_t>(Region::kItaly)] = ItalyCities();
+  cities_[static_cast<size_t>(Region::kHungary)] = HungaryCities();
+  cities_[static_cast<size_t>(Region::kGermany)] = GermanyCities();
+  cities_[static_cast<size_t>(Region::kGreece)] = GreeceCities();
+  cities_[static_cast<size_t>(Region::kRomania)] = RomaniaCities();
+  wartime_ = WartimeDestinations();
+}
+
+const std::vector<Place>& Gazetteer::CitiesOf(Region region) const {
+  return cities_[static_cast<size_t>(region)];
+}
+
+const std::vector<Place>& Gazetteer::WartimePlaces() const {
+  return wartime_;
+}
+
+const Place& Gazetteer::SampleCity(Region region, util::Rng& rng) const {
+  const auto& cities = CitiesOf(region);
+  return cities[rng.Zipf(cities.size(), 0.9)];
+}
+
+const Place& Gazetteer::SampleWartime(util::Rng& rng) const {
+  return wartime_[rng.Zipf(wartime_.size(), 0.8)];
+}
+
+const Place& Gazetteer::SampleNearby(Region region, const Place& home,
+                                     util::Rng& rng) const {
+  const auto& cities = CitiesOf(region);
+  // Pick among the 4 closest cities (including home itself).
+  std::vector<std::pair<double, size_t>> by_distance;
+  by_distance.reserve(cities.size());
+  for (size_t i = 0; i < cities.size(); ++i) {
+    by_distance.emplace_back(geo::HaversineKm(home.point, cities[i].point),
+                             i);
+  }
+  std::sort(by_distance.begin(), by_distance.end());
+  size_t k = std::min<size_t>(4, by_distance.size());
+  return cities[by_distance[static_cast<size_t>(
+                                rng.UniformInt(0, static_cast<int64_t>(k) - 1))]
+                    .second];
+}
+
+std::optional<geo::GeoPoint> Gazetteer::Lookup(std::string_view city) const {
+  for (const auto& region_cities : cities_) {
+    for (const auto& place : region_cities) {
+      if (place.city == city) return place.point;
+    }
+  }
+  for (const auto& place : wartime_) {
+    if (place.city == city) return place.point;
+  }
+  return std::nullopt;
+}
+
+data::GeoResolver Gazetteer::MakeGeoResolver() const {
+  return [this](data::AttributeId, std::string_view value) {
+    return Lookup(value);
+  };
+}
+
+}  // namespace yver::synth

@@ -1,0 +1,68 @@
+#ifndef YVER_SYNTH_GAZETTEER_H_
+#define YVER_SYNTH_GAZETTEER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/item_dictionary.h"
+#include "geo/geo.h"
+#include "synth/name_pool.h"
+#include "util/rng.h"
+
+namespace yver::synth {
+
+/// A fully qualified place: the four components of the Names Project place
+/// hierarchy plus coordinates.
+struct Place {
+  std::string city;
+  std::string county;
+  std::string region;
+  std::string country;
+  geo::GeoPoint point;
+};
+
+/// A small geo-coded gazetteer of pre-war Jewish communities across the
+/// six sampling regions, plus wartime destination places (ghettos, camps).
+/// Stands in for the Yad Vashem place equivalence tables; coordinates are
+/// approximate but internally consistent so PlaceXGeoDistance behaves like
+/// the paper's (e.g. Turin-Moncalieri ≈ 9 km).
+class Gazetteer {
+ public:
+  Gazetteer();
+
+  /// Cities of a region.
+  const std::vector<Place>& CitiesOf(Region region) const;
+
+  /// Wartime destinations (deportation/death places), shared across
+  /// regions.
+  const std::vector<Place>& WartimePlaces() const;
+
+  /// Samples a home city of a region (Zipf-skewed toward the large
+  /// communities).
+  const Place& SampleCity(Region region, util::Rng& rng) const;
+
+  /// Samples a wartime destination.
+  const Place& SampleWartime(util::Rng& rng) const;
+
+  /// Samples a nearby city in the same region (for plausible
+  /// permanent-vs-birth place divergence); may return `home` itself.
+  const Place& SampleNearby(Region region, const Place& home,
+                            util::Rng& rng) const;
+
+  /// Coordinates of a city by (possibly variant) name; exact match only.
+  std::optional<geo::GeoPoint> Lookup(std::string_view city) const;
+
+  /// A data::GeoResolver backed by this gazetteer (resolves city-class
+  /// attributes). The gazetteer must outlive the resolver.
+  data::GeoResolver MakeGeoResolver() const;
+
+ private:
+  std::vector<std::vector<Place>> cities_;  // by region
+  std::vector<Place> wartime_;
+};
+
+}  // namespace yver::synth
+
+#endif  // YVER_SYNTH_GAZETTEER_H_

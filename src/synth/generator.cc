@@ -1,0 +1,376 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace yver::synth {
+
+namespace {
+
+using data::AttributeId;
+using data::Record;
+
+// Reports-per-person distribution; archival experts bound duplicate sets
+// at eight records (§4.1).
+size_t SampleReportCount(util::Rng& rng) {
+  static const std::vector<double> kWeights = {0.55, 0.22, 0.12, 0.06,
+                                               0.03, 0.012, 0.006, 0.002};
+  return rng.PickWeighted(kWeights) + 1;
+}
+
+// Applies the name-noise pipeline to a name.
+std::string NoisyName(const std::string& name, const NoiseConfig& noise,
+                      util::Rng& rng) {
+  std::string out = name;
+  if (rng.Bernoulli(noise.nickname)) out = NamePool::Nickname(out, rng);
+  if (rng.Bernoulli(noise.transliteration)) {
+    out = NamePool::TransliterationVariant(out, rng);
+  }
+  if (rng.Bernoulli(noise.clerical)) out = NamePool::ClericalError(out, rng);
+  return out;
+}
+
+// Emits the components of a place the source's layout records; the city
+// may get a spelling variant (which then no longer geo-resolves — as in
+// the real data).
+void EmitPlace(Record* record, data::PlaceType type, const Place& place,
+               const Source& source, const NoiseConfig& noise,
+               util::Rng& rng) {
+  if (HasPlacePart(source, data::PlacePart::kCity)) {
+    std::string city = place.city;
+    if (rng.Bernoulli(noise.city_variant)) {
+      city = NamePool::TransliterationVariant(city, rng);
+    }
+    record->Add(data::PlaceAttribute(type, data::PlacePart::kCity),
+                std::move(city));
+  }
+  if (HasPlacePart(source, data::PlacePart::kCounty)) {
+    record->Add(data::PlaceAttribute(type, data::PlacePart::kCounty),
+                place.county);
+  }
+  if (HasPlacePart(source, data::PlacePart::kRegion)) {
+    record->Add(data::PlaceAttribute(type, data::PlacePart::kRegion),
+                place.region);
+  }
+  if (HasPlacePart(source, data::PlacePart::kCountry)) {
+    record->Add(data::PlaceAttribute(type, data::PlacePart::kCountry),
+                place.country);
+  }
+}
+
+// Emits one report of `person` through a source with pattern `mask`.
+Record EmitReport(const Person& person, const Source& source,
+                  const NoiseConfig& noise, uint64_t book_id,
+                  util::Rng& rng) {
+  Record r;
+  r.book_id = book_id;
+  r.source_id = source.id;
+  r.source_kind = source.kind;
+  r.entity_id = person.entity_id;
+  r.family_id = person.family_id;
+  FieldMask mask = source.pattern;
+
+  // Per-record field omission is a Pages-of-Testimony phenomenon (a
+  // relative did not know / left a box blank); list layouts are filled
+  // uniformly, which is what concentrates records into few data patterns
+  // (Fig. 11).
+  double omit = source.kind == data::SourceKind::kPageOfTestimony
+                    ? noise.omit_value
+                    : 0.0;
+  auto keep = [&](ReportField f) {
+    return HasField(mask, f) && !rng.Bernoulli(omit);
+  };
+
+  if (keep(ReportField::kFirstName)) {
+    r.Add(AttributeId::kFirstName,
+          NoisyName(person.first_names[0], noise, rng));
+    if (person.first_names.size() > 1 && rng.Bernoulli(0.6)) {
+      r.Add(AttributeId::kFirstName,
+            NoisyName(person.first_names[1], noise, rng));
+    }
+  }
+  if (keep(ReportField::kLastName)) {
+    r.Add(AttributeId::kLastName, NoisyName(person.last_name, noise, rng));
+  }
+  if (keep(ReportField::kGender)) {
+    r.Add(AttributeId::kGender, person.male ? "M" : "F");
+  }
+  if (keep(ReportField::kDob)) {
+    int year = person.birth_year;
+    if (rng.Bernoulli(noise.year_error)) {
+      year += static_cast<int>(rng.UniformInt(1, 3)) *
+              (rng.Bernoulli(0.5) ? 1 : -1);
+    }
+    r.Add(AttributeId::kBirthYear, std::to_string(year));
+    // Some layouts carry the year only; day/month presence is a property
+    // of the source, not of the record.
+    if (source.dob_day_month) {
+      r.Add(AttributeId::kBirthMonth, std::to_string(person.birth_month));
+      r.Add(AttributeId::kBirthDay, std::to_string(person.birth_day));
+    }
+  }
+  if (keep(ReportField::kFatherName) && !person.father_first.empty()) {
+    r.Add(AttributeId::kFathersName,
+          NoisyName(person.father_first, noise, rng));
+  }
+  if (keep(ReportField::kMotherName) && !person.mother_first.empty()) {
+    r.Add(AttributeId::kMothersName,
+          NoisyName(person.mother_first, noise, rng));
+  }
+  if (keep(ReportField::kSpouseName) && !person.spouse_first.empty()) {
+    r.Add(AttributeId::kSpouseName,
+          NoisyName(person.spouse_first, noise, rng));
+  }
+  if (keep(ReportField::kMaidenName) && !person.maiden_name.empty()) {
+    r.Add(AttributeId::kMaidenName,
+          NoisyName(person.maiden_name, noise, rng));
+  }
+  if (keep(ReportField::kMothersMaiden) && !person.mother_maiden.empty()) {
+    r.Add(AttributeId::kMothersMaiden,
+          NoisyName(person.mother_maiden, noise, rng));
+  }
+  if (keep(ReportField::kPermPlace)) {
+    EmitPlace(&r, data::PlaceType::kPermanent, person.permanent_place,
+              source, noise, rng);
+  }
+  if (keep(ReportField::kWarPlace)) {
+    EmitPlace(&r, data::PlaceType::kWartime, person.wartime_place, source,
+              noise, rng);
+  }
+  if (keep(ReportField::kBirthPlace)) {
+    EmitPlace(&r, data::PlaceType::kBirth, person.birth_place, source,
+              noise, rng);
+  }
+  if (keep(ReportField::kDeathPlace)) {
+    EmitPlace(&r, data::PlaceType::kDeath, person.death_place, source,
+              noise, rng);
+  }
+  if (keep(ReportField::kProfession) && !person.profession.empty()) {
+    r.Add(AttributeId::kProfession, person.profession);
+  }
+  return r;
+}
+
+}  // namespace
+
+GeneratedData Generate(const GeneratorConfig& config) {
+  YVER_CHECK(config.num_persons > 0);
+  util::Rng rng(config.seed);
+  Gazetteer gazetteer;
+  PersonSampler person_sampler(&gazetteer);
+  SourceModel source_model;
+  std::array<std::unique_ptr<NamePool>, kNumRegions> pools;
+  for (size_t r = 0; r < kNumRegions; ++r) {
+    pools[r] = std::make_unique<NamePool>(static_cast<Region>(r));
+  }
+
+  std::vector<double> region_weights = config.region_weights;
+  if (region_weights.empty()) {
+    region_weights.assign(kNumRegions, 1.0);
+  }
+  YVER_CHECK(region_weights.size() == kNumRegions);
+
+  GeneratedData out;
+  int64_t next_entity = 0;
+  int64_t next_family = 0;
+  uint32_t next_source = 100;  // ids below 100 reserved (kMvSourceId = 1)
+
+  // --- Latent persons, family by family.
+  std::vector<Family> families;
+  while (out.persons.size() < config.num_persons) {
+    Region region = static_cast<Region>(rng.PickWeighted(region_weights));
+    Family family =
+        person_sampler.SampleFamily(region, &next_entity, &next_family, rng);
+    for (const Person& p : family.members) {
+      if (out.persons.size() < config.num_persons) out.persons.push_back(p);
+    }
+    families.push_back(std::move(family));
+  }
+  // Trim the last family's overflow members from the family list too (the
+  // persons vector is authoritative: entity_id == index).
+  out.persons.resize(config.num_persons);
+
+  // --- Sources. Per-family submitters (a surviving relative), shared
+  // regional victim lists, optional MV.
+  std::unordered_map<int64_t, Source> family_submitter;
+  std::vector<std::vector<Source>> region_lists(kNumRegions);
+  Source mv_source;
+  if (config.include_mv) {
+    mv_source.id = kMvSourceId;
+    mv_source.kind = data::SourceKind::kPageOfTestimony;
+    mv_source.pattern = SourceModel::MvPattern();
+    mv_source.place_parts = 0x09;  // city + country only
+    mv_source.dob_day_month = false;
+  }
+
+  // Emits the persona of a newly registered submitter into the submitter
+  // table: a surviving relative of the family — shares the family name
+  // and home region. Across collection campaigns the same relative may
+  // register again under a variant spelling (§2's submitter-duplicate
+  // problem: "some are obvious duplicates, misspellings of names ...
+  // short of performing entity resolution on the submitter data").
+  std::unordered_map<int64_t, const Family*> family_by_id;
+  for (const auto& family : families) {
+    family_by_id[family.family_id] = &family;
+  }
+  auto emit_submitter_persona = [&](uint32_t source_id, Region region,
+                                    int64_t family_id) {
+    const NamePool& pool = *pools[static_cast<size_t>(region)];
+    bool male = rng.Bernoulli(0.5);
+    std::string first = pool.SampleFirstName(male, rng);
+    auto family_it = family_by_id.find(family_id);
+    std::string last =
+        (family_it != family_by_id.end() &&
+         !family_it->second->members.empty() && rng.Bernoulli(0.7))
+            ? family_it->second->members[0].last_name
+            : pool.SampleLastName(rng);
+    const Place& city = gazetteer.SampleCity(region, rng);
+    size_t registrations = rng.Bernoulli(0.3) ? 2 : 1;
+    for (size_t k = 0; k < registrations; ++k) {
+      data::Record r;
+      r.book_id = 500000u + static_cast<uint64_t>(source_id) * 4 + k;
+      r.entity_id = static_cast<int64_t>(source_id);  // latent submitter
+      r.source_id = static_cast<uint32_t>(k);  // registration campaign
+      std::string fn = first;
+      std::string ln = last;
+      if (k > 0) {
+        // Campaign re-registration: a different clerk, a different
+        // transliteration.
+        if (rng.Bernoulli(0.7)) {
+          fn = NamePool::TransliterationVariant(fn, rng);
+        }
+        if (rng.Bernoulli(0.5)) {
+          ln = NamePool::TransliterationVariant(ln, rng);
+        }
+      }
+      r.Add(data::AttributeId::kFirstName, fn);
+      r.Add(data::AttributeId::kLastName, ln);
+      r.Add(data::AttributeId::kGender, male ? "M" : "F");
+      r.Add(data::AttributeId::kPermCity, city.city);
+      r.Add(data::AttributeId::kPermCountry, city.country);
+      out.submitters.Add(std::move(r));
+    }
+  };
+
+  auto get_family_submitter = [&](int64_t family_id,
+                                  Region region) -> const Source& {
+    auto it = family_submitter.find(family_id);
+    if (it == family_submitter.end()) {
+      Source s;
+      s.id = next_source++;
+      s.kind = data::SourceKind::kPageOfTestimony;
+      s.pattern = source_model.SampleSubmitterPattern(region, rng);
+      s.place_parts = source_model.SamplePlaceParts(rng);
+      s.dob_day_month = rng.Bernoulli(0.7);
+      it = family_submitter.emplace(family_id, s).first;
+      ++out.num_submitters;
+      emit_submitter_persona(it->second.id, region, family_id);
+    }
+    return it->second;
+  };
+
+  auto get_list = [&](Region region) -> const Source& {
+    auto& lists = region_lists[static_cast<size_t>(region)];
+    // Open a new list with probability 1/mean_list_size, so lists average
+    // about mean_list_size reports.
+    if (lists.empty() ||
+        rng.Bernoulli(1.0 / static_cast<double>(config.mean_list_size))) {
+      Source s;
+      s.id = next_source++;
+      s.kind = data::SourceKind::kVictimList;
+      s.pattern = source_model.SampleListPattern(region, rng);
+      s.place_parts = source_model.SamplePlaceParts(rng);
+      s.dob_day_month = rng.Bernoulli(0.5);
+      lists.push_back(s);
+      ++out.num_list_sources;
+    }
+    // Recent lists are the active ones; pick among the last few.
+    size_t window = std::min<size_t>(4, lists.size());
+    size_t pick = lists.size() - 1 -
+                  static_cast<size_t>(rng.UniformInt(
+                      0, static_cast<int64_t>(window) - 1));
+    return lists[pick];
+  };
+
+  // --- Reports.
+  uint64_t next_book_id = 1000000;
+  std::vector<uint32_t> used_sources;
+  for (const Person& person : out.persons) {
+    size_t num_reports = SampleReportCount(rng);
+    bool used_family_pot = false;
+    used_sources.clear();
+    for (size_t k = 0; k < num_reports; ++k) {
+      bool pot = rng.Bernoulli(config.pot_fraction);
+      const Source* source;
+      if (pot && !used_family_pot) {
+        // A single PoT per person from the family's submitter: the same
+        // relative rarely files two pages about the same person (SameSrc
+        // rationale, §6.5).
+        source = &get_family_submitter(person.family_id, person.region);
+        used_family_pot = true;
+      } else {
+        // A person appears at most once per victim list ("it is deemed
+        // unlikely that the same person would appear twice in the same
+        // source") — resample on collision.
+        source = &get_list(person.region);
+        for (int attempt = 0;
+             attempt < 8 &&
+             std::find(used_sources.begin(), used_sources.end(),
+                       source->id) != used_sources.end();
+             ++attempt) {
+          source = &get_list(person.region);
+        }
+        if (std::find(used_sources.begin(), used_sources.end(),
+                      source->id) != used_sources.end()) {
+          continue;  // give up on this report rather than duplicate
+        }
+      }
+      used_sources.push_back(source->id);
+      out.dataset.Add(
+          EmitReport(person, *source, config.noise, next_book_id++, rng));
+    }
+    if (config.include_mv && person.region == Region::kItaly &&
+        rng.Bernoulli(config.mv_person_fraction)) {
+      // MV transcribed from meticulous research; his reports are uniform
+      // and essentially noise-free, which is what makes MV-involved pairs
+      // easy for the classifier (Table 6: accuracy drops without them).
+      NoiseConfig clean;
+      clean.transliteration = 0.0;
+      clean.nickname = 0.0;
+      clean.clerical = 0.0;
+      clean.omit_value = 0.0;
+      clean.year_error = 0.0;
+      clean.city_variant = 0.0;
+      out.dataset.Add(
+          EmitReport(person, mv_source, clean, next_book_id++, rng));
+    }
+  }
+  if (config.include_mv) ++out.num_submitters;
+  return out;
+}
+
+GeneratorConfig ItalyConfig() {
+  GeneratorConfig config;
+  config.num_persons = 3800;
+  config.region_weights.assign(kNumRegions, 0.0);
+  config.region_weights[static_cast<size_t>(Region::kItaly)] = 1.0;
+  config.include_mv = true;
+  config.seed = 7;
+  return config;
+}
+
+GeneratorConfig RandomSetConfig(double scale) {
+  GeneratorConfig config;
+  config.num_persons = static_cast<size_t>(53000 * scale);
+  // Stratified: six communities with different weights.
+  config.region_weights = {0.30, 0.08, 0.20, 0.12, 0.10, 0.20};
+  config.seed = 11;
+  return config;
+}
+
+}  // namespace yver::synth

@@ -1,0 +1,481 @@
+#include "synth/name_pool.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace yver::synth {
+
+namespace {
+
+// Shared Ashkenazi/Hebrew first names appearing across regions.
+const char* kMaleCommon[] = {
+    "Avraham", "Yitzhak", "Yaakov",  "Moshe",   "David",   "Shlomo",
+    "Mordechai", "Chaim", "Shmuel",  "Yosef",   "Aharon",  "Baruch",
+    "Eliezer", "Menachem", "Naftali", "Pinchas", "Reuven",  "Shimon",
+    "Zeev",    "Tuvia",
+};
+const char* kFemaleCommon[] = {
+    "Sara",   "Rivka",  "Rachel", "Leah",  "Chana",  "Miriam", "Esther",
+    "Dvora",  "Yehudit", "Bella", "Golda", "Feiga",  "Gitel",  "Perla",
+    "Rosa",   "Frida",  "Mina",   "Tova",  "Zelda",  "Bracha",
+};
+
+struct RegionNames {
+  std::vector<const char*> male;
+  std::vector<const char*> female;
+  std::vector<const char*> last;
+};
+
+RegionNames PolandNames() {
+  return {
+      {"Mendel", "Hersh", "Leib", "Motel", "Velvel", "Zalman", "Itzik",
+       "Berek", "Srul", "Moishe", "Yankel", "Fishel", "Getzel", "Kalman",
+       "Lemel", "Nuchim", "Pesach", "Rafal", "Szymon", "Wolf"},
+      {"Chaya", "Sheindel", "Ryfka", "Zlata", "Frumet", "Malka", "Pessia",
+       "Hinda", "Brocha", "Dobra", "Etel", "Fruma", "Genia", "Hadasa",
+       "Ita", "Keila", "Liba", "Mindel", "Necha", "Raizel"},
+      {"Kesler", "Postel", "Apoteker", "Goldberg", "Rosenbaum", "Weiss",
+       "Szwarc", "Kaminski", "Lewin", "Grinberg", "Zylberman", "Frydman",
+       "Wajnsztok", "Cukierman", "Sztern", "Blumenfeld", "Rotsztejn",
+       "Mandelbaum", "Perelman", "Najman", "Kirszenbaum", "Edelman",
+       "Gelbart", "Herszkowicz", "Jakubowicz", "Kohn", "Lipszyc",
+       "Minkowski", "Nudelman", "Okon", "Piekarski", "Rubinsztajn",
+       "Szapiro", "Tenenbaum", "Urbach", "Wasserman", "Zajdel", "Bialer",
+       "Cygler", "Dancyger"},
+  };
+}
+
+RegionNames ItalyNames() {
+  return {
+      {"Guido", "Massimo", "Donato", "Italo", "Alberto", "Emanuele",
+       "Giorgio", "Renato", "Vittorio", "Bruno", "Cesare", "Dario",
+       "Enrico", "Franco", "Gino", "Lazzaro", "Marco", "Nino", "Paolo",
+       "Ugo"},
+      {"Estela", "Helena", "Olga", "Giulia", "Elsa", "Zimbul", "Clotilde",
+       "Ada", "Bianca", "Carla", "Diana", "Elena", "Fortunata", "Gemma",
+       "Ida", "Luisa", "Marcella", "Noemi", "Pia", "Vittoria"},
+      {"Foa", "Capelluto", "Levi", "Segre", "Ottolenghi", "Artom",
+       "Bassani", "Coen", "DeBenedetti", "Finzi", "Jona", "Lattes",
+       "Momigliano", "Norsa", "Pavia", "Recanati", "Sacerdote", "Terracini",
+       "Valabrega", "Zargani", "Alatri", "Bemporad", "Castelnuovo",
+       "DellaSeta", "Errera", "Fubini", "Genazzani", "Luzzatto", "Milano",
+       "Orvieto", "Pontecorvo", "Ravenna", "Sonnino", "Treves", "Usigli",
+       "Vivanti", "Zevi", "Ascoli", "Bolaffi", "Colombo"},
+  };
+}
+
+RegionNames HungaryNames() {
+  return {
+      {"Laszlo", "Ferenc", "Gyula", "Istvan", "Janos", "Karoly", "Miklos",
+       "Sandor", "Tibor", "Zoltan", "Andor", "Bela", "Dezso", "Erno",
+       "Geza", "Imre", "Jeno", "Kalman", "Lajos", "Matyas"},
+      {"Ilona", "Erzsebet", "Margit", "Katalin", "Maria", "Julia", "Aranka",
+       "Borbala", "Cecilia", "Edit", "Flora", "Gizella", "Hajnal", "Iren",
+       "Jolan", "Klara", "Lili", "Magda", "Olga", "Piroska"},
+      {"Kovacs", "Szabo", "Weisz", "Klein", "Grosz", "Braun", "Fischer",
+       "Friedmann", "Gluck", "Hoffmann", "Kertesz", "Lakatos", "Molnar",
+       "Nemeth", "Polgar", "Reich", "Schwartz", "Toth", "Vamos", "Winkler",
+       "Balazs", "Czukor", "Deutsch", "Engel", "Farkas", "Gardos", "Halasz",
+       "Izsak", "Jozsa", "Katona"},
+  };
+}
+
+RegionNames GermanyNames() {
+  return {
+      {"Siegfried", "Heinrich", "Ludwig", "Walter", "Kurt", "Fritz",
+       "Hermann", "Julius", "Max", "Otto", "Richard", "Arnold", "Bernhard",
+       "Emil", "Georg", "Hans", "Josef", "Leopold", "Norbert", "Wilhelm"},
+      {"Hannelore", "Ingrid", "Margarete", "Charlotte", "Elfriede", "Erna",
+       "Gertrud", "Hedwig", "Ilse", "Johanna", "Kaethe", "Lotte", "Martha",
+       "Paula", "Recha", "Selma", "Thea", "Ursula", "Wilhelmine", "Else"},
+      {"Rosenthal", "Blumenthal", "Hirsch", "Kaufmann", "Loewenstein",
+       "Meyer", "Neumann", "Oppenheim", "Rothschild", "Simon", "Stern",
+       "Ullmann", "Wolff", "Baum", "Cahn", "Dreyfus", "Ehrlich",
+       "Feuchtwanger", "Guttmann", "Heymann", "Israel", "Jacobsohn",
+       "Katzenstein", "Liebermann", "Marx", "Nathan", "Oppenheimer",
+       "Praeger", "Rosenberg", "Salomon"},
+  };
+}
+
+RegionNames GreeceNames() {
+  return {
+      {"Alberto", "Isaac", "Moise", "Salomon", "Bohor", "Daniel", "Eliau",
+       "Haim", "Jacob", "Leon", "Mair", "Nissim", "Ovadia", "Pepo",
+       "Raphael", "Sabetay", "Vitali", "Yomtov", "Zadik", "Menahem"},
+      {"Zimbul", "Reina", "Djoya", "Estrea", "Fortunee", "Gracia", "Kadun",
+       "Luna", "Mazaltov", "Oro", "Palomba", "Rebeka", "Signora", "Sol",
+       "Sultana", "Vida", "Allegra", "Bienvenida", "Clara", "Dudun"},
+      {"Capelluto", "Alhadeff", "Benveniste", "Codron", "Franco", "Galante",
+       "Hasson", "Israel", "Levy", "Menashe", "Notrica", "Pizanti",
+       "Rahamim", "Soriano", "Tarica", "Amato", "Berro", "Cohenca",
+       "DeMayo", "Eskenazi", "Fintz", "Gabriel", "Habib", "Jahiel",
+       "Koen", "Leon", "Matalon", "Nahmias", "Pelosof", "Russo"},
+  };
+}
+
+RegionNames RomaniaNames() {
+  return {
+      {"Iancu", "Strul", "Marcu", "Avram", "Burah", "Copel", "Dumitru",
+       "Efraim", "Froim", "Ghidale", "Herscu", "Iosif", "Lupu", "Mihail",
+       "Nathan", "Oisie", "Pincu", "Rubin", "Simon", "Zeilic"},
+      {"Ruhla", "Perla", "Sura", "Tauba", "Udl", "Vigder", "Ana", "Betti",
+       "Clara", "Dora", "Ernestina", "Fani", "Golda", "Haia", "Idesa",
+       "Jeni", "Klara", "Liza", "Mali", "Neti"},
+      {"Abramovici", "Bercovici", "Davidovici", "Goldenberg", "Herscovici",
+       "Iancovici", "Katz", "Leibovici", "Moscovici", "Nusbaum",
+       "Rabinovici", "Segal", "Solomon", "Weissman", "Zisman", "Avramescu",
+       "Brener", "Croitoru", "Feldman", "Grunberg", "Haimovici", "Itic",
+       "Kahane", "Lazarovici", "Marcovici", "Negru", "Olaru", "Pascal",
+       "Rosen", "Smil"},
+  };
+}
+
+const char* kProfessions[] = {
+    "merchant",  "tailor",   "shoemaker", "teacher",  "physician",
+    "carpenter", "baker",    "watchmaker", "lawyer",  "butcher",
+    "furrier",   "glazier",  "printer",   "rabbi",    "seamstress",
+    "clerk",     "pharmacist", "engineer", "peddler", "farmer",
+};
+
+bool IsVowel(char c) {
+  c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+// Morpheme-product surname grids. Real Names-Project cardinalities are
+// high (Table 4: 1,495 distinct last names in 9,402 Italian records); small
+// curated pools would collapse the item-type cardinality and flood the
+// blocking supports, so each region's curated list is extended with a
+// culturally plausible prefix x suffix product.
+std::vector<std::string> AshkenaziGrid() {
+  static const char* kPrefixes[] = {
+      "Gold", "Rosen", "Silber", "Blum", "Grun", "Wein", "Apfel", "Birn",
+      "Lilien", "Mandel", "Korn", "Perl", "Rubin", "Saphir", "Stern",
+      "Zucker", "Himmel", "Morgen", "Sommer", "Winter", "Licht", "Fein",
+  };
+  static const char* kSuffixes[] = {
+      "berg", "stein", "man", "feld", "thal", "baum", "blatt", "zweig",
+      "garten", "wasser", "stamm", "kranz",
+  };
+  std::vector<std::string> out;
+  for (const char* p : kPrefixes) {
+    for (const char* s : kSuffixes) {
+      out.push_back(std::string(p) + s);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SlavicGrid() {
+  static const char* kStems[] = {
+      "Kowal", "Wisniew", "Lewandow", "Zielin", "Szyman", "Wozniak",
+      "Kozlow", "Jablon", "Kwiatkow", "Pietrzak", "Grabow", "Sokolow",
+      "Malinow", "Czarnec", "Wilczyn", "Borkow",
+  };
+  static const char* kSuffixes[] = {"ski", "sky", "icz", "owicz", "er",
+                                    "man"};
+  std::vector<std::string> out;
+  for (const char* p : kStems) {
+    for (const char* s : kSuffixes) {
+      out.push_back(std::string(p) + s);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ItalianGrid() {
+  // Italian-Jewish surnames are frequently toponymic; combine city stems
+  // with common endings.
+  static const char* kStems[] = {
+      "Mode", "Anco", "Vero", "Padu", "Mant", "Ferra", "Luc", "Pis",
+      "Sien", "Urbin", "Fan", "Osim", "Cagl", "Trevi", "Spole", "Maser",
+  };
+  static const char* kSuffixes[] = {"na", "nese", "no", "ni", "nti", "lli"};
+  std::vector<std::string> out;
+  for (const char* p : kStems) {
+    for (const char* s : kSuffixes) {
+      out.push_back(std::string(p) + s);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SephardiGrid() {
+  static const char* kStems[] = {
+      "Alba", "Beha", "Cue", "Espe", "Fara", "Gale", "Habi", "Isra",
+      "Kame", "Leva", "Mizra", "Nava", "Pala", "Sara", "Tole", "Vare",
+  };
+  static const char* kSuffixes[] = {"no", "ro", "lli", "nte", "ssi", "chi"};
+  std::vector<std::string> out;
+  for (const char* p : kStems) {
+    for (const char* s : kSuffixes) {
+      out.push_back(std::string(p) + s);
+    }
+  }
+  return out;
+}
+
+// First-name pools are widened with deterministic variant forms so that
+// distinct persons can carry near-but-distinct names (e.g. Mosze vs Moshe
+// as different people's registered forms), matching the real cardinality.
+std::vector<std::string> ExpandFirstNames(std::vector<std::string> base) {
+  // Order is preserved: the Zipf sampler favors early entries, so curated
+  // common names stay common and variants form the tail.
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  util::Rng rng(0xF00D);  // fixed seed: the pool itself is deterministic
+  auto add = [&out, &seen](std::string name) {
+    if (seen.insert(name).second) out.push_back(std::move(name));
+  };
+  for (const auto& name : base) add(name);
+  for (const auto& name : base) {
+    std::string v1 = NamePool::TransliterationVariant(name, rng);
+    std::string v2 = NamePool::TransliterationVariant(v1, rng);
+    add(std::move(v1));
+    add(std::move(v2));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view RegionName(Region region) {
+  switch (region) {
+    case Region::kPoland:
+      return "Poland";
+    case Region::kItaly:
+      return "Italy";
+    case Region::kHungary:
+      return "Hungary";
+    case Region::kGermany:
+      return "Germany";
+    case Region::kGreece:
+      return "Greece";
+    case Region::kRomania:
+      return "Romania";
+  }
+  return "?";
+}
+
+NamePool::NamePool(Region region) : region_(region) {
+  RegionNames names;
+  switch (region) {
+    case Region::kPoland:
+      names = PolandNames();
+      break;
+    case Region::kItaly:
+      names = ItalyNames();
+      break;
+    case Region::kHungary:
+      names = HungaryNames();
+      break;
+    case Region::kGermany:
+      names = GermanyNames();
+      break;
+    case Region::kGreece:
+      names = GreeceNames();
+      break;
+    case Region::kRomania:
+      names = RomaniaNames();
+      break;
+  }
+  for (const char* n : kMaleCommon) male_first_.push_back(n);
+  for (const char* n : names.male) male_first_.push_back(n);
+  for (const char* n : kFemaleCommon) female_first_.push_back(n);
+  for (const char* n : names.female) female_first_.push_back(n);
+  male_first_ = ExpandFirstNames(std::move(male_first_));
+  female_first_ = ExpandFirstNames(std::move(female_first_));
+  for (const char* n : names.last) last_.push_back(n);
+  // Widen the surname pool with the culturally matching morpheme grid(s).
+  std::vector<std::string> grid;
+  switch (region) {
+    case Region::kItaly: {
+      grid = ItalianGrid();
+      auto sephardi = SephardiGrid();
+      grid.insert(grid.end(), sephardi.begin(), sephardi.end());
+      break;
+    }
+    case Region::kGreece:
+      grid = SephardiGrid();
+      break;
+    case Region::kPoland:
+    case Region::kRomania: {
+      grid = AshkenaziGrid();
+      auto slavic = SlavicGrid();
+      grid.insert(grid.end(), slavic.begin(), slavic.end());
+      break;
+    }
+    case Region::kGermany:
+    case Region::kHungary:
+      grid = AshkenaziGrid();
+      break;
+  }
+  last_.insert(last_.end(), grid.begin(), grid.end());
+  for (const char* p : kProfessions) professions_.push_back(p);
+  male_sampler_.emplace(male_first_.size(), 0.6);
+  female_sampler_.emplace(female_first_.size(), 0.6);
+  last_sampler_.emplace(last_.size(), 0.5);
+}
+
+std::string NamePool::SampleFirstName(bool male, util::Rng& rng) const {
+  const auto& pool = male ? male_first_ : female_first_;
+  const auto& sampler = male ? male_sampler_ : female_sampler_;
+  return pool[sampler->Sample(rng)];
+}
+
+std::string NamePool::SampleLastName(util::Rng& rng) const {
+  return last_[last_sampler_->Sample(rng)];
+}
+
+std::string NamePool::SampleProfession(util::Rng& rng) const {
+  return professions_[rng.Zipf(professions_.size(), 0.9)];
+}
+
+std::string NamePool::TransliterationVariant(std::string_view name,
+                                             util::Rng& rng) {
+  std::string s(name);
+  // Apply one randomly chosen rule that actually fires; try a few times.
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    std::string candidate = s;
+    switch (rng.UniformInt(0, 6)) {
+      case 0:  // c <-> k
+        for (auto& c : candidate) {
+          if (c == 'c') {
+            c = 'k';
+            break;
+          }
+          if (c == 'k') {
+            c = 'c';
+            break;
+          }
+        }
+        break;
+      case 1:  // w <-> v
+        for (auto& c : candidate) {
+          if (c == 'w') {
+            c = 'v';
+            break;
+          }
+          if (c == 'v') {
+            c = 'w';
+            break;
+          }
+        }
+        break;
+      case 2:  // y <-> i
+        for (auto& c : candidate) {
+          if (c == 'y') {
+            c = 'i';
+            break;
+          }
+          if (c == 'i') {
+            c = 'y';
+            break;
+          }
+        }
+        break;
+      case 3: {  // -ski <-> -sky suffix
+        if (util::EndsWith(candidate, "ski")) {
+          candidate.back() = 'y';
+        } else if (util::EndsWith(candidate, "sky")) {
+          candidate.back() = 'i';
+        }
+        break;
+      }
+      case 4: {  // double a single consonant (never triple an existing one)
+        for (size_t i = 1; i + 1 < candidate.size(); ++i) {
+          if (!IsVowel(candidate[i]) && candidate[i] != candidate[i - 1] &&
+              candidate[i] != candidate[i + 1]) {
+            candidate.insert(candidate.begin() + static_cast<long>(i),
+                             candidate[i]);
+            break;
+          }
+        }
+        break;
+      }
+      case 5: {  // vowel shift a<->o, e<->i
+        for (auto& c : candidate) {
+          if (c == 'a') {
+            c = 'o';
+            break;
+          }
+          if (c == 'e') {
+            c = 'i';
+            break;
+          }
+        }
+        break;
+      }
+      case 6: {  // trailing vowel drop (Foa -> Fo ... rarely useful) or
+                 // h-insertion after initial consonant (Chaim ~ Haim)
+        if (candidate.size() > 3 && IsVowel(candidate.back())) {
+          candidate.pop_back();
+        }
+        break;
+      }
+    }
+    if (candidate != s) return candidate;
+  }
+  return s;
+}
+
+std::string NamePool::Nickname(std::string_view name, util::Rng& rng) {
+  struct Pair {
+    const char* full;
+    const char* nick;
+  };
+  static constexpr Pair kNicknames[] = {
+      {"Avraham", "Avrum"},   {"Yitzhak", "Itzik"},  {"Moshe", "Moishe"},
+      {"Mordechai", "Motel"}, {"Shmuel", "Szmul"},   {"Yosef", "Yossel"},
+      {"Esther", "Etel"},     {"Rivka", "Ryfka"},    {"Sara", "Surele"},
+      {"Elisabetta", "Elsa"}, {"Erzsebet", "Bozsi"}, {"Margit", "Manci"},
+      {"Giulia", "Giulietta"}, {"Alberto", "Berto"}, {"Massimo", "Mino"},
+      {"Wilhelm", "Willi"},   {"Heinrich", "Heini"}, {"Salomon", "Shelomo"},
+      {"Chana", "Anna"},      {"Miriam", "Mirel"},
+  };
+  std::vector<const char*> options;
+  for (const auto& p : kNicknames) {
+    if (name == p.full) options.push_back(p.nick);
+    if (name == p.nick) options.push_back(p.full);
+  }
+  if (options.empty()) return std::string(name);
+  return options[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(options.size()) - 1))];
+}
+
+std::string NamePool::ClericalError(std::string_view name, util::Rng& rng) {
+  if (name.size() < 2) return std::string(name);
+  std::string s(name);
+  size_t pos = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(s.size()) - 1));
+  switch (rng.UniformInt(0, 3)) {
+    case 0: {  // substitute (Bella -> Della)
+      char replacement =
+          static_cast<char>('a' + rng.UniformInt(0, 25));
+      if (pos == 0) {
+        replacement = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(replacement)));
+      }
+      s[pos] = replacement;
+      break;
+    }
+    case 1:  // drop
+      if (s.size() > 2) s.erase(pos, 1);
+      break;
+    case 2: {  // insert
+      char extra = static_cast<char>('a' + rng.UniformInt(0, 25));
+      s.insert(s.begin() + static_cast<long>(pos), extra);
+      break;
+    }
+    case 3:  // transpose
+      if (pos + 1 < s.size()) std::swap(s[pos], s[pos + 1]);
+      break;
+  }
+  return s;
+}
+
+}  // namespace yver::synth

@@ -1,0 +1,84 @@
+#ifndef YVER_SYNTH_NAME_POOL_H_
+#define YVER_SYNTH_NAME_POOL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace yver::synth {
+
+/// Cultural-linguistic region of a pre-Holocaust Jewish community. The
+/// paper's 100K stratified sample selected six regions differing either
+/// culturally-linguistically or in the progression of the persecution
+/// (§5.1); we mirror that structure.
+enum class Region : uint8_t {
+  kPoland = 0,
+  kItaly,
+  kHungary,
+  kGermany,
+  kGreece,   // incl. Rhodes (Italian-controlled, cf. Capelluto example)
+  kRomania,  // stands in for Transnistria-deportation communities
+};
+
+inline constexpr size_t kNumRegions = 6;
+
+/// Display name of a region.
+std::string_view RegionName(Region region);
+
+/// Pools of period-appropriate names per region, plus noise machinery
+/// reproducing the dataset's "vast array of different spellings and
+/// semantic variants" (§2): transliteration variants, nicknames, and
+/// clerical errors.
+class NamePool {
+ public:
+  explicit NamePool(Region region);
+
+  /// Samples a male/female first name (Zipf-skewed: common names dominate).
+  std::string SampleFirstName(bool male, util::Rng& rng) const;
+
+  /// Samples a last name (Zipf-skewed).
+  std::string SampleLastName(util::Rng& rng) const;
+
+  /// Samples a profession label.
+  std::string SampleProfession(util::Rng& rng) const;
+
+  /// Returns a transliteration/spelling variant of a name (deterministic
+  /// rule chosen by the rng): c<->k, w<->v, y<->i/j, doubled consonants,
+  /// -sky/-ski/-szky suffix alternation, vowel shifts.
+  static std::string TransliterationVariant(std::string_view name,
+                                            util::Rng& rng);
+
+  /// Returns a nickname/diminutive when one is known, otherwise the name
+  /// itself (e.g. Avraham -> Avrum, Elisabetta -> Elsa).
+  static std::string Nickname(std::string_view name, util::Rng& rng);
+
+  /// Injects a single clerical error (substitute/drop/insert/transpose one
+  /// character), e.g. Bella -> Della (§5.1).
+  static std::string ClericalError(std::string_view name, util::Rng& rng);
+
+  const std::vector<std::string>& male_first_names() const {
+    return male_first_;
+  }
+  const std::vector<std::string>& female_first_names() const {
+    return female_first_;
+  }
+  const std::vector<std::string>& last_names() const { return last_; }
+
+ private:
+  Region region_;
+  std::vector<std::string> male_first_;
+  std::vector<std::string> female_first_;
+  std::vector<std::string> last_;
+  std::vector<std::string> professions_;
+  // Precomputed Zipf CDFs (hot path: every sampled person draws 5+ names).
+  std::optional<util::ZipfSampler> male_sampler_;
+  std::optional<util::ZipfSampler> female_sampler_;
+  std::optional<util::ZipfSampler> last_sampler_;
+};
+
+}  // namespace yver::synth
+
+#endif  // YVER_SYNTH_NAME_POOL_H_

@@ -1,0 +1,127 @@
+#include "synth/person_sampler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace yver::synth {
+
+namespace {
+
+int SampleBirthYear(bool adult, util::Rng& rng) {
+  // Adults born 1880-1920, children 1925-1942.
+  return adult ? static_cast<int>(rng.UniformInt(1880, 1920))
+               : static_cast<int>(rng.UniformInt(1925, 1942));
+}
+
+}  // namespace
+
+PersonSampler::PersonSampler(const Gazetteer* gazetteer)
+    : gazetteer_(gazetteer) {
+  YVER_CHECK(gazetteer != nullptr);
+  pools_.reserve(kNumRegions);
+  for (size_t r = 0; r < kNumRegions; ++r) {
+    pools_.emplace_back(static_cast<Region>(r));
+  }
+}
+
+Person PersonSampler::SampleAdult(Region region, bool male, const Place& home,
+                                  const Place& wartime, const Place& death,
+                                  util::Rng& rng) const {
+  const NamePool& pool = pools_[static_cast<size_t>(region)];
+  Person p;
+  p.region = region;
+  p.male = male;
+  p.first_names.push_back(pool.SampleFirstName(male, rng));
+  if (rng.Bernoulli(0.15)) {
+    p.first_names.push_back(pool.SampleFirstName(male, rng));
+  }
+  p.last_name = pool.SampleLastName(rng);
+  p.father_first = pool.SampleFirstName(true, rng);
+  p.mother_first = pool.SampleFirstName(false, rng);
+  p.mother_maiden = pool.SampleLastName(rng);
+  p.birth_day = static_cast<int>(rng.UniformInt(1, 28));
+  p.birth_month = static_cast<int>(rng.UniformInt(1, 12));
+  p.birth_year = SampleBirthYear(/*adult=*/true, rng);
+  p.birth_place = rng.Bernoulli(0.6)
+                      ? home
+                      : gazetteer_->SampleNearby(region, home, rng);
+  p.permanent_place = home;
+  p.wartime_place = wartime;
+  p.death_place = death;
+  p.profession = pool.SampleProfession(rng);
+  return p;
+}
+
+Family PersonSampler::SampleFamily(Region region, int64_t* next_entity_id,
+                                   int64_t* next_family_id,
+                                   util::Rng& rng) const {
+  YVER_CHECK(next_entity_id != nullptr && next_family_id != nullptr);
+  const NamePool& pool = pools_[static_cast<size_t>(region)];
+  Family family;
+  family.family_id = (*next_family_id)++;
+
+  const Place& home = gazetteer_->SampleCity(region, rng);
+  const Place& wartime = rng.Bernoulli(0.5)
+                             ? gazetteer_->SampleWartime(rng)
+                             : home;
+  const Place& death = rng.Bernoulli(0.7) ? gazetteer_->SampleWartime(rng)
+                                          : wartime;
+
+  Person father = SampleAdult(region, /*male=*/true, home, wartime, death,
+                              rng);
+  Person mother = SampleAdult(region, /*male=*/false, home, wartime, death,
+                              rng);
+  // Marriage ties: shared last name, cross-referenced spouse names; the
+  // wife keeps her maiden name on record.
+  mother.maiden_name = mother.last_name;
+  mother.last_name = father.last_name;
+  father.spouse_first = mother.first_names[0];
+  mother.spouse_first = father.first_names[0];
+
+  int num_children = static_cast<int>(rng.UniformInt(0, 3));
+  std::vector<Person> children;
+  // Names already used in this family: parents and earlier children. Real
+  // families do not give two living members the same given name, and such
+  // collisions would create irresolvable sibling pairs.
+  std::vector<std::string> taken = {father.first_names[0],
+                                    mother.first_names[0]};
+  for (int c = 0; c < num_children; ++c) {
+    bool male = rng.Bernoulli(0.5);
+    Person child;
+    child.region = region;
+    child.male = male;
+    std::string name = pool.SampleFirstName(male, rng);
+    for (int attempt = 0;
+         attempt < 8 &&
+         std::find(taken.begin(), taken.end(), name) != taken.end();
+         ++attempt) {
+      name = pool.SampleFirstName(male, rng);
+    }
+    taken.push_back(name);
+    child.first_names.push_back(std::move(name));
+    child.last_name = father.last_name;
+    child.father_first = father.first_names[0];
+    child.mother_first = mother.first_names[0];
+    child.mother_maiden = mother.maiden_name;
+    child.birth_day = static_cast<int>(rng.UniformInt(1, 28));
+    child.birth_month = static_cast<int>(rng.UniformInt(1, 12));
+    child.birth_year = SampleBirthYear(/*adult=*/false, rng);
+    child.birth_place = home;
+    child.permanent_place = home;
+    child.wartime_place = wartime;
+    child.death_place = death;
+    children.push_back(std::move(child));
+  }
+
+  family.members.push_back(std::move(father));
+  family.members.push_back(std::move(mother));
+  for (auto& child : children) family.members.push_back(std::move(child));
+  for (auto& member : family.members) {
+    member.entity_id = (*next_entity_id)++;
+    member.family_id = family.family_id;
+  }
+  return family;
+}
+
+}  // namespace yver::synth

@@ -1,0 +1,68 @@
+#ifndef YVER_SYNTH_PERSON_SAMPLER_H_
+#define YVER_SYNTH_PERSON_SAMPLER_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/gazetteer.h"
+#include "synth/name_pool.h"
+#include "util/rng.h"
+
+namespace yver::synth {
+
+/// A latent ground-truth person. Victim reports are noisy projections of
+/// persons; the entity-resolution task is to recover person identity from
+/// the reports.
+struct Person {
+  int64_t entity_id = 0;
+  int64_t family_id = 0;
+  Region region = Region::kPoland;
+  bool male = true;
+  std::vector<std::string> first_names;  // 1-2 given names
+  std::string last_name;
+  std::string maiden_name;    // married women only
+  std::string father_first;
+  std::string mother_first;
+  std::string mother_maiden;
+  std::string spouse_first;   // married persons only
+  int birth_day = 0;
+  int birth_month = 0;
+  int birth_year = 0;
+  Place birth_place;
+  Place permanent_place;
+  Place wartime_place;
+  Place death_place;
+  std::string profession;
+};
+
+/// A nuclear family: father, mother, children. Shares last name and home
+/// places — the structure behind the paper's family-level resolution
+/// discussion (Capelluto example, Fig. 13/14).
+struct Family {
+  int64_t family_id = 0;
+  std::vector<Person> members;  // [0]=father, [1]=mother, rest children
+};
+
+/// Samples latent families with culturally coherent names, dates and
+/// geography.
+class PersonSampler {
+ public:
+  explicit PersonSampler(const Gazetteer* gazetteer);
+
+  /// Samples a family of the region. Entity/family ids are assigned from
+  /// the provided counters (incremented).
+  Family SampleFamily(Region region, int64_t* next_entity_id,
+                      int64_t* next_family_id, util::Rng& rng) const;
+
+ private:
+  Person SampleAdult(Region region, bool male, const Place& home,
+                     const Place& wartime, const Place& death,
+                     util::Rng& rng) const;
+
+  const Gazetteer* gazetteer_;
+  std::vector<NamePool> pools_;  // by region
+};
+
+}  // namespace yver::synth
+
+#endif  // YVER_SYNTH_PERSON_SAMPLER_H_

@@ -1,0 +1,136 @@
+#include "synth/source_model.h"
+
+namespace yver::synth {
+
+namespace {
+
+FieldMask Mask(std::initializer_list<ReportField> fields) {
+  FieldMask m = 0;
+  for (ReportField f : fields) m |= FieldBit(f);
+  return m;
+}
+
+}  // namespace
+
+FieldMask SourceModel::SampleListPattern(Region region,
+                                         util::Rng& rng) const {
+  // Canonical list layouts; weights skew toward the common manifests so a
+  // few patterns dominate the corpus (Fig. 11: one pattern covers half a
+  // million records with only FN/LN/Gender/PermanentPlace).
+  // Layout fields and mixture weights are calibrated so the corpus-wide
+  // margins land near Table 3 (e.g. Gender 88%, DOB 64%, Father 52%,
+  // Spouse 27%, Profession 35%) once combined with the Pages-of-Testimony
+  // patterns at the one-third PoT mix.
+  static const FieldMask kLayouts[] = {
+      // Deportation manifest — the paper's named most-prevalent pattern:
+      // first name, last name, gender, permanent place.
+      Mask({ReportField::kFirstName, ReportField::kLastName,
+            ReportField::kGender, ReportField::kPermPlace}),
+      // Transport list with birth data.
+      Mask({ReportField::kFirstName, ReportField::kLastName,
+            ReportField::kGender, ReportField::kDob,
+            ReportField::kBirthPlace, ReportField::kPermPlace,
+            ReportField::kWarPlace, ReportField::kProfession}),
+      // Camp card file.
+      Mask({ReportField::kFirstName, ReportField::kLastName,
+            ReportField::kGender, ReportField::kDob,
+            ReportField::kProfession, ReportField::kWarPlace,
+            ReportField::kDeathPlace, ReportField::kFatherName}),
+      // Ghetto register.
+      Mask({ReportField::kFirstName, ReportField::kLastName,
+            ReportField::kGender, ReportField::kDob,
+            ReportField::kFatherName, ReportField::kMotherName,
+            ReportField::kSpouseName, ReportField::kMaidenName,
+            ReportField::kPermPlace, ReportField::kWarPlace,
+            ReportField::kProfession}),
+      // Police registration / property confiscation.
+      Mask({ReportField::kFirstName, ReportField::kLastName,
+            ReportField::kGender, ReportField::kPermPlace,
+            ReportField::kWarPlace, ReportField::kProfession,
+            ReportField::kSpouseName, ReportField::kMaidenName,
+            ReportField::kDob}),
+      // Memorial book.
+      Mask({ReportField::kFirstName, ReportField::kLastName,
+            ReportField::kFatherName, ReportField::kMotherName,
+            ReportField::kMothersMaiden, ReportField::kSpouseName,
+            ReportField::kMaidenName, ReportField::kBirthPlace,
+            ReportField::kDeathPlace, ReportField::kDob,
+            ReportField::kProfession}),
+  };
+  static const std::vector<double> kWeights = {0.30, 0.15, 0.16,
+                                               0.14, 0.10, 0.15};
+  FieldMask base = kLayouts[rng.PickWeighted(kWeights)];
+  // Slight per-list variation: occasionally drop or add one field.
+  if (rng.Bernoulli(0.25)) {
+    auto f = static_cast<ReportField>(rng.UniformInt(0, 13));
+    if (f != ReportField::kFirstName && f != ReportField::kLastName) {
+      base = static_cast<FieldMask>(base ^ FieldBit(f));
+    }
+  }
+  if (region == Region::kItaly) {
+    // Italian sources carry father names and birth places far more often.
+    if (rng.Bernoulli(0.55)) base |= FieldBit(ReportField::kFatherName);
+    if (rng.Bernoulli(0.60)) base |= FieldBit(ReportField::kBirthPlace);
+  }
+  return base;
+}
+
+FieldMask SourceModel::SampleSubmitterPattern(Region region,
+                                              util::Rng& rng) const {
+  // Relatives almost always know names and gender; other fields follow
+  // per-field inclusion probabilities tuned toward the Table 3 margins.
+  struct FieldProb {
+    ReportField field;
+    double p;
+  };
+  static const FieldProb kProbs[] = {
+      {ReportField::kFirstName, 0.995}, {ReportField::kLastName, 0.995},
+      {ReportField::kGender, 0.97},     {ReportField::kDob, 0.72},
+      {ReportField::kFatherName, 0.70}, {ReportField::kMotherName, 0.58},
+      {ReportField::kSpouseName, 0.38}, {ReportField::kMaidenName, 0.22},
+      {ReportField::kMothersMaiden, 0.20},
+      {ReportField::kPermPlace, 0.88},  {ReportField::kWarPlace, 0.60},
+      {ReportField::kBirthPlace, 0.55}, {ReportField::kDeathPlace, 0.50},
+      {ReportField::kProfession, 0.35},
+  };
+  // Italy overrides (Table 3, Italy column).
+  static const FieldProb kItalyProbs[] = {
+      {ReportField::kFirstName, 0.995}, {ReportField::kLastName, 0.995},
+      {ReportField::kGender, 0.97},     {ReportField::kDob, 0.70},
+      {ReportField::kFatherName, 0.88}, {ReportField::kMotherName, 0.65},
+      {ReportField::kSpouseName, 0.25}, {ReportField::kMaidenName, 0.15},
+      {ReportField::kMothersMaiden, 0.15},
+      {ReportField::kPermPlace, 0.90},  {ReportField::kWarPlace, 0.74},
+      {ReportField::kBirthPlace, 0.92}, {ReportField::kDeathPlace, 0.62},
+      {ReportField::kProfession, 0.28},
+  };
+  FieldMask mask = 0;
+  const FieldProb* probs =
+      region == Region::kItaly ? kItalyProbs : kProbs;
+  for (size_t i = 0; i < kNumReportFields; ++i) {
+    if (rng.Bernoulli(probs[i].p)) mask |= FieldBit(probs[i].field);
+  }
+  return mask;
+}
+
+uint8_t SourceModel::SamplePlaceParts(util::Rng& rng) const {
+  uint8_t mask = 0;
+  if (rng.Bernoulli(0.85)) mask |= 1u << static_cast<unsigned>(
+                               data::PlacePart::kCity);
+  if (rng.Bernoulli(0.60)) mask |= 1u << static_cast<unsigned>(
+                               data::PlacePart::kCounty);
+  if (rng.Bernoulli(0.50)) mask |= 1u << static_cast<unsigned>(
+                               data::PlacePart::kRegion);
+  if (rng.Bernoulli(0.90)) mask |= 1u << static_cast<unsigned>(
+                               data::PlacePart::kCountry);
+  if (mask == 0) mask = 1u << static_cast<unsigned>(data::PlacePart::kCity);
+  return mask;
+}
+
+FieldMask SourceModel::MvPattern() {
+  return Mask({ReportField::kFirstName, ReportField::kLastName,
+               ReportField::kFatherName, ReportField::kBirthPlace,
+               ReportField::kDeathPlace});
+}
+
+}  // namespace yver::synth

@@ -1,0 +1,94 @@
+#ifndef YVER_SYNTH_SOURCE_MODEL_H_
+#define YVER_SYNTH_SOURCE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/record.h"
+#include "synth/name_pool.h"
+#include "util/rng.h"
+
+namespace yver::synth {
+
+/// The logical report fields a source may record (the rows of Table 3).
+/// A source's data pattern is a bitmask over these fields; the extreme
+/// skew of pattern frequencies (Fig. 11) emerges from few list layouts
+/// covering most records plus a long tail of idiosyncratic submitters.
+enum class ReportField : uint8_t {
+  kFirstName = 0,
+  kLastName,
+  kGender,
+  kDob,
+  kFatherName,
+  kMotherName,
+  kSpouseName,
+  kMaidenName,
+  kMothersMaiden,
+  kPermPlace,
+  kWarPlace,
+  kBirthPlace,
+  kDeathPlace,
+  kProfession,
+};
+
+inline constexpr size_t kNumReportFields = 14;
+
+/// Bitmask of ReportField.
+using FieldMask = uint16_t;
+
+inline FieldMask FieldBit(ReportField f) {
+  return static_cast<FieldMask>(1u << static_cast<unsigned>(f));
+}
+inline bool HasField(FieldMask mask, ReportField f) {
+  return (mask & FieldBit(f)) != 0;
+}
+
+/// A report source: a victim list or a Page-of-Testimony submitter.
+/// A source's layout is fixed once: all its reports share one data
+/// pattern, which is what produces the extreme pattern skew of Fig. 11
+/// (a handful of list layouts cover most records; submitters form the
+/// long tail).
+struct Source {
+  uint32_t id = 0;
+  data::SourceKind kind = data::SourceKind::kVictimList;
+  FieldMask pattern = 0;
+  /// Which place components (city/county/region/country bits, by
+  /// data::PlacePart value) this source records.
+  uint8_t place_parts = 0x0F;
+  /// Whether DOB includes day and month (false: year only).
+  bool dob_day_month = true;
+};
+
+inline bool HasPlacePart(const Source& source, data::PlacePart part) {
+  return (source.place_parts & (1u << static_cast<unsigned>(part))) != 0;
+}
+
+/// Samples source layouts. Victim lists use a handful of canonical layouts
+/// (deportation manifests, camp card files, ghetto registers, memorial
+/// books) with slight per-list variation; submitters fill the long pattern
+/// tail with rich but individually quirky patterns.
+class SourceModel {
+ public:
+  SourceModel() = default;
+
+  /// Samples a victim-list pattern. Italian lists lean toward father name
+  /// and birth place ("a person's father name was a major part of their
+  /// identity in this community", §6.2).
+  FieldMask SampleListPattern(Region region, util::Rng& rng) const;
+
+  /// Samples a Page-of-Testimony submitter pattern (richer: relatives know
+  /// family names), with Italy-specific prevalence per Table 3.
+  FieldMask SampleSubmitterPattern(Region region, util::Rng& rng) const;
+
+  /// Samples the place-component mask of a source (city/county/region/
+  /// country inclusion).
+  uint8_t SamplePlaceParts(util::Rng& rng) const;
+
+  /// The MV bulk submitter's fixed pattern: {FirstName, LastName,
+  /// FatherName, BirthPlace, DeathPlace} (paper §6.4).
+  static FieldMask MvPattern();
+};
+
+}  // namespace yver::synth
+
+#endif  // YVER_SYNTH_SOURCE_MODEL_H_

@@ -1,0 +1,102 @@
+#include "synth/tag_oracle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace yver::synth {
+
+namespace {
+
+using data::AttributeId;
+using ml::ExpertTag;
+
+// Attributes an expert weighs when judging a pair.
+constexpr AttributeId kInformative[] = {
+    AttributeId::kFirstName,   AttributeId::kLastName,
+    AttributeId::kFathersName, AttributeId::kMothersName,
+    AttributeId::kSpouseName,  AttributeId::kMaidenName,
+    AttributeId::kMothersMaiden, AttributeId::kBirthYear,
+    AttributeId::kBirthCity,   AttributeId::kPermCity,
+    AttributeId::kDeathCity,
+};
+
+ExpertTag Soften(ExpertTag tag) {
+  switch (tag) {
+    case ExpertTag::kYes:
+      return ExpertTag::kProbablyYes;
+    case ExpertTag::kNo:
+      return ExpertTag::kProbablyNo;
+    default:
+      return tag;
+  }
+}
+
+ExpertTag SlipOne(ExpertTag tag, bool up) {
+  int v = static_cast<int>(tag) + (up ? 1 : -1);
+  v = std::clamp(v, 0, 4);
+  return static_cast<ExpertTag>(v);
+}
+
+}  // namespace
+
+TagOracle::TagOracle(const data::Dataset* dataset,
+                     const TagOracleConfig& config)
+    : dataset_(dataset), config_(config), rng_(config.seed) {
+  YVER_CHECK(dataset != nullptr);
+}
+
+ml::ExpertTag TagOracle::Tag(data::RecordIdx a, data::RecordIdx b) {
+  const data::Record& ra = (*dataset_)[a];
+  const data::Record& rb = (*dataset_)[b];
+  // Count comparable informative attributes and agreements.
+  size_t comparable = 0;
+  size_t agree = 0;
+  for (AttributeId attr : kInformative) {
+    auto va = ra.Values(attr);
+    auto vb = rb.Values(attr);
+    if (va.empty() || vb.empty()) continue;
+    ++comparable;
+    bool any = false;
+    for (auto x : va) {
+      for (auto y : vb) {
+        if (x == y) {
+          any = true;
+          break;
+        }
+      }
+    }
+    if (any) ++agree;
+  }
+
+  ExpertTag tag;
+  if (comparable < config_.min_comparable) {
+    // Not enough to decide, whatever the truth.
+    tag = ExpertTag::kMaybe;
+  } else if (dataset_->IsGoldMatch(a, b)) {
+    tag = ExpertTag::kYes;
+    if (agree * 3 < comparable) {
+      tag = ExpertTag::kMaybe;  // heavily contradicting pair
+    } else if (rng_.Bernoulli(config_.hedge)) {
+      tag = Soften(tag);
+    }
+  } else {
+    tag = ExpertTag::kNo;
+    // Family near-misses look plausible: siblings share last name, parents
+    // and places (the Capelluto children, Fig. 13). Only genuinely
+    // information-poor ones stay undecidable.
+    if (dataset_->IsGoldFamilyMatch(a, b) && agree >= 2) {
+      tag = (comparable <= 3 && agree >= comparable - 1)
+                ? ExpertTag::kMaybe
+                : ExpertTag::kProbablyNo;
+    } else if (rng_.Bernoulli(config_.hedge)) {
+      tag = Soften(tag);
+    }
+  }
+  if (rng_.Bernoulli(config_.slip)) {
+    tag = SlipOne(tag, rng_.Bernoulli(0.5));
+  }
+  return tag;
+}
+
+}  // namespace yver::synth

@@ -1,0 +1,49 @@
+#ifndef YVER_SYNTH_TAG_ORACLE_H_
+#define YVER_SYNTH_TAG_ORACLE_H_
+
+#include "data/dataset.h"
+#include "ml/instances.h"
+#include "util/rng.h"
+
+namespace yver::synth {
+
+/// Configuration of the simulated expert tagger.
+struct TagOracleConfig {
+  /// Minimum number of comparable informative attributes below which an
+  /// expert cannot decide and tags Maybe ("the information contained in
+  /// the pair is insufficient", §5.1).
+  size_t min_comparable = 2;
+
+  /// Probability of softening a certain tag to its "Probably" neighbour
+  /// (experts hedge).
+  double hedge = 0.25;
+
+  /// Probability of an outright tagging slip by one level.
+  double slip = 0.02;
+
+  uint64_t seed = 99;
+};
+
+/// Simulates the Yad Vashem archival experts who tagged candidate pairs
+/// with {Yes, Probably Yes, Maybe, Probably No, No}. The oracle sees the
+/// ground truth (entity ids) but degrades its confidence with the
+/// information content of the pair, so sparse pairs become Maybe and
+/// near-miss family pairs become Probably No — reproducing the tag/
+/// similarity mixture of Fig. 8.
+class TagOracle {
+ public:
+  explicit TagOracle(const data::Dataset* dataset,
+                     const TagOracleConfig& config = {});
+
+  /// Tags one candidate pair.
+  ml::ExpertTag Tag(data::RecordIdx a, data::RecordIdx b);
+
+ private:
+  const data::Dataset* dataset_;
+  TagOracleConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace yver::synth
+
+#endif  // YVER_SYNTH_TAG_ORACLE_H_

@@ -1,0 +1,69 @@
+#include "text/jaccard.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "text/qgram.h"
+#include "util/string_util.h"
+
+namespace yver::text {
+
+double JaccardOfIds(std::vector<uint32_t> a, std::vector<uint32_t> b) {
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  return JaccardOfSortedIds(a, b);
+}
+
+double JaccardOfSortedIds(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+namespace {
+
+double JaccardOfStringSets(const std::set<std::string>& sa,
+                           const std::set<std::string>& sb) {
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& g : sa) inter += sb.count(g);
+  size_t uni = sa.size() + sb.size() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+double QGramJaccard(std::string_view a, std::string_view b, size_t q) {
+  auto ga = ExtractQGrams(a, q);
+  auto gb = ExtractQGrams(b, q);
+  return JaccardOfStringSets(std::set<std::string>(ga.begin(), ga.end()),
+                             std::set<std::string>(gb.begin(), gb.end()));
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  auto ta = util::SplitWhitespace(a);
+  auto tb = util::SplitWhitespace(b);
+  return JaccardOfStringSets(std::set<std::string>(ta.begin(), ta.end()),
+                             std::set<std::string>(tb.begin(), tb.end()));
+}
+
+}  // namespace yver::text

@@ -1,0 +1,30 @@
+#ifndef YVER_TEXT_JACCARD_H_
+#define YVER_TEXT_JACCARD_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace yver::text {
+
+/// Jaccard coefficient |A ∩ B| / |A ∪ B| over two sets of integer ids.
+/// Inputs need not be sorted or deduplicated; duplicates are collapsed.
+/// Two empty sets score 1.
+double JaccardOfIds(std::vector<uint32_t> a, std::vector<uint32_t> b);
+
+/// Jaccard over sorted, deduplicated id sets (no copies made). Requires
+/// both inputs to be strictly increasing.
+double JaccardOfSortedIds(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b);
+
+/// Jaccard between the character q-gram sets of two strings (padded grams,
+/// set semantics). The paper uses this as the per-name distance feature
+/// ("XnameDist ... Jaccard similarity").
+double QGramJaccard(std::string_view a, std::string_view b, size_t q = 2);
+
+/// Jaccard between whitespace token sets of two strings.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+}  // namespace yver::text
+
+#endif  // YVER_TEXT_JACCARD_H_

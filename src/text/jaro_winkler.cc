@@ -1,0 +1,56 @@
+#include "text/jaro_winkler.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace yver::text {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  const size_t match_window =
+      std::max<size_t>(1, std::max(la, lb) / 2) - 1;
+  std::vector<bool> a_matched(la, false);
+  std::vector<bool> b_matched(lb, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    size_t lo = i > match_window ? i - match_window : 0;
+    size_t hi = std::min(lb, i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / static_cast<double>(la) + m / static_cast<double>(lb) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+}  // namespace yver::text

@@ -1,0 +1,20 @@
+#ifndef YVER_TEXT_JARO_WINKLER_H_
+#define YVER_TEXT_JARO_WINKLER_H_
+
+#include <string_view>
+
+namespace yver::text {
+
+/// Jaro similarity in [0, 1]. Two empty strings score 1; one empty string
+/// scores 0 against a non-empty one.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity: Jaro boosted by the length of the common prefix
+/// (up to 4 characters) with scaling factor p (default 0.1). This is the
+/// name-item similarity of the paper's Eq. 1.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace yver::text
+
+#endif  // YVER_TEXT_JARO_WINKLER_H_

@@ -1,0 +1,18 @@
+#ifndef YVER_TEXT_LEVENSHTEIN_H_
+#define YVER_TEXT_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace yver::text {
+
+/// Classic edit distance (insert/delete/substitute, unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalized similarity in [0, 1]: 1 - dist / max(|a|, |b|).
+/// Two empty strings have similarity 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace yver::text
+
+#endif  // YVER_TEXT_LEVENSHTEIN_H_

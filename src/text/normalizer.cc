@@ -1,0 +1,177 @@
+#include "text/normalizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "text/jaro_winkler.h"
+#include "util/string_util.h"
+
+namespace yver::text {
+
+namespace {
+
+// Union-find over value indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::string NameNormalizer::SkeletonKey(std::string_view value) {
+  std::string key;
+  char prev = 0;
+  for (char raw : value) {
+    char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if (c < 'a' || c > 'z') continue;
+    // Vowels and near-silent letters vanish; transliteration pairs unify
+    // (w/v/f cover the German/Slavic/Yiddish spellings of one sound).
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u' ||
+        c == 'y' || c == 'h') {
+      continue;
+    }
+    if (c == 'k' || c == 'q') c = 'c';
+    if (c == 'v' || c == 'w') c = 'f';
+    if (c == 'z') c = 's';
+    if (c == 'j') c = 'g';
+    if (c == prev) continue;
+    key.push_back(c);
+    prev = c;
+  }
+  if (key.empty() && !value.empty()) {
+    key.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(value[0]))));
+  }
+  return key;
+}
+
+NameNormalizer::Domain NameNormalizer::DomainOf(data::AttributeId attr,
+                                                bool normalize_places) {
+  switch (attr) {
+    case data::AttributeId::kFirstName:
+    case data::AttributeId::kFathersName:
+    case data::AttributeId::kMothersName:
+    case data::AttributeId::kSpouseName:
+      return Domain::kFirstName;
+    case data::AttributeId::kLastName:
+    case data::AttributeId::kMaidenName:
+    case data::AttributeId::kMothersMaiden:
+      return Domain::kLastName;
+    default:
+      if (normalize_places &&
+          data::AttributeClass(attr) == data::ValueClass::kGeo) {
+        return Domain::kCity;
+      }
+      return Domain::kNone;
+  }
+}
+
+NameNormalizer NameNormalizer::Build(const data::Dataset& dataset,
+                                     const Options& options) {
+  NameNormalizer normalizer;
+  normalizer.normalize_places_ = options.normalize_places;
+
+  for (size_t d = 0; d < 3; ++d) {
+    Domain domain = static_cast<Domain>(d);
+    // Distinct values with frequencies (case-folded key, original kept).
+    std::map<std::string, std::pair<std::string, size_t>> values;
+    for (const auto& record : dataset.records()) {
+      for (const auto& entry : record.entries()) {
+        if (DomainOf(entry.attr, options.normalize_places) != domain) {
+          continue;
+        }
+        std::string lower = util::ToLower(entry.value);
+        auto [it, inserted] =
+            values.try_emplace(std::move(lower), entry.value, 0);
+        ++it->second.second;
+      }
+    }
+    std::vector<std::string> lowers;
+    std::vector<std::string> originals;
+    std::vector<size_t> freq;
+    lowers.reserve(values.size());
+    for (auto& [lower, info] : values) {
+      lowers.push_back(lower);
+      originals.push_back(info.first);
+      freq.push_back(info.second);
+    }
+    // Bucket by skeleton, merge within bucket when JW passes.
+    std::map<std::string, std::vector<size_t>> buckets;
+    for (size_t i = 0; i < lowers.size(); ++i) {
+      buckets[SkeletonKey(lowers[i])].push_back(i);
+    }
+    UnionFind uf(lowers.size());
+    for (const auto& [key, members] : buckets) {
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          if (JaroWinklerSimilarity(lowers[members[i]],
+                                    lowers[members[j]]) >=
+              options.jw_threshold) {
+            uf.Union(members[i], members[j]);
+          }
+        }
+      }
+    }
+    // Canonical member = most frequent of each class.
+    std::unordered_map<size_t, size_t> best_of_class;
+    for (size_t i = 0; i < lowers.size(); ++i) {
+      size_t root = uf.Find(i);
+      auto [it, inserted] = best_of_class.try_emplace(root, i);
+      if (!inserted && freq[i] > freq[it->second]) it->second = i;
+    }
+    std::unordered_map<size_t, size_t> class_sizes;
+    for (size_t i = 0; i < lowers.size(); ++i) ++class_sizes[uf.Find(i)];
+    for (size_t i = 0; i < lowers.size(); ++i) {
+      size_t canon = best_of_class[uf.Find(i)];
+      normalizer.canonical_[d][lowers[i]] = originals[canon];
+      if (canon != i) ++normalizer.folded_values_;
+    }
+    for (const auto& [root, size] : class_sizes) {
+      if (size >= 2) ++normalizer.non_trivial_classes_;
+    }
+  }
+  return normalizer;
+}
+
+std::string NameNormalizer::Canonicalize(data::AttributeId attr,
+                                         std::string_view value) const {
+  Domain domain = DomainOf(attr, normalize_places_);
+  if (domain == Domain::kNone) return std::string(value);
+  const auto& table = canonical_[static_cast<size_t>(domain)];
+  auto it = table.find(util::ToLower(value));
+  if (it == table.end()) return std::string(value);
+  return it->second;
+}
+
+data::Dataset NameNormalizer::Apply(const data::Dataset& dataset) const {
+  data::Dataset out;
+  for (const auto& record : dataset.records()) {
+    data::Record normalized;
+    normalized.book_id = record.book_id;
+    normalized.source_id = record.source_id;
+    normalized.source_kind = record.source_kind;
+    normalized.entity_id = record.entity_id;
+    normalized.family_id = record.family_id;
+    for (const auto& entry : record.entries()) {
+      normalized.Add(entry.attr, Canonicalize(entry.attr, entry.value));
+    }
+    out.Add(std::move(normalized));
+  }
+  return out;
+}
+
+}  // namespace yver::text

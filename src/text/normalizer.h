@@ -1,0 +1,75 @@
+#ifndef YVER_TEXT_NORMALIZER_H_
+#define YVER_TEXT_NORMALIZER_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace yver::text {
+
+/// Equivalence-class normalization of name variants, mirroring the Names
+/// Project preprocessing: "Equivalence classes of first names, last names
+/// and places ... were created to help deal with multiple spellings and
+/// variants. The preprocessing of all misspelling and name synonyms led
+/// to a large yet relatively clean Names project database" (§2).
+///
+/// Construction clusters the distinct values of each name domain (first
+/// names across all person-name attributes; last names across surname
+/// attributes; city names) with a two-stage rule: values sharing a
+/// phonetic consonant skeleton are candidates, and candidates are merged
+/// when their Jaro-Winkler similarity passes a threshold. Each class is
+/// canonicalized to its most frequent member.
+class NameNormalizer {
+ public:
+  struct Options {
+    /// Jaro-Winkler threshold for merging two values of a skeleton bucket.
+    double jw_threshold = 0.88;
+    /// Normalize city-class place values too.
+    bool normalize_places = true;
+  };
+
+  /// Learns equivalence classes from the value distribution of a dataset.
+  static NameNormalizer Build(const data::Dataset& dataset,
+                              const Options& options);
+  static NameNormalizer Build(const data::Dataset& dataset) {
+    return Build(dataset, Options());
+  }
+
+  /// Canonical form of a value under the attribute's domain; returns the
+  /// input unchanged when it is unknown.
+  std::string Canonicalize(data::AttributeId attr,
+                           std::string_view value) const;
+
+  /// Returns a copy of the dataset with every name (and optionally city)
+  /// value canonicalized.
+  data::Dataset Apply(const data::Dataset& dataset) const;
+
+  /// Diagnostics: number of learned equivalence classes with >= 2 members
+  /// and total values folded into another canonical form.
+  size_t NumNonTrivialClasses() const { return non_trivial_classes_; }
+  size_t NumFoldedValues() const { return folded_values_; }
+
+  /// The phonetic consonant-skeleton bucket key (exposed for tests).
+  static std::string SkeletonKey(std::string_view value);
+
+ private:
+  enum class Domain : uint8_t { kFirstName = 0, kLastName, kCity, kNone };
+  static Domain DomainOf(data::AttributeId attr, bool normalize_places);
+
+  NameNormalizer() = default;
+
+  // Per-domain lowercase value -> canonical (original-case) value.
+  std::array<std::unordered_map<std::string, std::string>, 3> canonical_;
+  bool normalize_places_ = true;
+  size_t non_trivial_classes_ = 0;
+  size_t folded_values_ = 0;
+};
+
+}  // namespace yver::text
+
+#endif  // YVER_TEXT_NORMALIZER_H_

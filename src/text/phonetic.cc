@@ -1,0 +1,109 @@
+#include "text/phonetic.h"
+
+#include <cctype>
+
+namespace yver::text {
+
+namespace {
+
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'b':
+    case 'f':
+    case 'p':
+    case 'v':
+      return '1';
+    case 'c':
+    case 'g':
+    case 'j':
+    case 'k':
+    case 'q':
+    case 's':
+    case 'x':
+    case 'z':
+      return '2';
+    case 'd':
+    case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm':
+    case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';  // vowels and h/w/y
+  }
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view name) {
+  std::string letters;
+  for (char raw : name) {
+    char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if (c >= 'a' && c <= 'z') letters.push_back(c);
+  }
+  if (letters.empty()) return "";
+  std::string code;
+  code.push_back(static_cast<char>(
+      std::toupper(static_cast<unsigned char>(letters[0]))));
+  char prev_digit = SoundexDigit(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    char c = letters[i];
+    char digit = SoundexDigit(c);
+    if (digit != '0' && digit != prev_digit) code.push_back(digit);
+    // h and w are transparent: they do not reset the previous digit.
+    if (c != 'h' && c != 'w') prev_digit = digit;
+  }
+  while (code.size() < 4) code.push_back('0');
+  return code;
+}
+
+std::string SlavicPhonetic(std::string_view name) {
+  // Normalize to a lowercase letter stream with cluster rewrites.
+  std::string letters;
+  for (char raw : name) {
+    char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if (c >= 'a' && c <= 'z') letters.push_back(c);
+  }
+  std::string rewritten;
+  for (size_t i = 0; i < letters.size();) {
+    auto starts = [&](std::string_view cluster) {
+      return letters.compare(i, cluster.size(), cluster) == 0;
+    };
+    if (starts("tsch") || starts("tzsch")) {
+      rewritten.push_back('c');
+      i += starts("tzsch") ? 5 : 4;
+    } else if (starts("sch") || starts("tch")) {
+      rewritten.push_back('s');
+      i += 3;
+    } else if (starts("cz") || starts("ch") || starts("sz") ||
+               starts("sh") || starts("zs") || starts("ts")) {
+      rewritten.push_back(starts("cz") || starts("ch") ? 'c' : 's');
+      i += 2;
+    } else if (letters[i] == 'w') {
+      rewritten.push_back('v');
+      ++i;
+    } else if (letters[i] == 'q' || letters[i] == 'k') {
+      rewritten.push_back('c');
+      ++i;
+    } else {
+      rewritten.push_back(letters[i]);
+      ++i;
+    }
+  }
+  std::string code;
+  char prev = 0;
+  for (char c : rewritten) {
+    char digit = SoundexDigit(c);
+    if (digit != '0' && digit != prev) code.push_back(digit);
+    prev = digit;
+    if (code.size() == 6) break;
+  }
+  while (code.size() < 6) code.push_back('0');
+  return code;
+}
+
+}  // namespace yver::text

@@ -1,0 +1,24 @@
+#ifndef YVER_TEXT_PHONETIC_H_
+#define YVER_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace yver::text {
+
+/// Classic American Soundex code (letter + three digits, zero padded),
+/// e.g. Robert -> R163. Historically the standard phonetic key of record-
+/// linkage systems; provided alongside the normalizer's consonant
+/// skeleton for comparison and for users with Soundex-keyed legacy
+/// indexes. Non-alphabetic characters are ignored; an empty or
+/// non-alphabetic input yields "".
+std::string Soundex(std::string_view name);
+
+/// Daitch-Mokotoff-inspired coarse code tuned for the Eastern-European
+/// name stock of the corpus: handles cz/sz/tsch clusters and w/v
+/// mergers that plain Soundex separates. Returns a 6-digit code.
+std::string SlavicPhonetic(std::string_view name);
+
+}  // namespace yver::text
+
+#endif  // YVER_TEXT_PHONETIC_H_

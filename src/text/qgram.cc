@@ -1,0 +1,81 @@
+#include "text/qgram.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace yver::text {
+
+std::vector<std::string> ExtractQGrams(std::string_view s, size_t q) {
+  YVER_CHECK(q >= 1);
+  std::string padded;
+  padded.reserve(s.size() + 2 * (q - 1));
+  padded.append(q - 1, '#');
+  padded.append(s);
+  padded.append(q - 1, '#');
+  std::vector<std::string> grams;
+  if (padded.size() < q) return grams;
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, q));
+  }
+  return grams;
+}
+
+std::vector<std::string> ExtractQGramsNoPad(std::string_view s, size_t q) {
+  YVER_CHECK(q >= 1);
+  std::vector<std::string> grams;
+  if (s.size() < q) {
+    if (!s.empty()) grams.emplace_back(s);
+    return grams;
+  }
+  grams.reserve(s.size() - q + 1);
+  for (size_t i = 0; i + q <= s.size(); ++i) {
+    grams.emplace_back(s.substr(i, q));
+  }
+  return grams;
+}
+
+namespace {
+
+// Recursively emits concatenations of all subsequences of `grams` of length
+// >= min_len, preserving order (the extended q-gram construction).
+void EmitCombinations(const std::vector<std::string>& grams, size_t index,
+                      std::vector<size_t>& chosen, size_t min_len,
+                      std::vector<std::string>* out) {
+  if (index == grams.size()) {
+    if (chosen.size() >= min_len && chosen.size() < grams.size()) {
+      std::string key;
+      for (size_t g : chosen) key += grams[g];
+      out->push_back(std::move(key));
+    }
+    return;
+  }
+  chosen.push_back(index);
+  EmitCombinations(grams, index + 1, chosen, min_len, out);
+  chosen.pop_back();
+  EmitCombinations(grams, index + 1, chosen, min_len, out);
+}
+
+}  // namespace
+
+std::vector<std::string> ExtractExtendedQGrams(std::string_view s, size_t q,
+                                               double threshold,
+                                               size_t max_k) {
+  std::vector<std::string> grams = ExtractQGramsNoPad(s, q);
+  std::vector<std::string> out;
+  // The whole string is always a key.
+  std::string whole;
+  for (const auto& g : grams) whole += g;
+  out.push_back(whole);
+  if (grams.size() <= 1 || grams.size() > max_k) return out;
+  size_t min_len = static_cast<size_t>(
+      std::max(1.0, threshold * static_cast<double>(grams.size())));
+  std::vector<size_t> chosen;
+  EmitCombinations(grams, 0, chosen, min_len, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace yver::text

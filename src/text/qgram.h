@@ -1,0 +1,28 @@
+#ifndef YVER_TEXT_QGRAM_H_
+#define YVER_TEXT_QGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace yver::text {
+
+/// Extracts the multiset of character q-grams of s, with (q-1)-fold '#'
+/// padding at both ends (the convention used by q-gram blocking, QGBl).
+/// For s shorter than q without padding semantics use ExtractQGramsNoPad.
+std::vector<std::string> ExtractQGrams(std::string_view s, size_t q);
+
+/// Extracts q-grams without padding; returns {s} when |s| < q.
+std::vector<std::string> ExtractQGramsNoPad(std::string_view s, size_t q);
+
+/// Extended q-grams (EQBl): all concatenations of subsets of the q-gram
+/// sequence of size >= ceil(threshold * k) where k is the number of
+/// q-grams, as in Christen's survey. To keep key counts bounded the subset
+/// enumeration is capped when k > max_k (falls back to plain q-grams).
+std::vector<std::string> ExtractExtendedQGrams(std::string_view s, size_t q,
+                                               double threshold,
+                                               size_t max_k = 10);
+
+}  // namespace yver::text
+
+#endif  // YVER_TEXT_QGRAM_H_

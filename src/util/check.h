@@ -1,0 +1,30 @@
+#ifndef YVER_UTIL_CHECK_H_
+#define YVER_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// CHECK-style assertion macros for programmer errors. Active in all build
+/// types: invariant violations in an ER pipeline silently corrupt results,
+/// so we prefer a loud abort over undefined behaviour.
+
+#define YVER_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define YVER_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // YVER_UTIL_CHECK_H_

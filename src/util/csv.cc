@@ -1,0 +1,88 @@
+#include "util/csv.h"
+
+namespace yver::util {
+
+std::optional<std::vector<std::string>> ParseCsvRecord(std::string_view data,
+                                                       size_t* pos) {
+  size_t i = *pos;
+  if (i >= data.size()) return std::nullopt;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (;;) {
+    if (i >= data.size()) {
+      fields.push_back(std::move(field));
+      *pos = i;
+      return fields;
+    }
+    char c = data[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < data.size() && data[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+      ++i;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++i;
+    } else if (c == '\r') {
+      ++i;  // swallow; record ends at the following \n
+    } else if (c == '\n') {
+      fields.push_back(std::move(field));
+      *pos = i + 1;
+      return fields;
+    } else {
+      field.push_back(c);
+      ++i;
+    }
+  }
+}
+
+std::vector<std::vector<std::string>> ParseCsv(std::string_view data) {
+  std::vector<std::vector<std::string>> rows;
+  size_t pos = 0;
+  while (auto row = ParseCsvRecord(data, &pos)) {
+    rows.push_back(std::move(*row));
+  }
+  return rows;
+}
+
+std::string EscapeCsvField(std::string_view field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string FormatCsvRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(EscapeCsvField(fields[i]));
+  }
+  return out;
+}
+
+}  // namespace yver::util

@@ -1,0 +1,32 @@
+#ifndef YVER_UTIL_CSV_H_
+#define YVER_UTIL_CSV_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace yver::util {
+
+/// RFC-4180-style CSV support (quoted fields, embedded commas/quotes and
+/// newlines inside quoted fields).
+
+/// Parses one logical CSV record starting at *pos within data. Advances
+/// *pos past the record (including the terminating newline). Returns
+/// std::nullopt at end of input.
+std::optional<std::vector<std::string>> ParseCsvRecord(std::string_view data,
+                                                       size_t* pos);
+
+/// Parses a full CSV document into rows of fields.
+std::vector<std::vector<std::string>> ParseCsv(std::string_view data);
+
+/// Escapes a single field (adds quotes when it contains comma, quote, CR or
+/// LF).
+std::string EscapeCsvField(std::string_view field);
+
+/// Formats one row (no trailing newline).
+std::string FormatCsvRow(const std::vector<std::string>& fields);
+
+}  // namespace yver::util
+
+#endif  // YVER_UTIL_CSV_H_

@@ -1,0 +1,133 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace yver::util {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  YVER_CHECK(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v = Next();
+  while (v >= limit) v = Next();
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  while (u1 <= 1e-300) u1 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  YVER_CHECK(n > 0);
+  // Cumulative search over 1/k^s. For the alphabets used here (<= a few
+  // thousand) this linear pass is cheap and avoids table storage.
+  double norm = 0.0;
+  for (size_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(static_cast<double>(k), s);
+  double u = UniformDouble() * norm;
+  double cum = 0.0;
+  for (size_t k = 1; k <= n; ++k) {
+    cum += 1.0 / std::pow(static_cast<double>(k), s);
+    if (u <= cum) return k - 1;
+  }
+  return n - 1;
+}
+
+size_t Rng::PickWeighted(const std::vector<double>& weights) {
+  YVER_CHECK(!weights.empty());
+  double sum = 0.0;
+  for (double w : weights) {
+    YVER_CHECK(w >= 0.0);
+    sum += w;
+  }
+  YVER_CHECK(sum > 0.0);
+  double u = UniformDouble() * sum;
+  double cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (u <= cum) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  YVER_CHECK(n > 0);
+  cdf_.resize(n);
+  double cum = 0.0;
+  for (size_t k = 1; k <= n; ++k) {
+    cum += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = cum;
+  }
+  for (auto& c : cdf_) c /= cum;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  size_t lo = 0;
+  size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace yver::util

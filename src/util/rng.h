@@ -1,0 +1,82 @@
+#ifndef YVER_UTIL_RNG_H_
+#define YVER_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace yver::util {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All randomized components in the library (synthetic data generation,
+/// sampling, canopy seeding, train/test splits) draw from an explicitly
+/// seeded Rng so that every experiment is reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Creates a generator from a 64-bit seed via splitmix64 expansion.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Returns a standard-normal sample (Box-Muller).
+  double Gaussian();
+
+  /// Returns a Zipf(s)-distributed index in [0, n) using inverse-CDF over a
+  /// precomputed table is avoided; this uses rejection-free cumulative
+  /// search, O(n) worst case — fine for the small alphabets we use it on.
+  size_t Zipf(size_t n, double s);
+
+  /// Returns an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Requires a non-empty vector with non-negative weights
+  /// and a positive sum.
+  size_t PickWeighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles v in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Precomputed Zipf(s) sampler over [0, n): builds the CDF once and
+/// samples by binary search. Use instead of Rng::Zipf in hot loops.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Returns an index in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace yver::util
+
+#endif  // YVER_UTIL_RNG_H_

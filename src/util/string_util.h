@@ -1,0 +1,34 @@
+#ifndef YVER_UTIL_STRING_UTIL_H_
+#define YVER_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace yver::util {
+
+/// Returns s converted to ASCII lowercase.
+std::string ToLower(std::string_view s);
+
+/// Returns s with leading/trailing ASCII whitespace removed.
+std::string Trim(std::string_view s);
+
+/// Splits s on the given delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits s on runs of ASCII whitespace; empty tokens are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins parts with the given separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Returns true when s begins with prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Returns true when s ends with suffix.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace yver::util
+
+#endif  // YVER_UTIL_STRING_UTIL_H_

@@ -1,0 +1,59 @@
+#ifndef YVER_UTIL_THREAD_POOL_H_
+#define YVER_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace yver::util {
+
+/// Fixed-size worker pool.
+///
+/// Replaces the Apache Spark pseudo-cluster the paper used for block
+/// construction: MFI support sets are scored and pruned by sharding the MFI
+/// list across workers (see blocking::MfiBlocks). Tasks are void thunks;
+/// callers aggregate results through their own synchronized sinks or by
+/// sharding output slots per task.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  /// Work is chunked to keep per-task overhead low.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace yver::util
+
+#endif  // YVER_UTIL_THREAD_POOL_H_

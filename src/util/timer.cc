@@ -1,0 +1,17 @@
+#include "util/timer.h"
+
+namespace yver::util {
+
+Timer::Timer() : start_(std::chrono::steady_clock::now()) {}
+
+void Timer::Reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Timer::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+double Timer::ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+}  // namespace yver::util

@@ -1,0 +1,29 @@
+#ifndef YVER_UTIL_TIMER_H_
+#define YVER_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace yver::util {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Timer {
+ public:
+  /// Starts the timer at construction.
+  Timer();
+
+  /// Restarts the timer.
+  void Reset();
+
+  /// Returns elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const;
+
+  /// Returns elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace yver::util
+
+#endif  // YVER_UTIL_TIMER_H_

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "core/family_resolution.h"
+#include "ml/adtree_io.h"
+#include "ml/adtree_trainer.h"
+#include "synth/generator.h"
+#include "util/rng.h"
+
+namespace yver {
+namespace {
+
+using data::AttributeId;
+using data::Dataset;
+using data::Record;
+
+// ---------------------------------------------------------------------------
+// ADTree serialization
+
+ml::AdTree MakeTree() {
+  ml::AdTree tree(-0.289);
+  ml::AdtCondition nominal;
+  nominal.feature = features::FeatureSchema::Get().IndexOf("sameFFN");
+  nominal.is_nominal = true;
+  nominal.nominal_value = 0;
+  tree.AddSplitter(tree.root(), nominal, -1.314, 0.539, 1);
+  ml::AdtCondition numeric;
+  numeric.feature = features::FeatureSchema::Get().IndexOf("MFNdist");
+  numeric.is_nominal = false;
+  numeric.threshold = 0.728;
+  tree.AddSplitter(1, numeric, -0.718, 1.528, 2);  // under the "no" child
+  return tree;
+}
+
+features::FeatureVector VectorWith(const char* name, double v) {
+  features::FeatureVector fv;
+  fv.values.assign(features::FeatureSchema::Get().size(),
+                   features::MissingValue());
+  fv.values[features::FeatureSchema::Get().IndexOf(name)] = v;
+  return fv;
+}
+
+TEST(AdTreeIoTest, RoundTripPreservesScores) {
+  ml::AdTree tree = MakeTree();
+  auto parsed = ml::ParseAdTree(ml::SerializeAdTree(tree));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_splitters(), tree.num_splitters());
+  for (double v : {0.0, 1.0, 2.0}) {
+    auto fv = VectorWith("sameFFN", v);
+    EXPECT_DOUBLE_EQ(parsed->Score(fv), tree.Score(fv));
+  }
+  auto both = VectorWith("sameFFN", 0.0);
+  both.values[features::FeatureSchema::Get().IndexOf("MFNdist")] = 0.5;
+  EXPECT_DOUBLE_EQ(parsed->Score(both), tree.Score(both));
+}
+
+TEST(AdTreeIoTest, RoundTripTrainedModel) {
+  // Train a real model and verify bit-exact score reproduction.
+  util::Rng rng(3);
+  std::vector<ml::Instance> instances;
+  for (int i = 0; i < 200; ++i) {
+    ml::Instance inst;
+    double v = rng.UniformDouble();
+    inst.features = VectorWith("LNdist", v);
+    inst.label = v > 0.5 ? 1 : -1;
+    instances.push_back(std::move(inst));
+  }
+  ml::AdTree tree = ml::TrainAdTree(instances, {});
+  auto parsed = ml::ParseAdTree(ml::SerializeAdTree(tree));
+  ASSERT_TRUE(parsed.has_value());
+  for (const auto& inst : instances) {
+    EXPECT_DOUBLE_EQ(parsed->Score(inst.features),
+                     tree.Score(inst.features));
+  }
+}
+
+TEST(AdTreeIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ml::ParseAdTree("").has_value());
+  EXPECT_FALSE(ml::ParseAdTree("not a model\n").has_value());
+  EXPECT_FALSE(
+      ml::ParseAdTree("yver-adtree v1\nprior abcdef\nbogus line\n")
+          .has_value());
+  // Feature index out of range.
+  EXPECT_FALSE(ml::ParseAdTree("yver-adtree v1\nprior 0.5\n"
+                               "splitter 1 0 N 9999 0.5 1.0 -1.0\n")
+                   .has_value());
+  // Parent prediction out of range.
+  EXPECT_FALSE(ml::ParseAdTree("yver-adtree v1\nprior 0.5\n"
+                               "splitter 1 7 N 0 0.5 1.0 -1.0\n")
+                   .has_value());
+}
+
+TEST(AdTreeIoTest, FileRoundTrip) {
+  ml::AdTree tree = MakeTree();
+  std::string path = ::testing::TempDir() + "/model.adt";
+  ASSERT_TRUE(ml::SaveAdTree(tree, path));
+  auto loaded = ml::LoadAdTree(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_splitters(), 2u);
+  EXPECT_FALSE(ml::LoadAdTree(path + ".missing").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Family resolution
+
+Dataset FamilyDataset() {
+  Dataset ds;
+  auto add = [&ds](int64_t entity, int64_t family, const char* fn,
+                   const char* ln, const char* father, const char* mother,
+                   const char* spouse, const char* city) {
+    Record r;
+    r.entity_id = entity;
+    r.family_id = family;
+    r.Add(AttributeId::kFirstName, fn);
+    r.Add(AttributeId::kLastName, ln);
+    if (*father) r.Add(AttributeId::kFathersName, father);
+    if (*mother) r.Add(AttributeId::kMothersName, mother);
+    if (*spouse) r.Add(AttributeId::kSpouseName, spouse);
+    r.Add(AttributeId::kPermCity, city);
+    ds.Add(std::move(r));
+  };
+  // The Capelluto family of Rhodes: parents + two children, one record
+  // each (so person-level clusters are singletons).
+  add(1, 1, "Bohor", "Capelluto", "", "", "Zimbul", "Rhodes");
+  add(2, 1, "Zimbul", "Capelluto", "", "", "Bohor", "Rhodes");
+  add(3, 1, "Elsa", "Capelluto", "Bohor", "Zimbul", "", "Rhodes");
+  add(4, 1, "Giulia", "Capelluto", "Bohor", "Zimbul", "", "Rhodes");
+  // An unrelated Capelluto in a different town with different parents.
+  add(5, 2, "Isaac", "Capelluto", "Daniel", "Reina", "", "Salonika");
+  // A completely different family.
+  add(6, 3, "Mendel", "Kesler", "Hersh", "Chaya", "", "Lublin");
+  add(7, 3, "Hersh", "Kesler", "", "", "Chaya", "Lublin");
+  return ds;
+}
+
+TEST(FamilyResolutionTest, MergesSiblingsAndSpouses) {
+  Dataset ds = FamilyDataset();
+  // Person clusters = singletons (empty resolution).
+  core::EntityClusters singletons(core::RankedResolution{}, ds.size(), 0.0);
+  auto families = core::ResolveFamilies(ds, singletons);
+  // Find the cluster containing record 2 (Elsa).
+  const core::FamilyCluster* capelluto = nullptr;
+  for (const auto& fc : families) {
+    if (std::find(fc.records.begin(), fc.records.end(), 2u) !=
+        fc.records.end()) {
+      capelluto = &fc;
+    }
+  }
+  ASSERT_NE(capelluto, nullptr);
+  // Elsa + Giulia (siblings) + Bohor/Zimbul (parents by name, spouses).
+  EXPECT_GE(capelluto->records.size(), 4u);
+  // Isaac (record 4) must not be absorbed: different town and parents.
+  EXPECT_TRUE(std::find(capelluto->records.begin(),
+                        capelluto->records.end(),
+                        4u) == capelluto->records.end());
+}
+
+TEST(FamilyResolutionTest, SpouseRuleWithoutSharedParents) {
+  Dataset ds = FamilyDataset();
+  core::EntityClusters singletons(core::RankedResolution{}, ds.size(), 0.0);
+  auto families = core::ResolveFamilies(ds, singletons);
+  // Mendel+Hersh Kesler connect via the parent rule (Mendel's father is
+  // Hersh) and Hersh/Chaya spouse reference.
+  for (const auto& fc : families) {
+    bool has5 = std::find(fc.records.begin(), fc.records.end(), 5u) !=
+                fc.records.end();
+    bool has6 = std::find(fc.records.begin(), fc.records.end(), 6u) !=
+                fc.records.end();
+    EXPECT_EQ(has5, has6) << "Kesler father and son should co-cluster";
+  }
+}
+
+TEST(FamilyResolutionTest, QualityAgainstLatentFamilies) {
+  Dataset ds = FamilyDataset();
+  core::EntityClusters singletons(core::RankedResolution{}, ds.size(), 0.0);
+  auto families = core::ResolveFamilies(ds, singletons);
+  auto q = core::EvaluateFamilyClusters(ds, families);
+  EXPECT_GT(q.Recall(), 0.5);
+  EXPECT_GT(q.Precision(), 0.9);
+}
+
+TEST(FamilyResolutionTest, SyntheticFamiliesRecovered) {
+  synth::GeneratorConfig config;
+  config.num_persons = 300;
+  config.seed = 21;
+  auto generated = synth::Generate(config);
+  core::EntityClusters singletons(core::RankedResolution{},
+                                  generated.dataset.size(), 0.0);
+  auto families = core::ResolveFamilies(generated.dataset, singletons);
+  auto q = core::EvaluateFamilyClusters(generated.dataset, families);
+  // Family evidence should beat chance decisively on synthetic data.
+  EXPECT_GT(q.Precision(), 0.5);
+  EXPECT_GT(q.Recall(), 0.1);
+}
+
+}  // namespace
+}  // namespace yver

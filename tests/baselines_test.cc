@@ -1,0 +1,250 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "blocking/baselines/attribute_clustering.h"
+#include "blocking/baselines/baseline_runner.h"
+#include "blocking/baselines/canopy_clustering.h"
+#include "blocking/baselines/qgram_blocking.h"
+#include "blocking/baselines/sorted_neighborhood.h"
+#include "blocking/baselines/standard_blocking.h"
+#include "blocking/baselines/suffix_arrays.h"
+#include "blocking/baselines/typi_match.h"
+#include "core/evaluation.h"
+#include "synth/generator.h"
+
+namespace yver::blocking::baselines {
+namespace {
+
+using data::AttributeId;
+using data::Dataset;
+using data::Record;
+
+Dataset SmallDataset() {
+  Dataset ds;
+  auto add = [&ds](int64_t entity, const char* fn, const char* ln) {
+    Record r;
+    r.entity_id = entity;
+    r.Add(AttributeId::kFirstName, fn);
+    r.Add(AttributeId::kLastName, ln);
+    ds.Add(std::move(r));
+  };
+  add(1, "Guido", "Foa");
+  add(1, "Guido", "Foa");
+  add(2, "Guido", "Kesler");
+  add(3, "Mendel", "Kesler");
+  add(4, "Rosa", "Levi");
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+TEST(BaselineHelpersTest, RecordTokensPrefixedAndDeduped) {
+  Record r;
+  r.Add(AttributeId::kFirstName, "Guido Maria");
+  r.Add(AttributeId::kFathersName, "Guido");
+  auto prefixed = RecordTokens(r, /*attribute_prefixed=*/true);
+  EXPECT_EQ(prefixed.size(), 3u);  // FN_guido FN_maria FFN_guido
+  auto raw = RecordTokens(r, /*attribute_prefixed=*/false);
+  EXPECT_EQ(raw.size(), 2u);  // guido, maria (deduped)
+}
+
+TEST(BaselineHelpersTest, PairsOfBlocksDeduplicates) {
+  std::vector<BaselineBlock> blocks = {{0, 1, 2}, {1, 2, 3}};
+  auto pairs = PairsOfBlocks(blocks);
+  EXPECT_EQ(pairs.size(), 5u);  // (0,1)(0,2)(1,2)(1,3)(2,3)
+  EXPECT_EQ(CountDistinctPairs(blocks), 5u);
+}
+
+TEST(BaselineHelpersTest, PurgeOversizedDropsBigBlocks) {
+  std::vector<BaselineBlock> blocks = {{0, 1}, {0, 1, 2, 3, 4}};
+  auto purged = PurgeOversized(std::move(blocks), 3);
+  ASSERT_EQ(purged.size(), 1u);
+  EXPECT_EQ(purged[0].size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Individual techniques
+
+TEST(StandardBlockingTest, BlocksShareAttributeValue) {
+  Dataset ds = SmallDataset();
+  StandardBlocking stbl;
+  auto blocks = stbl.BuildBlocks(ds);
+  // Guido block {0,1,2}, Foa block {0,1}, Kesler block {2,3}.
+  std::set<data::RecordPair> pairs;
+  for (const auto& p : PairsOfBlocks(blocks)) pairs.insert(p);
+  EXPECT_TRUE(pairs.count(data::RecordPair(0, 1)));
+  EXPECT_TRUE(pairs.count(data::RecordPair(0, 2)));
+  EXPECT_TRUE(pairs.count(data::RecordPair(2, 3)));
+  EXPECT_FALSE(pairs.count(data::RecordPair(0, 4)));
+}
+
+TEST(StandardBlockingTest, AttributePrefixSeparatesFields) {
+  Dataset ds;
+  Record a;
+  a.Add(AttributeId::kFirstName, "Israel");
+  ds.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kLastName, "Israel");
+  ds.Add(std::move(b));
+  StandardBlocking stbl;
+  EXPECT_TRUE(PairsOfBlocks(stbl.BuildBlocks(ds)).empty());
+}
+
+TEST(AttributeClusteringTest, ClusterKeyUnifiesSpellingVariants) {
+  EXPECT_EQ(AttributeClustering::ClusterKey("john"),
+            AttributeClustering::ClusterKey("jhon"));
+  EXPECT_EQ(AttributeClustering::ClusterKey("kaminski"),
+            AttributeClustering::ClusterKey("caminsky"));
+  EXPECT_EQ(AttributeClustering::ClusterKey("weiss"),
+            AttributeClustering::ClusterKey("weisz"));
+  EXPECT_NE(AttributeClustering::ClusterKey("foa"),
+            AttributeClustering::ClusterKey("kesler"));
+}
+
+TEST(AttributeClusteringTest, CatchesVariantPairs) {
+  Dataset ds;
+  Record a;
+  a.Add(AttributeId::kLastName, "Kaminski");
+  ds.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kLastName, "Kaminsky");
+  ds.Add(std::move(b));
+  AttributeClustering acl;
+  auto pairs = PairsOfBlocks(acl.BuildBlocks(ds));
+  ASSERT_EQ(pairs.size(), 1u);
+}
+
+TEST(CanopyClusteringTest, GroupsSimilarRecords) {
+  Dataset ds = SmallDataset();
+  CanopyClustering cacl(0.2, 0.6, 31);
+  auto blocks = cacl.BuildBlocks(ds);
+  std::set<data::RecordPair> pairs;
+  for (const auto& p : PairsOfBlocks(blocks)) pairs.insert(p);
+  EXPECT_TRUE(pairs.count(data::RecordPair(0, 1)));
+}
+
+TEST(CanopyClusteringTest, ExtendedAssignsLeftovers) {
+  // ECaCl's pair set is a superset of what its canopies give unassigned
+  // records; on a dataset with an outlier close to one canopy the plain
+  // pass may drop it.
+  Dataset ds = SmallDataset();
+  ExtendedCanopyClustering ecacl(0.4, 0.8, 31);
+  auto blocks = ecacl.BuildBlocks(ds);
+  size_t assigned = 0;
+  for (const auto& b : blocks) assigned += b.size();
+  EXPECT_GE(assigned, 2u);
+}
+
+TEST(QGramBlockingTest, SharesSubstringBlocks) {
+  Dataset ds;
+  Record a;
+  a.Add(AttributeId::kLastName, "Kesler");
+  ds.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kLastName, "Kessler");  // shares many 3-grams
+  ds.Add(std::move(b));
+  QGramBlocking qgbl(3);
+  auto pairs = PairsOfBlocks(qgbl.BuildBlocks(ds));
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(ExtendedQGramBlockingTest, ProducesKeys) {
+  Dataset ds = SmallDataset();
+  ExtendedQGramBlocking eqbl;
+  auto blocks = eqbl.BuildBlocks(ds);
+  EXPECT_FALSE(blocks.empty());
+}
+
+TEST(SortedNeighborhoodTest, WindowJoinsAlphabeticalNeighbors) {
+  Dataset ds;
+  for (const char* name : {"Foa", "Fob", "Foc", "Zzz"}) {
+    Record r;
+    r.Add(AttributeId::kLastName, name);
+    ds.Add(std::move(r));
+  }
+  ExtendedSortedNeighborhood esone(3);
+  auto pairs = PairsOfBlocks(esone.BuildBlocks(ds));
+  std::set<data::RecordPair> set(pairs.begin(), pairs.end());
+  EXPECT_TRUE(set.count(data::RecordPair(0, 1)));
+  EXPECT_TRUE(set.count(data::RecordPair(0, 2)));
+  // Zzz only pairs via the window containing foc..zzz.
+}
+
+TEST(SuffixArraysTest, SharedSuffixBlocks) {
+  Dataset ds;
+  Record a;
+  a.Add(AttributeId::kLastName, "Rosenbaum");
+  ds.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kLastName, "Mandelbaum");  // shares suffix "baum"
+  ds.Add(std::move(b));
+  SuffixArrays suar(4);
+  auto pairs = PairsOfBlocks(suar.BuildBlocks(ds));
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(ExtendedSuffixArraysTest, SharedInfixBlocks) {
+  Dataset ds;
+  Record a;
+  a.Add(AttributeId::kLastName, "Grinberg");
+  ds.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kLastName, "Grinblatt");  // shares prefix "grin"
+  ds.Add(std::move(b));
+  SuffixArrays suar(4);
+  EXPECT_TRUE(PairsOfBlocks(suar.BuildBlocks(ds)).empty());
+  ExtendedSuffixArrays esuar(4);
+  EXPECT_EQ(PairsOfBlocks(esuar.BuildBlocks(ds)).size(), 1u);
+}
+
+TEST(TypiMatchTest, ProducesBlocksOnRealisticData) {
+  synth::GeneratorConfig config;
+  config.num_persons = 150;
+  auto generated = synth::Generate(config);
+  TypiMatch typi;
+  auto blocks = typi.BuildBlocks(generated.dataset);
+  EXPECT_FALSE(blocks.empty());
+  for (const auto& b : blocks) EXPECT_GE(b.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry & cross-technique properties
+
+TEST(BaselineRegistryTest, AllTenPresentInTableOrder) {
+  auto baselines = AllBaselines();
+  ASSERT_EQ(baselines.size(), 10u);
+  const char* expected[] = {"StBl",  "ACl",   "CaCl",  "ECaCl", "QGBl",
+                            "EQBl",  "ESoNe", "SuAr",  "ESuAr", "TYPiMatch"};
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(baselines[i]->name(), expected[i]);
+  }
+}
+
+class BaselinePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BaselinePropertyTest, BlocksAreValidOnSyntheticData) {
+  synth::GeneratorConfig config;
+  config.num_persons = 120;
+  config.seed = 77;
+  auto generated = synth::Generate(config);
+  auto baselines = AllBaselines();
+  const auto& baseline = baselines[GetParam()];
+  auto blocks = baseline->BuildBlocks(generated.dataset);
+  for (const auto& b : blocks) {
+    EXPECT_GE(b.size(), 2u) << baseline->name();
+    std::set<data::RecordIdx> unique(b.begin(), b.end());
+    EXPECT_EQ(unique.size(), b.size()) << baseline->name();
+    for (auto r : b) EXPECT_LT(r, generated.dataset.size());
+  }
+  // Recall at small scale is decent for every technique.
+  auto q = core::EvaluatePairs(generated.dataset, PairsOfBlocks(blocks));
+  EXPECT_GT(q.Recall(), 0.3) << baseline->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechniques, BaselinePropertyTest,
+                         ::testing::Range<size_t>(0, 10));
+
+}  // namespace
+}  // namespace yver::blocking::baselines

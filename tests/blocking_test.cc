@@ -1,0 +1,346 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "blocking/block_scoring.h"
+#include "blocking/item_similarity.h"
+#include "blocking/mfi_blocks.h"
+#include "blocking/neighborhood.h"
+#include "data/item_dictionary.h"
+#include "util/thread_pool.h"
+
+namespace yver::blocking {
+namespace {
+
+using data::AttributeId;
+using data::Dataset;
+using data::Record;
+
+// ---------------------------------------------------------------------------
+// Expert item similarity (Eq. 1)
+
+class ItemSimTest : public ::testing::Test {
+ protected:
+  data::ItemDictionary dict_;
+};
+
+TEST_F(ItemSimTest, DifferentAttributesScoreZero) {
+  auto a = dict_.Intern(AttributeId::kFirstName, "Guido");
+  auto b = dict_.Intern(AttributeId::kFathersName, "Guido");
+  EXPECT_DOUBLE_EQ(ExpertItemSimilarity(dict_, a, b), 0.0);
+}
+
+TEST_F(ItemSimTest, NamesUseJaroWinkler) {
+  auto a = dict_.Intern(AttributeId::kLastName, "Foa");
+  auto b = dict_.Intern(AttributeId::kLastName, "Foy");
+  double s = ExpertItemSimilarity(dict_, a, b);
+  EXPECT_GT(s, 0.5);
+  EXPECT_LT(s, 1.0);
+  EXPECT_DOUBLE_EQ(ExpertItemSimilarity(dict_, a, a), 1.0);
+}
+
+TEST_F(ItemSimTest, YearDistanceNormalizedBy50) {
+  auto a = dict_.Intern(AttributeId::kBirthYear, "1920");
+  auto b = dict_.Intern(AttributeId::kBirthYear, "1930");
+  EXPECT_NEAR(ExpertItemSimilarity(dict_, a, b), 1.0 - 10.0 / 50.0, 1e-9);
+  auto c = dict_.Intern(AttributeId::kBirthYear, "1820");
+  EXPECT_DOUBLE_EQ(ExpertItemSimilarity(dict_, a, c), 0.0);  // clamped
+}
+
+TEST_F(ItemSimTest, MonthAndDayNormalization) {
+  auto m1 = dict_.Intern(AttributeId::kBirthMonth, "3");
+  auto m2 = dict_.Intern(AttributeId::kBirthMonth, "9");
+  EXPECT_NEAR(ExpertItemSimilarity(dict_, m1, m2), 1.0 - 6.0 / 12.0, 1e-9);
+  auto d1 = dict_.Intern(AttributeId::kBirthDay, "1");
+  auto d2 = dict_.Intern(AttributeId::kBirthDay, "31");
+  EXPECT_NEAR(ExpertItemSimilarity(dict_, d1, d2), 1.0 - 30.0 / 31.0, 1e-9);
+}
+
+TEST_F(ItemSimTest, GeoUsesHaversineOver100Km) {
+  auto turin = dict_.Intern(AttributeId::kBirthCity, "Torino");
+  auto monca = dict_.Intern(AttributeId::kBirthCity, "Moncalieri");
+  dict_.SetGeo(turin, {45.07, 7.69});
+  dict_.SetGeo(monca, {45.00, 7.68});
+  double s = ExpertItemSimilarity(dict_, turin, monca);
+  EXPECT_GT(s, 0.88);  // ~9 km -> ~0.91
+  EXPECT_LT(s, 1.0);
+}
+
+TEST_F(ItemSimTest, GeoFarApartClampsToZero) {
+  auto turin = dict_.Intern(AttributeId::kBirthCity, "Torino");
+  auto warsaw = dict_.Intern(AttributeId::kBirthCity, "Warszawa");
+  dict_.SetGeo(turin, {45.07, 7.69});
+  dict_.SetGeo(warsaw, {52.23, 21.01});
+  EXPECT_DOUBLE_EQ(ExpertItemSimilarity(dict_, turin, warsaw), 0.0);
+}
+
+TEST_F(ItemSimTest, GeoFallsBackToStringWithoutCoordinates) {
+  auto a = dict_.Intern(AttributeId::kBirthCity, "Torino");
+  auto b = dict_.Intern(AttributeId::kBirthCity, "Torin");
+  EXPECT_GT(ExpertItemSimilarity(dict_, a, b), 0.8);
+}
+
+TEST_F(ItemSimTest, CategoricalIsEquality) {
+  auto m = dict_.Intern(AttributeId::kGender, "M");
+  auto f = dict_.Intern(AttributeId::kGender, "F");
+  EXPECT_DOUBLE_EQ(ExpertItemSimilarity(dict_, m, f), 0.0);
+  EXPECT_DOUBLE_EQ(ExpertItemSimilarity(dict_, m, m), 1.0);
+}
+
+TEST(WeightsTest, ExpertWeightsFavorNamesOverGender) {
+  auto w = DefaultExpertWeights();
+  EXPECT_GT(w[static_cast<size_t>(AttributeId::kFirstName)],
+            w[static_cast<size_t>(AttributeId::kGender)]);
+  EXPECT_GT(w[static_cast<size_t>(AttributeId::kLastName)],
+            w[static_cast<size_t>(AttributeId::kPermCountry)]);
+  for (double v : UniformWeights()) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Block scoring
+
+Dataset TinyDataset() {
+  Dataset ds;
+  auto add = [&ds](const char* fn, const char* ln, const char* yb) {
+    Record r;
+    r.Add(AttributeId::kFirstName, fn);
+    r.Add(AttributeId::kLastName, ln);
+    if (*yb) r.Add(AttributeId::kBirthYear, yb);
+    ds.Add(std::move(r));
+  };
+  add("Guido", "Foa", "1920");   // 0
+  add("Guido", "Foa", "1920");   // 1: identical to 0
+  add("Guido", "Foa", "1936");   // 2: differs in year
+  add("Mendel", "Kesler", "");   // 3: unrelated
+  return ds;
+}
+
+TEST(BlockScoringTest, ClusterJaccardIdenticalRecordsIsOne) {
+  Dataset ds = TinyDataset();
+  auto encoded = data::EncodeDataset(ds);
+  Block block;
+  block.records = {0, 1};
+  block.key = encoded.bags[0];  // full shared content
+  double s = ClusterJaccardScore(encoded, block, UniformWeights());
+  EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(BlockScoringTest, ClusterJaccardDilutesWithNonSharedContent) {
+  Dataset ds = TinyDataset();
+  auto encoded = data::EncodeDataset(ds);
+  Block block;
+  block.records = {0, 2};  // share FN+LN, differ in year
+  block.key = {*encoded.dictionary.Find(AttributeId::kFirstName, "Guido"),
+               *encoded.dictionary.Find(AttributeId::kLastName, "Foa")};
+  double s = ClusterJaccardScore(encoded, block, UniformWeights());
+  EXPECT_DOUBLE_EQ(s, 2.0 / 4.0);  // key 2 items, union 4 items
+}
+
+TEST(BlockScoringTest, WeightsShiftScore) {
+  Dataset ds = TinyDataset();
+  auto encoded = data::EncodeDataset(ds);
+  Block block;
+  block.records = {0, 2};
+  block.key = {*encoded.dictionary.Find(AttributeId::kFirstName, "Guido"),
+               *encoded.dictionary.Find(AttributeId::kLastName, "Foa")};
+  AttributeWeights weights = UniformWeights();
+  weights[static_cast<size_t>(AttributeId::kBirthYear)] = 0.0;
+  // Non-shared year items now weightless: score = 2/2 = 1.
+  EXPECT_DOUBLE_EQ(ClusterJaccardScore(encoded, block, weights), 1.0);
+}
+
+TEST(BlockScoringTest, ExpertSimRewardsNearMatches) {
+  Dataset ds;
+  Record a;
+  a.Add(AttributeId::kLastName, "Foa");
+  a.Add(AttributeId::kBirthYear, "1920");
+  ds.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kLastName, "Foy");
+  b.Add(AttributeId::kBirthYear, "1921");
+  ds.Add(std::move(b));
+  auto encoded = data::EncodeDataset(ds);
+  Block block;
+  block.records = {0, 1};
+  block.key = {};
+  double s = ExpertSimScore(encoded, block, UniformWeights());
+  // No exact shared items, but near-identical under Eq. 1.
+  EXPECT_GT(s, 0.7);
+  Block self;
+  self.records = {0, 0};
+  EXPECT_DOUBLE_EQ(ExpertSimScore(encoded, self, UniformWeights()), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse neighborhood
+
+TEST(NeighborhoodTest, NoViolationMeansZeroThreshold) {
+  std::vector<Block> blocks(1);
+  blocks[0].records = {0, 1};
+  blocks[0].score = 0.9;
+  EXPECT_DOUBLE_EQ(ComputeMinThreshold(blocks, 3, 3.0, 2), 0.0);
+}
+
+TEST(NeighborhoodTest, CrowdedRecordRaisesThreshold) {
+  // Record 0 co-blocked with many distinct records across many blocks;
+  // cap = ceil(1.0 * 2) = 2 neighbors.
+  std::vector<Block> blocks;
+  for (uint32_t i = 1; i <= 5; ++i) {
+    Block b;
+    b.records = {0, i};
+    b.score = 0.1 * i;  // scores 0.1 .. 0.5
+    blocks.push_back(b);
+  }
+  double th = ComputeMinThreshold(blocks, 6, 1.0, 2);
+  // Best two blocks (0.5, 0.4) fit in the cap; the third (0.3) violates.
+  EXPECT_DOUBLE_EQ(th, 0.3);
+  auto sizes = NeighborhoodSizes(blocks, 6, th);
+  EXPECT_LE(sizes[0], 2u);
+}
+
+TEST(NeighborhoodTest, SameNeighborsDoNotRecount) {
+  // The same neighbor through multiple blocks counts once.
+  std::vector<Block> blocks;
+  for (int i = 0; i < 4; ++i) {
+    Block b;
+    b.records = {0, 1};
+    b.score = 0.5 + 0.1 * i;
+    blocks.push_back(b);
+  }
+  EXPECT_DOUBLE_EQ(ComputeMinThreshold(blocks, 2, 1.0, 2), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// MFIBlocks end-to-end on a controlled dataset
+
+Dataset DuplicatesDataset() {
+  // Three latent entities with 3/2/1 records + noise records.
+  Dataset ds;
+  auto add = [&ds](int64_t entity, const char* fn, const char* ln,
+                   const char* yb, const char* city) {
+    Record r;
+    r.entity_id = entity;
+    r.Add(AttributeId::kFirstName, fn);
+    r.Add(AttributeId::kLastName, ln);
+    r.Add(AttributeId::kBirthYear, yb);
+    r.Add(AttributeId::kPermCity, city);
+    ds.Add(std::move(r));
+  };
+  add(1, "Guido", "Foa", "1920", "Torino");
+  add(1, "Guido", "Foa", "1920", "Torino");
+  add(1, "Guido", "Foa", "1920", "Canischio");
+  add(2, "Mendel", "Kesler", "1899", "Lublin");
+  add(2, "Mendel", "Kesler", "1899", "Warszawa");
+  add(3, "Ilona", "Weisz", "1910", "Budapest");
+  // Unrelated one-off records.
+  add(4, "Laszlo", "Kovacs", "1925", "Szeged");
+  add(5, "Rosa", "Levi", "1931", "Roma");
+  return ds;
+}
+
+TEST(MfiBlocksTest, FindsTrueDuplicateClusters) {
+  Dataset ds = DuplicatesDataset();
+  auto encoded = data::EncodeDataset(ds);
+  MfiBlocksConfig config;
+  config.max_minsup = 3;
+  config.ng = 3.0;
+  auto result = RunMfiBlocks(encoded, config);
+  std::set<data::RecordPair> pairs;
+  for (const auto& cp : result.pairs) pairs.insert(cp.pair);
+  EXPECT_TRUE(pairs.count(data::RecordPair(0, 1)));
+  EXPECT_TRUE(pairs.count(data::RecordPair(0, 2)));
+  EXPECT_TRUE(pairs.count(data::RecordPair(1, 2)));
+  EXPECT_TRUE(pairs.count(data::RecordPair(3, 4)));
+  // Entity 3 and the one-offs have no duplicates to pair with.
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(ds.IsGoldMatch(p.a, p.b))
+        << "false positive pair (" << p.a << "," << p.b << ")";
+  }
+}
+
+TEST(MfiBlocksTest, BlocksRespectSizeCap) {
+  Dataset ds = DuplicatesDataset();
+  auto encoded = data::EncodeDataset(ds);
+  MfiBlocksConfig config;
+  config.max_minsup = 2;
+  config.ng = 1.0;  // cap = minsup * 1
+  auto result = RunMfiBlocks(encoded, config);
+  for (const auto& b : result.blocks) {
+    EXPECT_LE(b.records.size(),
+              static_cast<size_t>(b.minsup_level * config.ng + 1e-9) < 2
+                  ? 2
+                  : static_cast<size_t>(b.minsup_level * config.ng + 1e-9));
+  }
+}
+
+TEST(MfiBlocksTest, PairsSortedByScore) {
+  Dataset ds = DuplicatesDataset();
+  auto encoded = data::EncodeDataset(ds);
+  MfiBlocksConfig config;
+  auto result = RunMfiBlocks(encoded, config);
+  for (size_t i = 1; i < result.pairs.size(); ++i) {
+    EXPECT_GE(result.pairs[i - 1].block_score, result.pairs[i].block_score);
+  }
+}
+
+TEST(MfiBlocksTest, ParallelScoringMatchesSequential) {
+  Dataset ds = DuplicatesDataset();
+  auto encoded = data::EncodeDataset(ds);
+  MfiBlocksConfig config;
+  auto sequential = RunMfiBlocks(encoded, config, nullptr);
+  util::ThreadPool pool(4);
+  auto parallel = RunMfiBlocks(encoded, config, &pool);
+  ASSERT_EQ(sequential.pairs.size(), parallel.pairs.size());
+  for (size_t i = 0; i < sequential.pairs.size(); ++i) {
+    EXPECT_EQ(sequential.pairs[i].pair, parallel.pairs[i].pair);
+    EXPECT_DOUBLE_EQ(sequential.pairs[i].block_score,
+                     parallel.pairs[i].block_score);
+  }
+}
+
+TEST(MfiBlocksTest, EmptyDataset) {
+  Dataset ds;
+  auto encoded = data::EncodeDataset(ds);
+  MfiBlocksConfig config;
+  auto result = RunMfiBlocks(encoded, config);
+  EXPECT_TRUE(result.pairs.empty());
+  EXPECT_TRUE(result.blocks.empty());
+}
+
+TEST(MfiBlocksTest, CandidatePairsAreCanonicalAndUnique) {
+  Dataset ds = DuplicatesDataset();
+  auto encoded = data::EncodeDataset(ds);
+  MfiBlocksConfig config;
+  auto result = RunMfiBlocks(encoded, config);
+  std::set<data::RecordPair> seen;
+  for (const auto& cp : result.pairs) {
+    EXPECT_LT(cp.pair.a, cp.pair.b);
+    EXPECT_TRUE(seen.insert(cp.pair).second) << "duplicate pair";
+  }
+}
+
+// Property sweep: over NG values, higher NG never decreases the number of
+// candidate pairs on a fixed dataset (looser sparse-neighborhood cap).
+class MfiBlocksNgTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MfiBlocksNgTest, BlocksWithinCapAndScoresPositive) {
+  Dataset ds = DuplicatesDataset();
+  auto encoded = data::EncodeDataset(ds);
+  MfiBlocksConfig config;
+  config.ng = GetParam();
+  auto result = RunMfiBlocks(encoded, config);
+  for (const auto& b : result.blocks) {
+    EXPECT_GE(b.records.size(), 2u);
+    EXPECT_GT(b.score, 0.0);
+    EXPECT_LE(b.score, 1.0 + 1e-9);
+    EXPECT_TRUE(std::is_sorted(b.records.begin(), b.records.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NgSweep, MfiBlocksNgTest,
+                         ::testing::Values(1.5, 2.0, 2.5, 3.0, 3.5, 4.0,
+                                           4.5, 5.0));
+
+}  // namespace
+}  // namespace yver::blocking

@@ -1,0 +1,155 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+#include "ml/fellegi_sunter.h"
+#include "util/rng.h"
+
+namespace yver::ml {
+namespace {
+
+using features::FeatureSchema;
+using features::FeatureVector;
+
+FeatureVector MakeVector(
+    std::initializer_list<std::pair<const char*, double>> values) {
+  FeatureVector fv;
+  fv.values.assign(FeatureSchema::Get().size(), features::MissingValue());
+  for (const auto& [name, v] : values) {
+    fv.values[FeatureSchema::Get().IndexOf(name)] = v;
+  }
+  return fv;
+}
+
+std::vector<Instance> SeparableInstances(size_t n, util::Rng& rng) {
+  std::vector<Instance> out;
+  for (size_t i = 0; i < n; ++i) {
+    Instance inst;
+    double v = rng.UniformDouble();
+    inst.features = MakeVector(
+        {{"LNdist", v}, {"B3dist", rng.UniformDouble() * 20}});
+    inst.label = v > 0.6 ? +1 : -1;
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DecisionTree
+
+TEST(DecisionTreeTest, LearnsThresholdConcept) {
+  util::Rng rng(3);
+  auto train = SeparableInstances(500, rng);
+  auto tree = DecisionTree::Train(train);
+  EXPECT_GT(tree.num_nodes(), 1u);
+  size_t correct = 0;
+  auto test = SeparableInstances(300, rng);
+  for (const auto& inst : test) {
+    correct += tree.Classify(inst.features) == (inst.label > 0);
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.95);
+}
+
+TEST(DecisionTreeTest, NominalSplits) {
+  util::Rng rng(5);
+  std::vector<Instance> train;
+  for (int i = 0; i < 300; ++i) {
+    Instance inst;
+    bool pos = rng.Bernoulli(0.5);
+    inst.features = MakeVector({{"sameFN", pos ? 2.0 : 0.0}});
+    inst.label = pos ? +1 : -1;
+    train.push_back(std::move(inst));
+  }
+  auto tree = DecisionTree::Train(train);
+  EXPECT_TRUE(tree.Classify(MakeVector({{"sameFN", 2.0}})));
+  EXPECT_FALSE(tree.Classify(MakeVector({{"sameFN", 0.0}})));
+}
+
+TEST(DecisionTreeTest, MissingValueFallsToMajority) {
+  util::Rng rng(7);
+  auto train = SeparableInstances(400, rng);
+  auto tree = DecisionTree::Train(train);
+  // An all-missing vector should classify without crashing.
+  FeatureVector empty;
+  empty.values.assign(FeatureSchema::Get().size(),
+                      features::MissingValue());
+  (void)tree.Classify(empty);
+  double s = tree.Score(empty);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(DecisionTreeTest, PureLeafStopsEarly) {
+  std::vector<Instance> train;
+  for (int i = 0; i < 20; ++i) {
+    Instance inst;
+    inst.features = MakeVector({{"LNdist", 0.5}});
+    inst.label = +1;  // all positive
+    train.push_back(std::move(inst));
+  }
+  auto tree = DecisionTree::Train(train);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_TRUE(tree.Classify(MakeVector({{"LNdist", 0.5}})));
+}
+
+TEST(DecisionTreeTest, DepthBounded) {
+  util::Rng rng(11);
+  auto train = SeparableInstances(500, rng);
+  DecisionTree::Options options;
+  options.max_depth = 1;
+  auto tree = DecisionTree::Train(train, options);
+  EXPECT_LE(tree.num_nodes(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Fellegi-Sunter
+
+TEST(FellegiSunterTest, AgreementRaisesScore) {
+  util::Rng rng(13);
+  std::vector<Instance> train;
+  for (int i = 0; i < 400; ++i) {
+    Instance inst;
+    bool pos = rng.Bernoulli(0.4);
+    inst.features = MakeVector(
+        {{"sameFN", pos ? 2.0 : 0.0},
+         {"LNdist", pos ? 0.9 + 0.1 * rng.UniformDouble()
+                        : 0.4 * rng.UniformDouble()}});
+    inst.label = pos ? +1 : -1;
+    train.push_back(std::move(inst));
+  }
+  auto model = FellegiSunter::Train(train);
+  double agree = model.Score(MakeVector({{"sameFN", 2.0},
+                                         {"LNdist", 0.95}}));
+  double disagree = model.Score(MakeVector({{"sameFN", 0.0},
+                                            {"LNdist", 0.1}}));
+  EXPECT_GT(agree, 0.0);
+  EXPECT_LT(disagree, 0.0);
+  EXPECT_TRUE(model.Classify(MakeVector({{"sameFN", 2.0},
+                                         {"LNdist", 0.95}})));
+}
+
+TEST(FellegiSunterTest, MissingFeaturesAreNeutral) {
+  util::Rng rng(17);
+  auto train = SeparableInstances(300, rng);
+  auto model = FellegiSunter::Train(train);
+  FeatureVector empty;
+  empty.values.assign(FeatureSchema::Get().size(),
+                      features::MissingValue());
+  EXPECT_DOUBLE_EQ(model.Score(empty), 0.0);
+}
+
+TEST(FellegiSunterTest, ClassifiesSeparableData) {
+  util::Rng rng(19);
+  auto train = SeparableInstances(500, rng);
+  auto model = FellegiSunter::Train(train);
+  auto test = SeparableInstances(300, rng);
+  size_t correct = 0;
+  for (const auto& inst : test) {
+    correct += model.Classify(inst.features) == (inst.label > 0);
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.85);
+}
+
+}  // namespace
+}  // namespace yver::ml

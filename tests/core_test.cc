@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include "core/entity_clusters.h"
+#include "core/evaluation.h"
+#include "core/gold_standard.h"
+#include "core/narrative.h"
+#include "core/pipeline.h"
+#include "core/ranked_resolution.h"
+#include "synth/tag_oracle.h"
+
+namespace yver::core {
+namespace {
+
+using data::AttributeId;
+using data::Dataset;
+using data::Record;
+using data::RecordPair;
+
+// ---------------------------------------------------------------------------
+// RankedResolution
+
+RankedResolution MakeResolution() {
+  std::vector<RankedMatch> matches = {
+      {RecordPair(0, 1), 0.9, 0.5},
+      {RecordPair(1, 2), 0.4, 0.3},
+      {RecordPair(3, 4), 0.7, 0.6},
+      {RecordPair(0, 3), -0.2, 0.1},
+  };
+  return RankedResolution(std::move(matches));
+}
+
+TEST(RankedResolutionTest, SortedDescending) {
+  auto res = MakeResolution();
+  ASSERT_EQ(res.size(), 4u);
+  for (size_t i = 1; i < res.matches().size(); ++i) {
+    EXPECT_GE(res.matches()[i - 1].confidence, res.matches()[i].confidence);
+  }
+}
+
+TEST(RankedResolutionTest, ThresholdQueryGrowsAsCertaintyDrops) {
+  auto res = MakeResolution();
+  EXPECT_EQ(res.AboveThreshold(0.8).size(), 1u);
+  EXPECT_EQ(res.AboveThreshold(0.5).size(), 2u);
+  EXPECT_EQ(res.AboveThreshold(0.0).size(), 3u);
+  EXPECT_EQ(res.AboveThreshold(-1.0).size(), 4u);
+}
+
+TEST(RankedResolutionTest, TopK) {
+  auto res = MakeResolution();
+  auto top2 = res.TopK(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_DOUBLE_EQ(top2[0].confidence, 0.9);
+  EXPECT_DOUBLE_EQ(top2[1].confidence, 0.7);
+  EXPECT_EQ(res.TopK(10).size(), 4u);
+}
+
+TEST(RankedResolutionTest, ForRecordFiltersAndThresholds) {
+  auto res = MakeResolution();
+  auto for0 = res.ForRecord(0, 0.0);
+  ASSERT_EQ(for0.size(), 1u);
+  EXPECT_EQ(for0[0].pair, RecordPair(0, 1));
+  EXPECT_EQ(res.ForRecord(0, -1.0).size(), 2u);
+  EXPECT_TRUE(res.ForRecord(7, 0.0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// EntityClusters
+
+TEST(EntityClustersTest, ConnectedComponentsAtThreshold) {
+  auto res = MakeResolution();
+  EntityClusters clusters(res, 6, /*certainty=*/0.3);
+  // Matches above 0.3: (0,1), (1,2), (3,4) -> {0,1,2}, {3,4}, {5}.
+  EXPECT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(clusters.NumNonSingleton(), 2u);
+  EXPECT_EQ(clusters.ClusterOf(0), clusters.ClusterOf(2));
+  EXPECT_NE(clusters.ClusterOf(0), clusters.ClusterOf(3));
+  EXPECT_EQ(clusters.Members(4).size(), 2u);
+}
+
+TEST(EntityClustersTest, HighCertaintySplits) {
+  auto res = MakeResolution();
+  EntityClusters clusters(res, 6, /*certainty=*/0.8);
+  // Only (0,1) survives.
+  EXPECT_EQ(clusters.NumNonSingleton(), 1u);
+  EXPECT_NE(clusters.ClusterOf(1), clusters.ClusterOf(2));
+}
+
+TEST(EntityClustersTest, ClustersSortedLargestFirst) {
+  auto res = MakeResolution();
+  EntityClusters clusters(res, 6, 0.3);
+  for (size_t i = 1; i < clusters.clusters().size(); ++i) {
+    EXPECT_GE(clusters.clusters()[i - 1].size(),
+              clusters.clusters()[i].size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+
+Dataset GoldDataset() {
+  Dataset ds;
+  for (int i = 0; i < 6; ++i) {
+    Record r;
+    r.entity_id = i / 2;      // entities {0,1},{2,3},{4,5}
+    r.family_id = i / 4;      // families {0..3},{4,5}
+    ds.Add(std::move(r));
+  }
+  return ds;
+}
+
+TEST(EvaluationTest, PairQualityArithmetic) {
+  Dataset ds = GoldDataset();
+  std::vector<RecordPair> pairs = {RecordPair(0, 1), RecordPair(2, 3),
+                                   RecordPair(0, 2)};
+  auto q = EvaluatePairs(ds, pairs);
+  EXPECT_EQ(q.true_pos, 2u);
+  EXPECT_EQ(q.false_pos, 1u);
+  EXPECT_EQ(q.gold_pairs, 3u);
+  EXPECT_NEAR(q.Precision(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(q.Recall(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(q.F1(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(EvaluationTest, FamilyPairsUseFamilyIds) {
+  Dataset ds = GoldDataset();
+  std::vector<RecordPair> pairs = {RecordPair(0, 2),   // same family
+                                   RecordPair(0, 4)};  // cross family
+  auto q = EvaluateFamilyPairs(ds, pairs);
+  EXPECT_EQ(q.true_pos, 1u);
+  EXPECT_EQ(q.false_pos, 1u);
+  EXPECT_EQ(q.gold_pairs, 6u + 1u);  // C(4,2) + C(2,2)
+}
+
+TEST(EvaluationTest, EmptyQuality) {
+  PairQuality q;
+  EXPECT_DOUBLE_EQ(q.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(q.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(q.F1(), 0.0);
+}
+
+TEST(EvaluationTest, ReductionRatio) {
+  // 100 records -> 4950 exhaustive pairs; 495 candidates saves 90%.
+  EXPECT_NEAR(ReductionRatio(100, 495), 0.9, 1e-9);
+  EXPECT_DOUBLE_EQ(ReductionRatio(100, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ReductionRatio(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ReductionRatio(100, 10000), 0.0);  // clamped
+}
+
+// ---------------------------------------------------------------------------
+// Narrative
+
+TEST(NarrativeTest, ProfileMergesWithSupportOrder) {
+  Dataset ds;
+  for (int i = 0; i < 3; ++i) {
+    Record r;
+    r.book_id = 100u + static_cast<uint64_t>(i);
+    r.source_id = static_cast<uint32_t>(i < 2 ? 1 : 2);
+    r.Add(AttributeId::kFirstName, i < 2 ? "Guido" : "Guida");
+    r.Add(AttributeId::kLastName, "Foa");
+    ds.Add(std::move(r));
+  }
+  auto profile = BuildProfile(ds, {0, 1, 2});
+  EXPECT_EQ(profile.records.size(), 3u);
+  EXPECT_EQ(profile.num_sources, 2u);
+  EXPECT_EQ(profile.Consensus(AttributeId::kFirstName), "Guido");
+  EXPECT_EQ(profile.values.at(AttributeId::kFirstName).size(), 2u);
+  EXPECT_EQ(profile.Consensus(AttributeId::kGender), "");
+}
+
+TEST(NarrativeTest, RenderContainsKeyFacts) {
+  Dataset ds;
+  Record r;
+  r.book_id = 1059654;
+  r.Add(AttributeId::kFirstName, "Guido");
+  r.Add(AttributeId::kLastName, "Foa");
+  r.Add(AttributeId::kFathersName, "Donato");
+  r.Add(AttributeId::kMothersName, "Olga");
+  r.Add(AttributeId::kBirthDay, "18");
+  r.Add(AttributeId::kBirthMonth, "11");
+  r.Add(AttributeId::kBirthYear, "1920");
+  r.Add(AttributeId::kBirthCity, "Torino");
+  r.Add(AttributeId::kBirthCountry, "Italy");
+  r.Add(AttributeId::kPermCity, "Torino");
+  r.Add(AttributeId::kDeathCity, "Auschwitz");
+  ds.Add(std::move(r));
+  auto text = RenderNarrative(BuildProfile(ds, {0}));
+  EXPECT_NE(text.find("Guido Foa"), std::string::npos);
+  EXPECT_NE(text.find("Donato"), std::string::npos);
+  EXPECT_NE(text.find("18/11/1920"), std::string::npos);
+  EXPECT_NE(text.find("Auschwitz"), std::string::npos);
+}
+
+TEST(NarrativeTest, HandlesEmptyRecordGracefully) {
+  Dataset ds;
+  ds.Add(Record{});
+  auto text = RenderNarrative(BuildProfile(ds, {0}));
+  EXPECT_NE(text.find("unnamed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline end-to-end on controlled data
+
+Dataset PipelineDataset() {
+  Dataset ds;
+  auto add = [&ds](int64_t entity, uint32_t source, const char* fn,
+                   const char* ln, const char* yb) {
+    Record r;
+    r.entity_id = entity;
+    r.family_id = entity;
+    r.source_id = source;
+    r.Add(AttributeId::kFirstName, fn);
+    r.Add(AttributeId::kLastName, ln);
+    r.Add(AttributeId::kBirthYear, yb);
+    r.Add(AttributeId::kGender, "M");
+    ds.Add(std::move(r));
+  };
+  add(1, 10, "Guido", "Foa", "1920");
+  add(1, 11, "Guido", "Foa", "1920");
+  add(1, 12, "Guido", "Foa", "1921");
+  add(2, 10, "Mendel", "Kesler", "1899");
+  add(2, 13, "Mendel", "Kesler", "1899");
+  add(3, 14, "Laszlo", "Kovacs", "1925");
+  add(4, 15, "Rosa", "Levi", "1931");
+  add(4, 15, "Rosa", "Levi", "1931");  // same-source duplicate pair
+  return ds;
+}
+
+TEST(PipelineTest, BlockScoreOnlyResolution) {
+  Dataset ds = PipelineDataset();
+  UncertainErPipeline pipeline(ds);
+  PipelineConfig config;
+  config.use_classifier = false;
+  config.blocking.max_minsup = 3;
+  auto result = pipeline.Run(config, nullptr);
+  EXPECT_FALSE(result.resolution.empty());
+  auto q = EvaluateMatches(ds, result.resolution.matches());
+  EXPECT_GT(q.Recall(), 0.5);
+}
+
+TEST(PipelineTest, SameSourceFilterDropsPairs) {
+  Dataset ds = PipelineDataset();
+  UncertainErPipeline pipeline(ds);
+  blocking::MfiBlocksConfig bc;
+  bc.max_minsup = 3;
+  auto blocking_result = pipeline.RunBlocking(bc);
+  auto filtered = pipeline.DiscardSameSource(blocking_result.pairs);
+  EXPECT_LT(filtered.size(), blocking_result.pairs.size());
+  for (const auto& cp : filtered) {
+    EXPECT_NE(ds[cp.pair.a].source_id, ds[cp.pair.b].source_id);
+  }
+}
+
+TEST(PipelineTest, ClassifierPipelineProducesModelAndRanking) {
+  Dataset ds = PipelineDataset();
+  UncertainErPipeline pipeline(ds);
+  synth::TagOracle oracle(&ds);
+  PipelineConfig config;
+  config.use_classifier = true;
+  config.blocking.max_minsup = 3;
+  auto result = pipeline.Run(
+      config, [&oracle](data::RecordIdx a, data::RecordIdx b) {
+        return oracle.Tag(a, b);
+      });
+  EXPECT_GT(result.model.num_splitters(), 0u);
+  EXPECT_FALSE(result.training_instances.empty());
+  // Every surviving match has positive confidence (the Cls filter).
+  for (const auto& m : result.resolution.matches()) {
+    EXPECT_GT(m.confidence, 0.0);
+  }
+}
+
+TEST(PipelineTest, MakeInstancesExtractsTagsAndFeatures) {
+  Dataset ds = PipelineDataset();
+  UncertainErPipeline pipeline(ds);
+  std::vector<blocking::CandidatePair> pairs = {
+      {RecordPair(0, 1), 0.8, 3}};
+  auto instances = pipeline.MakeInstances(
+      pairs, [](data::RecordIdx, data::RecordIdx) {
+        return ml::ExpertTag::kYes;
+      });
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].tag, ml::ExpertTag::kYes);
+  EXPECT_EQ(instances[0].features.values.size(),
+            features::FeatureSchema::Get().size());
+}
+
+// ---------------------------------------------------------------------------
+// Tagged standard
+
+TEST(GoldStandardTest, BuildsUnionAndEvaluates) {
+  Dataset ds = PipelineDataset();
+  UncertainErPipeline pipeline(ds);
+  synth::TagOracle oracle(&ds);
+  std::vector<blocking::MfiBlocksConfig> configs(2);
+  configs[0].max_minsup = 3;
+  configs[1].max_minsup = 2;
+  configs[1].ng = 4.0;
+  auto standard = BuildTaggedStandard(
+      pipeline, configs, [&oracle](data::RecordIdx a, data::RecordIdx b) {
+        return oracle.Tag(a, b);
+      });
+  EXPECT_GT(standard.tags.size(), 0u);
+  EXPECT_GT(standard.num_positive, 0u);
+  EXPECT_LE(standard.num_positive, standard.tags.size());
+  // A configuration evaluated against the standard scores sane values.
+  blocking::MfiBlocksConfig bc;
+  bc.max_minsup = 3;
+  auto result = pipeline.RunBlocking(bc);
+  auto q = EvaluateAgainstStandard(standard, result.pairs);
+  EXPECT_GE(q.Recall(), 0.0);
+  EXPECT_LE(q.Recall(), 1.0);
+  EXPECT_GE(q.Precision(), 0.0);
+  EXPECT_LE(q.Precision(), 1.0);
+}
+
+TEST(GoldStandardTest, PositiveSemantics) {
+  TaggedStandard standard;
+  standard.tags[RecordPair(0, 1)] = ml::ExpertTag::kYes;
+  standard.tags[RecordPair(1, 2)] = ml::ExpertTag::kMaybe;
+  standard.num_positive = 1;
+  EXPECT_TRUE(standard.IsPositive(RecordPair(0, 1)));
+  EXPECT_FALSE(standard.IsPositive(RecordPair(1, 2)));
+  EXPECT_FALSE(standard.IsPositive(RecordPair(5, 6)));
+  EXPECT_TRUE(standard.TagOf(RecordPair(1, 2)).has_value());
+  EXPECT_FALSE(standard.TagOf(RecordPair(5, 6)).has_value());
+}
+
+TEST(ConfigTest, RecommendedConfigMatchesPaper) {
+  auto config = RecommendedConfig();
+  EXPECT_EQ(config.blocking.max_minsup, 5u);
+  EXPECT_DOUBLE_EQ(config.blocking.ng, 3.5);
+  EXPECT_TRUE(config.blocking.expert_weighting);
+  EXPECT_TRUE(config.discard_same_source);
+  EXPECT_TRUE(config.use_classifier);
+  EXPECT_EQ(config.blocking.score_kind,
+            blocking::BlockScoreKind::kClusterJaccard);
+}
+
+}  // namespace
+}  // namespace yver::core

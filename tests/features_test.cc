@@ -1,0 +1,249 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/item_dictionary.h"
+#include "features/feature_extractor.h"
+#include "features/feature_schema.h"
+
+namespace yver::features {
+namespace {
+
+using data::AttributeId;
+using data::Dataset;
+using data::Record;
+
+TEST(FeatureSchemaTest, Exactly48Features) {
+  EXPECT_EQ(FeatureSchema::Get().size(), 48u);
+}
+
+TEST(FeatureSchemaTest, NamesAreUniqueAndResolvable) {
+  const auto& schema = FeatureSchema::Get();
+  std::set<std::string> names;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    EXPECT_TRUE(names.insert(schema.def(i).name).second);
+    EXPECT_EQ(schema.IndexOf(schema.def(i).name), i);
+  }
+}
+
+TEST(FeatureSchemaTest, PaperFeatureNamesPresent) {
+  const auto& schema = FeatureSchema::Get();
+  // Names appearing in the printed trees of Tables 7/8.
+  for (const char* name : {"sameFFN", "MFNdist", "FFNdist", "sameFN",
+                           "FNdist", "SNdist", "B3dist", "LNdist", "MNdist",
+                           "DPGeoDist"}) {
+    (void)name;
+  }
+  EXPECT_NO_FATAL_FAILURE(schema.IndexOf("sameFFN"));
+  EXPECT_NO_FATAL_FAILURE(schema.IndexOf("MFNdist"));
+  EXPECT_NO_FATAL_FAILURE(schema.IndexOf("B3dist"));
+  EXPECT_NO_FATAL_FAILURE(schema.IndexOf("DPGeoDist"));
+  EXPECT_NO_FATAL_FAILURE(schema.IndexOf("sameSource"));
+}
+
+class FeatureExtractorTest : public ::testing::Test {
+ protected:
+  void Build() {
+    encoded_ = data::EncodeDataset(dataset_, [](AttributeId,
+                                                std::string_view v)
+                                                 -> std::optional<geo::GeoPoint> {
+      if (v == "Torino") return geo::GeoPoint{45.07, 7.69};
+      if (v == "Moncalieri") return geo::GeoPoint{45.00, 7.68};
+      return std::nullopt;
+    });
+    extractor_ = std::make_unique<FeatureExtractor>(encoded_);
+  }
+
+  double Feature(const FeatureVector& fv, const char* name) {
+    return fv.values[FeatureSchema::Get().IndexOf(name)];
+  }
+
+  Dataset dataset_;
+  data::EncodedDataset encoded_;
+  std::unique_ptr<FeatureExtractor> extractor_;
+};
+
+TEST_F(FeatureExtractorTest, SameNameTrinarySemantics) {
+  Record a;
+  a.Add(AttributeId::kFirstName, "John");
+  a.Add(AttributeId::kFirstName, "Harris");
+  dataset_.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kFirstName, "John");
+  dataset_.Add(std::move(b));
+  Record c;
+  c.Add(AttributeId::kFirstName, "Pierre");
+  dataset_.Add(std::move(c));
+  Build();
+  // The paper's example: {John, Harris} vs {John} -> partial.
+  auto fv_ab = extractor_->Extract(0, 1);
+  EXPECT_DOUBLE_EQ(Feature(fv_ab, "sameFN"),
+                   static_cast<double>(NameAgreement::kPartial));
+  auto fv_bc = extractor_->Extract(1, 2);
+  EXPECT_DOUBLE_EQ(Feature(fv_bc, "sameFN"),
+                   static_cast<double>(NameAgreement::kNo));
+  Record d;
+  d.Add(AttributeId::kFirstName, "John");
+  dataset_ = Dataset();
+  Record b2;
+  b2.Add(AttributeId::kFirstName, "John");
+  dataset_.Add(std::move(d));
+  dataset_.Add(std::move(b2));
+  Build();
+  auto fv = extractor_->Extract(0, 1);
+  EXPECT_DOUBLE_EQ(Feature(fv, "sameFN"),
+                   static_cast<double>(NameAgreement::kYes));
+}
+
+TEST_F(FeatureExtractorTest, MissingAttributesGiveNaN) {
+  Record a;
+  a.Add(AttributeId::kFirstName, "Guido");
+  dataset_.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kFirstName, "Guido");
+  b.Add(AttributeId::kLastName, "Foa");
+  dataset_.Add(std::move(b));
+  Build();
+  auto fv = extractor_->Extract(0, 1);
+  EXPECT_TRUE(std::isnan(Feature(fv, "sameLN")));  // a lacks last name
+  EXPECT_TRUE(std::isnan(Feature(fv, "B3dist")));
+  EXPECT_TRUE(std::isnan(Feature(fv, "sameGender")));
+  EXPECT_FALSE(std::isnan(Feature(fv, "sameFN")));
+  EXPECT_FALSE(std::isnan(Feature(fv, "sameSource")));  // always present
+}
+
+TEST_F(FeatureExtractorTest, NameDistIsMaxOverValues) {
+  Record a;
+  a.Add(AttributeId::kFirstName, "Guido");
+  a.Add(AttributeId::kFirstName, "Massimo");
+  dataset_.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kFirstName, "Guido");
+  dataset_.Add(std::move(b));
+  Build();
+  auto fv = extractor_->Extract(0, 1);
+  EXPECT_DOUBLE_EQ(Feature(fv, "FNdist"), 1.0);  // best pair is exact
+}
+
+TEST_F(FeatureExtractorTest, BirthDateDistancesAreRaw) {
+  Record a;
+  a.Add(AttributeId::kBirthDay, "2");
+  a.Add(AttributeId::kBirthMonth, "8");
+  a.Add(AttributeId::kBirthYear, "1936");
+  dataset_.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kBirthDay, "18");
+  b.Add(AttributeId::kBirthMonth, "11");
+  b.Add(AttributeId::kBirthYear, "1920");
+  dataset_.Add(std::move(b));
+  Build();
+  auto fv = extractor_->Extract(0, 1);
+  EXPECT_DOUBLE_EQ(Feature(fv, "B1dist"), 16.0);
+  EXPECT_DOUBLE_EQ(Feature(fv, "B2dist"), 3.0);
+  EXPECT_DOUBLE_EQ(Feature(fv, "B3dist"), 16.0);
+  // Normalized companions.
+  EXPECT_NEAR(Feature(fv, "B3sim"), 1.0 - 16.0 / 100.0, 1e-9);
+}
+
+TEST_F(FeatureExtractorTest, GeoDistanceTurinMoncalieri) {
+  Record a;
+  a.Add(AttributeId::kBirthCity, "Torino");
+  dataset_.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kBirthCity, "Moncalieri");
+  dataset_.Add(std::move(b));
+  Build();
+  auto fv = extractor_->Extract(0, 1);
+  double d = Feature(fv, "BPGeoDist");
+  // The paper's example: Turin-Moncalieri = 9 km.
+  EXPECT_GT(d, 5.0);
+  EXPECT_LT(d, 12.0);
+}
+
+TEST_F(FeatureExtractorTest, UnknownCityGeoIsMissing) {
+  Record a;
+  a.Add(AttributeId::kBirthCity, "Atlantis");
+  dataset_.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kBirthCity, "Torino");
+  dataset_.Add(std::move(b));
+  Build();
+  auto fv = extractor_->Extract(0, 1);
+  EXPECT_TRUE(std::isnan(Feature(fv, "BPGeoDist")));
+  // But the binary place-part equality still compares strings.
+  EXPECT_DOUBLE_EQ(Feature(fv, "sameBPCity"),
+                   static_cast<double>(BinaryCode::kNo));
+}
+
+TEST_F(FeatureExtractorTest, SameSourceGenderProfession) {
+  Record a;
+  a.source_id = 7;
+  a.Add(AttributeId::kGender, "M");
+  a.Add(AttributeId::kProfession, "tailor");
+  dataset_.Add(std::move(a));
+  Record b;
+  b.source_id = 7;
+  b.Add(AttributeId::kGender, "M");
+  b.Add(AttributeId::kProfession, "baker");
+  dataset_.Add(std::move(b));
+  Build();
+  auto fv = extractor_->Extract(0, 1);
+  EXPECT_DOUBLE_EQ(Feature(fv, "sameSource"),
+                   static_cast<double>(BinaryCode::kYes));
+  EXPECT_DOUBLE_EQ(Feature(fv, "sameGender"),
+                   static_cast<double>(BinaryCode::kYes));
+  EXPECT_DOUBLE_EQ(Feature(fv, "sameProfession"),
+                   static_cast<double>(BinaryCode::kNo));
+}
+
+TEST_F(FeatureExtractorTest, CaseInsensitiveNameAgreement) {
+  Record a;
+  a.Add(AttributeId::kLastName, "FOA");
+  dataset_.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kLastName, "foa");
+  dataset_.Add(std::move(b));
+  Build();
+  auto fv = extractor_->Extract(0, 1);
+  EXPECT_DOUBLE_EQ(Feature(fv, "sameLN"),
+                   static_cast<double>(NameAgreement::kYes));
+  EXPECT_DOUBLE_EQ(Feature(fv, "LNdist"), 1.0);
+}
+
+TEST_F(FeatureExtractorTest, BagJaccardAlwaysPresent) {
+  Record a;
+  a.Add(AttributeId::kFirstName, "X");
+  dataset_.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kFirstName, "X");
+  dataset_.Add(std::move(b));
+  Build();
+  auto fv = extractor_->Extract(0, 1);
+  EXPECT_DOUBLE_EQ(Feature(fv, "bagJaccard"), 1.0);
+}
+
+TEST_F(FeatureExtractorTest, SymmetricInArguments) {
+  Record a;
+  a.Add(AttributeId::kFirstName, "Guido");
+  a.Add(AttributeId::kLastName, "Foa");
+  a.Add(AttributeId::kBirthYear, "1920");
+  dataset_.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kFirstName, "Guida");
+  b.Add(AttributeId::kLastName, "Foy");
+  b.Add(AttributeId::kBirthYear, "1925");
+  dataset_.Add(std::move(b));
+  Build();
+  auto ab = extractor_->Extract(0, 1);
+  auto ba = extractor_->Extract(1, 0);
+  for (size_t i = 0; i < ab.values.size(); ++i) {
+    if (std::isnan(ab.values[i])) {
+      EXPECT_TRUE(std::isnan(ba.values[i]));
+    } else {
+      EXPECT_DOUBLE_EQ(ab.values[i], ba.values[i]) << "feature " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace yver::features

@@ -1,0 +1,235 @@
+// End-to-end integration tests: the full uncertain-ER system exercised on
+// synthetic corpora across seeds and configurations, checking the
+// invariants the paper's evaluation relies on.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/entity_clusters.h"
+#include "core/evaluation.h"
+#include "core/gold_standard.h"
+#include "core/incremental.h"
+#include "core/narrative.h"
+#include "core/pipeline.h"
+#include "probdb/calibration.h"
+#include "probdb/uncertain_graph.h"
+#include "synth/gazetteer.h"
+#include "synth/generator.h"
+#include "synth/tag_oracle.h"
+
+namespace yver {
+namespace {
+
+struct Corpus {
+  synth::GeneratedData generated;
+  synth::Gazetteer gazetteer;
+  std::unique_ptr<core::UncertainErPipeline> pipeline;
+  std::unique_ptr<synth::TagOracle> oracle;
+
+  explicit Corpus(uint64_t seed, size_t persons = 700) {
+    synth::GeneratorConfig config = synth::ItalyConfig();
+    config.num_persons = persons;
+    config.seed = seed;
+    generated = synth::Generate(config);
+    pipeline = std::make_unique<core::UncertainErPipeline>(
+        generated.dataset, gazetteer.MakeGeoResolver());
+    oracle = std::make_unique<synth::TagOracle>(&generated.dataset);
+  }
+
+  core::PairTagger Tagger() {
+    return [this](data::RecordIdx a, data::RecordIdx b) {
+      return oracle->Tag(a, b);
+    };
+  }
+};
+
+class EndToEndSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EndToEndSeedTest, RecommendedConfigProducesQualityResolution) {
+  Corpus corpus(GetParam());
+  auto result =
+      corpus.pipeline->Run(core::RecommendedConfig(), corpus.Tagger());
+  ASSERT_FALSE(result.resolution.empty());
+  auto q = core::EvaluateMatches(corpus.generated.dataset,
+                                 result.resolution.matches());
+  // The classified pipeline is precise and finds a solid share of pairs.
+  EXPECT_GT(q.Precision(), 0.8) << "seed " << GetParam();
+  EXPECT_GT(q.Recall(), 0.3) << "seed " << GetParam();
+  // The model is compact, as in the paper (8-10 features).
+  EXPECT_LE(result.model.UsedFeatures().size(), 12u);
+  EXPECT_GE(result.model.UsedFeatures().size(), 3u);
+}
+
+TEST_P(EndToEndSeedTest, CertaintyDialIsMonotone) {
+  Corpus corpus(GetParam());
+  auto result =
+      corpus.pipeline->Run(core::RecommendedConfig(), corpus.Tagger());
+  size_t previous = 0;
+  double previous_precision = 0.0;
+  bool first = true;
+  for (double certainty : {3.0, 2.0, 1.0, 0.0}) {
+    auto matches = result.resolution.AboveThreshold(certainty);
+    EXPECT_GE(matches.size(), previous);
+    previous = matches.size();
+    if (matches.empty()) continue;
+    auto q = core::EvaluateMatches(corpus.generated.dataset, matches);
+    if (!first) {
+      // Precision should not *improve* much as the threshold loosens.
+      EXPECT_LE(q.Precision(), previous_precision + 0.05);
+    }
+    previous_precision = q.Precision();
+    first = false;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndSeedTest,
+                         ::testing::Values(101, 202, 303));
+
+TEST(EndToEndTest, TaggedStandardProtocolIsConsistent) {
+  Corpus corpus(42);
+  auto standard = core::BuildTaggedStandard(
+      *corpus.pipeline,
+      [] {
+        std::vector<blocking::MfiBlocksConfig> configs(2);
+        configs[0].max_minsup = 5;
+        configs[0].ng = 3.0;
+        configs[1].max_minsup = 4;
+        configs[1].ng = 4.0;
+        return configs;
+      }(),
+      corpus.Tagger());
+  ASSERT_GT(standard.num_positive, 0u);
+  // A config that contributed to the standard cannot exceed recall 1 and
+  // its candidates are all tagged.
+  blocking::MfiBlocksConfig config;
+  config.max_minsup = 5;
+  config.ng = 3.0;
+  auto result = corpus.pipeline->RunBlocking(config);
+  for (const auto& cp : result.pairs) {
+    EXPECT_TRUE(standard.TagOf(cp.pair).has_value());
+  }
+  auto q = core::EvaluateAgainstStandard(standard, result.pairs);
+  EXPECT_LE(q.Recall(), 1.0);
+  EXPECT_GT(q.Recall(), 0.3);
+}
+
+TEST(EndToEndTest, ExpertWeightingRaisesRecall) {
+  Corpus corpus(7);
+  blocking::MfiBlocksConfig base;
+  base.max_minsup = 5;
+  base.ng = 3.5;
+  auto base_result = corpus.pipeline->RunBlocking(base);
+  blocking::MfiBlocksConfig weighted = base;
+  weighted.expert_weighting = true;
+  auto weighted_result = corpus.pipeline->RunBlocking(weighted);
+  auto base_q =
+      core::EvaluatePairs(corpus.generated.dataset, base_result.pairs);
+  auto weighted_q = core::EvaluatePairs(corpus.generated.dataset,
+                                        weighted_result.pairs);
+  EXPECT_GT(weighted_q.Recall(), base_q.Recall());
+}
+
+TEST(EndToEndTest, ClassifierImprovesPrecisionOverBlocking) {
+  Corpus corpus(13);
+  core::PipelineConfig with_cls = core::RecommendedConfig();
+  core::PipelineConfig without_cls = with_cls;
+  without_cls.use_classifier = false;
+  auto classified = corpus.pipeline->Run(with_cls, corpus.Tagger());
+  auto raw = corpus.pipeline->Run(without_cls, corpus.Tagger());
+  auto q_cls = core::EvaluateMatches(corpus.generated.dataset,
+                                     classified.resolution.matches());
+  auto q_raw = core::EvaluateMatches(corpus.generated.dataset,
+                                     raw.resolution.matches());
+  EXPECT_GT(q_cls.Precision(), q_raw.Precision());
+}
+
+TEST(EndToEndTest, EntityClustersRespectDuplicateBound) {
+  Corpus corpus(99);
+  auto result =
+      corpus.pipeline->Run(core::RecommendedConfig(), corpus.Tagger());
+  core::EntityClusters clusters(result.resolution,
+                                corpus.generated.dataset.size(), 0.0);
+  // Archival experts bound duplicate sets at 8 (+1 MV); clusters at the
+  // strict person level should not balloon far beyond that.
+  EXPECT_LE(clusters.clusters().front().size(), 16u);
+}
+
+TEST(EndToEndTest, NarrativesRenderForAllClusters) {
+  Corpus corpus(55, 300);
+  auto result =
+      corpus.pipeline->Run(core::RecommendedConfig(), corpus.Tagger());
+  core::EntityClusters clusters(result.resolution,
+                                corpus.generated.dataset.size(), 0.0);
+  for (const auto& cluster : clusters.clusters()) {
+    auto profile = core::BuildProfile(corpus.generated.dataset, cluster);
+    std::string text = core::RenderNarrative(profile);
+    EXPECT_FALSE(text.empty());
+    EXPECT_NE(text.find("Based on"), std::string::npos);
+  }
+}
+
+TEST(EndToEndTest, ProbabilisticCountsBracketTruth) {
+  Corpus corpus(77, 400);
+  auto result =
+      corpus.pipeline->Run(core::RecommendedConfig(), corpus.Tagger());
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (const auto& inst : result.training_instances) {
+    scores.push_back(result.model.Score(inst.features));
+    labels.push_back(inst.label);
+  }
+  auto scaler = probdb::PlattScaler::Fit(scores, labels);
+  probdb::UncertainMatchGraph graph(result.resolution,
+                                    corpus.generated.dataset.size(), scaler);
+  util::Rng rng(5);
+  auto [mean, stddev] = graph.ExpectedNumEntities(60, rng);
+  double truth = static_cast<double>(
+      corpus.generated.dataset.GroupByEntity().size());
+  // The expected count lies between the report count (no merging) and a
+  // floor below the truth (over-merging would go under).
+  EXPECT_LT(mean, static_cast<double>(corpus.generated.dataset.size()));
+  EXPECT_GT(mean, truth * 0.8);
+  EXPECT_GE(stddev, 0.0);
+}
+
+TEST(EndToEndTest, IncrementalAgreesWithItsModel) {
+  Corpus corpus(31, 300);
+  auto result =
+      corpus.pipeline->Run(core::RecommendedConfig(), corpus.Tagger());
+  core::IncrementalResolver resolver(corpus.generated.dataset,
+                                     result.resolution, result.model,
+                                     corpus.gazetteer.MakeGeoResolver());
+  // Streaming a copy of an existing record must match its original with
+  // the highest available confidence.
+  data::Record copy = corpus.generated.dataset[0];
+  copy.book_id = 9999999;
+  data::RecordIdx idx = resolver.AddRecord(copy);
+  ASSERT_FALSE(resolver.last_matches().empty());
+  bool found_original = false;
+  for (const auto& m : resolver.last_matches()) {
+    data::RecordIdx other = m.pair.a == idx ? m.pair.b : m.pair.a;
+    if (other == 0) found_original = true;
+  }
+  EXPECT_TRUE(found_original);
+}
+
+TEST(EndToEndTest, SubmitterTableIsResolvable) {
+  Corpus corpus(3, 600);
+  const auto& submitters = corpus.generated.submitters;
+  ASSERT_GT(submitters.size(), 100u);
+  EXPECT_GT(submitters.NumGoldPairs(), 10u);
+  core::UncertainErPipeline pipeline(submitters,
+                                     corpus.gazetteer.MakeGeoResolver());
+  blocking::MfiBlocksConfig config;
+  config.max_minsup = 4;
+  config.ng = 3.0;
+  config.expert_weighting = true;
+  auto result = pipeline.RunBlocking(config);
+  auto q = core::EvaluatePairs(submitters, result.pairs);
+  EXPECT_GT(q.Recall(), 0.4);
+}
+
+}  // namespace
+}  // namespace yver

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/knowledge_graph.h"
+
+namespace yver::core {
+namespace {
+
+using data::AttributeId;
+using data::Dataset;
+using data::Record;
+
+Dataset GuidoDataset() {
+  Dataset ds;
+  Record r;
+  r.book_id = 1059654;
+  r.Add(AttributeId::kFirstName, "Guido");
+  r.Add(AttributeId::kLastName, "Foa");
+  r.Add(AttributeId::kFathersName, "Donato");
+  r.Add(AttributeId::kMothersName, "Olga");
+  r.Add(AttributeId::kSpouseName, "Helena");
+  r.Add(AttributeId::kBirthYear, "1920");
+  r.Add(AttributeId::kBirthCity, "Torino");
+  r.Add(AttributeId::kPermCity, "Torino");
+  r.Add(AttributeId::kDeathCity, "Auschwitz");
+  ds.Add(std::move(r));
+  Record h;
+  h.book_id = 1059900;
+  h.Add(AttributeId::kFirstName, "Helena");
+  h.Add(AttributeId::kLastName, "Foa");
+  h.Add(AttributeId::kSpouseName, "Guido");
+  h.Add(AttributeId::kPermCity, "Torino");
+  ds.Add(std::move(h));
+  return ds;
+}
+
+TEST(KnowledgeGraphTest, EntitySubgraphHasPlacesRelativesReports) {
+  Dataset ds = GuidoDataset();
+  KnowledgeGraph graph;
+  size_t guido = graph.AddEntity(ds, {0});
+  EXPECT_EQ(graph.nodes()[guido].kind, KnowledgeGraph::NodeKind::kPerson);
+  // Nodes: person, Torino (shared for birth+perm), Auschwitz, 3 relatives,
+  // 1 report.
+  size_t places = 0, relatives = 0, reports = 0;
+  for (const auto& n : graph.nodes()) {
+    places += n.kind == KnowledgeGraph::NodeKind::kPlace;
+    relatives += n.kind == KnowledgeGraph::NodeKind::kRelative;
+    reports += n.kind == KnowledgeGraph::NodeKind::kReport;
+  }
+  EXPECT_EQ(places, 2u);  // Torino shared, Auschwitz
+  EXPECT_EQ(relatives, 3u);
+  EXPECT_EQ(reports, 1u);
+  // Edges include "perished in".
+  bool perished = false;
+  for (const auto& e : graph.edges()) {
+    if (e.label == "perished in") perished = true;
+  }
+  EXPECT_TRUE(perished);
+}
+
+TEST(KnowledgeGraphTest, SharedPlaceNodesMerge) {
+  Dataset ds = GuidoDataset();
+  KnowledgeGraph graph;
+  graph.AddEntity(ds, {0});
+  size_t nodes_after_first = graph.nodes().size();
+  graph.AddEntity(ds, {1});
+  // Helena adds: her person node, a report node — Torino is reused.
+  EXPECT_EQ(graph.nodes().size(), nodes_after_first + 3u);  // person,
+                                                            // report,
+                                                            // relative
+}
+
+TEST(KnowledgeGraphTest, LinkSpousesCrossReferences) {
+  Dataset ds = GuidoDataset();
+  KnowledgeGraph graph;
+  graph.AddEntity(ds, {0});
+  graph.AddEntity(ds, {1});
+  EXPECT_EQ(graph.LinkSpouses(), 1u);
+  bool married = false;
+  for (const auto& e : graph.edges()) {
+    if (e.label == "married to") married = true;
+  }
+  EXPECT_TRUE(married);
+}
+
+TEST(KnowledgeGraphTest, DotOutputIsWellFormed) {
+  Dataset ds = GuidoDataset();
+  KnowledgeGraph graph;
+  graph.AddEntity(ds, {0});
+  std::string dot = graph.ToDot();
+  EXPECT_NE(dot.find("digraph yver {"), std::string::npos);
+  EXPECT_NE(dot.find("Guido Foa"), std::string::npos);
+  EXPECT_NE(dot.find("Auschwitz"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(KnowledgeGraphTest, FromClustersTakesLargestMultiRecord) {
+  Dataset ds = GuidoDataset();
+  std::vector<RankedMatch> matches = {{data::RecordPair(0, 1), 1.0, 0.5}};
+  RankedResolution resolution(std::move(matches));
+  EntityClusters clusters(resolution, ds.size(), 0.0);
+  auto graph = KnowledgeGraph::FromClusters(ds, clusters, 5);
+  size_t persons = 0;
+  for (const auto& n : graph.nodes()) {
+    persons += n.kind == KnowledgeGraph::NodeKind::kPerson;
+  }
+  EXPECT_EQ(persons, 1u);  // the merged Guido+Helena cluster
+}
+
+}  // namespace
+}  // namespace yver::core

@@ -1,0 +1,153 @@
+// Coverage for API corners not exercised by the module suites: streaming
+// CSV record parsing, extended q-gram caps, family-resolution options,
+// ADTree edge semantics, narrative consensus ties.
+
+#include <gtest/gtest.h>
+
+#include "core/family_resolution.h"
+#include "core/narrative.h"
+#include "ml/adtree.h"
+#include "text/qgram.h"
+#include "util/csv.h"
+
+namespace yver {
+namespace {
+
+using data::AttributeId;
+using data::Dataset;
+using data::Record;
+
+// ---------------------------------------------------------------------------
+// Streaming CSV record API
+
+TEST(CsvStreamingTest, ParseCsvRecordAdvancesPosition) {
+  std::string doc = "a,b\nc,\"d,e\"\n";
+  size_t pos = 0;
+  auto first = util::ParseCsvRecord(doc, &pos);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ((*first)[0], "a");
+  EXPECT_EQ(pos, 4u);
+  auto second = util::ParseCsvRecord(doc, &pos);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ((*second)[1], "d,e");
+  EXPECT_EQ(pos, doc.size());
+  EXPECT_FALSE(util::ParseCsvRecord(doc, &pos).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Extended q-grams cap
+
+TEST(ExtendedQGramTest, LongValuesFallBackToWholeString) {
+  // 20-char token has 18 trigrams > max_k=10: only the whole string key.
+  auto keys = text::ExtractExtendedQGrams("abcdefghijklmnopqrst", 3, 0.8);
+  ASSERT_EQ(keys.size(), 1u);
+}
+
+TEST(ExtendedQGramTest, ThresholdOneKeepsOnlyWholeString) {
+  auto keys = text::ExtractExtendedQGrams("abcd", 2, 1.0);
+  // min_len = ceil(1.0 * 3 grams) = 3 = all grams; the strict-subset
+  // enumeration excludes the full set, so only the whole-string key.
+  EXPECT_EQ(keys.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Family resolution options
+
+Dataset TwoSiblingsApart() {
+  Dataset ds;
+  auto add = [&ds](const char* fn, const char* city) {
+    Record r;
+    r.Add(AttributeId::kFirstName, fn);
+    r.Add(AttributeId::kLastName, "Foa");
+    r.Add(AttributeId::kFathersName, "Donato");
+    r.Add(AttributeId::kMothersName, "Olga");
+    r.Add(AttributeId::kPermCity, city);
+    ds.Add(std::move(r));
+  };
+  add("Guido", "Torino");
+  add("Massimo", "Milano");  // brother who moved away
+  return ds;
+}
+
+TEST(FamilyOptionsTest, SharedPlaceRequirementSplitsMovers) {
+  Dataset ds = TwoSiblingsApart();
+  core::EntityClusters singletons(core::RankedResolution{}, ds.size(), 0.0);
+  core::FamilyResolutionOptions strict;
+  strict.require_shared_place = true;
+  auto strict_families = core::ResolveFamilies(ds, singletons, strict);
+  EXPECT_EQ(strict_families.size(), 2u);
+  core::FamilyResolutionOptions loose;
+  loose.require_shared_place = false;
+  auto loose_families = core::ResolveFamilies(ds, singletons, loose);
+  EXPECT_EQ(loose_families.size(), 1u);
+}
+
+TEST(FamilyOptionsTest, NameThresholdControlsVariantTolerance) {
+  Dataset ds;
+  auto add = [&ds](const char* fn, const char* father) {
+    Record r;
+    r.Add(AttributeId::kFirstName, fn);
+    r.Add(AttributeId::kLastName, "Kesler");
+    r.Add(AttributeId::kFathersName, father);
+    r.Add(AttributeId::kMothersName, "Chaya");
+    r.Add(AttributeId::kPermCity, "Lublin");
+    ds.Add(std::move(r));
+  };
+  add("Mendel", "Hersh");
+  add("Motel", "Hersch");  // father-name spelling variant
+  core::EntityClusters singletons(core::RankedResolution{}, ds.size(), 0.0);
+  core::FamilyResolutionOptions tolerant;
+  tolerant.name_threshold = 0.85;
+  EXPECT_EQ(core::ResolveFamilies(ds, singletons, tolerant).size(), 1u);
+  core::FamilyResolutionOptions exacting;
+  exacting.name_threshold = 0.999;
+  EXPECT_EQ(core::ResolveFamilies(ds, singletons, exacting).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ADTree structural accessors
+
+TEST(AdTreeStructureTest, PredictionsAndSplittersExposed) {
+  ml::AdTree tree(0.1);
+  EXPECT_EQ(tree.predictions().size(), 1u);
+  EXPECT_EQ(tree.splitters().size(), 0u);
+  ml::AdtCondition cond;
+  cond.feature = 0;
+  cond.is_nominal = true;
+  cond.nominal_value = 1;
+  int s = tree.AddSplitter(tree.root(), cond, 0.5, -0.5, 1);
+  EXPECT_EQ(s, 0);
+  EXPECT_EQ(tree.predictions().size(), 3u);
+  EXPECT_EQ(tree.splitters()[0].true_prediction, 1);
+  EXPECT_EQ(tree.splitters()[0].false_prediction, 2);
+  EXPECT_EQ(tree.predictions()[0].child_splitters.size(), 1u);
+}
+
+TEST(AdTreeStructureTest, ConditionToString) {
+  ml::AdtCondition numeric;
+  numeric.feature = features::FeatureSchema::Get().IndexOf("B3dist");
+  numeric.threshold = 1.5;
+  EXPECT_EQ(numeric.ToString(), "B3dist < 1.500");
+  ml::AdtCondition nominal;
+  nominal.feature = features::FeatureSchema::Get().IndexOf("sameFN");
+  nominal.is_nominal = true;
+  nominal.nominal_value = 1;
+  EXPECT_EQ(nominal.ToString(), "sameFN = partial");
+}
+
+// ---------------------------------------------------------------------------
+// Narrative consensus ties
+
+TEST(NarrativeTieTest, EqualSupportBreaksAlphabetically) {
+  Dataset ds;
+  for (const char* name : {"Guido", "Guida"}) {
+    Record r;
+    r.Add(AttributeId::kFirstName, name);
+    ds.Add(std::move(r));
+  }
+  auto profile = core::BuildProfile(ds, {0, 1});
+  EXPECT_EQ(profile.Consensus(AttributeId::kFirstName), "Guida");
+}
+
+}  // namespace
+}  // namespace yver

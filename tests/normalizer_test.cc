@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "text/normalizer.h"
+
+namespace yver::text {
+namespace {
+
+using data::AttributeId;
+using data::Dataset;
+using data::Record;
+
+TEST(SkeletonKeyTest, VariantsCollide) {
+  EXPECT_EQ(NameNormalizer::SkeletonKey("Moshe"),
+            NameNormalizer::SkeletonKey("Mosze"));
+  EXPECT_EQ(NameNormalizer::SkeletonKey("Kaminski"),
+            NameNormalizer::SkeletonKey("Caminsky"));
+  EXPECT_EQ(NameNormalizer::SkeletonKey("Weiss"),
+            NameNormalizer::SkeletonKey("Veisz"));
+  EXPECT_NE(NameNormalizer::SkeletonKey("Foa"),
+            NameNormalizer::SkeletonKey("Kesler"));
+}
+
+TEST(SkeletonKeyTest, AllVowelNameKeepsInitial) {
+  EXPECT_FALSE(NameNormalizer::SkeletonKey("Aia").empty());
+}
+
+Dataset VariantDataset() {
+  Dataset ds;
+  auto add = [&ds](const char* fn, const char* ln) {
+    Record r;
+    r.Add(AttributeId::kFirstName, fn);
+    r.Add(AttributeId::kLastName, ln);
+    ds.Add(std::move(r));
+  };
+  // "Moshe" dominates its class; "Mosze" is the variant.
+  add("Moshe", "Goldberg");
+  add("Moshe", "Goldberg");
+  add("Moshe", "Goldberg");
+  add("Mosze", "Goldberg");
+  add("Rivka", "Szwarc");
+  add("Ryfka", "Szwarc");
+  add("Rivka", "Shwarc");
+  return ds;
+}
+
+TEST(NameNormalizerTest, CanonicalizesToMostFrequent) {
+  auto normalizer = NameNormalizer::Build(VariantDataset());
+  EXPECT_EQ(normalizer.Canonicalize(AttributeId::kFirstName, "Mosze"),
+            "Moshe");
+  EXPECT_EQ(normalizer.Canonicalize(AttributeId::kFirstName, "Moshe"),
+            "Moshe");
+  // Unknown values pass through untouched.
+  EXPECT_EQ(normalizer.Canonicalize(AttributeId::kFirstName, "Archibald"),
+            "Archibald");
+}
+
+TEST(NameNormalizerTest, DomainsAreSeparate) {
+  Dataset ds;
+  Record a;
+  a.Add(AttributeId::kFirstName, "Israel");
+  a.Add(AttributeId::kFirstName, "Israel");
+  ds.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kLastName, "Izrael");
+  ds.Add(std::move(b));
+  auto normalizer = NameNormalizer::Build(ds);
+  // Surname domain never saw "Israel", so "Izrael" stays canonical of its
+  // own (singleton) class.
+  EXPECT_EQ(normalizer.Canonicalize(AttributeId::kLastName, "Izrael"),
+            "Izrael");
+}
+
+TEST(NameNormalizerTest, FatherNameSharesFirstNameDomain) {
+  Dataset ds;
+  for (int i = 0; i < 3; ++i) {
+    Record r;
+    r.Add(AttributeId::kFirstName, "Avraham");
+    ds.Add(std::move(r));
+  }
+  Record child;
+  child.Add(AttributeId::kFathersName, "Awraham");
+  ds.Add(std::move(child));
+  auto normalizer = NameNormalizer::Build(ds);
+  EXPECT_EQ(normalizer.Canonicalize(AttributeId::kFathersName, "Awraham"),
+            "Avraham");
+}
+
+TEST(NameNormalizerTest, ApplyRewritesDatasetAndKeepsMetadata) {
+  Dataset ds = VariantDataset();
+  ds[0].book_id = 42;
+  ds[0].entity_id = 7;
+  auto normalizer = NameNormalizer::Build(ds);
+  Dataset normalized = normalizer.Apply(ds);
+  ASSERT_EQ(normalized.size(), ds.size());
+  EXPECT_EQ(normalized[0].book_id, 42u);
+  EXPECT_EQ(normalized[0].entity_id, 7);
+  EXPECT_EQ(normalized[3].FirstValue(AttributeId::kFirstName), "Moshe");
+  EXPECT_GT(normalizer.NumFoldedValues(), 0u);
+  EXPECT_GT(normalizer.NumNonTrivialClasses(), 0u);
+}
+
+TEST(NameNormalizerTest, ThresholdControlsMerging) {
+  Dataset ds;
+  for (const char* name : {"Bella", "Bella", "Della"}) {
+    Record r;
+    r.Add(AttributeId::kFirstName, name);
+    ds.Add(std::move(r));
+  }
+  // Bella/Della differ in the first letter: different skeleton buckets,
+  // never merged regardless of threshold — clerical errors survive
+  // preprocessing, exactly why the paper keeps the XnameDist features.
+  auto normalizer = NameNormalizer::Build(ds);
+  EXPECT_EQ(normalizer.Canonicalize(AttributeId::kFirstName, "Della"),
+            "Della");
+}
+
+TEST(NameNormalizerTest, PlaceNormalizationIsOptional) {
+  Dataset ds;
+  for (const char* city : {"Warszawa", "Warszawa", "Warszava"}) {
+    Record r;
+    r.Add(AttributeId::kPermCity, city);
+    ds.Add(std::move(r));
+  }
+  NameNormalizer::Options with_places;
+  auto on = NameNormalizer::Build(ds, with_places);
+  EXPECT_EQ(on.Canonicalize(AttributeId::kPermCity, "Warszava"),
+            "Warszawa");
+  NameNormalizer::Options no_places;
+  no_places.normalize_places = false;
+  auto off = NameNormalizer::Build(ds, no_places);
+  EXPECT_EQ(off.Canonicalize(AttributeId::kPermCity, "Warszava"),
+            "Warszava");
+}
+
+}  // namespace
+}  // namespace yver::text

@@ -1,0 +1,155 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "probdb/calibration.h"
+#include "probdb/uncertain_graph.h"
+
+namespace yver::probdb {
+namespace {
+
+using data::RecordPair;
+
+// ---------------------------------------------------------------------------
+// Platt scaling
+
+TEST(PlattScalerTest, MonotoneInScore) {
+  PlattScaler scaler(2.0, -1.0);
+  EXPECT_LT(scaler.Probability(-1.0), scaler.Probability(0.0));
+  EXPECT_LT(scaler.Probability(0.0), scaler.Probability(2.0));
+  EXPECT_GT(scaler.Probability(10.0), 0.99);
+  EXPECT_LT(scaler.Probability(-10.0), 0.01);
+}
+
+TEST(PlattScalerTest, FitsSeparableScores) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  util::Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    bool pos = rng.Bernoulli(0.5);
+    scores.push_back(pos ? 1.5 + rng.Gaussian() * 0.5
+                         : -1.5 + rng.Gaussian() * 0.5);
+    labels.push_back(pos ? +1 : -1);
+  }
+  auto scaler = PlattScaler::Fit(scores, labels);
+  EXPECT_GT(scaler.Probability(2.0), 0.9);
+  EXPECT_LT(scaler.Probability(-2.0), 0.1);
+  // Roughly calibrated at the boundary.
+  EXPECT_NEAR(scaler.Probability(0.0), 0.5, 0.15);
+}
+
+TEST(PlattScalerTest, HandlesOneSidedData) {
+  std::vector<double> scores = {1.0, 2.0, 3.0};
+  std::vector<int> labels = {1, 1, 1};
+  auto scaler = PlattScaler::Fit(scores, labels);
+  EXPECT_GT(scaler.Probability(2.0), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Uncertain graph
+
+UncertainMatchGraph CertainGraph() {
+  // 5 records; certain edges 0-1, 1-2; impossible edge 3-4.
+  std::vector<SameAsEdge> edges = {
+      {RecordPair(0, 1), 1.0},
+      {RecordPair(1, 2), 1.0},
+      {RecordPair(3, 4), 0.0},
+  };
+  return UncertainMatchGraph(std::move(edges), 5);
+}
+
+TEST(UncertainGraphTest, CertainEdgesGiveDeterministicWorlds) {
+  auto graph = CertainGraph();
+  util::Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    auto world = graph.SampleWorld(rng);
+    EXPECT_EQ(world.num_clusters, 3u);  // {0,1,2},{3},{4}
+    EXPECT_EQ(world.cluster_of[0], world.cluster_of[2]);
+    EXPECT_NE(world.cluster_of[3], world.cluster_of[4]);
+  }
+  auto map_world = graph.MapWorld();
+  EXPECT_EQ(map_world.num_clusters, 3u);
+}
+
+TEST(UncertainGraphTest, ExpectedEntitiesInterpolates) {
+  // One edge with p=0.5 between two records: E[#entities] = 1.5.
+  std::vector<SameAsEdge> edges = {{RecordPair(0, 1), 0.5}};
+  UncertainMatchGraph graph(std::move(edges), 2);
+  util::Rng rng(11);
+  auto [mean, stddev] = graph.ExpectedNumEntities(4000, rng);
+  EXPECT_NEAR(mean, 1.5, 0.05);
+  EXPECT_NEAR(stddev, 0.5, 0.05);
+}
+
+TEST(UncertainGraphTest, SameEntityThroughTransitivePath) {
+  // 0-1 and 1-2 each with p=0.8: P(0~2) = p^2 = 0.64 (no direct edge).
+  std::vector<SameAsEdge> edges = {{RecordPair(0, 1), 0.8},
+                                   {RecordPair(1, 2), 0.8}};
+  UncertainMatchGraph graph(std::move(edges), 3);
+  util::Rng rng(13);
+  double p = graph.SameEntityProbability(0, 2, 6000, rng);
+  EXPECT_NEAR(p, 0.64, 0.03);
+}
+
+TEST(UncertainGraphTest, AlternativesRankedByLikelihood) {
+  std::vector<SameAsEdge> edges = {{RecordPair(0, 1), 0.9},
+                                   {RecordPair(0, 2), 0.1}};
+  UncertainMatchGraph graph(std::move(edges), 3);
+  util::Rng rng(17);
+  auto alternatives = graph.AlternativesFor(0, 4000, rng);
+  ASSERT_GE(alternatives.size(), 2u);
+  // Most likely: {0,1}; likelihood ~ 0.9 * 0.9 = 0.81.
+  EXPECT_EQ(alternatives[0].cluster,
+            (std::vector<data::RecordIdx>{0, 1}));
+  EXPECT_NEAR(alternatives[0].likelihood, 0.81, 0.04);
+  double total = 0.0;
+  for (const auto& alt : alternatives) {
+    total += alt.likelihood;
+    EXPECT_FALSE(alt.cluster.empty());
+    // The anchor is always a member of its own alternative.
+    EXPECT_TRUE(std::find(alt.cluster.begin(), alt.cluster.end(), 0u) !=
+                alt.cluster.end());
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(UncertainGraphTest, ExpectedEntitiesWherePredicate) {
+  // Records 0,1 match with p=1; only record 0 satisfies the predicate.
+  std::vector<SameAsEdge> edges = {{RecordPair(0, 1), 1.0}};
+  UncertainMatchGraph graph(std::move(edges), 3);
+  util::Rng rng(19);
+  double expected = graph.ExpectedEntitiesWhere(
+      [](data::RecordIdx r) { return r <= 1; }, 200, rng);
+  EXPECT_NEAR(expected, 1.0, 1e-9);  // 0 and 1 are one entity
+  double all = graph.ExpectedEntitiesWhere(
+      [](data::RecordIdx) { return true; }, 200, rng);
+  EXPECT_NEAR(all, 2.0, 1e-9);  // {0,1} and {2}
+}
+
+TEST(UncertainGraphTest, BuildsFromRankedResolution) {
+  std::vector<core::RankedMatch> matches = {
+      {RecordPair(0, 1), 3.0, 0.5},   // strong
+      {RecordPair(1, 2), -2.0, 0.2},  // weak
+  };
+  core::RankedResolution resolution(std::move(matches));
+  PlattScaler scaler(1.0, 0.0);
+  UncertainMatchGraph graph(resolution, 3, scaler);
+  ASSERT_EQ(graph.edges().size(), 2u);
+  EXPECT_GT(graph.edges()[0].probability, 0.9);
+  EXPECT_LT(graph.edges()[1].probability, 0.2);
+  auto map_world = graph.MapWorld();
+  EXPECT_EQ(map_world.num_clusters, 2u);
+}
+
+TEST(UncertainGraphTest, EmptyGraphSingletons) {
+  UncertainMatchGraph graph(std::vector<SameAsEdge>{}, 4);
+  util::Rng rng(23);
+  auto world = graph.SampleWorld(rng);
+  EXPECT_EQ(world.num_clusters, 4u);
+  auto [mean, stddev] = graph.ExpectedNumEntities(10, rng);
+  EXPECT_DOUBLE_EQ(mean, 4.0);
+  EXPECT_DOUBLE_EQ(stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace yver::probdb

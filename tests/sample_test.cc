@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "data/sample.h"
+#include "synth/generator.h"
+
+namespace yver::data {
+namespace {
+
+TEST(SampleTest, FilterByCountryMatchesAnyPlace) {
+  Dataset ds;
+  Record a;
+  a.Add(AttributeId::kPermCountry, "Italy");
+  ds.Add(std::move(a));
+  Record b;
+  b.Add(AttributeId::kDeathCountry, "Italy");
+  ds.Add(std::move(b));
+  Record c;
+  c.Add(AttributeId::kPermCountry, "Poland");
+  ds.Add(std::move(c));
+  auto italy = FilterByCountry(ds, "Italy");
+  EXPECT_EQ(italy.size(), 2u);
+}
+
+TEST(SampleTest, UniformFractionApproximate) {
+  synth::GeneratorConfig config;
+  config.num_persons = 1500;
+  auto generated = synth::Generate(config);
+  util::Rng rng(3);
+  auto half = SampleUniform(generated.dataset, 0.5, rng);
+  double ratio = static_cast<double>(half.size()) /
+                 static_cast<double>(generated.dataset.size());
+  EXPECT_NEAR(ratio, 0.5, 0.05);
+}
+
+TEST(SampleTest, EntitySamplePreservesClusters) {
+  synth::GeneratorConfig config;
+  config.num_persons = 800;
+  auto generated = synth::Generate(config);
+  util::Rng rng(5);
+  auto sample = SampleByEntity(generated.dataset, 0.4, rng);
+  // Every sampled entity keeps ALL its reports: per-entity report counts
+  // match the original.
+  auto orig_groups = generated.dataset.GroupByEntity();
+  auto sample_groups = sample.GroupByEntity();
+  for (const auto& [entity, members] : sample_groups) {
+    EXPECT_EQ(members.size(), orig_groups.at(entity).size())
+        << "entity " << entity << " lost reports in sampling";
+  }
+  // Gold pair density is preserved, not destroyed (unlike uniform
+  // record sampling, which halves pair counts quadratically).
+  double orig_pairs_per_record =
+      static_cast<double>(generated.dataset.NumGoldPairs()) /
+      static_cast<double>(generated.dataset.size());
+  double sample_pairs_per_record =
+      static_cast<double>(sample.NumGoldPairs()) /
+      static_cast<double>(sample.size());
+  EXPECT_NEAR(sample_pairs_per_record, orig_pairs_per_record,
+              orig_pairs_per_record * 0.35);
+}
+
+TEST(SampleTest, EmptyAndDegenerate) {
+  Dataset empty;
+  util::Rng rng(7);
+  EXPECT_EQ(SampleUniform(empty, 0.5, rng).size(), 0u);
+  EXPECT_EQ(FilterByCountry(empty, "Italy").size(), 0u);
+  synth::GeneratorConfig config;
+  config.num_persons = 50;
+  auto generated = synth::Generate(config);
+  EXPECT_EQ(SampleByEntity(generated.dataset, 1.0, rng).size(),
+            generated.dataset.size());
+  EXPECT_EQ(SampleByEntity(generated.dataset, 0.0, rng).size(), 0u);
+}
+
+}  // namespace
+}  // namespace yver::data

@@ -1,0 +1,410 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/stats.h"
+#include "synth/gazetteer.h"
+#include "synth/generator.h"
+#include "synth/name_pool.h"
+#include "synth/person_sampler.h"
+#include "synth/source_model.h"
+#include "synth/tag_oracle.h"
+
+namespace yver::synth {
+namespace {
+
+using data::AttributeId;
+
+// ---------------------------------------------------------------------------
+// NamePool
+
+TEST(NamePoolTest, PoolsAreLargeEnoughForRealisticCardinality) {
+  for (size_t r = 0; r < kNumRegions; ++r) {
+    NamePool pool(static_cast<Region>(r));
+    EXPECT_GE(pool.male_first_names().size(), 80u) << RegionName(
+        static_cast<Region>(r));
+    EXPECT_GE(pool.female_first_names().size(), 80u);
+    EXPECT_GE(pool.last_names().size(), 120u);
+  }
+}
+
+TEST(NamePoolTest, SamplingIsSkewedButCoversTail) {
+  NamePool pool(Region::kPoland);
+  util::Rng rng(3);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[pool.SampleLastName(rng)];
+  EXPECT_GT(counts.size(), 100u);  // tail coverage
+  int max_count = 0;
+  for (const auto& [name, count] : counts) max_count = std::max(max_count,
+                                                                count);
+  EXPECT_GT(max_count, 50);  // head skew
+}
+
+TEST(NamePoolTest, TransliterationVariantDiffersButIsClose) {
+  util::Rng rng(5);
+  for (const char* name : {"Kaminski", "Weisz", "Capelluto", "Moshe"}) {
+    std::string v = NamePool::TransliterationVariant(name, rng);
+    EXPECT_NE(v, name);
+    EXPECT_LE(std::max(v.size(), std::string(name).size()) -
+                  std::min(v.size(), std::string(name).size()),
+              2u);
+  }
+}
+
+TEST(NamePoolTest, TransliterationNeverTriplesConsonants) {
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    std::string v = NamePool::TransliterationVariant("Marco", rng);
+    EXPECT_EQ(v.find("rrr"), std::string::npos);
+    v = NamePool::TransliterationVariant(v, rng);
+    EXPECT_EQ(v.find("rrr"), std::string::npos) << v;
+  }
+}
+
+TEST(NamePoolTest, NicknameRoundTrips) {
+  util::Rng rng(9);
+  EXPECT_EQ(NamePool::Nickname("Avraham", rng), "Avrum");
+  EXPECT_EQ(NamePool::Nickname("Avrum", rng), "Avraham");
+  EXPECT_EQ(NamePool::Nickname("Zzyzx", rng), "Zzyzx");  // unknown
+}
+
+TEST(NamePoolTest, ClericalErrorChangesOneEdit) {
+  util::Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    std::string v = NamePool::ClericalError("Bella", rng);
+    // One edit away at most (substitute/drop/insert/transpose).
+    EXPECT_LE(std::max(v.size(), size_t{5}) - std::min(v.size(), size_t{5}),
+              1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gazetteer
+
+TEST(GazetteerTest, AllRegionsHaveCities) {
+  Gazetteer gaz;
+  for (size_t r = 0; r < kNumRegions; ++r) {
+    EXPECT_GE(gaz.CitiesOf(static_cast<Region>(r)).size(), 10u);
+  }
+  EXPECT_GE(gaz.WartimePlaces().size(), 10u);
+}
+
+TEST(GazetteerTest, LookupFindsKnownCities) {
+  Gazetteer gaz;
+  auto turin = gaz.Lookup("Torino");
+  ASSERT_TRUE(turin.has_value());
+  EXPECT_NEAR(turin->lat_deg, 45.07, 0.01);
+  EXPECT_TRUE(gaz.Lookup("Auschwitz").has_value());
+  EXPECT_FALSE(gaz.Lookup("Atlantis").has_value());
+}
+
+TEST(GazetteerTest, TurinAndTurinSpellingShareCoordinates) {
+  Gazetteer gaz;
+  auto a = gaz.Lookup("Torino");
+  auto b = gaz.Lookup("Turin");
+  ASSERT_TRUE(a && b);
+  EXPECT_DOUBLE_EQ(a->lat_deg, b->lat_deg);
+}
+
+TEST(GazetteerTest, SampleNearbyStaysInRegion) {
+  Gazetteer gaz;
+  util::Rng rng(13);
+  const auto& home = gaz.CitiesOf(Region::kItaly)[0];
+  for (int i = 0; i < 50; ++i) {
+    const Place& p = gaz.SampleNearby(Region::kItaly, home, rng);
+    EXPECT_EQ(p.country, "Italy");
+    EXPECT_LT(geo::HaversineKm(home.point, p.point), 400.0);
+  }
+}
+
+TEST(GazetteerTest, GeoResolverResolvesCityClassValues) {
+  Gazetteer gaz;
+  auto resolver = gaz.MakeGeoResolver();
+  EXPECT_TRUE(resolver(AttributeId::kBirthCity, "Warszawa").has_value());
+  EXPECT_FALSE(resolver(AttributeId::kBirthCity, "Nowhere").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// PersonSampler
+
+TEST(PersonSamplerTest, FamilyInvariants) {
+  Gazetteer gaz;
+  PersonSampler sampler(&gaz);
+  util::Rng rng(17);
+  int64_t entity = 0;
+  int64_t family = 0;
+  for (int i = 0; i < 50; ++i) {
+    Family f = sampler.SampleFamily(Region::kPoland, &entity, &family, rng);
+    ASSERT_GE(f.members.size(), 2u);
+    const Person& father = f.members[0];
+    const Person& mother = f.members[1];
+    EXPECT_TRUE(father.male);
+    EXPECT_FALSE(mother.male);
+    EXPECT_EQ(father.last_name, mother.last_name);
+    EXPECT_FALSE(mother.maiden_name.empty());
+    EXPECT_EQ(father.spouse_first, mother.first_names[0]);
+    EXPECT_EQ(mother.spouse_first, father.first_names[0]);
+    std::set<std::string> first_names;
+    for (const auto& m : f.members) {
+      EXPECT_EQ(m.family_id, f.family_id);
+      EXPECT_TRUE(first_names.insert(m.first_names[0]).second)
+          << "duplicate first name in family";
+    }
+    for (size_t c = 2; c < f.members.size(); ++c) {
+      EXPECT_EQ(f.members[c].last_name, father.last_name);
+      EXPECT_EQ(f.members[c].father_first, father.first_names[0]);
+      EXPECT_EQ(f.members[c].mother_maiden, mother.maiden_name);
+      EXPECT_GE(f.members[c].birth_year, 1925);
+    }
+  }
+  EXPECT_GT(entity, 0);
+}
+
+// ---------------------------------------------------------------------------
+// SourceModel
+
+TEST(SourceModelTest, ListPatternsAlwaysNameBearing) {
+  SourceModel model;
+  util::Rng rng(19);
+  for (int i = 0; i < 200; ++i) {
+    FieldMask m = model.SampleListPattern(Region::kPoland, rng);
+    EXPECT_TRUE(HasField(m, ReportField::kFirstName));
+    EXPECT_TRUE(HasField(m, ReportField::kLastName));
+  }
+}
+
+TEST(SourceModelTest, ItalySubmittersKnowFathers) {
+  SourceModel model;
+  util::Rng rng(23);
+  int italy_father = 0;
+  int poland_father = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    if (HasField(model.SampleSubmitterPattern(Region::kItaly, rng),
+                 ReportField::kFatherName)) {
+      ++italy_father;
+    }
+    if (HasField(model.SampleSubmitterPattern(Region::kPoland, rng),
+                 ReportField::kFatherName)) {
+      ++poland_father;
+    }
+  }
+  EXPECT_GT(italy_father, poland_father);
+}
+
+TEST(SourceModelTest, MvPatternIsSparseAndFixed) {
+  FieldMask m = SourceModel::MvPattern();
+  EXPECT_TRUE(HasField(m, ReportField::kFirstName));
+  EXPECT_TRUE(HasField(m, ReportField::kLastName));
+  EXPECT_TRUE(HasField(m, ReportField::kFatherName));
+  EXPECT_TRUE(HasField(m, ReportField::kBirthPlace));
+  EXPECT_TRUE(HasField(m, ReportField::kDeathPlace));
+  EXPECT_FALSE(HasField(m, ReportField::kDob));
+  EXPECT_FALSE(HasField(m, ReportField::kGender));
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorConfig config;
+  config.num_persons = 200;
+  auto a = Generate(config);
+  auto b = Generate(config);
+  ASSERT_EQ(a.dataset.size(), b.dataset.size());
+  for (size_t i = 0; i < a.dataset.size(); ++i) {
+    EXPECT_EQ(a.dataset[static_cast<data::RecordIdx>(i)].book_id,
+              b.dataset[static_cast<data::RecordIdx>(i)].book_id);
+    EXPECT_EQ(a.dataset[static_cast<data::RecordIdx>(i)].PresenceMask(),
+              b.dataset[static_cast<data::RecordIdx>(i)].PresenceMask());
+  }
+}
+
+TEST(GeneratorTest, EntityIdsIndexPersons) {
+  GeneratorConfig config;
+  config.num_persons = 300;
+  auto generated = Generate(config);
+  EXPECT_EQ(generated.persons.size(), 300u);
+  for (size_t i = 0; i < generated.persons.size(); ++i) {
+    EXPECT_EQ(generated.persons[i].entity_id, static_cast<int64_t>(i));
+  }
+  for (const auto& r : generated.dataset.records()) {
+    ASSERT_GE(r.entity_id, 0);
+    ASSERT_LT(r.entity_id, 300);
+    EXPECT_EQ(generated.persons[static_cast<size_t>(r.entity_id)].family_id,
+              r.family_id);
+  }
+}
+
+TEST(GeneratorTest, DuplicateSetsBoundedByEight) {
+  GeneratorConfig config;
+  config.num_persons = 2000;
+  auto generated = Generate(config);
+  auto groups = generated.dataset.GroupByEntity();
+  for (const auto& [entity, members] : groups) {
+    EXPECT_LE(members.size(), 9u);  // <= 8 reports + possible MV extra
+  }
+}
+
+TEST(GeneratorTest, NoPersonTwiceInSameList) {
+  GeneratorConfig config;
+  config.num_persons = 1500;
+  auto generated = Generate(config);
+  auto groups = generated.dataset.GroupByEntity();
+  for (const auto& [entity, members] : groups) {
+    std::set<uint32_t> sources;
+    for (auto r : members) {
+      EXPECT_TRUE(sources.insert(generated.dataset[r].source_id).second)
+          << "entity " << entity << " appears twice in one source";
+    }
+  }
+}
+
+TEST(GeneratorTest, PotFractionRoughlyOneThird) {
+  GeneratorConfig config;
+  config.num_persons = 3000;
+  auto generated = Generate(config);
+  size_t pot = 0;
+  for (const auto& r : generated.dataset.records()) {
+    if (r.source_kind == data::SourceKind::kPageOfTestimony) ++pot;
+  }
+  double fraction = static_cast<double>(pot) / generated.dataset.size();
+  EXPECT_GT(fraction, 0.15);
+  EXPECT_LT(fraction, 0.45);
+}
+
+TEST(GeneratorTest, ItalyConfigIncludesMv) {
+  auto generated = Generate(ItalyConfig());
+  size_t mv = 0;
+  for (const auto& r : generated.dataset.records()) {
+    if (r.source_id == kMvSourceId) ++mv;
+  }
+  // ~28% of ~3800 persons.
+  EXPECT_GT(mv, 500u);
+  EXPECT_LT(mv, 2000u);
+  // MV reports carry the fixed sparse pattern: no gender, no DOB.
+  for (const auto& r : generated.dataset.records()) {
+    if (r.source_id != kMvSourceId) continue;
+    EXPECT_FALSE(r.Has(AttributeId::kGender));
+    EXPECT_FALSE(r.Has(AttributeId::kBirthYear));
+    EXPECT_TRUE(r.Has(AttributeId::kLastName));
+  }
+}
+
+TEST(GeneratorTest, RegionWeightsRestrictRegions) {
+  GeneratorConfig config;
+  config.num_persons = 500;
+  config.region_weights.assign(kNumRegions, 0.0);
+  config.region_weights[static_cast<size_t>(Region::kGreece)] = 1.0;
+  auto generated = Generate(config);
+  for (const auto& p : generated.persons) {
+    EXPECT_EQ(p.region, Region::kGreece);
+  }
+}
+
+TEST(GeneratorTest, PrevalenceShapeMatchesTable3Ordering) {
+  auto generated = Generate(RandomSetConfig(0.05));
+  auto rows = data::ComputePrevalence(generated.dataset);
+  auto frac = [&rows](AttributeId a) {
+    return rows[static_cast<size_t>(a)].fraction;
+  };
+  // Last/First name near-universal; spouse/maiden rare — Table 3 ordering.
+  EXPECT_GT(frac(AttributeId::kLastName), 0.9);
+  EXPECT_GT(frac(AttributeId::kFirstName), 0.9);
+  EXPECT_GT(frac(AttributeId::kGender), frac(AttributeId::kBirthYear));
+  EXPECT_GT(frac(AttributeId::kFathersName),
+            frac(AttributeId::kSpouseName));
+  EXPECT_GT(frac(AttributeId::kSpouseName),
+            frac(AttributeId::kMaidenName));
+  EXPECT_GT(frac(AttributeId::kPermCity), frac(AttributeId::kDeathCity));
+}
+
+// ---------------------------------------------------------------------------
+// TagOracle
+
+TEST(TagOracleTest, GoldMatchesWithRichInfoGetYes) {
+  data::Dataset ds;
+  for (int i = 0; i < 2; ++i) {
+    data::Record r;
+    r.entity_id = 1;
+    r.family_id = 1;
+    r.Add(AttributeId::kFirstName, "Guido");
+    r.Add(AttributeId::kLastName, "Foa");
+    r.Add(AttributeId::kFathersName, "Donato");
+    r.Add(AttributeId::kBirthYear, "1920");
+    r.Add(AttributeId::kPermCity, "Torino");
+    ds.Add(std::move(r));
+  }
+  TagOracleConfig config;
+  config.hedge = 0.0;
+  config.slip = 0.0;
+  TagOracle oracle(&ds, config);
+  EXPECT_EQ(oracle.Tag(0, 1), ml::ExpertTag::kYes);
+}
+
+TEST(TagOracleTest, SparsePairsAreMaybe) {
+  data::Dataset ds;
+  data::Record a;
+  a.entity_id = 1;
+  a.Add(AttributeId::kFirstName, "Guido");
+  ds.Add(std::move(a));
+  data::Record b;
+  b.entity_id = 1;
+  b.Add(AttributeId::kFirstName, "Guido");
+  ds.Add(std::move(b));
+  TagOracleConfig config;
+  config.hedge = 0.0;
+  config.slip = 0.0;
+  TagOracle oracle(&ds, config);
+  EXPECT_EQ(oracle.Tag(0, 1), ml::ExpertTag::kMaybe);
+}
+
+TEST(TagOracleTest, NonMatchesGetNoFamily) {
+  data::Dataset ds;
+  auto add = [&ds](int64_t entity, const char* fn) {
+    data::Record r;
+    r.entity_id = entity;
+    r.family_id = 1;
+    r.Add(AttributeId::kFirstName, fn);
+    r.Add(AttributeId::kLastName, "Capelluto");
+    r.Add(AttributeId::kFathersName, "Bohor");
+    r.Add(AttributeId::kMothersName, "Zimbul");
+    r.Add(AttributeId::kPermCity, "Rhodes");
+    ds.Add(std::move(r));
+  };
+  add(1, "Elsa");
+  add(2, "Giulia");
+  TagOracleConfig config;
+  config.hedge = 0.0;
+  config.slip = 0.0;
+  TagOracle oracle(&ds, config);
+  // Siblings share everything but first names: a plausible near-miss.
+  auto tag = oracle.Tag(0, 1);
+  EXPECT_TRUE(tag == ml::ExpertTag::kProbablyNo ||
+              tag == ml::ExpertTag::kMaybe);
+}
+
+TEST(TagOracleTest, ClearNonMatchesGetNo) {
+  data::Dataset ds;
+  auto add = [&ds](int64_t entity, int64_t family, const char* fn,
+                   const char* ln) {
+    data::Record r;
+    r.entity_id = entity;
+    r.family_id = family;
+    r.Add(AttributeId::kFirstName, fn);
+    r.Add(AttributeId::kLastName, ln);
+    r.Add(AttributeId::kBirthYear, "1920");
+    ds.Add(std::move(r));
+  };
+  add(1, 1, "Guido", "Foa");
+  add(2, 2, "Mendel", "Kesler");
+  TagOracleConfig config;
+  config.hedge = 0.0;
+  config.slip = 0.0;
+  TagOracle oracle(&ds, config);
+  EXPECT_EQ(oracle.Tag(0, 1), ml::ExpertTag::kNo);
+}
+
+}  // namespace
+}  // namespace yver::synth

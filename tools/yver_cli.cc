@@ -1,0 +1,429 @@
+// yver_cli — command-line front end for the uncertain-ER library.
+//
+//   yver_cli generate  --persons N [--region italy|all] [--mv] [--seed S]
+//                      --out data.csv
+//   yver_cli stats     --in data.csv
+//   yver_cli normalize --in data.csv --out clean.csv
+//   yver_cli resolve   --in data.csv --out matches.csv [--ng X]
+//                      [--maxminsup K] [--no-classify] [--samesrc]
+//                      [--model-out model.adt]
+//   yver_cli query     --in data.csv --matches matches.csv
+//                      [--certainty C] [--book-id B]
+//   yver_cli sample    --in data.csv --out sub.csv [--fraction F]
+//                      [--by-entity] [--country NAME] [--seed S]
+//   yver_cli graph     --in data.csv --matches matches.csv --out g.dot
+//                      [--certainty C] [--max-entities N]
+//   yver_cli families  --in data.csv --matches matches.csv
+//                      [--certainty C] [--max-shown N]
+//
+// `resolve` trains the ADTree from the simulated expert tagger when the
+// dataset carries ground-truth entity ids (synthetic corpora do); without
+// them it falls back to block-score ranking (--no-classify implied).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/entity_clusters.h"
+#include "core/evaluation.h"
+#include "core/family_resolution.h"
+#include "core/knowledge_graph.h"
+#include "core/narrative.h"
+#include "core/pipeline.h"
+#include "data/csv_io.h"
+#include "data/sample.h"
+#include "data/stats.h"
+#include "ml/adtree_io.h"
+#include "synth/gazetteer.h"
+#include "synth/generator.h"
+#include "synth/tag_oracle.h"
+#include "text/normalizer.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace yver;
+
+// ---------------------------------------------------------------------------
+// Tiny flag parser: --name value / --name (boolean).
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      std::string name = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[name] = argv[++i];
+      } else {
+        values_[name] = "";
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    return Has(name) ? std::strtod(Get(name).c_str(), nullptr) : fallback;
+  }
+  long GetInt(const std::string& name, long fallback) const {
+    return Has(name) ? std::atol(Get(name).c_str()) : fallback;
+  }
+  std::string Require(const std::string& name) const {
+    if (!Has(name)) {
+      std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
+      std::exit(2);
+    }
+    return Get(name);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+data::Dataset LoadOrDie(const std::string& path) {
+  auto dataset = data::LoadDatasetCsv(path);
+  if (!dataset) {
+    std::fprintf(stderr, "cannot load dataset from %s\n", path.c_str());
+    std::exit(1);
+  }
+  return std::move(*dataset);
+}
+
+bool HasGroundTruth(const data::Dataset& dataset) {
+  for (const auto& r : dataset.records()) {
+    if (r.entity_id != data::kUnknownEntity) return true;
+  }
+  return false;
+}
+
+// Loads a matches CSV (book_id_a,book_id_b,confidence,block_score) into a
+// RankedResolution over `dataset`; nullopt on I/O failure.
+std::optional<core::RankedResolution> LoadMatches(
+    const data::Dataset& dataset, const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Commands
+
+int CmdGenerate(const Flags& flags) {
+  synth::GeneratorConfig config;
+  std::string region = util::ToLower(flags.Get("region", "all"));
+  if (region == "italy") {
+    config = synth::ItalyConfig();
+  } else if (region != "all") {
+    std::fprintf(stderr, "unknown --region %s (use italy|all)\n",
+                 region.c_str());
+    return 2;
+  }
+  config.num_persons = static_cast<size_t>(
+      flags.GetInt("persons", static_cast<long>(config.num_persons)));
+  if (flags.Has("mv")) config.include_mv = true;
+  config.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<long>(config.seed)));
+  auto generated = synth::Generate(config);
+  std::string out = flags.Require("out");
+  if (!data::SaveDatasetCsv(generated.dataset, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu reports of %zu persons to %s\n",
+              generated.dataset.size(), generated.persons.size(),
+              out.c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  data::Dataset dataset = LoadOrDie(flags.Require("in"));
+  std::printf("records: %zu\n", dataset.size());
+  if (HasGroundTruth(dataset)) {
+    std::printf("gold matched pairs: %zu\n", dataset.NumGoldPairs());
+  }
+  auto patterns = data::ComputePatternStats(dataset);
+  std::printf("distinct data patterns: %zu\n\n", patterns.NumPatterns());
+  std::printf("%-28s %10s %12s\n", "records-with-pattern bucket",
+              "#patterns", "sum #records");
+  for (const auto& bucket : patterns.Fig11Buckets()) {
+    std::printf("%-28s %10zu %12zu\n", bucket.label.c_str(),
+                bucket.num_patterns, bucket.num_records);
+  }
+  std::printf("\n%-18s %10s %6s %8s\n", "Item Type", "Records", "%",
+              "Items");
+  auto prevalence = data::ComputePrevalence(dataset);
+  auto cardinality = data::ComputeCardinality(dataset);
+  for (size_t a = 0; a < data::kNumAttributes; ++a) {
+    std::printf("%-18s %10zu %5.0f%% %8zu\n",
+                std::string(data::AttributeDisplayName(
+                                static_cast<data::AttributeId>(a)))
+                    .c_str(),
+                prevalence[a].num_records, prevalence[a].fraction * 100.0,
+                cardinality[a].num_items);
+  }
+  return 0;
+}
+
+int CmdNormalize(const Flags& flags) {
+  data::Dataset dataset = LoadOrDie(flags.Require("in"));
+  auto normalizer = text::NameNormalizer::Build(dataset);
+  data::Dataset normalized = normalizer.Apply(dataset);
+  std::string out = flags.Require("out");
+  if (!data::SaveDatasetCsv(normalized, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("normalized %zu records (%zu equivalence classes, %zu values "
+              "folded) -> %s\n",
+              normalized.size(), normalizer.NumNonTrivialClasses(),
+              normalizer.NumFoldedValues(), out.c_str());
+  return 0;
+}
+
+int CmdResolve(const Flags& flags) {
+  data::Dataset dataset = LoadOrDie(flags.Require("in"));
+  synth::Gazetteer gazetteer;
+  core::UncertainErPipeline pipeline(dataset, gazetteer.MakeGeoResolver());
+  core::PipelineConfig config;
+  config.blocking.max_minsup =
+      static_cast<uint32_t>(flags.GetInt("maxminsup", 5));
+  config.blocking.ng = flags.GetDouble("ng", 3.5);
+  config.blocking.expert_weighting = true;
+  config.discard_same_source = flags.Has("samesrc");
+  bool can_classify = HasGroundTruth(dataset);
+  config.use_classifier = can_classify && !flags.Has("no-classify");
+  if (!can_classify && !flags.Has("no-classify")) {
+    std::fprintf(stderr,
+                 "note: no ground truth for tagger; falling back to "
+                 "block-score ranking\n");
+  }
+
+  synth::TagOracle oracle(&dataset);
+  auto result = pipeline.Run(
+      config, [&oracle](data::RecordIdx a, data::RecordIdx b) {
+        return oracle.Tag(a, b);
+      });
+  std::printf("blocking: %zu blocks, %zu candidate pairs; resolution: %zu "
+              "ranked matches\n",
+              result.blocking.blocks.size(), result.blocking.pairs.size(),
+              result.resolution.size());
+  if (HasGroundTruth(dataset)) {
+    auto q = core::EvaluateMatches(dataset, result.resolution.matches());
+    std::printf("vs ground truth: precision %.3f recall %.3f F1 %.3f\n",
+                q.Precision(), q.Recall(), q.F1());
+  }
+  // Matches CSV.
+  std::string out = flags.Require("out");
+  std::ofstream f(out, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  f << "book_id_a,book_id_b,confidence,block_score\n";
+  for (const auto& m : result.resolution.matches()) {
+    f << dataset[m.pair.a].book_id << "," << dataset[m.pair.b].book_id
+      << "," << m.confidence << "," << m.block_score << "\n";
+  }
+  std::printf("wrote %zu matches to %s\n", result.resolution.size(),
+              out.c_str());
+  if (flags.Has("model-out") && config.use_classifier) {
+    if (ml::SaveAdTree(result.model, flags.Get("model-out"))) {
+      std::printf("wrote model to %s\n", flags.Get("model-out").c_str());
+    } else {
+      std::fprintf(stderr, "cannot write model\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  data::Dataset dataset = LoadOrDie(flags.Require("in"));
+  std::map<uint64_t, data::RecordIdx> by_book;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    by_book[dataset[r].book_id] = r;
+  }
+  auto loaded = LoadMatches(dataset, flags.Require("matches"));
+  if (!loaded) {
+    std::fprintf(stderr, "cannot read matches\n");
+    return 1;
+  }
+  core::RankedResolution resolution = std::move(*loaded);
+  double certainty = flags.GetDouble("certainty", 0.0);
+  core::EntityClusters clusters(resolution, dataset.size(), certainty);
+  std::printf("%zu matches above certainty %.2f -> %zu entities (%zu "
+              "multi-report)\n",
+              resolution.AboveThreshold(certainty).size(), certainty,
+              clusters.size(), clusters.NumNonSingleton());
+  if (flags.Has("book-id")) {
+    uint64_t book = std::strtoull(flags.Get("book-id").c_str(), nullptr, 10);
+    auto it = by_book.find(book);
+    if (it == by_book.end()) {
+      std::fprintf(stderr, "unknown book id\n");
+      return 1;
+    }
+    const auto& members = clusters.Members(it->second);
+    auto profile = core::BuildProfile(dataset, members);
+    std::printf("\nEntity of BookID %llu (%zu report(s)):\n%s\n",
+                static_cast<unsigned long long>(book), members.size(),
+                core::RenderNarrative(profile).c_str());
+  } else {
+    size_t shown = 0;
+    for (const auto& cluster : clusters.clusters()) {
+      if (cluster.size() < 2) break;
+      auto profile = core::BuildProfile(dataset, cluster);
+      std::printf("* %s\n", core::RenderNarrative(profile).c_str());
+      if (++shown == 5) break;
+    }
+  }
+  return 0;
+}
+
+std::optional<core::RankedResolution> LoadMatches(
+    const data::Dataset& dataset, const std::string& path) {
+  std::map<uint64_t, data::RecordIdx> by_book;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    by_book[dataset[r].book_id] = r;
+  }
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  auto rows = util::ParseCsv(ss.str());
+  std::vector<core::RankedMatch> matches;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() < 4) continue;
+    auto a = by_book.find(std::strtoull(rows[i][0].c_str(), nullptr, 10));
+    auto b = by_book.find(std::strtoull(rows[i][1].c_str(), nullptr, 10));
+    if (a == by_book.end() || b == by_book.end()) continue;
+    core::RankedMatch m;
+    m.pair = data::RecordPair(a->second, b->second);
+    m.confidence = std::strtod(rows[i][2].c_str(), nullptr);
+    m.block_score = std::strtod(rows[i][3].c_str(), nullptr);
+    matches.push_back(m);
+  }
+  return core::RankedResolution(std::move(matches));
+}
+
+int CmdSample(const Flags& flags) {
+  data::Dataset dataset = LoadOrDie(flags.Require("in"));
+  data::Dataset result = dataset;
+  if (flags.Has("country")) {
+    result = data::FilterByCountry(result, flags.Get("country"));
+  }
+  if (flags.Has("fraction")) {
+    double fraction = flags.GetDouble("fraction", 1.0);
+    util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+    result = flags.Has("by-entity")
+                 ? data::SampleByEntity(result, fraction, rng)
+                 : data::SampleUniform(result, fraction, rng);
+  }
+  std::string out = flags.Require("out");
+  if (!data::SaveDatasetCsv(result, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("sampled %zu of %zu records -> %s\n", result.size(),
+              dataset.size(), out.c_str());
+  return 0;
+}
+
+int CmdGraph(const Flags& flags) {
+  data::Dataset dataset = LoadOrDie(flags.Require("in"));
+  auto resolution = LoadMatches(dataset, flags.Require("matches"));
+  if (!resolution) {
+    std::fprintf(stderr, "cannot read matches\n");
+    return 1;
+  }
+  double certainty = flags.GetDouble("certainty", 0.0);
+  core::EntityClusters clusters(*resolution, dataset.size(), certainty);
+  size_t max_entities =
+      static_cast<size_t>(flags.GetInt("max-entities", 25));
+  auto graph =
+      core::KnowledgeGraph::FromClusters(dataset, clusters, max_entities);
+  size_t spouse_links = graph.LinkSpouses();
+  std::string out = flags.Require("out");
+  std::ofstream f(out, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  f << graph.ToDot();
+  std::printf("knowledge graph: %zu nodes, %zu edges (%zu spouse links) "
+              "-> %s\n",
+              graph.nodes().size(), graph.edges().size(), spouse_links,
+              out.c_str());
+  return 0;
+}
+
+int CmdFamilies(const Flags& flags) {
+  data::Dataset dataset = LoadOrDie(flags.Require("in"));
+  auto resolution = LoadMatches(dataset, flags.Require("matches"));
+  if (!resolution) {
+    std::fprintf(stderr, "cannot read matches\n");
+    return 1;
+  }
+  double certainty = flags.GetDouble("certainty", 0.0);
+  core::EntityClusters persons(*resolution, dataset.size(), certainty);
+  auto families = core::ResolveFamilies(dataset, persons);
+  size_t multi = 0;
+  for (const auto& fc : families) multi += fc.person_clusters.size() > 1;
+  std::printf("%zu person entities -> %zu family units (%zu joining "
+              "multiple persons)\n",
+              persons.size(), families.size(), multi);
+  if (HasGroundTruth(dataset)) {
+    auto q = core::EvaluateFamilyClusters(dataset, families);
+    std::printf("family-level pair precision %.3f recall %.3f\n",
+                q.Precision(), q.Recall());
+  }
+  size_t shown = 0;
+  size_t max_shown = static_cast<size_t>(flags.GetInt("max-shown", 5));
+  for (const auto& fc : families) {
+    if (fc.person_clusters.size() < 2) continue;
+    std::printf("\nfamily of %zu person(s), %zu report(s):\n",
+                fc.person_clusters.size(), fc.records.size());
+    for (size_t pc : fc.person_clusters) {
+      auto profile =
+          core::BuildProfile(dataset, persons.clusters()[pc]);
+      std::printf("  - %s\n", core::RenderNarrative(profile).c_str());
+    }
+    if (++shown == max_shown) break;
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: yver_cli "
+               "<generate|stats|normalize|resolve|query|sample|graph|families> "
+               "[flags]\n(see the header of tools/yver_cli.cc)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "normalize") return CmdNormalize(flags);
+  if (cmd == "resolve") return CmdResolve(flags);
+  if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "sample") return CmdSample(flags);
+  if (cmd == "graph") return CmdGraph(flags);
+  if (cmd == "families") return CmdFamilies(flags);
+  return Usage();
+}
