@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) of the query-serving layer: indexed
+// per-record lookup vs the old linear scan, cold vs warm ResolutionService
+// queries, and batch fan-out.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/ranked_resolution.h"
+#include "serve/query.h"
+#include "serve/resolution_index.h"
+#include "serve/resolution_service.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace yver;
+
+constexpr size_t kRecords = 5000;
+constexpr size_t kMatches = 20000;
+
+core::RankedResolution MakeResolution() {
+  util::Rng rng(41);
+  std::set<data::RecordPair> seen;
+  std::vector<core::RankedMatch> matches;
+  while (matches.size() < kMatches) {
+    auto a = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int64_t>(kRecords) - 1));
+    auto b = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int64_t>(kRecords) - 1));
+    if (a == b) continue;
+    data::RecordPair pair(a, b);
+    if (!seen.insert(pair).second) continue;
+    core::RankedMatch m;
+    m.pair = pair;
+    m.confidence = rng.UniformDouble() * 2.0 - 0.2;
+    m.block_score = rng.UniformDouble();
+    matches.push_back(m);
+  }
+  return core::RankedResolution(std::move(matches));
+}
+
+const core::RankedResolution& Resolution() {
+  static const core::RankedResolution resolution = MakeResolution();
+  return resolution;
+}
+
+std::shared_ptr<const serve::ResolutionIndex> Index() {
+  static const auto index = std::make_shared<const serve::ResolutionIndex>(
+      Resolution(), kRecords);
+  return index;
+}
+
+// The pre-index semantics: scan the full sorted match list per query.
+void BM_ForRecordLinearScan(benchmark::State& state) {
+  const auto& matches = Resolution().matches();
+  util::Rng rng(7);
+  for (auto _ : state) {
+    auto r = static_cast<data::RecordIdx>(rng.UniformInt(0, kRecords - 1));
+    std::vector<core::RankedMatch> out;
+    for (const auto& m : matches) {
+      if (m.confidence <= 0.5) break;
+      if (m.pair.a == r || m.pair.b == r) out.push_back(m);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ForRecordLinearScan);
+
+void BM_ForRecordIndexed(benchmark::State& state) {
+  const auto& resolution = Resolution();
+  util::Rng rng(7);
+  for (auto _ : state) {
+    auto r = static_cast<data::RecordIdx>(rng.UniformInt(0, kRecords - 1));
+    benchmark::DoNotOptimize(resolution.ForRecord(r, 0.5));
+  }
+}
+BENCHMARK(BM_ForRecordIndexed);
+
+void BM_ServiceQueryUncached(benchmark::State& state) {
+  serve::ServiceOptions options;
+  options.cache_capacity = 0;
+  serve::ResolutionService service(Index(), options);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    serve::Query query;
+    query.record =
+        static_cast<data::RecordIdx>(rng.UniformInt(0, kRecords - 1));
+    query.certainty = 0.5;
+    benchmark::DoNotOptimize(service.QueryRecord(query));
+  }
+}
+BENCHMARK(BM_ServiceQueryUncached);
+
+void BM_ServiceQueryWarmCache(benchmark::State& state) {
+  serve::ResolutionService service(Index());
+  util::Rng rng(7);
+  // Hot set small enough that after one lap every lookup is a cache hit.
+  constexpr int kHot = 512;
+  for (int i = 0; i < kHot; ++i) {
+    serve::Query query;
+    query.record = static_cast<data::RecordIdx>(i);
+    query.certainty = 0.5;
+    benchmark::DoNotOptimize(service.QueryRecord(query));
+  }
+  for (auto _ : state) {
+    serve::Query query;
+    query.record = static_cast<data::RecordIdx>(rng.UniformInt(0, kHot - 1));
+    query.certainty = 0.5;
+    benchmark::DoNotOptimize(service.QueryRecord(query));
+  }
+}
+BENCHMARK(BM_ServiceQueryWarmCache);
+
+void BM_QueryBatch(benchmark::State& state) {
+  serve::ServiceOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  serve::ResolutionService service(Index(), options);
+  util::Rng rng(7);
+  std::vector<serve::Query> workload(4096);
+  for (auto& query : workload) {
+    query.record =
+        static_cast<data::RecordIdx>(rng.UniformInt(0, kRecords - 1));
+    query.certainty = 0.5;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.QueryBatch(workload));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_QueryBatch)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

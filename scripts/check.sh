@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full ctest suite, then a
+# ThreadSanitizer build that race-checks the concurrent query-serving layer
+# (serve::ResolutionService and friends in tests/serve_test.cc).
+#
+#   scripts/check.sh            # both stages
+#   scripts/check.sh --no-tsan  # standard stage only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+if [[ "${1:-}" == "--no-tsan" ]]; then
+  run_tsan=0
+fi
+
+echo "==> tier-1: standard build + ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "==> tier-1: ThreadSanitizer race check of the serve layer"
+  cmake -B build-tsan -S . -DYVER_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target yver_tests
+  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*'
+fi
+
+echo "==> all checks passed"

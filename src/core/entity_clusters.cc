@@ -32,9 +32,13 @@ class UnionFind {
 
 EntityClusters::EntityClusters(const RankedResolution& resolution,
                                size_t num_records, double certainty)
+    : EntityClusters(resolution.matches(), num_records, certainty) {}
+
+EntityClusters::EntityClusters(const std::vector<RankedMatch>& sorted_matches,
+                               size_t num_records, double certainty)
     : cluster_of_(num_records, 0) {
   UnionFind uf(num_records);
-  for (const auto& m : resolution.matches()) {
+  for (const auto& m : sorted_matches) {
     if (m.confidence <= certainty) break;  // sorted descending
     YVER_CHECK(m.pair.a < num_records && m.pair.b < num_records);
     uf.Union(m.pair.a, m.pair.b);

@@ -21,6 +21,13 @@ class EntityClusters {
   EntityClusters(const RankedResolution& resolution, size_t num_records,
                  double certainty);
 
+  /// Same, but directly from a confidence-descending match list (the
+  /// RankedResolution ordering contract) — used by serve::ResolutionIndex
+  /// to slice entity clusters at a threshold without rebuilding a
+  /// RankedResolution.
+  EntityClusters(const std::vector<RankedMatch>& sorted_matches,
+                 size_t num_records, double certainty);
+
   /// Record clusters (each sorted ascending), largest first.
   const std::vector<std::vector<data::RecordIdx>>& clusters() const {
     return clusters_;

@@ -83,6 +83,7 @@ PipelineResult UncertainErPipeline::Run(const PipelineConfig& config,
     }
   }
   result.resolution = RankedResolution(std::move(matches));
+  result.num_records = dataset_->size();
   return result;
 }
 

@@ -37,6 +37,11 @@ struct PipelineResult {
   /// Ranked matches: ADTree scores when classified (pairs the model
   /// rejects are dropped), block scores otherwise.
   RankedResolution resolution;
+  /// Size of the resolved corpus — the record-index domain of
+  /// `resolution`. This is the `num_records` a serve::ResolutionIndex
+  /// needs, so a run can be frozen into a servable artifact without
+  /// carrying the dataset alongside the result.
+  size_t num_records = 0;
 };
 
 /// The end-to-end uncertain entity-resolution system of Fig. 9:

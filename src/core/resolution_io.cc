@@ -1,0 +1,61 @@
+#include "core/resolution_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace yver::core {
+
+namespace {
+
+std::map<uint64_t, data::RecordIdx> BookIdIndex(const data::Dataset& dataset) {
+  std::map<uint64_t, data::RecordIdx> by_book;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    by_book[dataset[r].book_id] = r;
+  }
+  return by_book;
+}
+
+}  // namespace
+
+util::Status SaveMatchesCsv(const data::Dataset& dataset,
+                            const RankedResolution& resolution,
+                            const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return util::Status::NotFound("cannot write " + path);
+  f << "book_id_a,book_id_b,confidence,block_score\n";
+  for (const auto& m : resolution.matches()) {
+    f << dataset[m.pair.a].book_id << "," << dataset[m.pair.b].book_id << ","
+      << m.confidence << "," << m.block_score << "\n";
+  }
+  if (!f) return util::Status::DataLoss("short write to " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<RankedResolution> LoadMatchesCsv(const data::Dataset& dataset,
+                                                const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return util::Status::NotFound("cannot read " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  auto by_book = BookIdIndex(dataset);
+  auto rows = util::ParseCsv(ss.str());
+  std::vector<RankedMatch> matches;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() < 4) continue;
+    auto a = by_book.find(std::strtoull(rows[i][0].c_str(), nullptr, 10));
+    auto b = by_book.find(std::strtoull(rows[i][1].c_str(), nullptr, 10));
+    if (a == by_book.end() || b == by_book.end()) continue;
+    RankedMatch m;
+    m.pair = data::RecordPair(a->second, b->second);
+    m.confidence = std::strtod(rows[i][2].c_str(), nullptr);
+    m.block_score = std::strtod(rows[i][3].c_str(), nullptr);
+    matches.push_back(m);
+  }
+  return RankedResolution(std::move(matches));
+}
+
+}  // namespace yver::core

@@ -1,0 +1,27 @@
+#ifndef YVER_CORE_RESOLUTION_IO_H_
+#define YVER_CORE_RESOLUTION_IO_H_
+
+#include <string>
+
+#include "core/ranked_resolution.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace yver::core {
+
+/// Writes the `book_id_a,book_id_b,confidence,block_score` matches CSV
+/// (the `yver_cli resolve` output format) for `resolution` over `dataset`.
+util::Status SaveMatchesCsv(const data::Dataset& dataset,
+                            const RankedResolution& resolution,
+                            const std::string& path);
+
+/// Loads a matches CSV back into a RankedResolution, resolving book ids
+/// against `dataset`. Rows with unknown book ids or too few columns are
+/// skipped (the CSV may cover a superset dataset). NOT_FOUND when the file
+/// cannot be opened.
+util::StatusOr<RankedResolution> LoadMatchesCsv(const data::Dataset& dataset,
+                                                const std::string& path);
+
+}  // namespace yver::core
+
+#endif  // YVER_CORE_RESOLUTION_IO_H_

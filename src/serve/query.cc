@@ -1,0 +1,24 @@
+#include "serve/query.h"
+
+#include <cmath>
+#include <string>
+
+namespace yver::serve {
+
+util::Status ValidateQuery(const Query& query, size_t num_records) {
+  if (std::isnan(query.certainty)) {
+    return util::Status::InvalidArgument("certainty is NaN");
+  }
+  if (query.granularity != Granularity::kMatches &&
+      query.granularity != Granularity::kEntity) {
+    return util::Status::InvalidArgument("unknown granularity");
+  }
+  if (static_cast<size_t>(query.record) >= num_records) {
+    return util::Status::OutOfRange(
+        "record " + std::to_string(query.record) + " beyond corpus of " +
+        std::to_string(num_records) + " records");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace yver::serve

@@ -1,0 +1,191 @@
+#include "serve/resolution_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "util/check.h"
+
+namespace yver::serve {
+
+namespace {
+
+// Artifact layout (little-endian, no padding):
+//   8 bytes  magic "YVERIDX1"
+//   u64      num_records
+//   u64      num_matches
+//   repeated u32 a, u32 b, f64 confidence, f64 block_score
+//   u64      FNV-1a checksum of everything after the magic
+constexpr char kMagic[8] = {'Y', 'V', 'E', 'R', 'I', 'D', 'X', '1'};
+
+class Fnv1a {
+ public:
+  void Update(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ofstream& f) : f_(f) {}
+  template <typename T>
+  void Put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    f_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    fnv_.Update(&v, sizeof(v));
+  }
+  uint64_t digest() const { return fnv_.digest(); }
+
+ private:
+  std::ofstream& f_;
+  Fnv1a fnv_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::ifstream& f) : f_(f) {}
+  template <typename T>
+  bool Get(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!f_.read(reinterpret_cast<char*>(v), sizeof(*v))) return false;
+    fnv_.Update(v, sizeof(*v));
+    return true;
+  }
+  uint64_t digest() const { return fnv_.digest(); }
+
+ private:
+  std::ifstream& f_;
+  Fnv1a fnv_;
+};
+
+}  // namespace
+
+ResolutionIndex::ResolutionIndex(const core::RankedResolution& resolution,
+                                 size_t num_records)
+    : num_records_(num_records),
+      arena_(resolution.matches()),
+      adjacency_(arena_, num_records) {
+  for (const auto& m : arena_) {
+    YVER_CHECK_MSG(m.pair.b < num_records,
+                   "match references record beyond the corpus");
+  }
+}
+
+std::vector<core::RankedMatch> ResolutionIndex::ForRecord(data::RecordIdx r,
+                                                          double certainty,
+                                                          size_t k) const {
+  std::vector<core::RankedMatch> out;
+  auto neighbors = adjacency_.Neighbors(r);
+  if (neighbors.empty()) return out;
+  out.reserve(std::min<size_t>(k == 0 ? 8 : k, neighbors.size()));
+  for (uint32_t idx : neighbors) {
+    const core::RankedMatch& m = arena_[idx];
+    if (!(m.confidence > certainty)) break;  // confidence-descending
+    out.push_back(m);
+    if (k != 0 && out.size() == k) break;
+  }
+  return out;
+}
+
+size_t ResolutionIndex::CountAbove(double certainty) const {
+  auto it = std::partition_point(arena_.begin(), arena_.end(),
+                                 [certainty](const core::RankedMatch& m) {
+                                   return m.confidence > certainty;
+                                 });
+  return static_cast<size_t>(it - arena_.begin());
+}
+
+std::vector<core::RankedMatch> ResolutionIndex::AboveThreshold(
+    double certainty) const {
+  size_t n = CountAbove(certainty);
+  return std::vector<core::RankedMatch>(arena_.begin(), arena_.begin() + n);
+}
+
+std::vector<core::RankedMatch> ResolutionIndex::TopK(size_t k) const {
+  k = std::min(k, arena_.size());
+  return std::vector<core::RankedMatch>(arena_.begin(), arena_.begin() + k);
+}
+
+core::EntityClusters ResolutionIndex::ClustersAt(double certainty) const {
+  return core::EntityClusters(arena_, num_records_, certainty);
+}
+
+util::Status ResolutionIndex::Save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return util::Status::NotFound("cannot write " + path);
+  f.write(kMagic, sizeof(kMagic));
+  Writer w(f);
+  w.Put<uint64_t>(num_records_);
+  w.Put<uint64_t>(arena_.size());
+  for (const auto& m : arena_) {
+    w.Put<uint32_t>(m.pair.a);
+    w.Put<uint32_t>(m.pair.b);
+    w.Put<double>(m.confidence);
+    w.Put<double>(m.block_score);
+  }
+  uint64_t digest = w.digest();
+  f.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  if (!f) return util::Status::DataLoss("short write to " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<ResolutionIndex> ResolutionIndex::Load(
+    const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return util::Status::NotFound("cannot read " + path);
+  char magic[sizeof(kMagic)];
+  if (!f.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::DataLoss(path + ": not a YVERIDX1 artifact");
+  }
+  Reader r(f);
+  uint64_t num_records = 0, num_matches = 0;
+  if (!r.Get(&num_records) || !r.Get(&num_matches)) {
+    return util::Status::DataLoss(path + ": truncated header");
+  }
+  ResolutionIndex index;
+  index.num_records_ = static_cast<size_t>(num_records);
+  index.arena_.reserve(static_cast<size_t>(
+      std::min<uint64_t>(num_matches, 1u << 20)));  // distrust huge counts
+  double prev_confidence = std::numeric_limits<double>::infinity();
+  for (uint64_t i = 0; i < num_matches; ++i) {
+    uint32_t a = 0, b = 0;
+    double confidence = 0, block_score = 0;
+    if (!r.Get(&a) || !r.Get(&b) || !r.Get(&confidence) ||
+        !r.Get(&block_score)) {
+      return util::Status::DataLoss(path + ": truncated match arena");
+    }
+    if (a >= b || b >= num_records) {
+      return util::Status::DataLoss(path + ": malformed record pair");
+    }
+    if (std::isnan(confidence) || confidence > prev_confidence) {
+      return util::Status::DataLoss(path + ": arena not confidence-sorted");
+    }
+    prev_confidence = confidence;
+    core::RankedMatch m;
+    m.pair = data::RecordPair(a, b);
+    m.confidence = confidence;
+    m.block_score = block_score;
+    index.arena_.push_back(m);
+  }
+  uint64_t expected = r.digest();
+  uint64_t stored = 0;
+  if (!f.read(reinterpret_cast<char*>(&stored), sizeof(stored)) ||
+      stored != expected) {
+    return util::Status::DataLoss(path + ": checksum mismatch");
+  }
+  index.adjacency_ = core::MatchAdjacency(index.arena_, index.num_records_);
+  return index;
+}
+
+}  // namespace yver::serve

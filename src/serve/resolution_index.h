@@ -1,0 +1,90 @@
+#ifndef YVER_SERVE_RESOLUTION_INDEX_H_
+#define YVER_SERVE_RESOLUTION_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/entity_clusters.h"
+#include "core/ranked_resolution.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace yver::serve {
+
+/// An immutable, servable snapshot of a pipeline run: the confidence-sorted
+/// match arena (RankedResolution ordering contract) plus a record-keyed
+/// CSR adjacency into it. Built once from a RankedResolution — or loaded
+/// from the binary artifact `Save` writes — and then queried concurrently
+/// without locks: every accessor is const and the structure never mutates
+/// after construction.
+///
+/// This is what makes §4.2's query-time uncertain resolution servable at
+/// scale: `yver_cli resolve` output becomes an on-disk artifact that a
+/// ResolutionService maps back in and answers from, instead of re-running
+/// the pipeline or re-scanning a CSV per query.
+class ResolutionIndex {
+ public:
+  ResolutionIndex() = default;
+
+  /// Snapshots `resolution` over a corpus of `num_records` records. All
+  /// match record indices must be < num_records.
+  ResolutionIndex(const core::RankedResolution& resolution,
+                  size_t num_records);
+
+  /// Records in the indexed corpus.
+  size_t num_records() const { return num_records_; }
+  /// Total matches in the arena.
+  size_t num_matches() const { return arena_.size(); }
+  bool empty() const { return arena_.empty(); }
+
+  /// The match arena, best first (RankedResolution ordering contract).
+  const std::vector<core::RankedMatch>& matches() const { return arena_; }
+
+  /// Arena indices of record r's matches, confidence-descending.
+  std::span<const uint32_t> Neighbors(data::RecordIdx r) const {
+    return adjacency_.Neighbors(r);
+  }
+
+  /// Record r's matches with confidence > certainty, best first, truncated
+  /// to k entries (0 = unlimited). Cost is O(answer), not O(num_matches).
+  std::vector<core::RankedMatch> ForRecord(data::RecordIdx r,
+                                           double certainty,
+                                           size_t k = 0) const;
+
+  /// Number of arena matches with confidence > certainty (binary search).
+  size_t CountAbove(double certainty) const;
+
+  /// The qualifying arena prefix with confidence > certainty, best first.
+  std::vector<core::RankedMatch> AboveThreshold(double certainty) const;
+
+  /// The k best matches overall.
+  std::vector<core::RankedMatch> TopK(size_t k) const;
+
+  /// Entity clusters at a certainty threshold — connected components of
+  /// the match graph restricted to confidence > certainty (§4.1
+  /// granularity dial). O(num_matches α(num_records)); the service caches
+  /// these per threshold.
+  core::EntityClusters ClustersAt(double certainty) const;
+
+  /// Serializes the index to a binary artifact (magic, version, counts,
+  /// raw match arena). The adjacency is rebuilt on load — it is a pure
+  /// function of the arena, so round-tripping preserves query results
+  /// bit-for-bit.
+  util::Status Save(const std::string& path) const;
+
+  /// Loads an artifact written by Save. NOT_FOUND when the file cannot be
+  /// opened, DATA_LOSS on bad magic / version / truncation / malformed
+  /// pairs.
+  static util::StatusOr<ResolutionIndex> Load(const std::string& path);
+
+ private:
+  size_t num_records_ = 0;
+  std::vector<core::RankedMatch> arena_;
+  core::MatchAdjacency adjacency_;
+};
+
+}  // namespace yver::serve
+
+#endif  // YVER_SERVE_RESOLUTION_INDEX_H_

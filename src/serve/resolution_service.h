@@ -1,0 +1,127 @@
+#ifndef YVER_SERVE_RESOLUTION_SERVICE_H_
+#define YVER_SERVE_RESOLUTION_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/entity_clusters.h"
+#include "serve/lru_cache.h"
+#include "serve/query.h"
+#include "serve/resolution_index.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace yver::serve {
+
+/// Tuning knobs for a ResolutionService.
+struct ServiceOptions {
+  /// Worker threads for QueryBatch / QueryStream fan-out
+  /// (0 = std::thread::hardware_concurrency).
+  size_t num_threads = 0;
+  /// Total LRU entries across shards; 0 disables result caching.
+  size_t cache_capacity = 1 << 16;
+  /// LRU shards (rounded up to a power of two).
+  size_t cache_shards = 16;
+  /// Distinct certainty thresholds whose entity clusterings are memoized;
+  /// the memo is dropped wholesale when it outgrows this.
+  size_t max_cluster_slices = 64;
+};
+
+/// Point-in-time service counters. Latency covers cache hits and misses
+/// alike; hit rate is hits / (hits + misses) of the result cache.
+struct ServiceMetrics {
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double total_latency_ms = 0.0;
+
+  double HitRate() const {
+    uint64_t looked = cache_hits + cache_misses;
+    return looked == 0 ? 0.0 : static_cast<double>(cache_hits) / looked;
+  }
+  double MeanLatencyMs() const {
+    return queries == 0 ? 0.0 : total_latency_ms / static_cast<double>(queries);
+  }
+};
+
+/// Thread-safe query front end over an immutable ResolutionIndex: the
+/// paper's query-time uncertain resolution (§4.2) packaged for serving.
+/// Single (`QueryRecord`), batch (`QueryBatch`, fanned out over a
+/// util::ThreadPool), and streaming-style (`QueryStream`, results pushed to
+/// a sink as they complete) APIs all answer through one code path, so a
+/// batch answer is always identical to the per-query answer.
+///
+/// Repeated (record, certainty, k, granularity) lookups are served from a
+/// sharded LRU cache; entity-granularity queries additionally memoize the
+/// union-find clustering per certainty threshold, so slicing the corpus at
+/// a handful of operating points costs one clustering each.
+///
+/// All public methods may be called concurrently from any thread.
+class ResolutionService {
+ public:
+  explicit ResolutionService(std::shared_ptr<const ResolutionIndex> index,
+                             ServiceOptions options = {});
+
+  ResolutionService(const ResolutionService&) = delete;
+  ResolutionService& operator=(const ResolutionService&) = delete;
+
+  /// Answers one query. INVALID_ARGUMENT for NaN certainty, OUT_OF_RANGE
+  /// for a record beyond the indexed corpus.
+  util::StatusOr<QueryResult> QueryRecord(const Query& query);
+
+  /// Answers a batch concurrently; results[i] corresponds to queries[i]
+  /// and equals what QueryRecord(queries[i]) would return. Blocks until
+  /// the whole batch is done.
+  std::vector<util::StatusOr<QueryResult>> QueryBatch(
+      const std::vector<Query>& queries);
+
+  /// Streaming-style variant: `sink(i, result)` is invoked once per query,
+  /// from worker threads, as each result becomes ready (order is not
+  /// deterministic). The sink must be thread-safe. Blocks until all sinks
+  /// have returned.
+  void QueryStream(
+      const std::vector<Query>& queries,
+      const std::function<void(size_t, util::StatusOr<QueryResult>)>& sink);
+
+  const ResolutionIndex& index() const { return *index_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Actual worker count (options().num_threads resolved against the
+  /// hardware).
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Snapshot of the counters (monotonic since construction or the last
+  /// ResetMetrics).
+  ServiceMetrics metrics() const;
+  void ResetMetrics();
+
+ private:
+  /// Cache-miss path: computes the result and inserts it.
+  std::shared_ptr<const QueryResult> Compute(const Query& query);
+
+  /// Memoized entity clustering at a certainty threshold.
+  std::shared_ptr<const core::EntityClusters> ClustersAt(double certainty);
+
+  std::shared_ptr<const ResolutionIndex> index_;
+  ServiceOptions options_;
+  util::ThreadPool pool_;
+  ShardedQueryCache cache_;
+
+  std::mutex clusters_mu_;
+  std::map<uint64_t, std::shared_ptr<const core::EntityClusters>>
+      cluster_slices_;  // keyed by certainty bit pattern
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> latency_ns_{0};
+};
+
+}  // namespace yver::serve
+
+#endif  // YVER_SERVE_RESOLUTION_SERVICE_H_

@@ -1,0 +1,432 @@
+// Tests of the query-serving layer: ResolutionIndex round-trips,
+// ResolutionService caching and concurrency, and the typed Query API.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/entity_clusters.h"
+#include "core/ranked_resolution.h"
+#include "serve/lru_cache.h"
+#include "serve/query.h"
+#include "serve/resolution_index.h"
+#include "serve/resolution_service.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace yver::serve {
+namespace {
+
+using core::RankedMatch;
+using core::RankedResolution;
+using data::RecordPair;
+
+// Random resolution over `num_records` records with deliberate confidence
+// ties, so determinism of the ordering contract is actually exercised.
+RankedResolution MakeRandomResolution(size_t num_records, size_t num_matches,
+                                      uint64_t seed) {
+  util::Rng rng(seed);
+  std::set<RecordPair> seen;
+  std::vector<RankedMatch> matches;
+  while (matches.size() < num_matches) {
+    auto a = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int64_t>(num_records) - 1));
+    auto b = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int64_t>(num_records) - 1));
+    if (a == b) continue;
+    RecordPair pair(a, b);
+    if (!seen.insert(pair).second) continue;
+    RankedMatch m;
+    m.pair = pair;
+    // Quantized confidences: plenty of exact ties.
+    m.confidence = rng.UniformInt(-2, 20) / 10.0;
+    m.block_score = rng.UniformDouble();
+    matches.push_back(m);
+  }
+  return RankedResolution(std::move(matches));
+}
+
+// The pre-index reference semantics: linear scan of the sorted match list.
+std::vector<RankedMatch> LinearForRecord(const std::vector<RankedMatch>& all,
+                                         data::RecordIdx r,
+                                         double certainty) {
+  std::vector<RankedMatch> out;
+  for (const auto& m : all) {
+    if (m.confidence <= certainty) break;
+    if (m.pair.a == r || m.pair.b == r) out.push_back(m);
+  }
+  return out;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// util::Status / StatusOr
+
+TEST(StatusTest, OkAndErrorsRoundTrip) {
+  EXPECT_TRUE(util::Status::Ok().ok());
+  auto bad = util::Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ToString(), "INVALID_ARGUMENT: nope");
+}
+
+TEST(StatusTest, StatusOrHoldsValueOrStatus) {
+  util::StatusOr<int> ok_value(42);
+  ASSERT_TRUE(ok_value.ok());
+  EXPECT_EQ(*ok_value, 42);
+  util::StatusOr<int> error(util::Status::NotFound("missing"));
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), util::StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// RankedResolution delegating to the adjacency index
+
+TEST(RankedResolutionIndexTest, ForRecordMatchesLinearScan) {
+  auto res = MakeRandomResolution(200, 600, /*seed=*/3);
+  for (double certainty : {-3.0, -0.5, 0.0, 0.3, 0.7, 1.0, 2.5}) {
+    for (data::RecordIdx r = 0; r < 200; r += 7) {
+      EXPECT_EQ(res.ForRecord(r, certainty),
+                LinearForRecord(res.matches(), r, certainty));
+    }
+  }
+}
+
+TEST(RankedResolutionIndexTest, DeterministicAcrossInputPermutations) {
+  auto res = MakeRandomResolution(50, 200, /*seed=*/9);
+  // Re-feed the same matches reversed: the ordering contract promises an
+  // identical sorted list.
+  std::vector<RankedMatch> reversed(res.matches().rbegin(),
+                                    res.matches().rend());
+  RankedResolution again(std::move(reversed));
+  EXPECT_EQ(res.matches(), again.matches());
+}
+
+// ---------------------------------------------------------------------------
+// ResolutionIndex
+
+class ResolutionIndexTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    resolution_ = MakeRandomResolution(kRecords, kMatches, /*seed=*/11);
+    index_ = ResolutionIndex(resolution_, kRecords);
+  }
+
+  static constexpr size_t kRecords = 300;
+  static constexpr size_t kMatches = 900;
+  RankedResolution resolution_;
+  ResolutionIndex index_;
+};
+
+TEST_F(ResolutionIndexTest, AgreesWithRankedResolution) {
+  for (double certainty : {-3.0, 0.0, 0.45, 1.0}) {
+    EXPECT_EQ(index_.AboveThreshold(certainty),
+              resolution_.AboveThreshold(certainty));
+    EXPECT_EQ(index_.CountAbove(certainty),
+              resolution_.CountAboveThreshold(certainty));
+    for (data::RecordIdx r = 0; r < kRecords; r += 13) {
+      EXPECT_EQ(index_.ForRecord(r, certainty),
+                resolution_.ForRecord(r, certainty));
+    }
+  }
+  EXPECT_EQ(index_.TopK(17), resolution_.TopK(17));
+  EXPECT_EQ(index_.TopK(kMatches + 50), resolution_.matches());
+}
+
+TEST_F(ResolutionIndexTest, KTruncatesForRecord) {
+  for (data::RecordIdx r = 0; r < kRecords; r += 29) {
+    auto all = index_.ForRecord(r, -5.0);
+    auto top2 = index_.ForRecord(r, -5.0, 2);
+    ASSERT_LE(top2.size(), 2u);
+    for (size_t i = 0; i < top2.size(); ++i) EXPECT_EQ(top2[i], all[i]);
+  }
+}
+
+TEST_F(ResolutionIndexTest, SaveLoadRoundTripIsByteIdentical) {
+  std::string path = TempPath("roundtrip.yvx");
+  ASSERT_TRUE(index_.Save(path).ok());
+  auto loaded = ResolutionIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_records(), index_.num_records());
+  // Arena equality is bitwise for the doubles, so every query result over
+  // the loaded index is byte-identical to the in-memory one.
+  EXPECT_EQ(loaded->matches(), index_.matches());
+  for (double certainty : {-1.0, 0.0, 0.5}) {
+    for (data::RecordIdx r = 0; r < kRecords; r += 31) {
+      EXPECT_EQ(loaded->ForRecord(r, certainty),
+                index_.ForRecord(r, certainty));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ResolutionIndexTest, LoadRejectsMissingCorruptAndTruncated) {
+  EXPECT_EQ(ResolutionIndex::Load(TempPath("no-such-file.yvx")).status().code(),
+            util::StatusCode::kNotFound);
+
+  std::string garbage = TempPath("garbage.yvx");
+  { std::ofstream(garbage, std::ios::binary) << "definitely not an index"; }
+  EXPECT_EQ(ResolutionIndex::Load(garbage).status().code(),
+            util::StatusCode::kDataLoss);
+  std::remove(garbage.c_str());
+
+  std::string truncated = TempPath("truncated.yvx");
+  ASSERT_TRUE(index_.Save(truncated).ok());
+  {
+    std::ifstream in(truncated, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() / 2);
+    std::ofstream(truncated, std::ios::binary) << bytes;
+  }
+  EXPECT_EQ(ResolutionIndex::Load(truncated).status().code(),
+            util::StatusCode::kDataLoss);
+  std::remove(truncated.c_str());
+}
+
+TEST_F(ResolutionIndexTest, ClustersMatchEntityClusters) {
+  core::EntityClusters direct(resolution_, kRecords, 0.4);
+  core::EntityClusters sliced = index_.ClustersAt(0.4);
+  EXPECT_EQ(direct.clusters(), sliced.clusters());
+}
+
+// ---------------------------------------------------------------------------
+// ShardedQueryCache
+
+TEST(ShardedQueryCacheTest, EvictsLeastRecentlyUsed) {
+  ShardedQueryCache cache(/*capacity=*/2, /*num_shards=*/1);
+  Query q1{1, 0.0, 0, Granularity::kMatches};
+  Query q2{2, 0.0, 0, Granularity::kMatches};
+  Query q3{3, 0.0, 0, Granularity::kMatches};
+  cache.Put(q1, std::make_shared<QueryResult>());
+  cache.Put(q2, std::make_shared<QueryResult>());
+  EXPECT_NE(cache.Get(q1), nullptr);  // q1 now MRU
+  cache.Put(q3, std::make_shared<QueryResult>());
+  EXPECT_EQ(cache.Get(q2), nullptr);  // q2 was LRU -> evicted
+  EXPECT_NE(cache.Get(q1), nullptr);
+  EXPECT_NE(cache.Get(q3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedQueryCacheTest, DistinguishesAllKeyFields) {
+  ShardedQueryCache cache(/*capacity=*/64);
+  Query base{5, 0.25, 0, Granularity::kMatches};
+  cache.Put(base, std::make_shared<QueryResult>());
+  Query other_certainty = base;
+  other_certainty.certainty = 0.75;
+  Query other_k = base;
+  other_k.k = 3;
+  Query other_granularity = base;
+  other_granularity.granularity = Granularity::kEntity;
+  EXPECT_NE(cache.Get(base), nullptr);
+  EXPECT_EQ(cache.Get(other_certainty), nullptr);
+  EXPECT_EQ(cache.Get(other_k), nullptr);
+  EXPECT_EQ(cache.Get(other_granularity), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// ResolutionService
+
+class ResolutionServiceTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto resolution = MakeRandomResolution(kRecords, kMatches, /*seed=*/23);
+    index_ = std::make_shared<const ResolutionIndex>(resolution, kRecords);
+  }
+
+  static constexpr size_t kRecords = 500;
+  static constexpr size_t kMatches = 1500;
+  std::shared_ptr<const ResolutionIndex> index_;
+};
+
+TEST_F(ResolutionServiceTest, CacheHitAndMissCounters) {
+  ResolutionService service(index_);
+  Query query{7, 0.2, 0, Granularity::kMatches};
+  auto first = service.QueryRecord(query);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache);
+  auto second = service.QueryRecord(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_EQ(second->matches, first->matches);
+  auto metrics = service.metrics();
+  EXPECT_EQ(metrics.queries, 2u);
+  EXPECT_EQ(metrics.cache_misses, 1u);
+  EXPECT_EQ(metrics.cache_hits, 1u);
+  EXPECT_DOUBLE_EQ(metrics.HitRate(), 0.5);
+}
+
+TEST_F(ResolutionServiceTest, DisabledCacheNeverHits) {
+  ServiceOptions options;
+  options.cache_capacity = 0;
+  ResolutionService service(index_, options);
+  Query query{7, 0.2, 0, Granularity::kMatches};
+  ASSERT_TRUE(service.QueryRecord(query).ok());
+  auto again = service.QueryRecord(query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->from_cache);
+  EXPECT_EQ(service.metrics().cache_hits, 0u);
+}
+
+TEST_F(ResolutionServiceTest, CertaintyEdgeCases) {
+  ResolutionService service(index_);
+  // certainty is a strict lower bound: at 0.0, confidence-0 matches drop.
+  Query at_zero{3, 0.0, 0, Granularity::kMatches};
+  auto r0 = service.QueryRecord(at_zero);
+  ASSERT_TRUE(r0.ok());
+  for (const auto& m : r0->matches) EXPECT_GT(m.confidence, 0.0);
+
+  // At 1.0 nothing above the synthetic max of 2.0 except high scores; all
+  // returned matches must be strictly greater.
+  Query at_one{3, 1.0, 0, Granularity::kMatches};
+  auto r1 = service.QueryRecord(at_one);
+  ASSERT_TRUE(r1.ok());
+  for (const auto& m : r1->matches) EXPECT_GT(m.confidence, 1.0);
+
+  // Beyond the maximum confidence: empty, not an error.
+  Query above_all{3, 1e9, 0, Granularity::kMatches};
+  auto r2 = service.QueryRecord(above_all);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->matches.empty());
+
+  // NaN certainty is rejected.
+  Query nan_query{3, std::numeric_limits<double>::quiet_NaN(), 0,
+                  Granularity::kMatches};
+  auto rejected = service.QueryRecord(nan_query);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kInvalidArgument);
+
+  // Out-of-corpus record is rejected.
+  Query beyond{static_cast<data::RecordIdx>(kRecords), 0.0, 0,
+               Granularity::kMatches};
+  auto out_of_range = service.QueryRecord(beyond);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), util::StatusCode::kOutOfRange);
+  EXPECT_EQ(service.metrics().errors, 2u);
+}
+
+TEST_F(ResolutionServiceTest, EntityGranularityMatchesClusters) {
+  ResolutionService service(index_);
+  core::EntityClusters clusters = index_->ClustersAt(0.3);
+  for (data::RecordIdx r = 0; r < kRecords; r += 41) {
+    Query query{r, 0.3, 0, Granularity::kEntity};
+    auto result = service.QueryRecord(query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->entity, clusters.Members(r));
+    EXPECT_TRUE(result->matches.empty());
+  }
+  // k truncates entity members too.
+  Query truncated{0, 0.3, 1, Granularity::kEntity};
+  auto result = service.QueryRecord(truncated);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entity.size(), 1u);
+}
+
+TEST_F(ResolutionServiceTest, BatchEqualsSingleUnderEightThreads) {
+  // The acceptance-scale setup: a 5k-record synthetic corpus, >=10k
+  // queries, batch fanned over 8 threads vs the per-query reference.
+  constexpr size_t kCorpus = 5000;
+  auto resolution = MakeRandomResolution(kCorpus, 15000, /*seed=*/31);
+  auto index =
+      std::make_shared<const ResolutionIndex>(resolution, kCorpus);
+  ServiceOptions options;
+  options.num_threads = 8;
+  ResolutionService batch_service(index, options);
+
+  util::Rng rng(99);
+  std::vector<Query> queries;
+  const double thresholds[] = {-1.0, 0.0, 0.3, 0.6, 1.0};
+  for (size_t i = 0; i < 10000; ++i) {
+    Query query;
+    query.record = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int64_t>(kCorpus) - 1));
+    query.certainty = thresholds[rng.UniformInt(0, 4)];
+    query.k = static_cast<size_t>(rng.UniformInt(0, 3));
+    query.granularity =
+        rng.Bernoulli(0.25) ? Granularity::kEntity : Granularity::kMatches;
+    queries.push_back(query);
+  }
+  auto batch = batch_service.QueryBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+
+  // Reference: an uncached single-threaded service plus the linear-scan
+  // semantics of RankedResolution::ForRecord.
+  ServiceOptions reference_options;
+  reference_options.num_threads = 1;
+  reference_options.cache_capacity = 0;
+  ResolutionService reference(index, reference_options);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok());
+    auto single = reference.QueryRecord(queries[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batch[i]->matches, single->matches);
+    EXPECT_EQ(batch[i]->entity, single->entity);
+    if (queries[i].granularity == Granularity::kMatches &&
+        queries[i].k == 0) {
+      EXPECT_EQ(batch[i]->matches,
+                resolution.ForRecord(queries[i].record,
+                                     queries[i].certainty));
+      EXPECT_EQ(batch[i]->matches,
+                LinearForRecord(index->matches(), queries[i].record,
+                                queries[i].certainty));
+    }
+  }
+}
+
+TEST_F(ResolutionServiceTest, ConcurrentMixedTrafficIsRaceFree) {
+  // Shared service hammered by single queries, a batch, and a stream at
+  // once — the TSan preset (cmake -DYVER_SANITIZE=thread) race-checks this.
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.cache_capacity = 256;  // small: forces concurrent evictions
+  ResolutionService service(index_, options);
+
+  std::vector<Query> workload;
+  for (size_t i = 0; i < 512; ++i) {
+    Query query;
+    query.record = static_cast<data::RecordIdx>(i % kRecords);
+    query.certainty = (i % 5) * 0.2;
+    query.granularity =
+        i % 3 == 0 ? Granularity::kEntity : Granularity::kMatches;
+    workload.push_back(query);
+  }
+
+  std::atomic<size_t> streamed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&service, &workload, t] {
+      for (size_t i = t; i < workload.size(); i += 2) {
+        auto result = service.QueryRecord(workload[i]);
+        ASSERT_TRUE(result.ok());
+      }
+    });
+  }
+  threads.emplace_back([&service, &workload] {
+    auto results = service.QueryBatch(workload);
+    for (const auto& r : results) ASSERT_TRUE(r.ok());
+  });
+  threads.emplace_back([&service, &workload, &streamed] {
+    service.QueryStream(workload,
+                        [&streamed](size_t, util::StatusOr<QueryResult> r) {
+                          ASSERT_TRUE(r.ok());
+                          streamed.fetch_add(1);
+                        });
+  });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(streamed.load(), workload.size());
+  EXPECT_EQ(service.metrics().errors, 0u);
+}
+
+}  // namespace
+}  // namespace yver::serve

@@ -1,33 +1,43 @@
 // yver_cli — command-line front end for the uncertain-ER library.
 //
-//   yver_cli generate  --persons N [--region italy|all] [--mv] [--seed S]
-//                      --out data.csv
-//   yver_cli stats     --in data.csv
-//   yver_cli normalize --in data.csv --out clean.csv
-//   yver_cli resolve   --in data.csv --out matches.csv [--ng X]
-//                      [--maxminsup K] [--no-classify] [--samesrc]
-//                      [--model-out model.adt]
-//   yver_cli query     --in data.csv --matches matches.csv
-//                      [--certainty C] [--book-id B]
-//   yver_cli sample    --in data.csv --out sub.csv [--fraction F]
-//                      [--by-entity] [--country NAME] [--seed S]
-//   yver_cli graph     --in data.csv --matches matches.csv --out g.dot
-//                      [--certainty C] [--max-entities N]
-//   yver_cli families  --in data.csv --matches matches.csv
-//                      [--certainty C] [--max-shown N]
+//   yver_cli generate    --persons N [--region italy|all] [--mv] [--seed S]
+//                        --out data.csv
+//   yver_cli stats       --in data.csv
+//   yver_cli normalize   --in data.csv --out clean.csv
+//   yver_cli resolve     --in data.csv --out matches.csv [--ng X]
+//                        [--maxminsup K] [--no-classify] [--samesrc]
+//                        [--model-out model.adt]
+//   yver_cli index       --in data.csv --matches matches.csv --out idx.yvx
+//   yver_cli query       --in data.csv (--matches matches.csv | --index idx.yvx)
+//                        [--certainty C] [--book-id B] [--k K]
+//   yver_cli serve-bench --in data.csv (--matches matches.csv | --index idx.yvx)
+//                        [--queries N] [--certainty C] [--threads T]
+//                        [--hot-set H] [--no-cache]
+//   yver_cli sample      --in data.csv --out sub.csv [--fraction F]
+//                        [--by-entity] [--country NAME] [--seed S]
+//   yver_cli graph       --in data.csv (--matches matches.csv | --index idx.yvx)
+//                        --out g.dot [--certainty C] [--max-entities N]
+//   yver_cli families    --in data.csv (--matches matches.csv | --index idx.yvx)
+//                        [--certainty C] [--max-shown N]
 //
 // `resolve` trains the ADTree from the simulated expert tagger when the
 // dataset carries ground-truth entity ids (synthetic corpora do); without
 // them it falls back to block-score ranking (--no-classify implied).
+//
+// `index` freezes a matches CSV into the binary serve::ResolutionIndex
+// artifact; `query`, `graph`, `families` and `serve-bench` accept either
+// form and build the same in-memory index from both.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
-#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/entity_clusters.h"
 #include "core/evaluation.h"
@@ -35,16 +45,22 @@
 #include "core/knowledge_graph.h"
 #include "core/narrative.h"
 #include "core/pipeline.h"
+#include "core/resolution_io.h"
 #include "data/csv_io.h"
 #include "data/sample.h"
 #include "data/stats.h"
 #include "ml/adtree_io.h"
+#include "serve/query.h"
+#include "serve/resolution_index.h"
+#include "serve/resolution_service.h"
 #include "synth/gazetteer.h"
 #include "synth/generator.h"
 #include "synth/tag_oracle.h"
 #include "text/normalizer.h"
-#include "util/csv.h"
+#include "util/rng.h"
+#include "util/status.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -95,6 +111,103 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+// ---------------------------------------------------------------------------
+// Shared typed options. Each subcommand parses its Flags exactly once into
+// one of these structs and hands them to library entry points — the same
+// value types serve::ResolutionService consumes — instead of re-reading
+// ad-hoc flags throughout the command body.
+
+/// Options of the `resolve` pipeline family.
+struct ResolveOptions {
+  std::string in;
+  std::string out;
+  std::string model_out;  // empty = don't save the model
+  uint32_t max_minsup = 5;
+  double ng = 3.5;
+  bool discard_same_source = false;
+  bool no_classify = false;
+
+  core::PipelineConfig ToPipelineConfig(bool has_ground_truth) const {
+    core::PipelineConfig config;
+    config.blocking.max_minsup = max_minsup;
+    config.blocking.ng = ng;
+    config.blocking.expert_weighting = true;
+    config.discard_same_source = discard_same_source;
+    config.use_classifier = has_ground_truth && !no_classify;
+    return config;
+  }
+};
+
+ResolveOptions ParseResolveOptions(const Flags& flags) {
+  ResolveOptions options;
+  options.in = flags.Require("in");
+  options.out = flags.Require("out");
+  options.model_out = flags.Get("model-out");
+  options.max_minsup = static_cast<uint32_t>(flags.GetInt("maxminsup", 5));
+  options.ng = flags.GetDouble("ng", 3.5);
+  options.discard_same_source = flags.Has("samesrc");
+  options.no_classify = flags.Has("no-classify");
+  return options;
+}
+
+/// Options shared by every command that queries a served resolution
+/// (`query`, `graph`, `families`, `index`, `serve-bench`).
+struct QueryOptions {
+  std::string in;       // dataset CSV
+  std::string matches;  // matches CSV (mutually optional with index_path)
+  std::string index_path;
+  std::string out;  // index/graph output path
+  double certainty = 0.0;
+  size_t k = 0;
+  std::optional<uint64_t> book_id;
+  size_t max_entities = 25;  // graph
+  size_t max_shown = 5;      // families
+  // serve-bench workload shape:
+  size_t num_queries = 10000;
+  size_t hot_set = 1024;
+  size_t threads = 0;
+  bool no_cache = false;
+
+  serve::Query ToServeQuery(data::RecordIdx record,
+                            serve::Granularity granularity) const {
+    serve::Query query;
+    query.record = record;
+    query.certainty = certainty;
+    query.k = k;
+    query.granularity = granularity;
+    return query;
+  }
+};
+
+QueryOptions ParseQueryOptions(const Flags& flags) {
+  QueryOptions options;
+  options.in = flags.Require("in");
+  options.matches = flags.Get("matches");
+  options.index_path = flags.Get("index");
+  options.out = flags.Get("out");
+  options.certainty = flags.GetDouble("certainty", 0.0);
+  if (std::isnan(options.certainty)) {
+    // Mirror serve::ValidateQuery: the clustering paths that bypass the
+    // service must never see a NaN threshold (it disables the break in
+    // the sorted-scan loops).
+    std::fprintf(stderr, "--certainty must not be NaN\n");
+    std::exit(2);
+  }
+  options.k = static_cast<size_t>(flags.GetInt("k", 0));
+  if (flags.Has("book-id")) {
+    options.book_id =
+        std::strtoull(flags.Get("book-id").c_str(), nullptr, 10);
+  }
+  options.max_entities =
+      static_cast<size_t>(flags.GetInt("max-entities", 25));
+  options.max_shown = static_cast<size_t>(flags.GetInt("max-shown", 5));
+  options.num_queries = static_cast<size_t>(flags.GetInt("queries", 10000));
+  options.hot_set = static_cast<size_t>(flags.GetInt("hot-set", 1024));
+  options.threads = static_cast<size_t>(flags.GetInt("threads", 0));
+  options.no_cache = flags.Has("no-cache");
+  return options;
+}
+
 data::Dataset LoadOrDie(const std::string& path) {
   auto dataset = data::LoadDatasetCsv(path);
   if (!dataset) {
@@ -111,10 +224,46 @@ bool HasGroundTruth(const data::Dataset& dataset) {
   return false;
 }
 
-// Loads a matches CSV (book_id_a,book_id_b,confidence,block_score) into a
-// RankedResolution over `dataset`; nullopt on I/O failure.
-std::optional<core::RankedResolution> LoadMatches(
-    const data::Dataset& dataset, const std::string& path);
+// Materializes the in-memory index from whichever artifact the options
+// name: the binary index (preferred) or the matches CSV.
+std::shared_ptr<const serve::ResolutionIndex> LoadIndexOrDie(
+    const data::Dataset& dataset, const QueryOptions& options) {
+  if (!options.index_path.empty()) {
+    auto loaded = serve::ResolutionIndex::Load(options.index_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (loaded->num_records() != dataset.size()) {
+      std::fprintf(stderr,
+                   "index covers %zu records but dataset has %zu\n",
+                   loaded->num_records(), dataset.size());
+      std::exit(1);
+    }
+    return std::make_shared<const serve::ResolutionIndex>(
+        *std::move(loaded));
+  }
+  if (options.matches.empty()) {
+    std::fprintf(stderr, "need --matches or --index\n");
+    std::exit(2);
+  }
+  auto resolution = core::LoadMatchesCsv(dataset, options.matches);
+  if (!resolution.ok()) {
+    std::fprintf(stderr, "%s\n", resolution.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::make_shared<const serve::ResolutionIndex>(*resolution,
+                                                        dataset.size());
+}
+
+std::map<uint64_t, data::RecordIdx> BookIdIndex(
+    const data::Dataset& dataset) {
+  std::map<uint64_t, data::RecordIdx> by_book;
+  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
+    by_book[dataset[r].book_id] = r;
+  }
+  return by_book;
+}
 
 // ---------------------------------------------------------------------------
 // Commands
@@ -191,19 +340,13 @@ int CmdNormalize(const Flags& flags) {
   return 0;
 }
 
-int CmdResolve(const Flags& flags) {
-  data::Dataset dataset = LoadOrDie(flags.Require("in"));
+int CmdResolve(const ResolveOptions& options) {
+  data::Dataset dataset = LoadOrDie(options.in);
   synth::Gazetteer gazetteer;
   core::UncertainErPipeline pipeline(dataset, gazetteer.MakeGeoResolver());
-  core::PipelineConfig config;
-  config.blocking.max_minsup =
-      static_cast<uint32_t>(flags.GetInt("maxminsup", 5));
-  config.blocking.ng = flags.GetDouble("ng", 3.5);
-  config.blocking.expert_weighting = true;
-  config.discard_same_source = flags.Has("samesrc");
   bool can_classify = HasGroundTruth(dataset);
-  config.use_classifier = can_classify && !flags.Has("no-classify");
-  if (!can_classify && !flags.Has("no-classify")) {
+  core::PipelineConfig config = options.ToPipelineConfig(can_classify);
+  if (!can_classify && !options.no_classify) {
     std::fprintf(stderr,
                  "note: no ground truth for tagger; falling back to "
                  "block-score ranking\n");
@@ -223,23 +366,16 @@ int CmdResolve(const Flags& flags) {
     std::printf("vs ground truth: precision %.3f recall %.3f F1 %.3f\n",
                 q.Precision(), q.Recall(), q.F1());
   }
-  // Matches CSV.
-  std::string out = flags.Require("out");
-  std::ofstream f(out, std::ios::binary);
-  if (!f) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+  auto saved = core::SaveMatchesCsv(dataset, result.resolution, options.out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
   }
-  f << "book_id_a,book_id_b,confidence,block_score\n";
-  for (const auto& m : result.resolution.matches()) {
-    f << dataset[m.pair.a].book_id << "," << dataset[m.pair.b].book_id
-      << "," << m.confidence << "," << m.block_score << "\n";
-  }
   std::printf("wrote %zu matches to %s\n", result.resolution.size(),
-              out.c_str());
-  if (flags.Has("model-out") && config.use_classifier) {
-    if (ml::SaveAdTree(result.model, flags.Get("model-out"))) {
-      std::printf("wrote model to %s\n", flags.Get("model-out").c_str());
+              options.out.c_str());
+  if (!options.model_out.empty() && config.use_classifier) {
+    if (ml::SaveAdTree(result.model, options.model_out)) {
+      std::printf("wrote model to %s\n", options.model_out.c_str());
     } else {
       std::fprintf(stderr, "cannot write model\n");
       return 1;
@@ -248,35 +384,50 @@ int CmdResolve(const Flags& flags) {
   return 0;
 }
 
-int CmdQuery(const Flags& flags) {
-  data::Dataset dataset = LoadOrDie(flags.Require("in"));
-  std::map<uint64_t, data::RecordIdx> by_book;
-  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
-    by_book[dataset[r].book_id] = r;
+int CmdIndex(const QueryOptions& options) {
+  if (options.out.empty()) {
+    std::fprintf(stderr, "missing required flag --out\n");
+    return 2;
   }
-  auto loaded = LoadMatches(dataset, flags.Require("matches"));
-  if (!loaded) {
-    std::fprintf(stderr, "cannot read matches\n");
+  data::Dataset dataset = LoadOrDie(options.in);
+  auto index = LoadIndexOrDie(dataset, options);
+  auto saved = index->Save(options.out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
   }
-  core::RankedResolution resolution = std::move(*loaded);
-  double certainty = flags.GetDouble("certainty", 0.0);
-  core::EntityClusters clusters(resolution, dataset.size(), certainty);
+  std::printf("indexed %zu matches over %zu records -> %s\n",
+              index->num_matches(), index->num_records(),
+              options.out.c_str());
+  return 0;
+}
+
+int CmdQuery(const QueryOptions& options) {
+  data::Dataset dataset = LoadOrDie(options.in);
+  auto index = LoadIndexOrDie(dataset, options);
+  core::EntityClusters clusters = index->ClustersAt(options.certainty);
   std::printf("%zu matches above certainty %.2f -> %zu entities (%zu "
               "multi-report)\n",
-              resolution.AboveThreshold(certainty).size(), certainty,
+              index->CountAbove(options.certainty), options.certainty,
               clusters.size(), clusters.NumNonSingleton());
-  if (flags.Has("book-id")) {
-    uint64_t book = std::strtoull(flags.Get("book-id").c_str(), nullptr, 10);
-    auto it = by_book.find(book);
+  if (options.book_id) {
+    auto by_book = BookIdIndex(dataset);
+    auto it = by_book.find(*options.book_id);
     if (it == by_book.end()) {
       std::fprintf(stderr, "unknown book id\n");
       return 1;
     }
-    const auto& members = clusters.Members(it->second);
-    auto profile = core::BuildProfile(dataset, members);
+    serve::ResolutionService service(index);
+    auto result = service.QueryRecord(
+        options.ToServeQuery(it->second, serve::Granularity::kEntity));
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    auto profile = core::BuildProfile(dataset, result->entity);
     std::printf("\nEntity of BookID %llu (%zu report(s)):\n%s\n",
-                static_cast<unsigned long long>(book), members.size(),
+                static_cast<unsigned long long>(*options.book_id),
+                result->entity.size(),
                 core::RenderNarrative(profile).c_str());
   } else {
     size_t shown = 0;
@@ -290,30 +441,77 @@ int CmdQuery(const Flags& flags) {
   return 0;
 }
 
-std::optional<core::RankedResolution> LoadMatches(
-    const data::Dataset& dataset, const std::string& path) {
-  std::map<uint64_t, data::RecordIdx> by_book;
-  for (data::RecordIdx r = 0; r < dataset.size(); ++r) {
-    by_book[dataset[r].book_id] = r;
+int CmdServeBench(const QueryOptions& options) {
+  data::Dataset dataset = LoadOrDie(options.in);
+  auto index = LoadIndexOrDie(dataset, options);
+  if (index->num_records() == 0) {
+    std::fprintf(stderr, "empty corpus\n");
+    return 1;
   }
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return std::nullopt;
-  std::ostringstream ss;
-  ss << f.rdbuf();
-  auto rows = util::ParseCsv(ss.str());
-  std::vector<core::RankedMatch> matches;
-  for (size_t i = 1; i < rows.size(); ++i) {
-    if (rows[i].size() < 4) continue;
-    auto a = by_book.find(std::strtoull(rows[i][0].c_str(), nullptr, 10));
-    auto b = by_book.find(std::strtoull(rows[i][1].c_str(), nullptr, 10));
-    if (a == by_book.end() || b == by_book.end()) continue;
-    core::RankedMatch m;
-    m.pair = data::RecordPair(a->second, b->second);
-    m.confidence = std::strtod(rows[i][2].c_str(), nullptr);
-    m.block_score = std::strtod(rows[i][3].c_str(), nullptr);
-    matches.push_back(m);
+
+  // Workload: num_queries record lookups drawn from a hot subset of the
+  // corpus, so repeated queries exercise the cache the way production
+  // traffic (popular victims, shared pages) would.
+  size_t hot = std::min<size_t>(std::max<size_t>(1, options.hot_set),
+                                index->num_records());
+  util::Rng rng(17);
+  std::vector<serve::Query> workload;
+  workload.reserve(options.num_queries);
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    auto record = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int>(hot) - 1));
+    workload.push_back(
+        options.ToServeQuery(record, serve::Granularity::kMatches));
   }
-  return core::RankedResolution(std::move(matches));
+
+  serve::ServiceOptions service_options;
+  service_options.num_threads = options.threads;
+  if (options.no_cache) service_options.cache_capacity = 0;
+  serve::ResolutionService service(index, service_options);
+
+  // Baseline: the pre-index behaviour — one linear scan of the full match
+  // list per query (what `query` did per invocation before ResolutionIndex).
+  const auto& arena = index->matches();
+  util::Timer timer;
+  size_t linear_hits = 0;
+  for (const auto& query : workload) {
+    for (const auto& m : arena) {
+      if (!(m.confidence > query.certainty)) break;
+      if (m.pair.a == query.record || m.pair.b == query.record) {
+        ++linear_hits;
+        if (query.k != 0) break;  // k=0 collects all, mirroring ForRecord
+      }
+    }
+  }
+  double linear_ms = timer.ElapsedMillis();
+
+  timer.Reset();
+  auto cold = service.QueryBatch(workload);
+  double cold_ms = timer.ElapsedMillis();
+
+  timer.Reset();
+  auto warm = service.QueryBatch(workload);
+  double warm_ms = timer.ElapsedMillis();
+
+  size_t answered = 0;
+  for (const auto& result : warm) answered += result.ok();
+  auto metrics = service.metrics();
+  std::printf("corpus: %zu records, %zu matches; workload: %zu queries "
+              "over %zu hot records, certainty %.2f, %zu threads\n",
+              index->num_records(), index->num_matches(), workload.size(),
+              hot, options.certainty, service.num_threads());
+  std::printf("linear scan   : %10.2f ms  (%.1f us/query, %zu match visits)\n",
+              linear_ms, 1000.0 * linear_ms / workload.size(), linear_hits);
+  std::printf("batch cold    : %10.2f ms  (%.1f us/query)\n", cold_ms,
+              1000.0 * cold_ms / workload.size());
+  std::printf("batch warm    : %10.2f ms  (%.1f us/query)\n", warm_ms,
+              1000.0 * warm_ms / workload.size());
+  std::printf("warm speedup vs linear scan: %.1fx  (cache hit rate %.1f%%, "
+              "%zu/%zu answered)\n",
+              warm_ms > 0 ? linear_ms / warm_ms : 0.0,
+              100.0 * metrics.HitRate(), answered, warm.size());
+  (void)cold;
+  return 0;
 }
 
 int CmdSample(const Flags& flags) {
@@ -339,43 +537,34 @@ int CmdSample(const Flags& flags) {
   return 0;
 }
 
-int CmdGraph(const Flags& flags) {
-  data::Dataset dataset = LoadOrDie(flags.Require("in"));
-  auto resolution = LoadMatches(dataset, flags.Require("matches"));
-  if (!resolution) {
-    std::fprintf(stderr, "cannot read matches\n");
-    return 1;
+int CmdGraph(const QueryOptions& options) {
+  if (options.out.empty()) {
+    std::fprintf(stderr, "missing required flag --out\n");
+    return 2;
   }
-  double certainty = flags.GetDouble("certainty", 0.0);
-  core::EntityClusters clusters(*resolution, dataset.size(), certainty);
-  size_t max_entities =
-      static_cast<size_t>(flags.GetInt("max-entities", 25));
-  auto graph =
-      core::KnowledgeGraph::FromClusters(dataset, clusters, max_entities);
+  data::Dataset dataset = LoadOrDie(options.in);
+  auto index = LoadIndexOrDie(dataset, options);
+  core::EntityClusters clusters = index->ClustersAt(options.certainty);
+  auto graph = core::KnowledgeGraph::FromClusters(dataset, clusters,
+                                                  options.max_entities);
   size_t spouse_links = graph.LinkSpouses();
-  std::string out = flags.Require("out");
-  std::ofstream f(out, std::ios::binary);
+  std::ofstream f(options.out, std::ios::binary);
   if (!f) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    std::fprintf(stderr, "cannot write %s\n", options.out.c_str());
     return 1;
   }
   f << graph.ToDot();
   std::printf("knowledge graph: %zu nodes, %zu edges (%zu spouse links) "
               "-> %s\n",
               graph.nodes().size(), graph.edges().size(), spouse_links,
-              out.c_str());
+              options.out.c_str());
   return 0;
 }
 
-int CmdFamilies(const Flags& flags) {
-  data::Dataset dataset = LoadOrDie(flags.Require("in"));
-  auto resolution = LoadMatches(dataset, flags.Require("matches"));
-  if (!resolution) {
-    std::fprintf(stderr, "cannot read matches\n");
-    return 1;
-  }
-  double certainty = flags.GetDouble("certainty", 0.0);
-  core::EntityClusters persons(*resolution, dataset.size(), certainty);
+int CmdFamilies(const QueryOptions& options) {
+  data::Dataset dataset = LoadOrDie(options.in);
+  auto index = LoadIndexOrDie(dataset, options);
+  core::EntityClusters persons = index->ClustersAt(options.certainty);
   auto families = core::ResolveFamilies(dataset, persons);
   size_t multi = 0;
   for (const auto& fc : families) multi += fc.person_clusters.size() > 1;
@@ -388,7 +577,6 @@ int CmdFamilies(const Flags& flags) {
                 q.Precision(), q.Recall());
   }
   size_t shown = 0;
-  size_t max_shown = static_cast<size_t>(flags.GetInt("max-shown", 5));
   for (const auto& fc : families) {
     if (fc.person_clusters.size() < 2) continue;
     std::printf("\nfamily of %zu person(s), %zu report(s):\n",
@@ -398,7 +586,7 @@ int CmdFamilies(const Flags& flags) {
           core::BuildProfile(dataset, persons.clusters()[pc]);
       std::printf("  - %s\n", core::RenderNarrative(profile).c_str());
     }
-    if (++shown == max_shown) break;
+    if (++shown == options.max_shown) break;
   }
   return 0;
 }
@@ -406,7 +594,8 @@ int CmdFamilies(const Flags& flags) {
 int Usage() {
   std::fprintf(stderr,
                "usage: yver_cli "
-               "<generate|stats|normalize|resolve|query|sample|graph|families> "
+               "<generate|stats|normalize|resolve|index|query|serve-bench|"
+               "sample|graph|families> "
                "[flags]\n(see the header of tools/yver_cli.cc)\n");
   return 2;
 }
@@ -420,10 +609,12 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "stats") return CmdStats(flags);
   if (cmd == "normalize") return CmdNormalize(flags);
-  if (cmd == "resolve") return CmdResolve(flags);
-  if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "resolve") return CmdResolve(ParseResolveOptions(flags));
+  if (cmd == "index") return CmdIndex(ParseQueryOptions(flags));
+  if (cmd == "query") return CmdQuery(ParseQueryOptions(flags));
+  if (cmd == "serve-bench") return CmdServeBench(ParseQueryOptions(flags));
   if (cmd == "sample") return CmdSample(flags);
-  if (cmd == "graph") return CmdGraph(flags);
-  if (cmd == "families") return CmdFamilies(flags);
+  if (cmd == "graph") return CmdGraph(ParseQueryOptions(flags));
+  if (cmd == "families") return CmdFamilies(ParseQueryOptions(flags));
   return Usage();
 }
