@@ -4,8 +4,25 @@
 // scale both by the same factor and look for the same qualitative shape:
 // runtime grows steeply as minsup decreases, roughly linearly with
 // dataset size, and pruning flattens the curve.
+//
+// A second section measures the end-to-end resolve pipeline (blocking,
+// feature extraction, ADTree training, scoring, ranked assembly) across
+// thread counts on a ~50K-record corpus — the paper reports multi-day
+// serial resolve runs (§7), so this is the scaling story the parallel
+// pipeline exists for. The ranked output is asserted identical across
+// thread counts (the determinism contract of UncertainErPipeline::Run).
+//
+//   bench_fig12_runtime [--skip-mining] [--resolve-scale S]
+//                       [--threads T1,T2,...]
+//
+// --resolve-scale defaults to 0.5 (~50K records); --threads defaults to
+// 1,2,8. Speedups are relative to the first listed thread count.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common.h"
 #include "data/item_dictionary.h"
@@ -25,12 +42,8 @@ double MineSeconds(const std::vector<yver::data::ItemBag>& bags,
   return s;
 }
 
-}  // namespace
-
-int main() {
+void RunMiningSection() {
   using namespace yver;
-  bench::PrintHeader("E4: FP-Growth run-time vs minsup", "Figure 12, §6.3");
-
   struct Series {
     const char* label;
     double scale;
@@ -52,6 +65,79 @@ int main() {
     for (uint32_t minsup = 5; minsup >= 2; --minsup) {
       MineSeconds(pruned, minsup);
     }
+  }
+}
+
+void RunResolveScalingSection(double scale,
+                              const std::vector<size_t>& thread_counts) {
+  using namespace yver;
+  auto generated = bench::MakeRandomSet(scale);
+  std::printf("\nEnd-to-end resolve scaling: %zu records "
+              "(%zu hardware threads available)\n",
+              generated.dataset.size(), util::ResolveNumThreads(0));
+  synth::Gazetteer gazetteer;
+  core::UncertainErPipeline pipeline(generated.dataset,
+                                     gazetteer.MakeGeoResolver());
+  core::PipelineConfig config = core::RecommendedConfig();
+
+  double baseline_s = 0.0;
+  std::vector<core::RankedMatch> baseline_matches;
+  for (size_t threads : thread_counts) {
+    config.num_threads = threads;
+    // Fresh oracle per run: the tagger is stateful, and the determinism
+    // contract is defined over identical tagger state.
+    synth::TagOracle oracle(&generated.dataset);
+    util::Timer timer;
+    auto result = pipeline.Run(config, bench::MakeTagger(oracle));
+    double s = timer.ElapsedSeconds();
+    if (baseline_s == 0.0) {
+      baseline_s = s;
+      baseline_matches = result.resolution.matches();
+    }
+    bool identical = result.resolution.matches() == baseline_matches;
+    std::printf("  threads=%zu: %8.3fs  speedup %.2fx  (%zu matches, "
+                "output %s)\n",
+                threads, s, s > 0 ? baseline_s / s : 0.0,
+                result.resolution.size(),
+                identical ? "identical" : "DIVERGED");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "determinism contract violated at threads=%zu\n", threads);
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace yver;
+  bool skip_mining = false;
+  double resolve_scale = 0.5;  // ~50K records
+  std::vector<size_t> thread_counts = {1, 2, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--skip-mining") == 0) {
+      skip_mining = true;
+    } else if (std::strcmp(argv[i], "--resolve-scale") == 0 && i + 1 < argc) {
+      resolve_scale = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        thread_counts.push_back(static_cast<size_t>(std::strtoul(p, nullptr, 10)));
+        p = std::strchr(p, ',');
+        if (p == nullptr) break;
+        ++p;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  bench::PrintHeader("E4: FP-Growth run-time vs minsup + resolve scaling",
+                     "Figure 12, §6.3 / §7");
+  if (!skip_mining) RunMiningSection();
+  if (resolve_scale > 0 && !thread_counts.empty()) {
+    RunResolveScalingSection(resolve_scale, thread_counts);
   }
   return 0;
 }

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the standard build + full ctest suite, then a
-# ThreadSanitizer build that race-checks the concurrent query-serving layer
-# (serve::ResolutionService and friends in tests/serve_test.cc).
+# Tier-1 verification: the standard build + the tier1-labeled ctest suite,
+# then a ThreadSanitizer build that race-checks the concurrent paths — the
+# query-serving layer (serve::ResolutionService and friends) and the
+# parallel resolve pipeline's determinism harness
+# (tests/determinism_test.cc).
 #
 #   scripts/check.sh            # both stages
 #   scripts/check.sh --no-tsan  # standard stage only
+#
+# The slow-labeled large-corpus tests are not gated here; run them with
+#   ctest --test-dir build -L slow --output-on-failure
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,16 +18,16 @@ if [[ "${1:-}" == "--no-tsan" ]]; then
   run_tsan=0
 fi
 
-echo "==> tier-1: standard build + ctest"
+echo "==> tier-1: standard build + ctest (-L tier1)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+ctest --test-dir build -L tier1 --output-on-failure -j "$(nproc)"
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "==> tier-1: ThreadSanitizer race check of the serve layer"
+  echo "==> tier-1: ThreadSanitizer race check (serve layer + pipeline determinism)"
   cmake -B build-tsan -S . -DYVER_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target yver_tests
-  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*'
+  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*:Determinism*:GoldenPipeline*'
 fi
 
 echo "==> all checks passed"

@@ -27,7 +27,11 @@ struct PipelineConfig {
 
   ml::AdTreeTrainerOptions trainer;
 
-  /// Worker threads for block scoring (0 = std::thread::hardware_concurrency).
+  /// Worker threads for the whole resolve pipeline — block scoring,
+  /// feature extraction, instance building, and ADTree scoring all share
+  /// one pool. 0 resolves via util::ResolveNumThreads (one worker per
+  /// hardware thread). Results are identical for every value; see the
+  /// determinism contract on UncertainErPipeline::Run.
   size_t num_threads = 0;
 };
 

@@ -1,6 +1,9 @@
 #include "core/pipeline.h"
 
-#include <thread>
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <utility>
 
 #include "util/check.h"
 
@@ -15,13 +18,18 @@ UncertainErPipeline::UncertainErPipeline(const data::Dataset& dataset,
 
 blocking::MfiBlocksResult UncertainErPipeline::RunBlocking(
     const blocking::MfiBlocksConfig& config, size_t num_threads) {
-  size_t n = num_threads == 0 ? std::thread::hardware_concurrency()
-                              : num_threads;
+  size_t n = util::ResolveNumThreads(num_threads);
   if (n <= 1) {
-    return blocking::RunMfiBlocks(encoded_, config, nullptr);
+    return RunBlocking(config, static_cast<util::ThreadPool*>(nullptr));
   }
   util::ThreadPool pool(n);
-  return blocking::RunMfiBlocks(encoded_, config, &pool);
+  return RunBlocking(config, &pool);
+}
+
+blocking::MfiBlocksResult UncertainErPipeline::RunBlocking(
+    const blocking::MfiBlocksConfig& config, util::ThreadPool* pool) {
+  if (pool != nullptr && pool->num_threads() <= 1) pool = nullptr;
+  return blocking::RunMfiBlocks(encoded_, config, pool);
 }
 
 std::vector<blocking::CandidatePair> UncertainErPipeline::DiscardSameSource(
@@ -37,17 +45,34 @@ std::vector<blocking::CandidatePair> UncertainErPipeline::DiscardSameSource(
   return out;
 }
 
+namespace {
+
+std::vector<data::RecordPair> PairsOf(
+    const std::vector<blocking::CandidatePair>& candidates) {
+  std::vector<data::RecordPair> pairs;
+  pairs.reserve(candidates.size());
+  for (const auto& cp : candidates) pairs.push_back(cp.pair);
+  return pairs;
+}
+
+}  // namespace
+
 std::vector<ml::Instance> UncertainErPipeline::MakeInstances(
     const std::vector<blocking::CandidatePair>& pairs,
-    const PairTagger& tagger) const {
+    const PairTagger& tagger, util::ThreadPool* pool) const {
   YVER_CHECK(tagger != nullptr);
+  // Features first, chunk-parallel into index-addressed slots; then one
+  // serial tagging pass in candidate order so a stateful tagger sees the
+  // exact call sequence of the serial pipeline.
+  std::vector<features::FeatureVector> features =
+      extractor_->ExtractBatch(PairsOf(pairs), pool);
   std::vector<ml::Instance> instances;
   instances.reserve(pairs.size());
-  for (const auto& cp : pairs) {
+  for (size_t i = 0; i < pairs.size(); ++i) {
     ml::Instance inst;
-    inst.pair = cp.pair;
-    inst.features = extractor_->Extract(cp.pair.a, cp.pair.b);
-    inst.tag = tagger(cp.pair.a, cp.pair.b);
+    inst.pair = pairs[i].pair;
+    inst.features = std::move(features[i]);
+    inst.tag = tagger(pairs[i].pair.a, pairs[i].pair.b);
     instances.push_back(std::move(inst));
   }
   return instances;
@@ -55,8 +80,16 @@ std::vector<ml::Instance> UncertainErPipeline::MakeInstances(
 
 PipelineResult UncertainErPipeline::Run(const PipelineConfig& config,
                                         const PairTagger& tagger) {
+  size_t n = util::ResolveNumThreads(config.num_threads);
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  util::ThreadPool* pool = nullptr;
+  if (n > 1) {
+    owned_pool = std::make_unique<util::ThreadPool>(n);
+    pool = owned_pool.get();
+  }
+
   PipelineResult result;
-  result.blocking = RunBlocking(config.blocking, config.num_threads);
+  result.blocking = RunBlocking(config.blocking, pool);
   result.candidates = config.discard_same_source
                           ? DiscardSameSource(result.blocking.pairs)
                           : result.blocking.pairs;
@@ -66,14 +99,30 @@ PipelineResult UncertainErPipeline::Run(const PipelineConfig& config,
     YVER_CHECK_MSG(tagger != nullptr,
                    "classifier requested but no tagger provided");
     result.training_instances = ml::ApplyMaybePolicy(
-        MakeInstances(result.candidates, tagger), ml::MaybePolicy::kOmit);
+        MakeInstances(result.candidates, tagger, pool), ml::MaybePolicy::kOmit);
+    // Training itself is a serial reduction over identically-ordered
+    // instances, so the model is the same for every thread count.
     result.model = ml::TrainAdTree(result.training_instances, config.trainer);
-    for (const auto& cp : result.candidates) {
-      features::FeatureVector fv =
-          extractor_->Extract(cp.pair.a, cp.pair.b);
-      double score = result.model.Score(fv);
-      if (score <= 0.0) continue;  // the Cls filter drops low scorers
-      matches.push_back(RankedMatch{cp.pair, score, cp.block_score});
+    // Re-extract and score the candidate set in parallel, then assemble
+    // matches by a stable chunk-ordered reduction: fixed-size candidate
+    // blocks are extracted and scored into index-addressed slots, and the
+    // surviving matches are appended by one serial scan per block — so the
+    // ranked list is byte-identical to the serial path (no score-order
+    // races). The block size bounds the feature-matrix working set.
+    constexpr size_t kScoreBlock = 1 << 16;
+    std::vector<data::RecordPair> pairs = PairsOf(result.candidates);
+    for (size_t begin = 0; begin < pairs.size(); begin += kScoreBlock) {
+      size_t end = std::min(pairs.size(), begin + kScoreBlock);
+      std::vector<features::FeatureVector> features = extractor_->ExtractBatch(
+          std::span<const data::RecordPair>(pairs).subspan(begin, end - begin),
+          pool);
+      std::vector<double> scores = result.model.ScoreBatch(features, pool);
+      for (size_t i = begin; i < end; ++i) {
+        double score = scores[i - begin];
+        if (score <= 0.0) continue;  // the Cls filter drops low scorers
+        matches.push_back(RankedMatch{result.candidates[i].pair, score,
+                                      result.candidates[i].block_score});
+      }
     }
   } else {
     matches.reserve(result.candidates.size());

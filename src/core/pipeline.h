@@ -57,22 +57,40 @@ class UncertainErPipeline {
   const data::EncodedDataset& encoded() const { return encoded_; }
   const features::FeatureExtractor& extractor() const { return *extractor_; }
 
-  /// Stage 1: blocking only.
+  /// Stage 1: blocking only. `num_threads` resolves through
+  /// util::ResolveNumThreads (0 = one worker per hardware thread).
   blocking::MfiBlocksResult RunBlocking(
       const blocking::MfiBlocksConfig& config, size_t num_threads = 0);
+
+  /// Stage 1 on a caller-owned pool (nullptr = serial). Results are
+  /// identical to the serial path for any pool size: block scores are
+  /// written into per-block slots, so scheduling never reorders them.
+  blocking::MfiBlocksResult RunBlocking(const blocking::MfiBlocksConfig& config,
+                                        util::ThreadPool* pool);
 
   /// Applies the SameSrc filter to candidate pairs.
   std::vector<blocking::CandidatePair> DiscardSameSource(
       const std::vector<blocking::CandidatePair>& pairs) const;
 
-  /// Builds labeled instances for candidate pairs using a tagger.
+  /// Builds labeled instances for candidate pairs using a tagger. With a
+  /// pool, feature extraction runs chunk-parallel; the tagger itself is
+  /// always invoked serially in candidate order, because taggers may be
+  /// stateful (synth::TagOracle advances an RNG per call) and the
+  /// determinism contract requires the serial tag sequence.
   std::vector<ml::Instance> MakeInstances(
       const std::vector<blocking::CandidatePair>& pairs,
-      const PairTagger& tagger) const;
+      const PairTagger& tagger, util::ThreadPool* pool = nullptr) const;
 
   /// Full run: blocking, optional SameSrc, optional ADTree training on the
   /// tagger's labels (Maybe := omit, the best condition of Table 5) and
   /// classification; returns ranked resolution.
+  ///
+  /// Determinism contract: for a fixed dataset, config (ignoring
+  /// num_threads) and tagger, the returned result — candidate order,
+  /// training instances, model, and every match byte — is identical for
+  /// every value of config.num_threads. Parallel stages write into
+  /// index-addressed slots and merge in chunk order; no stage reduces in
+  /// scheduling order. tests/determinism_test.cc enforces this.
   PipelineResult Run(const PipelineConfig& config, const PairTagger& tagger);
 
  private:

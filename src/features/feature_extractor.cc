@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <set>
 #include <string>
 
 #include "geo/geo.h"
@@ -34,17 +33,57 @@ double ParseNumeric(std::string_view s) {
   return std::strtod(std::string(s).c_str(), nullptr);
 }
 
-std::set<std::string> LowerSet(const std::vector<std::string_view>& values) {
-  std::set<std::string> out;
-  for (auto v : values) out.insert(util::ToLower(v));
-  return out;
+// Fills `buf` with the lowercased, sorted, deduplicated values — the same
+// value set the extractor used to build as a std::set, without the
+// per-call node allocations.
+void LowerSorted(const std::vector<std::string_view>& values,
+                 std::vector<std::string>* buf) {
+  buf->clear();
+  for (auto v : values) buf->push_back(util::ToLower(v));
+  std::sort(buf->begin(), buf->end());
+  buf->erase(std::unique(buf->begin(), buf->end()), buf->end());
+}
+
+// Size of the intersection of two sorted unique value sets.
+size_t IntersectionSize(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  size_t inter = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++inter;
+      ++ia;
+      ++ib;
+    }
+  }
+  return inter;
+}
+
+bool AnyCommon(const std::vector<std::string>& a,
+               const std::vector<std::string>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
 }
 
 // Trinary agreement of two value sets (sameXName semantics).
-NameAgreement Agreement(const std::set<std::string>& a,
-                        const std::set<std::string>& b) {
-  size_t inter = 0;
-  for (const auto& v : a) inter += b.count(v);
+NameAgreement Agreement(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  size_t inter = IntersectionSize(a, b);
   if (inter == 0) return NameAgreement::kNo;
   if (inter == a.size() && inter == b.size()) return NameAgreement::kYes;
   return NameAgreement::kPartial;
@@ -59,11 +98,22 @@ FeatureExtractor::FeatureExtractor(const data::EncodedDataset& encoded)
 
 FeatureVector FeatureExtractor::Extract(data::RecordIdx a,
                                         data::RecordIdx b) const {
+  Scratch scratch;
+  FeatureVector fv;
+  ExtractInto(a, b, &scratch, &fv);
+  return fv;
+}
+
+void FeatureExtractor::ExtractInto(data::RecordIdx a, data::RecordIdx b,
+                                   Scratch* scratch,
+                                   FeatureVector* out) const {
   const FeatureSchema& schema = FeatureSchema::Get();
   const Record& ra = (*encoded_.dataset)[a];
   const Record& rb = (*encoded_.dataset)[b];
-  FeatureVector fv;
+  FeatureVector& fv = *out;
   fv.values.assign(schema.size(), MissingValue());
+  std::vector<std::string>& sa = scratch->lower_a;
+  std::vector<std::string>& sb = scratch->lower_b;
   size_t next = 0;
   auto emit = [&fv, &next](double v) { fv.values[next++] = v; };
   auto skip = [&next] { ++next; };
@@ -76,7 +126,9 @@ FeatureVector FeatureExtractor::Extract(data::RecordIdx a,
       skip();
       continue;
     }
-    emit(static_cast<double>(Agreement(LowerSet(va), LowerSet(vb))));
+    LowerSorted(va, &sa);
+    LowerSorted(vb, &sb);
+    emit(static_cast<double>(Agreement(sa, sb)));
   }
   // 8..14: XnameDist — maximum q-gram Jaccard over the value cross product.
   for (AttributeId attr : kNameAttrs) {
@@ -86,11 +138,12 @@ FeatureVector FeatureExtractor::Extract(data::RecordIdx a,
       skip();
       continue;
     }
+    LowerSorted(va, &sa);
+    LowerSorted(vb, &sb);
     double best = 0.0;
-    for (auto x : va) {
-      for (auto y : vb) {
-        best = std::max(best, text::QGramJaccard(util::ToLower(x),
-                                                 util::ToLower(y)));
+    for (const auto& x : sa) {
+      for (const auto& y : sb) {
+        best = std::max(best, text::QGramJaccard(x, y));
       }
     }
     emit(best);
@@ -121,17 +174,10 @@ FeatureVector FeatureExtractor::Extract(data::RecordIdx a,
         skip();
         continue;
       }
-      auto sa = LowerSet(va);
-      auto sb = LowerSet(vb);
-      bool any = false;
-      for (const auto& v : sa) {
-        if (sb.count(v)) {
-          any = true;
-          break;
-        }
-      }
-      emit(any ? static_cast<double>(BinaryCode::kYes)
-               : static_cast<double>(BinaryCode::kNo));
+      LowerSorted(va, &sa);
+      LowerSorted(vb, &sb);
+      emit(AnyCommon(sa, sb) ? static_cast<double>(BinaryCode::kYes)
+                             : static_cast<double>(BinaryCode::kNo));
     }
   }
   // 34..37: PlaceXGeoDistance in km (min over city value pairs with known
@@ -202,16 +248,9 @@ FeatureVector FeatureExtractor::Extract(data::RecordIdx a,
       auto vb = rb.Values(attr);
       if (va.empty() || vb.empty()) continue;
       any_compared = true;
-      auto sa = LowerSet(va);
-      auto sb = LowerSet(vb);
-      bool agree = false;
-      for (const auto& v : sa) {
-        if (sb.count(v)) {
-          agree = true;
-          break;
-        }
-      }
-      all_agree = all_agree && agree;
+      LowerSorted(va, &sa);
+      LowerSorted(vb, &sb);
+      all_agree = all_agree && AnyCommon(sa, sb);
     }
     if (!any_compared) {
       skip();
@@ -224,7 +263,23 @@ FeatureVector FeatureExtractor::Extract(data::RecordIdx a,
   emit(text::JaccardOfSortedIds(encoded_.bags[a], encoded_.bags[b]));
 
   YVER_CHECK(next == schema.size());
-  return fv;
+}
+
+std::vector<FeatureVector> FeatureExtractor::ExtractBatch(
+    std::span<const data::RecordPair> pairs, util::ThreadPool* pool) const {
+  std::vector<FeatureVector> out(pairs.size());
+  auto extract_chunk = [this, pairs, &out](size_t begin, size_t end) {
+    Scratch scratch;
+    for (size_t i = begin; i < end; ++i) {
+      ExtractInto(pairs[i].a, pairs[i].b, &scratch, &out[i]);
+    }
+  };
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    extract_chunk(0, pairs.size());
+  } else {
+    pool->ParallelForChunked(pairs.size(), extract_chunk);
+  }
+  return out;
 }
 
 }  // namespace yver::features

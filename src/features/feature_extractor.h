@@ -1,9 +1,14 @@
 #ifndef YVER_FEATURES_FEATURE_EXTRACTOR_H_
 #define YVER_FEATURES_FEATURE_EXTRACTOR_H_
 
+#include <span>
+#include <string>
+#include <vector>
+
 #include "data/dataset.h"
 #include "data/item_dictionary.h"
 #include "features/feature_schema.h"
+#include "util/thread_pool.h"
 
 namespace yver::features {
 
@@ -11,14 +16,42 @@ namespace yver::features {
 /// Features over attributes absent from either record are emitted as
 /// missing (NaN); the ADTree then "considers only reachable decision
 /// nodes".
+///
+/// Extraction is a pure function of the encoded dataset and the pair, so
+/// any number of threads may extract concurrently. The batch API exploits
+/// that: pairs are chunked over a thread pool with one Scratch per chunk,
+/// and every vector is written into its slot by pair index, so the output
+/// order (and every byte of every vector) is identical for any thread
+/// count.
 class FeatureExtractor {
  public:
+  /// Reusable per-thread working storage. Extraction lowercases and sorts
+  /// attribute value sets for every pair; a Scratch keeps those buffers
+  /// alive across calls so the hot loop stops allocating. A Scratch must
+  /// not be shared between concurrent calls.
+  struct Scratch {
+    std::vector<std::string> lower_a;
+    std::vector<std::string> lower_b;
+  };
+
   /// The encoded dataset supplies geo coordinates of place items; the
   /// extractor holds a reference and must not outlive it.
   explicit FeatureExtractor(const data::EncodedDataset& encoded);
 
   /// Extracts the feature vector of a pair.
   FeatureVector Extract(data::RecordIdx a, data::RecordIdx b) const;
+
+  /// Extracts into `out`, reusing its storage and `scratch`'s buffers.
+  /// Produces exactly the same values as Extract.
+  void ExtractInto(data::RecordIdx a, data::RecordIdx b, Scratch* scratch,
+                   FeatureVector* out) const;
+
+  /// Extracts all `pairs` in order. With a pool, chunks are extracted in
+  /// parallel with one Scratch per chunk; result[i] is always the vector
+  /// of pairs[i] regardless of thread count.
+  std::vector<FeatureVector> ExtractBatch(
+      std::span<const data::RecordPair> pairs,
+      util::ThreadPool* pool = nullptr) const;
 
  private:
   const data::EncodedDataset& encoded_;

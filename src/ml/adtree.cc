@@ -74,6 +74,21 @@ double AdTree::Score(const features::FeatureVector& fv) const {
   return sum;
 }
 
+std::vector<double> AdTree::ScoreBatch(
+    const std::vector<features::FeatureVector>& fvs,
+    util::ThreadPool* pool) const {
+  std::vector<double> scores(fvs.size(), 0.0);
+  auto score_range = [this, &fvs, &scores](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) scores[i] = Score(fvs[i]);
+  };
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    score_range(0, fvs.size());
+  } else {
+    pool->ParallelForChunked(fvs.size(), score_range);
+  }
+  return scores;
+}
+
 void AdTree::ScoreNode(int prediction, const features::FeatureVector& fv,
                        double* sum) const {
   const PredictionNode& node = predictions_[prediction];

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "features/feature_schema.h"
+#include "util/thread_pool.h"
 
 namespace yver::ml {
 
@@ -59,6 +60,12 @@ class AdTree {
 
   /// Classification score: sum of reachable prediction values.
   double Score(const features::FeatureVector& fv) const;
+
+  /// Scores a batch of vectors: result[i] == Score(fvs[i]). With a pool
+  /// the batch is chunked across workers; scoring is a pure function of
+  /// one vector, so the output is bit-identical for any thread count.
+  std::vector<double> ScoreBatch(const std::vector<features::FeatureVector>& fvs,
+                                 util::ThreadPool* pool = nullptr) const;
 
   /// Binary decision at threshold 0: score > 0 is a match (§5.2).
   bool Classify(const features::FeatureVector& fv) const {

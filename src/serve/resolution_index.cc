@@ -120,6 +120,22 @@ core::EntityClusters ResolutionIndex::ClustersAt(double certainty) const {
   return core::EntityClusters(arena_, num_records_, certainty);
 }
 
+uint64_t ResolutionIndex::Checksum() const {
+  // Must hash exactly the byte sequence Save writes after the magic, so
+  // Checksum() equals the digest embedded in the artifact.
+  Fnv1a fnv;
+  auto put = [&fnv](auto v) { fnv.Update(&v, sizeof(v)); };
+  put(static_cast<uint64_t>(num_records_));
+  put(static_cast<uint64_t>(arena_.size()));
+  for (const auto& m : arena_) {
+    put(static_cast<uint32_t>(m.pair.a));
+    put(static_cast<uint32_t>(m.pair.b));
+    put(m.confidence);
+    put(m.block_score);
+  }
+  return fnv.digest();
+}
+
 util::Status ResolutionIndex::Save(const std::string& path) const {
   std::ofstream f(path, std::ios::binary);
   if (!f) return util::Status::NotFound("cannot write " + path);

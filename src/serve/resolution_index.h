@@ -68,6 +68,14 @@ class ResolutionIndex {
   /// these per threshold.
   core::EntityClusters ClustersAt(double certainty) const;
 
+  /// FNV-1a digest of the index content (num_records, match count, raw
+  /// arena bytes) — exactly the checksum `Save` embeds in the artifact,
+  /// so two indexes with equal checksums serve identical bytes and an
+  /// in-memory index can be compared against an on-disk artifact without
+  /// re-serializing. The determinism harness compares these across
+  /// thread counts.
+  uint64_t Checksum() const;
+
   /// Serializes the index to a binary artifact (magic, version, counts,
   /// raw match arena). The adjacency is rebuilt on load — it is a pure
   /// function of the arena, so round-tripping preserves query results

@@ -4,27 +4,16 @@
 #include <bit>
 #include <chrono>
 #include <latch>
-#include <thread>
 
 #include "util/check.h"
 
 namespace yver::serve {
 
-namespace {
-
-size_t ResolveThreads(size_t requested) {
-  if (requested > 0) return requested;
-  size_t hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 4;
-}
-
-}  // namespace
-
 ResolutionService::ResolutionService(
     std::shared_ptr<const ResolutionIndex> index, ServiceOptions options)
     : index_(std::move(index)),
       options_(options),
-      pool_(ResolveThreads(options.num_threads)),
+      pool_(util::ResolveNumThreads(options.num_threads)),
       cache_(options.cache_capacity, options.cache_shards) {
   YVER_CHECK_MSG(index_ != nullptr, "ResolutionService needs an index");
 }

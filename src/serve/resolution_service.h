@@ -21,7 +21,7 @@ namespace yver::serve {
 /// Tuning knobs for a ResolutionService.
 struct ServiceOptions {
   /// Worker threads for QueryBatch / QueryStream fan-out
-  /// (0 = std::thread::hardware_concurrency).
+  /// (0 = one per hardware thread, via util::ResolveNumThreads).
   size_t num_threads = 0;
   /// Total LRU entries across shards; 0 disables result caching.
   size_t cache_capacity = 1 << 16;

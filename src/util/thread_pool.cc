@@ -7,6 +7,12 @@
 
 namespace yver::util {
 
+size_t ResolveNumThreads(size_t requested) {
+  if (requested > 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t n = std::max<size_t>(1, num_threads);
   workers_.reserve(n);
@@ -41,14 +47,19 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForChunked(n, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForChunked(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
   size_t num_chunks = std::min(n, num_threads() * 4);
   size_t chunk = (n + num_chunks - 1) / num_chunks;
   for (size_t begin = 0; begin < n; begin += chunk) {
     size_t end = std::min(n, begin + chunk);
-    Submit([begin, end, &fn] {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    });
+    Submit([begin, end, &fn] { fn(begin, end); });
   }
   Wait();
 }

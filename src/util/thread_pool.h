@@ -11,6 +11,13 @@
 
 namespace yver::util {
 
+/// The number of worker threads a `num_threads` request resolves to:
+/// the request itself when positive, otherwise one worker per hardware
+/// thread (minimum 1). Every `num_threads = 0` default in the library —
+/// blocking, the resolve pipeline, the serving layer — goes through this
+/// one function so they cannot drift apart.
+size_t ResolveNumThreads(size_t requested);
+
 /// Fixed-size worker pool.
 ///
 /// Replaces the Apache Spark pseudo-cluster the paper used for block
@@ -41,6 +48,14 @@ class ThreadPool {
   /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
   /// Work is chunked to keep per-task overhead low.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Splits [0, n) into contiguous chunks and runs fn(begin, end) for each
+  /// across the pool, then waits. One fn call per task, so callers can
+  /// amortize per-task state (scratch buffers) over a whole chunk. Chunk
+  /// boundaries depend only on n and num_threads(), never on scheduling,
+  /// which is what lets chunk-indexed output slots stay deterministic.
+  void ParallelForChunked(
+      size_t n, const std::function<void(size_t, size_t)>& fn);
 
  private:
   void WorkerLoop();

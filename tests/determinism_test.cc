@@ -1,0 +1,159 @@
+// Differential harness for the pipeline determinism contract
+// (UncertainErPipeline::Run): for a fixed corpus, config, and tagger
+// state, every thread count must produce the same result — compared here
+// as (a) RankedResolution match vectors, (b) matches-CSV bytes, and
+// (c) serve::ResolutionIndex checksums. scripts/check.sh also runs these
+// tests under ThreadSanitizer to catch the races that would break the
+// contract before they corrupt output.
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/resolution_io.h"
+#include "serve/resolution_index.h"
+#include "synth/gazetteer.h"
+#include "synth/generator.h"
+#include "synth/tag_oracle.h"
+
+namespace yver {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// ~2K-record synthetic corpus: small enough for a thread-count matrix
+// (and a TSan pass) in seconds, large enough that chunked parallel
+// stages actually split work.
+const synth::GeneratedData& Corpus() {
+  static const synth::GeneratedData* corpus = [] {
+    synth::GeneratorConfig config = synth::ItalyConfig();
+    config.num_persons = 1000;  // reports ~ 1.9x persons
+    config.seed = 11;
+    return new synth::GeneratedData(synth::Generate(config));
+  }();
+  return *corpus;
+}
+
+struct RunOutput {
+  core::PipelineResult result;
+  std::string csv_bytes;
+  uint64_t index_checksum = 0;
+};
+
+RunOutput RunAtThreads(size_t num_threads) {
+  const synth::GeneratedData& corpus = Corpus();
+  synth::Gazetteer gazetteer;
+  core::UncertainErPipeline pipeline(corpus.dataset,
+                                     gazetteer.MakeGeoResolver());
+  core::PipelineConfig config = core::RecommendedConfig();
+  config.num_threads = num_threads;
+  // Fresh oracle per run: the tagger is stateful (its RNG advances per
+  // call), and the contract is defined over identical tagger state.
+  synth::TagOracle oracle(&corpus.dataset);
+  RunOutput out;
+  out.result = pipeline.Run(
+      config, [&oracle](data::RecordIdx a, data::RecordIdx b) {
+        return oracle.Tag(a, b);
+      });
+
+  std::string path = ::testing::TempDir() + "determinism_matches_" +
+                     std::to_string(num_threads) + ".csv";
+  auto saved = core::SaveMatchesCsv(corpus.dataset, out.result.resolution, path);
+  EXPECT_TRUE(saved.ok()) << saved.ToString();
+  out.csv_bytes = ReadFileBytes(path);
+
+  serve::ResolutionIndex index(out.result.resolution, out.result.num_records);
+  out.index_checksum = index.Checksum();
+  return out;
+}
+
+TEST(DeterminismTest, ThreadCountMatrixProducesIdenticalResolutions) {
+  RunOutput serial = RunAtThreads(1);
+  ASSERT_FALSE(serial.result.resolution.empty())
+      << "corpus produced no matches; the differential test is vacuous";
+
+  for (size_t num_threads : {size_t{2}, size_t{8}}) {
+    RunOutput parallel = RunAtThreads(num_threads);
+    // (a) The ranked resolution itself: same matches, same order, same
+    // bytes in every confidence. Vector equality covers the documented
+    // RankedResolution ordering contract, not just the match set.
+    EXPECT_EQ(parallel.result.resolution.matches(),
+              serial.result.resolution.matches())
+        << "resolution diverged at " << num_threads << " threads";
+    // (b) The servable CSV artifact, compared as bytes.
+    EXPECT_EQ(parallel.csv_bytes, serial.csv_bytes)
+        << "matches CSV diverged at " << num_threads << " threads";
+    // (c) The binary index artifact, compared by embedded checksum.
+    EXPECT_EQ(parallel.index_checksum, serial.index_checksum)
+        << "ResolutionIndex checksum diverged at " << num_threads
+        << " threads";
+    // Candidate generation and training inputs must agree too — if these
+    // ever diverge the resolution checks above become hard to debug.
+    EXPECT_EQ(parallel.result.candidates.size(),
+              serial.result.candidates.size());
+    EXPECT_EQ(parallel.result.training_instances.size(),
+              serial.result.training_instances.size());
+  }
+}
+
+TEST(DeterminismTest, ResolutionObeysOrderingContract) {
+  RunOutput out = RunAtThreads(8);
+  const auto& matches = out.result.resolution.matches();
+  for (size_t i = 1; i < matches.size(); ++i) {
+    const auto& prev = matches[i - 1];
+    const auto& cur = matches[i];
+    // Stable-sorted by confidence descending, ties by ascending (a, b).
+    EXPECT_GE(prev.confidence, cur.confidence) << "at index " << i;
+    if (prev.confidence == cur.confidence) {
+      EXPECT_TRUE(prev.pair < cur.pair || prev.pair == cur.pair)
+          << "tie not broken by ascending pair at index " << i;
+    }
+  }
+}
+
+TEST(DeterminismTest, BatchApisMatchScalarPaths) {
+  const synth::GeneratedData& corpus = Corpus();
+  synth::Gazetteer gazetteer;
+  core::UncertainErPipeline pipeline(corpus.dataset,
+                                     gazetteer.MakeGeoResolver());
+  blocking::MfiBlocksConfig blocking_config;
+  blocking_config.expert_weighting = true;
+  auto blocked = pipeline.RunBlocking(blocking_config, 1);
+  ASSERT_FALSE(blocked.pairs.empty());
+
+  std::vector<data::RecordPair> pairs;
+  for (size_t i = 0; i < std::min<size_t>(blocked.pairs.size(), 256); ++i) {
+    pairs.push_back(blocked.pairs[i].pair);
+  }
+  util::ThreadPool pool(4);
+  auto batch = pipeline.extractor().ExtractBatch(pairs, &pool);
+  ASSERT_EQ(batch.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    auto scalar = pipeline.extractor().Extract(pairs[i].a, pairs[i].b);
+    // Compare as bit patterns: NaN (missing) must equal NaN.
+    ASSERT_EQ(batch[i].values.size(), scalar.values.size());
+    for (size_t f = 0; f < scalar.values.size(); ++f) {
+      EXPECT_EQ(std::isnan(batch[i].values[f]), std::isnan(scalar.values[f]))
+          << "pair " << i << " feature " << f;
+      if (!std::isnan(scalar.values[f])) {
+        EXPECT_EQ(batch[i].values[f], scalar.values[f])
+            << "pair " << i << " feature " << f;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace yver

@@ -1,0 +1,81 @@
+// Golden end-to-end fixture: a small checked-in synthetic corpus
+// (tests/golden/corpus.csv) is resolved with the recommended
+// configuration and the resulting matches CSV is byte-compared against
+// tests/golden/matches.csv. Pipeline regressions therefore show up as a
+// reviewable diff instead of silent drift in downstream metrics.
+//
+// To regenerate the expectation after an intentional behavior change:
+//   ./build/tests/yver_tests --gtest_filter='GoldenPipeline*' --update-golden
+// then review and commit the tests/golden/ diff.
+//
+// The run uses the default thread count, which is safe precisely because
+// of the determinism contract (tests/determinism_test.cc): output is
+// byte-identical for every thread count, so the golden bytes do not
+// depend on the machine's core count.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/resolution_io.h"
+#include "data/csv_io.h"
+#include "synth/gazetteer.h"
+#include "synth/tag_oracle.h"
+#include "test_flags.h"
+
+namespace yver {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(YVER_GOLDEN_DIR) + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(GoldenPipelineTest, ResolveMatchesGoldenCsv) {
+  auto dataset = data::LoadDatasetCsv(GoldenPath("corpus.csv"));
+  ASSERT_TRUE(dataset.has_value()) << "missing golden corpus";
+  ASSERT_GT(dataset->size(), 0u);
+
+  synth::Gazetteer gazetteer;
+  core::UncertainErPipeline pipeline(*dataset, gazetteer.MakeGeoResolver());
+  core::PipelineConfig config = core::RecommendedConfig();
+  synth::TagOracle oracle(&*dataset);
+  auto result = pipeline.Run(
+      config, [&oracle](data::RecordIdx a, data::RecordIdx b) {
+        return oracle.Tag(a, b);
+      });
+  ASSERT_FALSE(result.resolution.empty())
+      << "golden corpus produced no matches; fixture is vacuous";
+
+  std::string actual_path = ::testing::TempDir() + "golden_actual_matches.csv";
+  auto saved = core::SaveMatchesCsv(*dataset, result.resolution, actual_path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  std::string actual = ReadFileBytes(actual_path);
+
+  if (yver::testing::update_golden) {
+    std::ofstream out(GoldenPath("matches.csv"), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write golden matches";
+    out << actual;
+    GTEST_SKIP() << "updated " << GoldenPath("matches.csv") << " ("
+                 << result.resolution.size() << " matches)";
+  }
+
+  std::string expected = ReadFileBytes(GoldenPath("matches.csv"));
+  EXPECT_EQ(actual, expected)
+      << "pipeline output drifted from tests/golden/matches.csv; if the "
+         "change is intentional, rerun with --update-golden and commit "
+         "the diff";
+}
+
+}  // namespace
+}  // namespace yver

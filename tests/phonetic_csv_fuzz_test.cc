@@ -1,8 +1,13 @@
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "core/ranked_resolution.h"
+#include "core/resolution_io.h"
 #include "data/csv_io.h"
+#include "serve/resolution_index.h"
 #include "synth/generator.h"
 #include "text/phonetic.h"
 #include "util/csv.h"
@@ -111,6 +116,146 @@ TEST(CsvFuzzTest, TruncatedInputsRejectedNotCrashed) {
       EXPECT_LE(parsed->size(), generated.dataset.size());
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Serving-artifact fuzzing: the matches CSV (core::resolution_io) and the
+// binary index (serve::ResolutionIndex) are loaded from disk in
+// production; truncated or bit-flipped artifacts must come back as a
+// util::Status error (or a harmlessly short parse for the row-tolerant
+// CSV), never crash or hang.
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good()) << "cannot write " << path;
+  f << bytes;
+}
+
+struct ArtifactFixture {
+  synth::GeneratedData generated;
+  core::RankedResolution resolution;
+};
+
+ArtifactFixture MakeArtifactFixture() {
+  ArtifactFixture fx;
+  synth::GeneratorConfig config;
+  config.num_persons = 40;
+  config.seed = 21;
+  fx.generated = synth::Generate(config);
+  const size_t n = fx.generated.dataset.size();
+  util::Rng rng(31);
+  std::vector<core::RankedMatch> matches;
+  for (int i = 0; i < 120; ++i) {
+    auto a = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    auto b = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    if (a == b) continue;
+    core::RankedMatch m;
+    m.pair = data::RecordPair(a, b);
+    m.confidence = rng.UniformDouble();
+    m.block_score = rng.UniformDouble();
+    matches.push_back(m);
+  }
+  fx.resolution = core::RankedResolution(std::move(matches));
+  return fx;
+}
+
+TEST(ArtifactFuzzTest, MatchesCsvTruncatedAndBitFlippedNeverCrash) {
+  ArtifactFixture fx = MakeArtifactFixture();
+  ASSERT_FALSE(fx.resolution.empty());
+  std::string path = ::testing::TempDir() + "fuzz_matches.csv";
+  auto saved = core::SaveMatchesCsv(fx.generated.dataset, fx.resolution, path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_FALSE(bytes.empty());
+
+  std::string mutated_path = ::testing::TempDir() + "fuzz_matches_mut.csv";
+  util::Rng rng(7);
+  for (int round = 0; round < 60; ++round) {
+    size_t cut = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(bytes.size())));
+    WriteFileBytes(mutated_path, bytes.substr(0, cut));
+    auto loaded = core::LoadMatchesCsv(fx.generated.dataset, mutated_path);
+    // The CSV loader is row-tolerant: it may parse a prefix, but a
+    // truncated file can never yield more matches than the original.
+    if (loaded.ok()) {
+      EXPECT_LE(loaded->size(), fx.resolution.size()) << "cut " << cut;
+    } else {
+      EXPECT_FALSE(loaded.status().message().empty());
+    }
+  }
+  for (int round = 0; round < 60; ++round) {
+    std::string flipped = bytes;
+    size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(flipped.size()) - 1));
+    flipped[pos] = static_cast<char>(
+        flipped[pos] ^ (1 << rng.UniformInt(0, 7)));
+    WriteFileBytes(mutated_path, flipped);
+    auto loaded = core::LoadMatchesCsv(fx.generated.dataset, mutated_path);
+    if (!loaded.ok()) {
+      EXPECT_FALSE(loaded.status().message().empty());
+    }
+  }
+  auto missing = core::LoadMatchesCsv(fx.generated.dataset,
+                                      ::testing::TempDir() + "no_such.csv");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(ArtifactFuzzTest, ResolutionIndexTruncatedAndBitFlippedRejected) {
+  ArtifactFixture fx = MakeArtifactFixture();
+  serve::ResolutionIndex index(fx.resolution, fx.generated.dataset.size());
+  std::string path = ::testing::TempDir() + "fuzz_index.yvx";
+  auto saved = index.Save(path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 32u);
+
+  // Sanity: the unmutated artifact round-trips and its checksum matches.
+  auto clean = serve::ResolutionIndex::Load(path);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->Checksum(), index.Checksum());
+
+  std::string mutated_path = ::testing::TempDir() + "fuzz_index_mut.yvx";
+  util::Rng rng(13);
+  // Every strict truncation must be rejected: the artifact ends in its
+  // own checksum, so no proper prefix is a valid artifact.
+  for (int round = 0; round < 80; ++round) {
+    size_t cut = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+    WriteFileBytes(mutated_path, bytes.substr(0, cut));
+    auto loaded = serve::ResolutionIndex::Load(mutated_path);
+    EXPECT_FALSE(loaded.ok()) << "truncation at " << cut << " accepted";
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss)
+          << loaded.status().ToString();
+    }
+  }
+  // Every single-bit flip lands in the magic, the checksummed body, or
+  // the stored digest — all three must fail validation.
+  for (int round = 0; round < 80; ++round) {
+    std::string flipped = bytes;
+    size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(flipped.size()) - 1));
+    flipped[pos] = static_cast<char>(
+        flipped[pos] ^ (1 << rng.UniformInt(0, 7)));
+    WriteFileBytes(mutated_path, flipped);
+    auto loaded = serve::ResolutionIndex::Load(mutated_path);
+    EXPECT_FALSE(loaded.ok()) << "bit flip at byte " << pos << " accepted";
+  }
+  auto missing =
+      serve::ResolutionIndex::Load(::testing::TempDir() + "no_such.yvx");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
 }
 
 }  // namespace

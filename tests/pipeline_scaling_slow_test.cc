@@ -1,0 +1,51 @@
+// Slow-label scaling test (ctest -L slow): the determinism contract on a
+// corpus several times larger than the tier-1 matrix, where chunk
+// boundaries, the chunked score-stage reduction, and the thread pool's
+// work queue are exercised with thousands of blocks in flight. Kept out
+// of tier-1 so scripts/check.sh stays fast.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "synth/gazetteer.h"
+#include "synth/generator.h"
+#include "synth/tag_oracle.h"
+
+namespace yver {
+namespace {
+
+TEST(PipelineScalingSlowTest, LargeCorpusIsThreadCountInvariant) {
+  synth::GeneratorConfig config = synth::RandomSetConfig(0.08);  // ~8K records
+  config.seed = 23;
+  auto corpus = synth::Generate(config);
+  ASSERT_GT(corpus.dataset.size(), 4000u);
+
+  synth::Gazetteer gazetteer;
+  core::UncertainErPipeline pipeline(corpus.dataset,
+                                     gazetteer.MakeGeoResolver());
+  core::PipelineConfig pipeline_config = core::RecommendedConfig();
+
+  std::vector<core::RankedMatch> baseline;
+  for (size_t num_threads : {size_t{1}, size_t{4}}) {
+    pipeline_config.num_threads = num_threads;
+    synth::TagOracle oracle(&corpus.dataset);
+    auto result = pipeline.Run(
+        pipeline_config, [&oracle](data::RecordIdx a, data::RecordIdx b) {
+          return oracle.Tag(a, b);
+        });
+    if (baseline.empty()) {
+      baseline = result.resolution.matches();
+      ASSERT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(result.resolution.matches(), baseline)
+          << "large-corpus resolution diverged at " << num_threads
+          << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace yver

@@ -1,0 +1,14 @@
+#ifndef YVER_TESTS_TEST_FLAGS_H_
+#define YVER_TESTS_TEST_FLAGS_H_
+
+namespace yver::testing {
+
+/// Set by tests/test_main.cc when the test binary is invoked with
+/// --update-golden: golden-file tests rewrite their expected outputs in
+/// the source tree instead of comparing against them. Usage:
+///   ./build/tests/yver_tests --gtest_filter='Golden*' --update-golden
+extern bool update_golden;
+
+}  // namespace yver::testing
+
+#endif  // YVER_TESTS_TEST_FLAGS_H_

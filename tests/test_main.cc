@@ -1,0 +1,23 @@
+// Custom gtest main shared by every test binary: InitGoogleTest consumes
+// the gtest flags, and whatever remains is scanned for repo-specific test
+// flags (currently --update-golden, the golden-fixture escape hatch).
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "test_flags.h"
+
+namespace yver::testing {
+bool update_golden = false;
+}  // namespace yver::testing
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      yver::testing::update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -6,7 +6,7 @@
 //   yver_cli normalize   --in data.csv --out clean.csv
 //   yver_cli resolve     --in data.csv --out matches.csv [--ng X]
 //                        [--maxminsup K] [--no-classify] [--samesrc]
-//                        [--model-out model.adt]
+//                        [--model-out model.adt] [--threads T]
 //   yver_cli index       --in data.csv --matches matches.csv --out idx.yvx
 //   yver_cli query       --in data.csv (--matches matches.csv | --index idx.yvx)
 //                        [--certainty C] [--book-id B] [--k K]
@@ -23,6 +23,8 @@
 // `resolve` trains the ADTree from the simulated expert tagger when the
 // dataset carries ground-truth entity ids (synthetic corpora do); without
 // them it falls back to block-score ranking (--no-classify implied).
+// `--threads T` parallelizes the whole pipeline (0 = one worker per
+// hardware thread); output is byte-identical for every thread count.
 //
 // `index` freezes a matches CSV into the binary serve::ResolutionIndex
 // artifact; `query`, `graph`, `families` and `serve-bench` accept either
@@ -126,6 +128,7 @@ struct ResolveOptions {
   double ng = 3.5;
   bool discard_same_source = false;
   bool no_classify = false;
+  size_t threads = 0;  // 0 = one worker per hardware thread
 
   core::PipelineConfig ToPipelineConfig(bool has_ground_truth) const {
     core::PipelineConfig config;
@@ -134,6 +137,7 @@ struct ResolveOptions {
     config.blocking.expert_weighting = true;
     config.discard_same_source = discard_same_source;
     config.use_classifier = has_ground_truth && !no_classify;
+    config.num_threads = threads;
     return config;
   }
 };
@@ -147,6 +151,7 @@ ResolveOptions ParseResolveOptions(const Flags& flags) {
   options.ng = flags.GetDouble("ng", 3.5);
   options.discard_same_source = flags.Has("samesrc");
   options.no_classify = flags.Has("no-classify");
+  options.threads = static_cast<size_t>(flags.GetInt("threads", 0));
   return options;
 }
 
@@ -396,9 +401,11 @@ int CmdIndex(const QueryOptions& options) {
     std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
   }
-  std::printf("indexed %zu matches over %zu records -> %s\n",
+  std::printf("indexed %zu matches over %zu records -> %s "
+              "(checksum %016llx)\n",
               index->num_matches(), index->num_records(),
-              options.out.c_str());
+              options.out.c_str(),
+              static_cast<unsigned long long>(index->Checksum()));
   return 0;
 }
 
