@@ -1,0 +1,189 @@
+// P1 — Feature-path throughput: old-style scalar string-path extraction
+// vs. columnar batch extraction over the precomputed comparison corpus,
+// in pairs/sec on a synthetic corpus. Writes a JSON record (--out) so the
+// repo can track the perf trajectory (BENCH_feature_extract.json).
+//
+//   bench_feature_extract [--persons N] [--pairs M] [--threads T]
+//                         [--out bench.json]
+//
+// The comparison corpus build (the one-time encode cost the columnar path
+// pays up front) is measured and reported separately; the headline metric
+// is single-thread pairs/sec, where the acceptance bar is >= 2x.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/item_dictionary.h"
+#include "features/feature_extractor.h"
+#include "support/reference_extractor.h"
+#include "synth/gazetteer.h"
+#include "synth/generator.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace yver;
+
+struct Options {
+  size_t persons = 2000;
+  size_t pairs = 100000;
+  size_t threads = 0;  // additionally time a parallel batch when > 1
+  std::string out;
+};
+
+Options ParseOptions(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--persons") == 0) {
+      options.persons = static_cast<size_t>(std::atol(next("--persons")));
+    } else if (std::strcmp(argv[i], "--pairs") == 0) {
+      options.pairs = static_cast<size_t>(std::atol(next("--pairs")));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      options.threads = static_cast<size_t>(std::atol(next("--threads")));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      options.out = next("--out");
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options = ParseOptions(argc, argv);
+
+  auto config = synth::ItalyConfig();
+  config.num_persons = options.persons;
+  config.include_mv = true;
+  config.seed = 11;
+  auto generated = synth::Generate(config);
+  synth::Gazetteer gazetteer;
+  auto encoded =
+      data::EncodeDataset(generated.dataset, gazetteer.MakeGeoResolver());
+  const auto n = static_cast<int>(generated.dataset.size());
+
+  // A fixed random pair workload: the soft-block regime where each record
+  // recurs in many pairs, which is what the columnar corpus exploits.
+  util::Rng rng(23);
+  std::vector<data::RecordPair> pairs;
+  pairs.reserve(options.pairs);
+  while (pairs.size() < options.pairs) {
+    auto a = static_cast<data::RecordIdx>(rng.UniformInt(0, n - 1));
+    auto b = static_cast<data::RecordIdx>(rng.UniformInt(0, n - 1));
+    if (a == b) continue;
+    pairs.emplace_back(a, b);
+  }
+
+  std::printf("corpus: %zu records, %zu distinct items; workload: %zu pairs\n",
+              generated.dataset.size(), encoded.dictionary.size(),
+              pairs.size());
+
+  // Reference: the pre-columnar string path, scalar, single thread.
+  features::ReferenceFeatureExtractor reference(encoded);
+  features::ReferenceFeatureExtractor::Scratch ref_scratch;
+  features::FeatureVector fv;
+  util::Timer timer;
+  for (const auto& p : pairs) {
+    reference.ExtractInto(p.a, p.b, &ref_scratch, &fv);
+  }
+  double ref_seconds = timer.ElapsedSeconds();
+  double ref_pairs_per_sec = static_cast<double>(pairs.size()) / ref_seconds;
+
+  // Columnar: corpus build (one-time encode) timed separately from the
+  // per-pair path.
+  timer.Reset();
+  features::FeatureExtractor columnar(encoded);
+  double corpus_build_seconds = timer.ElapsedSeconds();
+
+  features::FeatureExtractor::Scratch col_scratch;
+  timer.Reset();
+  for (const auto& p : pairs) {
+    columnar.ExtractInto(p.a, p.b, &col_scratch, &fv);
+  }
+  double col_seconds = timer.ElapsedSeconds();
+  double col_pairs_per_sec = static_cast<double>(pairs.size()) / col_seconds;
+
+  // Sanity: the race only counts if both paths emit identical bytes.
+  util::Rng check_rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto& p = pairs[static_cast<size_t>(check_rng.UniformInt(
+        0, static_cast<int>(pairs.size()) - 1))];
+    auto expected = reference.Extract(p.a, p.b);
+    auto actual = columnar.Extract(p.a, p.b);
+    if (std::memcmp(expected.values.data(), actual.values.data(),
+                    expected.values.size() * sizeof(double)) != 0) {
+      std::fprintf(stderr,
+                   "FATAL: columnar output diverges from reference on pair "
+                   "(%u, %u)\n",
+                   p.a, p.b);
+      return 1;
+    }
+  }
+
+  double speedup = ref_pairs_per_sec > 0.0
+                       ? col_pairs_per_sec / ref_pairs_per_sec
+                       : 0.0;
+  std::printf("reference (string path, scalar): %10.0f pairs/s  (%.3f s)\n",
+              ref_pairs_per_sec, ref_seconds);
+  std::printf("columnar  (corpus, scalar)     : %10.0f pairs/s  (%.3f s; "
+              "corpus build %.3f s)\n",
+              col_pairs_per_sec, col_seconds, corpus_build_seconds);
+  std::printf("single-thread speedup          : %10.2fx\n", speedup);
+
+  double batch_pairs_per_sec = 0.0;
+  size_t batch_threads = util::ResolveNumThreads(options.threads);
+  if (batch_threads > 1) {
+    util::ThreadPool pool(batch_threads);
+    timer.Reset();
+    auto batch = columnar.ExtractBatch(pairs, &pool);
+    double batch_seconds = timer.ElapsedSeconds();
+    batch_pairs_per_sec = static_cast<double>(pairs.size()) / batch_seconds;
+    std::printf("columnar  (batch, %2zu threads)  : %10.0f pairs/s  (%.3f s)\n",
+                batch_threads, batch_pairs_per_sec, batch_seconds);
+    (void)batch;
+  }
+
+  if (!options.out.empty()) {
+    std::ofstream f(options.out, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", options.out.c_str());
+      return 1;
+    }
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"feature_extract\",\n"
+        "  \"corpus_records\": %zu,\n"
+        "  \"distinct_items\": %zu,\n"
+        "  \"pairs\": %zu,\n"
+        "  \"reference_pairs_per_sec\": %.0f,\n"
+        "  \"columnar_pairs_per_sec\": %.0f,\n"
+        "  \"single_thread_speedup\": %.2f,\n"
+        "  \"corpus_build_seconds\": %.4f,\n"
+        "  \"batch_threads\": %zu,\n"
+        "  \"batch_pairs_per_sec\": %.0f\n"
+        "}\n",
+        generated.dataset.size(), encoded.dictionary.size(), pairs.size(),
+        ref_pairs_per_sec, col_pairs_per_sec, speedup, corpus_build_seconds,
+        batch_threads > 1 ? batch_threads : 1, batch_pairs_per_sec);
+    f << buf;
+    std::printf("wrote %s\n", options.out.c_str());
+  }
+  return 0;
+}

@@ -3,10 +3,15 @@
 # then a ThreadSanitizer build that race-checks the concurrent paths — the
 # query-serving layer (serve::ResolutionService and friends) and the
 # parallel resolve pipeline's determinism harness
-# (tests/determinism_test.cc).
+# (tests/determinism_test.cc) — then an Address+UndefinedBehaviorSanitizer
+# build over the feature path: the columnar comparison corpus is all raw
+# span arithmetic into CSR arrays, so the feature/equivalence/golden/
+# determinism suites run under ASan+UBSan to pin down any out-of-bounds
+# view or UB the byte-identity tests alone would miss.
 #
-#   scripts/check.sh            # both stages
-#   scripts/check.sh --no-tsan  # standard stage only
+#   scripts/check.sh            # all stages
+#   scripts/check.sh --no-tsan  # skip the TSan stage
+#   scripts/check.sh --no-asan  # skip the ASan+UBSan stage
 #
 # The slow-labeled large-corpus tests are not gated here; run them with
 #   ctest --test-dir build -L slow --output-on-failure
@@ -14,9 +19,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=1
-if [[ "${1:-}" == "--no-tsan" ]]; then
-  run_tsan=0
-fi
+run_asan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    --no-asan) run_asan=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> tier-1: standard build + ctest (-L tier1)"
 cmake -B build -S . >/dev/null
@@ -28,6 +38,13 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DYVER_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target yver_tests
   ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*:Determinism*:GoldenPipeline*'
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "==> tier-1: ASan+UBSan memory check (feature path + golden + determinism)"
+  cmake -B build-asan -S . -DYVER_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$(nproc)" --target yver_tests
+  ./build-asan/tests/yver_tests --gtest_filter='*Feature*:*Qgram*:*QGram*:*Jaccard*:*Geo*:Determinism*:GoldenPipeline*:*Incremental*'
 fi
 
 echo "==> all checks passed"

@@ -74,6 +74,10 @@ data::RecordIdx IncrementalResolver::AddRecord(data::Record record) {
   encoded_.bags.push_back(bag);
   for (data::ItemId item : bag) postings_[item].push_back(idx);
 
+  // The extractor's comparison corpus was encoded at construction; give it
+  // the new record's columns before any pair involving `idx` is extracted.
+  extractor_->SyncAppendedRecords();
+
   // Score candidates with the deployed model.
   for (const auto& [count, other] : candidates) {
     features::FeatureVector fv = extractor_->Extract(other, idx);

@@ -6,14 +6,17 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace yver::core {
 
 UncertainErPipeline::UncertainErPipeline(const data::Dataset& dataset,
                                          data::GeoResolver geo_resolver)
-    : dataset_(&dataset),
-      encoded_(data::EncodeDataset(dataset, geo_resolver)) {
+    : dataset_(&dataset) {
+  util::Timer timer;
+  encoded_ = data::EncodeDataset(dataset, geo_resolver);
   extractor_ = std::make_unique<features::FeatureExtractor>(encoded_);
+  encode_seconds_ = timer.ElapsedSeconds();
 }
 
 blocking::MfiBlocksResult UncertainErPipeline::RunBlocking(
@@ -59,13 +62,17 @@ std::vector<data::RecordPair> PairsOf(
 
 std::vector<ml::Instance> UncertainErPipeline::MakeInstances(
     const std::vector<blocking::CandidatePair>& pairs,
-    const PairTagger& tagger, util::ThreadPool* pool) const {
+    const PairTagger& tagger, util::ThreadPool* pool,
+    StageTimings* timings) const {
   YVER_CHECK(tagger != nullptr);
   // Features first, chunk-parallel into index-addressed slots; then one
   // serial tagging pass in candidate order so a stateful tagger sees the
   // exact call sequence of the serial pipeline.
+  util::Timer timer;
   std::vector<features::FeatureVector> features =
       extractor_->ExtractBatch(PairsOf(pairs), pool);
+  if (timings != nullptr) timings->extract_seconds += timer.ElapsedSeconds();
+  timer.Reset();
   std::vector<ml::Instance> instances;
   instances.reserve(pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) {
@@ -75,6 +82,7 @@ std::vector<ml::Instance> UncertainErPipeline::MakeInstances(
     inst.tag = tagger(pairs[i].pair.a, pairs[i].pair.b);
     instances.push_back(std::move(inst));
   }
+  if (timings != nullptr) timings->tag_seconds += timer.ElapsedSeconds();
   return instances;
 }
 
@@ -89,20 +97,26 @@ PipelineResult UncertainErPipeline::Run(const PipelineConfig& config,
   }
 
   PipelineResult result;
+  result.timings.encode_seconds = encode_seconds_;
+  util::Timer timer;
   result.blocking = RunBlocking(config.blocking, pool);
   result.candidates = config.discard_same_source
                           ? DiscardSameSource(result.blocking.pairs)
                           : result.blocking.pairs;
+  result.timings.blocking_seconds = timer.ElapsedSeconds();
 
   std::vector<RankedMatch> matches;
   if (config.use_classifier) {
     YVER_CHECK_MSG(tagger != nullptr,
                    "classifier requested but no tagger provided");
     result.training_instances = ml::ApplyMaybePolicy(
-        MakeInstances(result.candidates, tagger, pool), ml::MaybePolicy::kOmit);
+        MakeInstances(result.candidates, tagger, pool, &result.timings),
+        ml::MaybePolicy::kOmit);
     // Training itself is a serial reduction over identically-ordered
     // instances, so the model is the same for every thread count.
+    timer.Reset();
     result.model = ml::TrainAdTree(result.training_instances, config.trainer);
+    result.timings.train_seconds = timer.ElapsedSeconds();
     // Re-extract and score the candidate set in parallel, then assemble
     // matches by a stable chunk-ordered reduction: fixed-size candidate
     // blocks are extracted and scored into index-addressed slots, and the
@@ -113,16 +127,22 @@ PipelineResult UncertainErPipeline::Run(const PipelineConfig& config,
     std::vector<data::RecordPair> pairs = PairsOf(result.candidates);
     for (size_t begin = 0; begin < pairs.size(); begin += kScoreBlock) {
       size_t end = std::min(pairs.size(), begin + kScoreBlock);
+      timer.Reset();
       std::vector<features::FeatureVector> features = extractor_->ExtractBatch(
           std::span<const data::RecordPair>(pairs).subspan(begin, end - begin),
           pool);
+      result.timings.extract_seconds += timer.ElapsedSeconds();
+      timer.Reset();
       std::vector<double> scores = result.model.ScoreBatch(features, pool);
+      result.timings.score_seconds += timer.ElapsedSeconds();
+      timer.Reset();
       for (size_t i = begin; i < end; ++i) {
         double score = scores[i - begin];
         if (score <= 0.0) continue;  // the Cls filter drops low scorers
         matches.push_back(RankedMatch{result.candidates[i].pair, score,
                                       result.candidates[i].block_score});
       }
+      result.timings.merge_seconds += timer.ElapsedSeconds();
     }
   } else {
     matches.reserve(result.candidates.size());
@@ -131,8 +151,10 @@ PipelineResult UncertainErPipeline::Run(const PipelineConfig& config,
           RankedMatch{cp.pair, cp.block_score, cp.block_score});
     }
   }
+  timer.Reset();
   result.resolution = RankedResolution(std::move(matches));
   result.num_records = dataset_->size();
+  result.timings.merge_seconds += timer.ElapsedSeconds();
   return result;
 }
 

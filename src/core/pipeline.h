@@ -23,6 +23,27 @@ namespace yver::core {
 using PairTagger =
     std::function<ml::ExpertTag(data::RecordIdx, data::RecordIdx)>;
 
+/// Wall-clock breakdown of one pipeline run, in seconds. `encode` covers
+/// the one-time columnar work done at pipeline construction (item-bag
+/// encoding plus the ComparisonCorpus build); the other stages are
+/// accumulated during Run. Exposed so the encode-vs-extract trade of the
+/// columnar comparison corpus stays visible on real runs
+/// (`resolve --profile`).
+struct StageTimings {
+  double encode_seconds = 0.0;
+  double blocking_seconds = 0.0;
+  double extract_seconds = 0.0;
+  double tag_seconds = 0.0;
+  double train_seconds = 0.0;
+  double score_seconds = 0.0;
+  double merge_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return encode_seconds + blocking_seconds + extract_seconds + tag_seconds +
+           train_seconds + score_seconds + merge_seconds;
+  }
+};
+
 /// Outcome of a full pipeline run.
 struct PipelineResult {
   blocking::MfiBlocksResult blocking;
@@ -42,6 +63,8 @@ struct PipelineResult {
   /// needs, so a run can be frozen into a servable artifact without
   /// carrying the dataset alongside the result.
   size_t num_records = 0;
+  /// Per-stage wall-time breakdown of this run.
+  StageTimings timings;
 };
 
 /// The end-to-end uncertain entity-resolution system of Fig. 9:
@@ -76,10 +99,13 @@ class UncertainErPipeline {
   /// pool, feature extraction runs chunk-parallel; the tagger itself is
   /// always invoked serially in candidate order, because taggers may be
   /// stateful (synth::TagOracle advances an RNG per call) and the
-  /// determinism contract requires the serial tag sequence.
+  /// determinism contract requires the serial tag sequence. When
+  /// `timings` is non-null, extraction and tagging wall time are
+  /// accumulated into it.
   std::vector<ml::Instance> MakeInstances(
       const std::vector<blocking::CandidatePair>& pairs,
-      const PairTagger& tagger, util::ThreadPool* pool = nullptr) const;
+      const PairTagger& tagger, util::ThreadPool* pool = nullptr,
+      StageTimings* timings = nullptr) const;
 
   /// Full run: blocking, optional SameSrc, optional ADTree training on the
   /// tagger's labels (Maybe := omit, the best condition of Table 5) and
@@ -97,6 +123,9 @@ class UncertainErPipeline {
   const data::Dataset* dataset_;
   data::EncodedDataset encoded_;
   std::unique_ptr<features::FeatureExtractor> extractor_;
+  /// Wall time of the one-time encode (item bags + comparison corpus),
+  /// measured at construction and reported through PipelineResult.
+  double encode_seconds_ = 0.0;
 };
 
 }  // namespace yver::core

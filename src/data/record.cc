@@ -7,12 +7,9 @@ void Record::Add(AttributeId attr, std::string value) {
   values_.push_back(Entry{attr, std::move(value)});
 }
 
-std::vector<std::string_view> Record::Values(AttributeId attr) const {
-  std::vector<std::string_view> out;
-  for (const auto& e : values_) {
-    if (e.attr == attr) out.push_back(e.value);
-  }
-  return out;
+Record::ValueRange Record::Values(AttributeId attr) const {
+  const Entry* begin = values_.data();
+  return ValueRange(begin, begin + values_.size(), attr);
 }
 
 std::string_view Record::FirstValue(AttributeId attr) const {

@@ -50,8 +50,79 @@ class Record {
   /// Adds a value for an attribute (empty values are ignored).
   void Add(AttributeId attr, std::string value);
 
-  /// All values of an attribute, in insertion order.
-  std::vector<std::string_view> Values(AttributeId attr) const;
+  /// Raw (attribute, value) entries in insertion order.
+  struct Entry {
+    AttributeId attr;
+    std::string value;
+  };
+
+  /// Non-allocating forward range over the values of one attribute, in
+  /// insertion order. Entries stay in submission order (the item-id
+  /// interning sequence of EncodeDataset depends on it), so the range
+  /// filters on iteration instead of materializing a vector — per-
+  /// attribute access costs zero heap traffic on the comparison hot path.
+  class ValueRange {
+   public:
+    class iterator {
+     public:
+      using value_type = std::string_view;
+      using difference_type = std::ptrdiff_t;
+
+      iterator() = default;
+      iterator(const Entry* pos, const Entry* end, AttributeId attr)
+          : pos_(pos), end_(end), attr_(attr) {
+        SkipNonMatching();
+      }
+
+      std::string_view operator*() const { return pos_->value; }
+      iterator& operator++() {
+        ++pos_;
+        SkipNonMatching();
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator copy = *this;
+        ++*this;
+        return copy;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.pos_ == b.pos_;
+      }
+
+     private:
+      void SkipNonMatching() {
+        while (pos_ != end_ && pos_->attr != attr_) ++pos_;
+      }
+
+      const Entry* pos_ = nullptr;
+      const Entry* end_ = nullptr;
+      AttributeId attr_ = AttributeId::kFirstName;
+    };
+
+    ValueRange(const Entry* begin, const Entry* end, AttributeId attr)
+        : begin_(begin), end_(end), attr_(attr) {}
+
+    iterator begin() const { return iterator(begin_, end_, attr_); }
+    iterator end() const { return iterator(end_, end_, attr_); }
+    bool empty() const { return begin() == end(); }
+    /// Number of matching values (walks the record's entries).
+    size_t size() const {
+      size_t n = 0;
+      for (auto it = begin(); it != end(); ++it) ++n;
+      return n;
+    }
+    /// First matching value; must not be called on an empty range.
+    std::string_view front() const { return *begin(); }
+
+   private:
+    const Entry* begin_ = nullptr;
+    const Entry* end_ = nullptr;
+    AttributeId attr_ = AttributeId::kFirstName;
+  };
+
+  /// All values of an attribute, in insertion order, as a lazy view. The
+  /// range stays valid as long as the record is neither mutated nor moved.
+  ValueRange Values(AttributeId attr) const;
 
   /// First value of the attribute, or empty view when absent.
   std::string_view FirstValue(AttributeId attr) const;
@@ -66,11 +137,6 @@ class Record {
   /// This is the record's "data pattern" (paper Fig. 11).
   uint32_t PresenceMask() const;
 
-  /// Raw (attribute, value) entries in insertion order.
-  struct Entry {
-    AttributeId attr;
-    std::string value;
-  };
   const std::vector<Entry>& entries() const { return values_; }
 
  private:

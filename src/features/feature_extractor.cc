@@ -2,13 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
-#include <string>
 
 #include "geo/geo.h"
 #include "text/jaccard.h"
 #include "util/check.h"
-#include "util/string_util.h"
 
 namespace yver::features {
 
@@ -17,7 +14,7 @@ namespace {
 using data::AttributeId;
 using data::PlacePart;
 using data::PlaceType;
-using data::Record;
+using data::TokenId;
 
 constexpr AttributeId kNameAttrs[] = {
     AttributeId::kFirstName,   AttributeId::kLastName,
@@ -29,50 +26,36 @@ constexpr AttributeId kNameAttrs[] = {
 constexpr PlaceType kPlaceTypes[] = {PlaceType::kBirth, PlaceType::kPermanent,
                                      PlaceType::kWartime, PlaceType::kDeath};
 
-double ParseNumeric(std::string_view s) {
-  return std::strtod(std::string(s).c_str(), nullptr);
-}
-
-// Fills `buf` with the lowercased, sorted, deduplicated values — the same
-// value set the extractor used to build as a std::set, without the
-// per-call node allocations.
-void LowerSorted(const std::vector<std::string_view>& values,
-                 std::vector<std::string>* buf) {
-  buf->clear();
-  for (auto v : values) buf->push_back(util::ToLower(v));
-  std::sort(buf->begin(), buf->end());
-  buf->erase(std::unique(buf->begin(), buf->end()), buf->end());
-}
-
-// Size of the intersection of two sorted unique value sets.
-size_t IntersectionSize(const std::vector<std::string>& a,
-                        const std::vector<std::string>& b) {
+// Size of the intersection of two sorted unique token-id spans. Equal to
+// the string-set intersection the old path computed: interning is
+// injective and both spans share the id order.
+size_t IntersectionSize(std::span<const TokenId> a,
+                        std::span<const TokenId> b) {
   size_t inter = 0;
-  auto ia = a.begin();
-  auto ib = b.begin();
-  while (ia != a.end() && ib != b.end()) {
-    if (*ia < *ib) {
-      ++ia;
-    } else if (*ib < *ia) {
-      ++ib;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
     } else {
       ++inter;
-      ++ia;
-      ++ib;
+      ++i;
+      ++j;
     }
   }
   return inter;
 }
 
-bool AnyCommon(const std::vector<std::string>& a,
-               const std::vector<std::string>& b) {
-  auto ia = a.begin();
-  auto ib = b.begin();
-  while (ia != a.end() && ib != b.end()) {
-    if (*ia < *ib) {
-      ++ia;
-    } else if (*ib < *ia) {
-      ++ib;
+bool AnyCommon(std::span<const TokenId> a, std::span<const TokenId> b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
     } else {
       return true;
     }
@@ -81,8 +64,8 @@ bool AnyCommon(const std::vector<std::string>& a,
 }
 
 // Trinary agreement of two value sets (sameXName semantics).
-NameAgreement Agreement(const std::vector<std::string>& a,
-                        const std::vector<std::string>& b) {
+NameAgreement Agreement(std::span<const TokenId> a,
+                        std::span<const TokenId> b) {
   size_t inter = IntersectionSize(a, b);
   if (inter == 0) return NameAgreement::kNo;
   if (inter == a.size() && inter == b.size()) return NameAgreement::kYes;
@@ -94,7 +77,10 @@ NameAgreement Agreement(const std::vector<std::string>& a,
 FeatureExtractor::FeatureExtractor(const data::EncodedDataset& encoded)
     : encoded_(encoded) {
   YVER_CHECK(encoded.dataset != nullptr);
+  corpus_ = std::make_unique<data::ComparisonCorpus>(encoded);
 }
+
+FeatureExtractor::~FeatureExtractor() = default;
 
 FeatureVector FeatureExtractor::Extract(data::RecordIdx a,
                                         data::RecordIdx b) const {
@@ -107,97 +93,85 @@ FeatureVector FeatureExtractor::Extract(data::RecordIdx a,
 void FeatureExtractor::ExtractInto(data::RecordIdx a, data::RecordIdx b,
                                    Scratch* scratch,
                                    FeatureVector* out) const {
+  (void)scratch;  // the columnar path needs no per-pair buffers
   const FeatureSchema& schema = FeatureSchema::Get();
-  const Record& ra = (*encoded_.dataset)[a];
-  const Record& rb = (*encoded_.dataset)[b];
+  const data::ComparisonCorpus& corpus = *corpus_;
   FeatureVector& fv = *out;
   fv.values.assign(schema.size(), MissingValue());
-  std::vector<std::string>& sa = scratch->lower_a;
-  std::vector<std::string>& sb = scratch->lower_b;
   size_t next = 0;
   auto emit = [&fv, &next](double v) { fv.values[next++] = v; };
   auto skip = [&next] { ++next; };
 
-  // 1..7: sameXName.
+  // 1..7: sameXName — integer set intersection over token spans.
   for (AttributeId attr : kNameAttrs) {
-    auto va = ra.Values(attr);
-    auto vb = rb.Values(attr);
-    if (va.empty() || vb.empty()) {
+    auto ta = corpus.Tokens(a, attr);
+    auto tb = corpus.Tokens(b, attr);
+    if (ta.empty() || tb.empty()) {
       skip();
       continue;
     }
-    LowerSorted(va, &sa);
-    LowerSorted(vb, &sb);
-    emit(static_cast<double>(Agreement(sa, sb)));
+    emit(static_cast<double>(Agreement(ta, tb)));
   }
-  // 8..14: XnameDist — maximum q-gram Jaccard over the value cross product.
+  // 8..14: XnameDist — maximum q-gram Jaccard over the value cross
+  // product, via the dictionary-memoized per-token gram sets.
   for (AttributeId attr : kNameAttrs) {
-    auto va = ra.Values(attr);
-    auto vb = rb.Values(attr);
-    if (va.empty() || vb.empty()) {
+    auto ta = corpus.Tokens(a, attr);
+    auto tb = corpus.Tokens(b, attr);
+    if (ta.empty() || tb.empty()) {
       skip();
       continue;
     }
-    LowerSorted(va, &sa);
-    LowerSorted(vb, &sb);
     double best = 0.0;
-    for (const auto& x : sa) {
-      for (const auto& y : sb) {
-        best = std::max(best, text::QGramJaccard(x, y));
+    for (TokenId x : ta) {
+      for (TokenId y : tb) {
+        best = std::max(best, x == y
+                                  ? 1.0
+                                  : text::JaccardOfSortedIds(
+                                        corpus.TokenQGrams(x),
+                                        corpus.TokenQGrams(y)));
       }
     }
     emit(best);
   }
-  // 15..17: raw birth-date component distances.
-  const AttributeId date_attrs[] = {AttributeId::kBirthDay,
-                                    AttributeId::kBirthMonth,
-                                    AttributeId::kBirthYear};
+  // 15..17: raw birth-date component distances, over parts parsed once at
+  // encode time.
+  const std::array<double, 3>& parts_a = corpus.BirthParts(a);
+  const std::array<double, 3>& parts_b = corpus.BirthParts(b);
   double date_dist[3] = {MissingValue(), MissingValue(), MissingValue()};
   for (size_t d = 0; d < 3; ++d) {
-    auto va = ra.FirstValue(date_attrs[d]);
-    auto vb = rb.FirstValue(date_attrs[d]);
-    if (va.empty() || vb.empty()) {
+    if (std::isnan(parts_a[d]) || std::isnan(parts_b[d])) {
       skip();
       continue;
     }
-    date_dist[d] = std::abs(ParseNumeric(va) - ParseNumeric(vb));
+    date_dist[d] = std::abs(parts_a[d] - parts_b[d]);
     emit(date_dist[d]);
   }
-  // 18..33: samePlaceXPartY.
-  for (PlaceType type : kPlaceTypes) {
+  // 18..33: samePlaceXPartY. The per-part comparisons are kept for reuse
+  // by the whole-place agreement features (44..47), which recompute the
+  // identical quantity in the string path.
+  bool place_compared[data::kNumPlaceTypes][data::kNumPlaceParts];
+  bool place_common[data::kNumPlaceTypes][data::kNumPlaceParts];
+  for (size_t t = 0; t < data::kNumPlaceTypes; ++t) {
     for (size_t p = 0; p < data::kNumPlaceParts; ++p) {
-      AttributeId attr =
-          data::PlaceAttribute(type, static_cast<PlacePart>(p));
-      auto va = ra.Values(attr);
-      auto vb = rb.Values(attr);
-      if (va.empty() || vb.empty()) {
+      AttributeId attr = data::PlaceAttribute(static_cast<PlaceType>(t),
+                                              static_cast<PlacePart>(p));
+      auto ta = corpus.Tokens(a, attr);
+      auto tb = corpus.Tokens(b, attr);
+      place_compared[t][p] = !ta.empty() && !tb.empty();
+      place_common[t][p] = place_compared[t][p] && AnyCommon(ta, tb);
+      if (!place_compared[t][p]) {
         skip();
         continue;
       }
-      LowerSorted(va, &sa);
-      LowerSorted(vb, &sb);
-      emit(AnyCommon(sa, sb) ? static_cast<double>(BinaryCode::kYes)
-                             : static_cast<double>(BinaryCode::kNo));
+      emit(place_common[t][p] ? static_cast<double>(BinaryCode::kYes)
+                              : static_cast<double>(BinaryCode::kNo));
     }
   }
   // 34..37: PlaceXGeoDistance in km (min over city value pairs with known
-  // coordinates).
+  // coordinates), over coordinates resolved once at encode time.
   for (PlaceType type : kPlaceTypes) {
-    AttributeId attr = data::PlaceAttribute(type, PlacePart::kCity);
-    auto va = ra.Values(attr);
-    auto vb = rb.Values(attr);
-    double best = MissingValue();
-    for (auto x : va) {
-      auto ia = encoded_.dictionary.Find(attr, x);
-      if (!ia || !encoded_.dictionary.geo(*ia)) continue;
-      for (auto y : vb) {
-        auto ib = encoded_.dictionary.Find(attr, y);
-        if (!ib || !encoded_.dictionary.geo(*ib)) continue;
-        double d = geo::HaversineKm(*encoded_.dictionary.geo(*ia),
-                                    *encoded_.dictionary.geo(*ib));
-        if (std::isnan(best) || d < best) best = d;
-      }
-    }
+    double best = geo::MinHaversineKm(corpus.GeoPoints(a, type),
+                                      corpus.GeoPoints(b, type));
     if (std::isnan(best)) {
       skip();
     } else {
@@ -205,13 +179,13 @@ void FeatureExtractor::ExtractInto(data::RecordIdx a, data::RecordIdx b,
     }
   }
   // 38..40: sameSource / sameGender / sameProfession.
-  emit(ra.source_id == rb.source_id
+  emit(corpus.SourceId(a) == corpus.SourceId(b)
            ? static_cast<double>(BinaryCode::kYes)
            : static_cast<double>(BinaryCode::kNo));
   {
-    auto ga = ra.FirstValue(AttributeId::kGender);
-    auto gb = rb.FirstValue(AttributeId::kGender);
-    if (ga.empty() || gb.empty()) {
+    uint32_t ga = corpus.GenderCode(a);
+    uint32_t gb = corpus.GenderCode(b);
+    if (ga == data::kNoValueCode || gb == data::kNoValueCode) {
       skip();
     } else {
       emit(ga == gb ? static_cast<double>(BinaryCode::kYes)
@@ -219,9 +193,9 @@ void FeatureExtractor::ExtractInto(data::RecordIdx a, data::RecordIdx b,
     }
   }
   {
-    auto pa = ra.FirstValue(AttributeId::kProfession);
-    auto pb = rb.FirstValue(AttributeId::kProfession);
-    if (pa.empty() || pb.empty()) {
+    uint32_t pa = corpus.ProfessionCode(a);
+    uint32_t pb = corpus.ProfessionCode(b);
+    if (pa == data::kNoValueCode || pb == data::kNoValueCode) {
       skip();
     } else {
       emit(pa == pb ? static_cast<double>(BinaryCode::kYes)
@@ -237,20 +211,15 @@ void FeatureExtractor::ExtractInto(data::RecordIdx a, data::RecordIdx b,
       emit(std::max(0.0, 1.0 - date_dist[d] / norms[d]));
     }
   }
-  // 44..47: whole-place agreement per type (all present parts agree).
-  for (PlaceType type : kPlaceTypes) {
+  // 44..47: whole-place agreement per type (all present parts agree),
+  // reusing the comparisons of 18..33.
+  for (size_t t = 0; t < data::kNumPlaceTypes; ++t) {
     bool any_compared = false;
     bool all_agree = true;
     for (size_t p = 0; p < data::kNumPlaceParts; ++p) {
-      AttributeId attr =
-          data::PlaceAttribute(type, static_cast<PlacePart>(p));
-      auto va = ra.Values(attr);
-      auto vb = rb.Values(attr);
-      if (va.empty() || vb.empty()) continue;
+      if (!place_compared[t][p]) continue;
       any_compared = true;
-      LowerSorted(va, &sa);
-      LowerSorted(vb, &sb);
-      all_agree = all_agree && AnyCommon(sa, sb);
+      all_agree = all_agree && place_common[t][p];
     }
     if (!any_compared) {
       skip();

@@ -1,6 +1,8 @@
 #include "geo/geo.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace yver::geo {
 
@@ -19,6 +21,18 @@ double HaversineKm(const GeoPoint& a, const GeoPoint& b) {
   double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
   h = std::min(1.0, h);
   return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(h));
+}
+
+double MinHaversineKm(std::span<const GeoPoint> a,
+                      std::span<const GeoPoint> b) {
+  double best = std::numeric_limits<double>::quiet_NaN();
+  for (const GeoPoint& x : a) {
+    for (const GeoPoint& y : b) {
+      double d = HaversineKm(x, y);
+      if (std::isnan(best) || d < best) best = d;
+    }
+  }
+  return best;
 }
 
 }  // namespace yver::geo

@@ -1,6 +1,8 @@
 #ifndef YVER_GEO_GEO_H_
 #define YVER_GEO_GEO_H_
 
+#include <span>
+
 namespace yver::geo {
 
 /// A WGS-84 latitude/longitude point in degrees.
@@ -15,6 +17,11 @@ struct GeoPoint {
 /// Used by the PlaceXGeoDistance features and the expert item similarity
 /// (Eq. 1 in the paper).
 double HaversineKm(const GeoPoint& a, const GeoPoint& b);
+
+/// Minimum haversine distance over the cross product of two point sets, in
+/// kilometers; NaN when either set is empty. This is the PlaceXGeoDistance
+/// aggregation over precomputed per-record coordinate spans.
+double MinHaversineKm(std::span<const GeoPoint> a, std::span<const GeoPoint> b);
 
 }  // namespace yver::geo
 

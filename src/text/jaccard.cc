@@ -17,8 +17,8 @@ double JaccardOfIds(std::vector<uint32_t> a, std::vector<uint32_t> b) {
   return JaccardOfSortedIds(a, b);
 }
 
-double JaccardOfSortedIds(const std::vector<uint32_t>& a,
-                          const std::vector<uint32_t>& b) {
+double JaccardOfSortedIds(std::span<const uint32_t> a,
+                          std::span<const uint32_t> b) {
   if (a.empty() && b.empty()) return 1.0;
   size_t inter = 0;
   size_t i = 0;

@@ -2,6 +2,7 @@
 #define YVER_TEXT_JACCARD_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -13,9 +14,12 @@ namespace yver::text {
 double JaccardOfIds(std::vector<uint32_t> a, std::vector<uint32_t> b);
 
 /// Jaccard over sorted, deduplicated id sets (no copies made). Requires
-/// both inputs to be strictly increasing.
-double JaccardOfSortedIds(const std::vector<uint32_t>& a,
-                          const std::vector<uint32_t>& b);
+/// both inputs to be strictly increasing. This is the integer twin of
+/// QGramJaccard: over q-gram id sets interned by text::QGramIdInterner it
+/// returns bit-identical doubles (same intersection/union cardinalities,
+/// same division).
+double JaccardOfSortedIds(std::span<const uint32_t> a,
+                          std::span<const uint32_t> b);
 
 /// Jaccard between the character q-gram sets of two strings (padded grams,
 /// set semantics). The paper uses this as the per-name distance feature

@@ -22,6 +22,34 @@ std::vector<std::string> ExtractQGrams(std::string_view s, size_t q) {
   return grams;
 }
 
+QGramIdInterner::QGramIdInterner(size_t q) : q_(q) { YVER_CHECK(q >= 1); }
+
+size_t QGramIdInterner::AppendQGramIdSet(std::string_view s,
+                                         std::vector<uint32_t>* out) {
+  // Same padded-gram construction as ExtractQGrams, but each gram is
+  // resolved to its dense id instead of copied out.
+  std::string padded;
+  padded.reserve(s.size() + 2 * (q_ - 1));
+  padded.append(q_ - 1, '#');
+  padded.append(s);
+  padded.append(q_ - 1, '#');
+  scratch_.clear();
+  if (padded.size() >= q_) {
+    for (size_t i = 0; i + q_ <= padded.size(); ++i) {
+      auto it = ids_
+                    .try_emplace(padded.substr(i, q_),
+                                 static_cast<uint32_t>(ids_.size()))
+                    .first;
+      scratch_.push_back(it->second);
+    }
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+  out->insert(out->end(), scratch_.begin(), scratch_.end());
+  return scratch_.size();
+}
+
 std::vector<std::string> ExtractQGramsNoPad(std::string_view s, size_t q) {
   YVER_CHECK(q >= 1);
   std::vector<std::string> grams;

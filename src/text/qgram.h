@@ -1,8 +1,10 @@
 #ifndef YVER_TEXT_QGRAM_H_
 #define YVER_TEXT_QGRAM_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace yver::text {
@@ -22,6 +24,33 @@ std::vector<std::string> ExtractQGramsNoPad(std::string_view s, size_t q);
 std::vector<std::string> ExtractExtendedQGrams(std::string_view s, size_t q,
                                                double threshold,
                                                size_t max_k = 10);
+
+/// Interns padded q-grams as dense integer ids, so the q-gram *set* of a
+/// string can be computed once (per dictionary entry) and compared ever
+/// after by integer merge instead of re-extracting string grams per pair.
+/// JaccardOfSortedIds over two interned sets equals QGramJaccard over the
+/// original strings exactly: interning is injective, so intersection and
+/// union cardinalities are preserved.
+///
+/// Not thread-safe; intern everything at encode time, compare afterwards.
+class QGramIdInterner {
+ public:
+  explicit QGramIdInterner(size_t q = 2);
+
+  /// Appends the sorted, deduplicated id set of the padded q-grams of `s`
+  /// to `out`, interning unseen grams. Returns the number of ids appended.
+  size_t AppendQGramIdSet(std::string_view s, std::vector<uint32_t>* out);
+
+  /// Number of distinct grams interned so far.
+  size_t num_grams() const { return ids_.size(); }
+
+  size_t q() const { return q_; }
+
+ private:
+  size_t q_;
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<uint32_t> scratch_;
+};
 
 }  // namespace yver::text
 

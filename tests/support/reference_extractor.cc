@@ -1,0 +1,272 @@
+// The pre-columnar FeatureExtractor implementation, kept as the reference
+// the production path must match byte-for-byte. Any behavioral edit here
+// changes the specification — don't "optimize" this file.
+
+#include "support/reference_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "geo/geo.h"
+#include "text/jaccard.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace yver::features {
+
+namespace {
+
+using data::AttributeId;
+using data::PlacePart;
+using data::PlaceType;
+using data::Record;
+
+constexpr AttributeId kNameAttrs[] = {
+    AttributeId::kFirstName,   AttributeId::kLastName,
+    AttributeId::kSpouseName,  AttributeId::kFathersName,
+    AttributeId::kMothersName, AttributeId::kMothersMaiden,
+    AttributeId::kMaidenName,
+};
+
+constexpr PlaceType kPlaceTypes[] = {PlaceType::kBirth, PlaceType::kPermanent,
+                                     PlaceType::kWartime, PlaceType::kDeath};
+
+double ParseNumeric(std::string_view s) {
+  return std::strtod(std::string(s).c_str(), nullptr);
+}
+
+// Fills `buf` with the lowercased, sorted, deduplicated values.
+void LowerSorted(const Record::ValueRange& values,
+                 std::vector<std::string>* buf) {
+  buf->clear();
+  for (auto v : values) buf->push_back(util::ToLower(v));
+  std::sort(buf->begin(), buf->end());
+  buf->erase(std::unique(buf->begin(), buf->end()), buf->end());
+}
+
+// Size of the intersection of two sorted unique value sets.
+size_t IntersectionSize(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  size_t inter = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++inter;
+      ++ia;
+      ++ib;
+    }
+  }
+  return inter;
+}
+
+bool AnyCommon(const std::vector<std::string>& a,
+               const std::vector<std::string>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Trinary agreement of two value sets (sameXName semantics).
+NameAgreement Agreement(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  size_t inter = IntersectionSize(a, b);
+  if (inter == 0) return NameAgreement::kNo;
+  if (inter == a.size() && inter == b.size()) return NameAgreement::kYes;
+  return NameAgreement::kPartial;
+}
+
+}  // namespace
+
+ReferenceFeatureExtractor::ReferenceFeatureExtractor(
+    const data::EncodedDataset& encoded)
+    : encoded_(encoded) {
+  YVER_CHECK(encoded.dataset != nullptr);
+}
+
+FeatureVector ReferenceFeatureExtractor::Extract(data::RecordIdx a,
+                                                 data::RecordIdx b) const {
+  Scratch scratch;
+  FeatureVector fv;
+  ExtractInto(a, b, &scratch, &fv);
+  return fv;
+}
+
+void ReferenceFeatureExtractor::ExtractInto(data::RecordIdx a,
+                                            data::RecordIdx b,
+                                            Scratch* scratch,
+                                            FeatureVector* out) const {
+  const FeatureSchema& schema = FeatureSchema::Get();
+  const Record& ra = (*encoded_.dataset)[a];
+  const Record& rb = (*encoded_.dataset)[b];
+  FeatureVector& fv = *out;
+  fv.values.assign(schema.size(), MissingValue());
+  std::vector<std::string>& sa = scratch->lower_a;
+  std::vector<std::string>& sb = scratch->lower_b;
+  size_t next = 0;
+  auto emit = [&fv, &next](double v) { fv.values[next++] = v; };
+  auto skip = [&next] { ++next; };
+
+  // 1..7: sameXName.
+  for (AttributeId attr : kNameAttrs) {
+    auto va = ra.Values(attr);
+    auto vb = rb.Values(attr);
+    if (va.empty() || vb.empty()) {
+      skip();
+      continue;
+    }
+    LowerSorted(va, &sa);
+    LowerSorted(vb, &sb);
+    emit(static_cast<double>(Agreement(sa, sb)));
+  }
+  // 8..14: XnameDist — maximum q-gram Jaccard over the value cross product.
+  for (AttributeId attr : kNameAttrs) {
+    auto va = ra.Values(attr);
+    auto vb = rb.Values(attr);
+    if (va.empty() || vb.empty()) {
+      skip();
+      continue;
+    }
+    LowerSorted(va, &sa);
+    LowerSorted(vb, &sb);
+    double best = 0.0;
+    for (const auto& x : sa) {
+      for (const auto& y : sb) {
+        best = std::max(best, text::QGramJaccard(x, y));
+      }
+    }
+    emit(best);
+  }
+  // 15..17: raw birth-date component distances.
+  const AttributeId date_attrs[] = {AttributeId::kBirthDay,
+                                    AttributeId::kBirthMonth,
+                                    AttributeId::kBirthYear};
+  double date_dist[3] = {MissingValue(), MissingValue(), MissingValue()};
+  for (size_t d = 0; d < 3; ++d) {
+    auto va = ra.FirstValue(date_attrs[d]);
+    auto vb = rb.FirstValue(date_attrs[d]);
+    if (va.empty() || vb.empty()) {
+      skip();
+      continue;
+    }
+    date_dist[d] = std::abs(ParseNumeric(va) - ParseNumeric(vb));
+    emit(date_dist[d]);
+  }
+  // 18..33: samePlaceXPartY.
+  for (PlaceType type : kPlaceTypes) {
+    for (size_t p = 0; p < data::kNumPlaceParts; ++p) {
+      AttributeId attr =
+          data::PlaceAttribute(type, static_cast<PlacePart>(p));
+      auto va = ra.Values(attr);
+      auto vb = rb.Values(attr);
+      if (va.empty() || vb.empty()) {
+        skip();
+        continue;
+      }
+      LowerSorted(va, &sa);
+      LowerSorted(vb, &sb);
+      emit(AnyCommon(sa, sb) ? static_cast<double>(BinaryCode::kYes)
+                             : static_cast<double>(BinaryCode::kNo));
+    }
+  }
+  // 34..37: PlaceXGeoDistance in km (min over city value pairs with known
+  // coordinates).
+  for (PlaceType type : kPlaceTypes) {
+    AttributeId attr = data::PlaceAttribute(type, PlacePart::kCity);
+    auto va = ra.Values(attr);
+    auto vb = rb.Values(attr);
+    double best = MissingValue();
+    for (auto x : va) {
+      auto ia = encoded_.dictionary.Find(attr, x);
+      if (!ia || !encoded_.dictionary.geo(*ia)) continue;
+      for (auto y : vb) {
+        auto ib = encoded_.dictionary.Find(attr, y);
+        if (!ib || !encoded_.dictionary.geo(*ib)) continue;
+        double d = geo::HaversineKm(*encoded_.dictionary.geo(*ia),
+                                    *encoded_.dictionary.geo(*ib));
+        if (std::isnan(best) || d < best) best = d;
+      }
+    }
+    if (std::isnan(best)) {
+      skip();
+    } else {
+      emit(best);
+    }
+  }
+  // 38..40: sameSource / sameGender / sameProfession.
+  emit(ra.source_id == rb.source_id
+           ? static_cast<double>(BinaryCode::kYes)
+           : static_cast<double>(BinaryCode::kNo));
+  {
+    auto ga = ra.FirstValue(AttributeId::kGender);
+    auto gb = rb.FirstValue(AttributeId::kGender);
+    if (ga.empty() || gb.empty()) {
+      skip();
+    } else {
+      emit(ga == gb ? static_cast<double>(BinaryCode::kYes)
+                    : static_cast<double>(BinaryCode::kNo));
+    }
+  }
+  {
+    auto pa = ra.FirstValue(AttributeId::kProfession);
+    auto pb = rb.FirstValue(AttributeId::kProfession);
+    if (pa.empty() || pb.empty()) {
+      skip();
+    } else {
+      emit(pa == pb ? static_cast<double>(BinaryCode::kYes)
+                    : static_cast<double>(BinaryCode::kNo));
+    }
+  }
+  // 41..43: normalized birth-date similarities.
+  const double norms[3] = {31.0, 12.0, 100.0};
+  for (size_t d = 0; d < 3; ++d) {
+    if (std::isnan(date_dist[d])) {
+      skip();
+    } else {
+      emit(std::max(0.0, 1.0 - date_dist[d] / norms[d]));
+    }
+  }
+  // 44..47: whole-place agreement per type (all present parts agree).
+  for (PlaceType type : kPlaceTypes) {
+    bool any_compared = false;
+    bool all_agree = true;
+    for (size_t p = 0; p < data::kNumPlaceParts; ++p) {
+      AttributeId attr =
+          data::PlaceAttribute(type, static_cast<PlacePart>(p));
+      auto va = ra.Values(attr);
+      auto vb = rb.Values(attr);
+      if (va.empty() || vb.empty()) continue;
+      any_compared = true;
+      LowerSorted(va, &sa);
+      LowerSorted(vb, &sb);
+      all_agree = all_agree && AnyCommon(sa, sb);
+    }
+    if (!any_compared) {
+      skip();
+    } else {
+      emit(all_agree ? static_cast<double>(BinaryCode::kYes)
+                     : static_cast<double>(BinaryCode::kNo));
+    }
+  }
+  // 48: overall item-bag Jaccard.
+  emit(text::JaccardOfSortedIds(encoded_.bags[a], encoded_.bags[b]));
+
+  YVER_CHECK(next == schema.size());
+}
+
+}  // namespace yver::features

@@ -1,0 +1,43 @@
+#ifndef YVER_TESTS_SUPPORT_REFERENCE_EXTRACTOR_H_
+#define YVER_TESTS_SUPPORT_REFERENCE_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/item_dictionary.h"
+#include "features/feature_schema.h"
+
+namespace yver::features {
+
+/// The original string-path 48-feature extractor, preserved verbatim as
+/// the executable specification of the comparison stage. It re-lowercases,
+/// re-sorts and re-q-grams raw Record strings and re-resolves dictionary /
+/// geo lookups on every pair — exactly what the production columnar
+/// FeatureExtractor precomputes at encode time.
+///
+/// Test- and bench-only: tests/feature_equivalence_test.cc property-tests
+/// byte-equality of all 48 features against the columnar path, and
+/// bench/bench_feature_extract.cc measures the speedup over it. Never link
+/// this into production code.
+class ReferenceFeatureExtractor {
+ public:
+  struct Scratch {
+    std::vector<std::string> lower_a;
+    std::vector<std::string> lower_b;
+  };
+
+  explicit ReferenceFeatureExtractor(const data::EncodedDataset& encoded);
+
+  FeatureVector Extract(data::RecordIdx a, data::RecordIdx b) const;
+
+  void ExtractInto(data::RecordIdx a, data::RecordIdx b, Scratch* scratch,
+                   FeatureVector* out) const;
+
+ private:
+  const data::EncodedDataset& encoded_;
+};
+
+}  // namespace yver::features
+
+#endif  // YVER_TESTS_SUPPORT_REFERENCE_EXTRACTOR_H_

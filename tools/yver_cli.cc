@@ -6,7 +6,7 @@
 //   yver_cli normalize   --in data.csv --out clean.csv
 //   yver_cli resolve     --in data.csv --out matches.csv [--ng X]
 //                        [--maxminsup K] [--no-classify] [--samesrc]
-//                        [--model-out model.adt] [--threads T]
+//                        [--model-out model.adt] [--threads T] [--profile]
 //   yver_cli index       --in data.csv --matches matches.csv --out idx.yvx
 //   yver_cli query       --in data.csv (--matches matches.csv | --index idx.yvx)
 //                        [--certainty C] [--book-id B] [--k K]
@@ -25,6 +25,9 @@
 // them it falls back to block-score ranking (--no-classify implied).
 // `--threads T` parallelizes the whole pipeline (0 = one worker per
 // hardware thread); output is byte-identical for every thread count.
+// `--profile` prints the per-stage wall-time breakdown (encode / blocking
+// / extract / tag / train / score / merge), making the one-time columnar
+// encode cost vs. the per-pair extraction win visible on real runs.
 //
 // `index` freezes a matches CSV into the binary serve::ResolutionIndex
 // artifact; `query`, `graph`, `families` and `serve-bench` accept either
@@ -128,6 +131,7 @@ struct ResolveOptions {
   double ng = 3.5;
   bool discard_same_source = false;
   bool no_classify = false;
+  bool profile = false;
   size_t threads = 0;  // 0 = one worker per hardware thread
 
   core::PipelineConfig ToPipelineConfig(bool has_ground_truth) const {
@@ -151,8 +155,33 @@ ResolveOptions ParseResolveOptions(const Flags& flags) {
   options.ng = flags.GetDouble("ng", 3.5);
   options.discard_same_source = flags.Has("samesrc");
   options.no_classify = flags.Has("no-classify");
+  options.profile = flags.Has("profile");
   options.threads = static_cast<size_t>(flags.GetInt("threads", 0));
   return options;
+}
+
+// Prints the per-stage wall-time breakdown of a resolve run.
+void PrintStageProfile(const core::StageTimings& t) {
+  struct Row {
+    const char* name;
+    double seconds;
+  };
+  const Row rows[] = {
+      {"encode (bags + comparison corpus)", t.encode_seconds},
+      {"blocking (MFIBlocks + filters)", t.blocking_seconds},
+      {"extract (48-feature vectors)", t.extract_seconds},
+      {"tag (expert labels, serial)", t.tag_seconds},
+      {"train (ADTree boosting)", t.train_seconds},
+      {"score (ADTree batch)", t.score_seconds},
+      {"merge (match assembly + rank)", t.merge_seconds},
+  };
+  double total = t.TotalSeconds();
+  std::printf("\nstage profile (wall time):\n");
+  for (const Row& row : rows) {
+    std::printf("  %-36s %9.3f s  %5.1f%%\n", row.name, row.seconds,
+                total > 0.0 ? 100.0 * row.seconds / total : 0.0);
+  }
+  std::printf("  %-36s %9.3f s\n", "total (timed stages)", total);
 }
 
 /// Options shared by every command that queries a served resolution
@@ -366,6 +395,7 @@ int CmdResolve(const ResolveOptions& options) {
               "ranked matches\n",
               result.blocking.blocks.size(), result.blocking.pairs.size(),
               result.resolution.size());
+  if (options.profile) PrintStageProfile(result.timings);
   if (HasGroundTruth(dataset)) {
     auto q = core::EvaluateMatches(dataset, result.resolution.matches());
     std::printf("vs ground truth: precision %.3f recall %.3f F1 %.3f\n",
