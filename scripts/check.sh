@@ -34,10 +34,13 @@ cmake --build build -j "$(nproc)"
 ctest --test-dir build -L tier1 --output-on-failure -j "$(nproc)"
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "==> tier-1: ThreadSanitizer race check (serve layer + pipeline determinism)"
+  echo "==> tier-1: ThreadSanitizer race check (serve layer + pipeline/blocking determinism)"
   cmake -B build-tsan -S . -DYVER_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target yver_tests
-  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*:Determinism*:GoldenPipeline*'
+  # Determinism* covers the blocking thread matrix and the parallel
+  # per-rank miner; MfiBlocks*/ThreadPool* add the direct blocking and
+  # chunked-merge primitives.
+  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*:Determinism*:GoldenPipeline*:*MfiBlocks*:*ThreadPool*'
 fi
 
 if [[ "$run_asan" == 1 ]]; then

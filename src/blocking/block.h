@@ -25,6 +25,8 @@ struct Block {
 
   /// The minsup level of the MFIBlocks iteration that produced the block.
   uint32_t minsup_level = 0;
+
+  friend bool operator==(const Block&, const Block&) = default;
 };
 
 /// A candidate duplicate pair emitted by blocking, carrying the best score
@@ -33,6 +35,8 @@ struct CandidatePair {
   data::RecordPair pair;
   double block_score = 0.0;
   uint32_t minsup_level = 0;
+
+  friend bool operator==(const CandidatePair&, const CandidatePair&) = default;
 };
 
 }  // namespace yver::blocking

@@ -9,6 +9,7 @@
 #include "data/inverted_index.h"
 #include "mining/fp_growth.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace yver::blocking {
 
@@ -25,6 +26,25 @@ struct RecordSetHash {
     return static_cast<size_t>(h);
   }
 };
+
+using PairMap =
+    std::unordered_map<data::RecordPair, CandidatePair, data::RecordPairHash>;
+
+// Folds one (pair, score, minsup) observation into a pair map with the
+// serial emission rule: first block wins, a strictly better score
+// overwrites. The rule is "max score, earliest block on ties", which is
+// associative over an ordered partition of the block list — that is what
+// makes the chunked emission below merge-order-invariant.
+void FoldPair(PairMap& map, const data::RecordPair& rp, double score,
+              uint32_t minsup) {
+  auto it = map.find(rp);
+  if (it == map.end()) {
+    map.emplace(rp, CandidatePair{rp, score, minsup});
+  } else if (score > it->second.block_score) {
+    it->second.block_score = score;
+    it->second.minsup_level = minsup;
+  }
+}
 
 }  // namespace
 
@@ -48,8 +68,8 @@ MfiBlocksResult RunMfiBlocks(const data::EncodedDataset& encoded,
           : encoded.bags;
 
   std::vector<bool> covered(n, false);
-  std::unordered_map<data::RecordPair, CandidatePair, data::RecordPairHash>
-      pair_map;
+  PairMap pair_map;
+  util::Timer timer;
 
   for (uint32_t minsup = config.max_minsup; minsup >= 2; --minsup) {
     // Collect uncovered records (D \ P) and their bags; mining runs on
@@ -66,45 +86,64 @@ MfiBlocksResult RunMfiBlocks(const data::EncodedDataset& encoded,
     mining::MinerOptions miner_options;
     miner_options.minsup = minsup;
     miner_options.max_itemsets = config.max_mfis_per_iteration;
+    timer.Reset();
     std::vector<mining::FrequentItemset> mfis =
         config.itemset_kind == ItemsetKind::kMaximal
-            ? mining::MineMaximalItemsets(local_bags, miner_options)
+            ? mining::MineMaximalItemsets(local_bags, miner_options, pool)
             : mining::MineClosedItemsets(local_bags, miner_options);
     result.num_mfis_mined += mfis.size();
+    result.timings.mine_seconds += timer.ElapsedSeconds();
 
     // FindSupport: support sets are exactly the mined supports; recompute
     // membership via a local inverted index to obtain the record lists.
+    // One independent intersection per MFI, written into its own slot and
+    // remapped to global record indices in place.
+    timer.Reset();
     data::InvertedIndex index(local_bags, encoded.dictionary.size());
+    std::vector<std::vector<data::RecordIdx>> supports(mfis.size());
+    auto support_one = [&](size_t i) {
+      std::vector<data::RecordIdx> support = index.Support(mfis[i].items);
+      for (auto& r : support) r = local_to_global[r];
+      supports[i] = std::move(support);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(mfis.size(), support_one);
+    } else {
+      for (size_t i = 0; i < mfis.size(); ++i) support_one(i);
+    }
 
-    // Filter by block size: 2 <= |B| <= minsup * ng.
-    const size_t max_block_size = static_cast<size_t>(
-        std::max(2.0, config.ng * static_cast<double>(minsup)));
+    // Filter by block size: 2 <= |B| <= NgCap(ng, minsup) — the same cap
+    // the sparse-neighborhood condition uses. Dedup stays serial in MFI
+    // order so the kept key per record set is deterministic.
+    const size_t max_block_size = NgCap(config.ng, minsup);
     std::vector<Block> blocks;
     std::unordered_map<std::vector<data::RecordIdx>, size_t, RecordSetHash>
         dedup;
-    for (auto& mfi : mfis) {
-      std::vector<data::RecordIdx> support = index.Support(mfi.items);
+    for (size_t i = 0; i < mfis.size(); ++i) {
+      std::vector<data::RecordIdx>& support = supports[i];
       if (support.size() < 2 || support.size() > max_block_size) continue;
-      for (auto& r : support) r = local_to_global[r];
-      auto [it, inserted] = dedup.try_emplace(support, blocks.size());
+      auto [it, inserted] = dedup.try_emplace(std::move(support), blocks.size());
       if (!inserted) {
         // Same record set reachable via several keys: keep the longer key
         // (more shared content; scores higher under ClusterJaccard).
         Block& existing = blocks[it->second];
-        if (mfi.items.size() > existing.key.size()) {
-          existing.key = std::move(mfi.items);
+        if (mfis[i].items.size() > existing.key.size()) {
+          existing.key = std::move(mfis[i].items);
         }
         continue;
       }
       Block block;
-      block.key = std::move(mfi.items);
+      block.key = std::move(mfis[i].items);
       block.records = it->first;
       block.minsup_level = minsup;
       blocks.push_back(std::move(block));
     }
     result.num_blocks_considered += blocks.size();
+    result.timings.support_seconds += timer.ElapsedSeconds();
 
-    // Score blocks (parallelized; this is the paper's Spark stage).
+    // Score blocks (parallelized; this is the paper's Spark stage). Each
+    // score lands in its own slot, so scheduling never reorders anything.
+    timer.Reset();
     auto score_one = [&](size_t i) {
       Block& b = blocks[i];
       b.score = config.score_kind == BlockScoreKind::kClusterJaccard
@@ -116,33 +155,56 @@ MfiBlocksResult RunMfiBlocks(const data::EncodedDataset& encoded,
     } else {
       for (size_t i = 0; i < blocks.size(); ++i) score_one(i);
     }
+    result.timings.score_seconds += timer.ElapsedSeconds();
 
     // Sparse-neighborhood condition: derive minTh and filter.
+    timer.Reset();
     double min_th = ComputeMinThreshold(blocks, n, config.ng, minsup);
     std::vector<Block> kept;
     kept.reserve(blocks.size());
     for (auto& b : blocks) {
       if (b.score > min_th) kept.push_back(std::move(b));
     }
+    result.timings.threshold_seconds += timer.ElapsedSeconds();
 
-    // Emit candidate pairs and mark coverage.
-    for (const Block& b : kept) {
-      for (size_t i = 0; i < b.records.size(); ++i) {
-        for (size_t j = i + 1; j < b.records.size(); ++j) {
-          data::RecordPair rp(b.records[i], b.records[j]);
-          auto it = pair_map.find(rp);
-          if (it == pair_map.end()) {
-            pair_map.emplace(rp, CandidatePair{rp, b.score, minsup});
-          } else if (b.score > it->second.block_score) {
-            it->second.block_score = b.score;
-            it->second.minsup_level = minsup;
+    // Emit candidate pairs: per-chunk local pair maps built in parallel,
+    // merged into the cross-iteration map serially in chunk order. The
+    // fold rule is associative over the ordered block partition (see
+    // FoldPair), so the merged map matches the serial single-map result
+    // for every chunking — i.e. every thread count.
+    timer.Reset();
+    size_t num_chunks = pool != nullptr ? pool->NumChunks(kept.size())
+                                        : (kept.empty() ? 0 : 1);
+    std::vector<PairMap> chunk_maps(num_chunks);
+    auto emit_chunk = [&](size_t chunk, size_t begin, size_t end) {
+      PairMap& local = chunk_maps[chunk];
+      for (size_t k = begin; k < end; ++k) {
+        const Block& b = kept[k];
+        for (size_t i = 0; i < b.records.size(); ++i) {
+          for (size_t j = i + 1; j < b.records.size(); ++j) {
+            FoldPair(local, data::RecordPair(b.records[i], b.records[j]),
+                     b.score, minsup);
           }
-          covered[rp.a] = true;
-          covered[rp.b] = true;
         }
       }
+    };
+    if (pool != nullptr) {
+      pool->ParallelForChunkedIndexed(kept.size(), emit_chunk);
+    } else if (!kept.empty()) {
+      emit_chunk(0, 0, kept.size());
+    }
+    for (const PairMap& local : chunk_maps) {
+      for (const auto& [rp, cp] : local) {
+        FoldPair(pair_map, rp, cp.block_score, cp.minsup_level);
+      }
+    }
+    // Coverage: every record of a kept block (all have >= 2 records)
+    // participates in at least one emitted pair.
+    for (const Block& b : kept) {
+      for (data::RecordIdx r : b.records) covered[r] = true;
     }
     for (auto& b : kept) result.blocks.push_back(std::move(b));
+    result.timings.emit_seconds += timer.ElapsedSeconds();
 
     bool all_covered = true;
     for (size_t r = 0; r < n; ++r) {
@@ -154,6 +216,7 @@ MfiBlocksResult RunMfiBlocks(const data::EncodedDataset& encoded,
     if (all_covered) break;
   }
 
+  timer.Reset();
   result.pairs.reserve(pair_map.size());
   for (auto& [rp, cp] : pair_map) result.pairs.push_back(cp);
   std::sort(result.pairs.begin(), result.pairs.end(),
@@ -164,6 +227,7 @@ MfiBlocksResult RunMfiBlocks(const data::EncodedDataset& encoded,
               return a.pair < b.pair;
             });
   for (bool c : covered) result.num_records_covered += c ? 1 : 0;
+  result.timings.emit_seconds += timer.ElapsedSeconds();
   return result;
 }
 

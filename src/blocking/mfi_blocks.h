@@ -51,6 +51,27 @@ struct MfiBlocksConfig {
   size_t max_mfis_per_iteration = 0;
 };
 
+/// Wall-clock breakdown of one RunMfiBlocks call, summed across minsup
+/// iterations. Surfaced through core::StageTimings so `resolve --profile`
+/// can show where the blocking stage spends its time.
+struct BlockingTimings {
+  /// FP-Growth itemset mining (MineMaximalItemsets / MineClosedItemsets).
+  double mine_seconds = 0.0;
+  /// Support recomputation via the inverted index + block build/dedup.
+  double support_seconds = 0.0;
+  /// Block scoring (ClusterJaccard / ExpertSim).
+  double score_seconds = 0.0;
+  /// Sparse-neighborhood minTh derivation + block filtering.
+  double threshold_seconds = 0.0;
+  /// Candidate-pair emission + coverage bookkeeping.
+  double emit_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return mine_seconds + support_seconds + score_seconds +
+           threshold_seconds + emit_seconds;
+  }
+};
+
 /// Outcome of a full MFIBlocks run.
 struct MfiBlocksResult {
   /// All blocks that survived filtering, across iterations.
@@ -63,15 +84,27 @@ struct MfiBlocksResult {
   size_t num_mfis_mined = 0;
   size_t num_blocks_considered = 0;
   size_t num_records_covered = 0;
+
+  /// Per-substage wall time of this run.
+  BlockingTimings timings;
 };
 
 /// Runs the (simplified) MFIBlocks algorithm of the paper (Algorithm 1):
 /// iteratively mines maximal frequent itemsets over still-uncovered
 /// records with decreasing minsup, turns their supports into blocks,
-/// filters by size (<= minsup * ng), scores, enforces the
+/// filters by size (<= NgCap(ng, minsup)), scores, enforces the
 /// sparse-neighborhood condition via a derived minimum score threshold,
-/// and emits candidate pairs. `pool` parallelizes block scoring when
-/// non-null (stands in for the paper's Spark stage).
+/// and emits candidate pairs.
+///
+/// `pool` parallelizes the whole stage (it stands in for the paper's
+/// Spark cluster): MFI mining runs per conditional-tree rank, support
+/// recomputation and block scoring run per block, and candidate-pair
+/// emission builds per-chunk local pair maps that are merged in chunk
+/// order. Per-minsup iterations stay serial, as Algorithm 1's coverage
+/// loop requires. Determinism contract: the returned MfiBlocksResult is
+/// byte-identical for every pool size including nullptr — every parallel
+/// substage writes into index-addressed slots or merges in a
+/// scheduling-invariant order (tests/determinism_test.cc enforces this).
 MfiBlocksResult RunMfiBlocks(const data::EncodedDataset& encoded,
                              const MfiBlocksConfig& config,
                              util::ThreadPool* pool = nullptr);

@@ -8,11 +8,15 @@
 
 namespace yver::blocking {
 
+size_t NgCap(double ng, uint32_t minsup) {
+  YVER_CHECK(ng > 0.0);
+  return std::max<size_t>(
+      2, static_cast<size_t>(std::ceil(ng * static_cast<double>(minsup))));
+}
+
 double ComputeMinThreshold(const std::vector<Block>& blocks,
                            size_t num_records, double ng, uint32_t minsup) {
-  YVER_CHECK(ng > 0.0);
-  size_t cap = static_cast<size_t>(
-      std::ceil(ng * static_cast<double>(minsup)));
+  size_t cap = NgCap(ng, minsup);
   // Per-record list of block indices.
   std::vector<std::vector<uint32_t>> record_blocks(num_records);
   for (uint32_t b = 0; b < blocks.size(); ++b) {
@@ -26,8 +30,14 @@ double ComputeMinThreshold(const std::vector<Block>& blocks,
   for (size_t r = 0; r < num_records; ++r) {
     auto& bs = record_blocks[r];
     if (bs.size() <= 1) continue;
+    // Score descending, ties broken by ascending block index: equal-score
+    // blocks must be visited in a specified order or the derived min_th
+    // would hinge on std::sort's unspecified equal-element placement.
     std::sort(bs.begin(), bs.end(), [&blocks](uint32_t a, uint32_t b) {
-      return blocks[a].score > blocks[b].score;
+      if (blocks[a].score != blocks[b].score) {
+        return blocks[a].score > blocks[b].score;
+      }
+      return a < b;
     });
     neighbors.clear();
     for (uint32_t bi : bs) {

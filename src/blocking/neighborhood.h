@@ -8,6 +8,14 @@
 
 namespace yver::blocking {
 
+/// The NG cap shared by the MFIBlocks block-size filter and the
+/// sparse-neighborhood condition: ceil(ng * minsup) per the paper, clamped
+/// to >= 2 because a block needs at least two records to emit a pair.
+/// Both call sites MUST use this helper — they once drifted apart
+/// (truncation in the size filter vs ceil in the neighborhood cap), so for
+/// fractional ng * minsup a block could pass one cap and fail the other.
+size_t NgCap(double ng, uint32_t minsup);
+
 /// Sparse-neighborhood (SN) enforcement — Algorithm 1 lines 9-14.
 ///
 /// The NG (neighborhood growth) parameter caps how many candidate

@@ -104,6 +104,7 @@ PipelineResult UncertainErPipeline::Run(const PipelineConfig& config,
                           ? DiscardSameSource(result.blocking.pairs)
                           : result.blocking.pairs;
   result.timings.blocking_seconds = timer.ElapsedSeconds();
+  result.timings.blocking_substages = result.blocking.timings;
 
   std::vector<RankedMatch> matches;
   if (config.use_classifier) {

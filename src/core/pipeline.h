@@ -38,6 +38,12 @@ struct StageTimings {
   double score_seconds = 0.0;
   double merge_seconds = 0.0;
 
+  /// Substage breakdown of blocking_seconds (mine / support / score /
+  /// threshold / emit), straight from blocking::MfiBlocksResult. Not
+  /// included in TotalSeconds — it is a refinement of blocking_seconds,
+  /// not an additional stage.
+  blocking::BlockingTimings blocking_substages;
+
   double TotalSeconds() const {
     return encode_seconds + blocking_seconds + extract_seconds + tag_seconds +
            train_seconds + score_seconds + merge_seconds;

@@ -411,13 +411,60 @@ std::vector<FrequentItemset> MineClosedItemsets(
 
 std::vector<FrequentItemset> MineMaximalItemsets(
     const std::vector<data::ItemBag>& transactions,
-    const MinerOptions& options) {
+    const MinerOptions& options, util::ThreadPool* pool) {
   YVER_CHECK(options.minsup >= 1);
   RankedTree ranked = BuildInitialTree(transactions, options.minsup);
-  MaxMiner miner(options);
-  std::vector<data::ItemId> prefix;
-  miner.Mine(ranked, prefix, 0);
-  return miner.store.Harvest();
+  const uint32_t num_ranks = ranked.tree.num_ranks();
+  if (num_ranks == 0) return {};
+  if (ranked.tree.IsSinglePath()) {
+    // The whole tree is one path: its deepest frequent prefix is the
+    // unique MFI.
+    std::vector<data::ItemId> items;
+    uint32_t support = 0;
+    for (const auto& [rank, count] : ranked.tree.SinglePath()) {
+      items.push_back(ranked.rank_to_item[rank]);
+      support = count;
+    }
+    return {MakeItemset(std::move(items), support)};
+  }
+
+  // One task per frequent-item rank, walked in the serial FPMax order
+  // (least frequent rank first). Each task mines rank's conditional
+  // projection with a task-local store; projections only read the shared
+  // initial tree, so tasks are independent. Task t's output lands in
+  // per_rank[t], making the merge order scheduling-invariant.
+  std::vector<std::vector<FrequentItemset>> per_rank(num_ranks);
+  auto mine_rank = [&](size_t task) {
+    uint32_t rank = num_ranks - 1 - static_cast<uint32_t>(task);
+    uint32_t support = ranked.tree.RankSupport(rank);
+    if (support < options.minsup) return;
+    MaxMiner miner(options);
+    std::vector<data::ItemId> prefix = {ranked.rank_to_item[rank]};
+    RankedTree cond = BuildConditional(ranked, rank, options.minsup);
+    miner.Mine(cond, prefix, support);
+    per_rank[task] = miner.store.Harvest();
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(num_ranks, mine_rank);
+  } else {
+    for (size_t task = 0; task < num_ranks; ++task) mine_rank(task);
+  }
+
+  // Cross-rank maximality filter over the rank-ordered concatenation. A
+  // superset always has a max-rank >= its subsets' and therefore lives in
+  // an earlier (or the same) task, so the insert-time subsumption check of
+  // MfiStore sees every potential subsumer before its victims; the final
+  // Harvest keeps the surviving sets in insertion order — exactly the
+  // serial FPMax discovery order.
+  MfiStore store(0);
+  for (auto& rank_mfis : per_rank) {
+    for (auto& mfi : rank_mfis) store.Insert(std::move(mfi));
+  }
+  std::vector<FrequentItemset> out = store.Harvest();
+  if (options.max_itemsets != 0 && out.size() > options.max_itemsets) {
+    out.resize(options.max_itemsets);
+  }
+  return out;
 }
 
 }  // namespace yver::mining

@@ -6,6 +6,7 @@
 
 #include "data/item_dictionary.h"
 #include "mining/itemset.h"
+#include "util/thread_pool.h"
 
 namespace yver::mining {
 
@@ -35,9 +36,21 @@ std::vector<FrequentItemset> MineFrequentItemsets(
 /// Mines the maximal frequent itemsets (MFIs) via FP-Growth with
 /// FPMax-style subsumption pruning: a branch whose head ∪ tail is contained
 /// in a known MFI cannot yield a new maximal set and is skipped.
+///
+/// When `pool` is non-null, the conditional FP-trees of the initial tree's
+/// frequent-item ranks are mined in parallel (each rank's projection is
+/// independent), per-rank itemset vectors are concatenated in the serial
+/// rank order, and a maximality filter removes cross-rank subsumed sets.
+/// The returned vector — contents AND order — is identical for every pool
+/// size including nullptr: it equals the serial FPMax output (the filter
+/// discards exactly the candidates the serial global store would have
+/// pruned). One caveat: with a non-zero `max_itemsets` cap the parallel
+/// decomposition applies the cap per rank and then truncates the merged
+/// list, so a capped run may return a different (still deterministic)
+/// subset than the pre-parallel serial implementation did.
 std::vector<FrequentItemset> MineMaximalItemsets(
     const std::vector<data::ItemBag>& transactions,
-    const MinerOptions& options);
+    const MinerOptions& options, util::ThreadPool* pool = nullptr);
 
 /// Mines the closed frequent itemsets (CFIs): frequent itemsets with no
 /// strict superset of equal support. Implemented as a full FP-Growth

@@ -36,8 +36,13 @@ std::optional<std::vector<std::string>> ParseCsvRecord(std::string_view data,
       fields.push_back(std::move(field));
       field.clear();
       ++i;
-    } else if (c == '\r') {
-      ++i;  // swallow; record ends at the following \n
+    } else if (c == '\r' && i + 1 < data.size() && data[i + 1] == '\n') {
+      // CRLF record terminator. A bare \r (not followed by \n) is field
+      // data and falls through to the default branch — swallowing it
+      // would corrupt unquoted fields ("a\rb" must not parse as "ab").
+      fields.push_back(std::move(field));
+      *pos = i + 2;
+      return fields;
     } else if (c == '\n') {
       fields.push_back(std::move(field));
       *pos = i + 1;

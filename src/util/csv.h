@@ -14,6 +14,13 @@ namespace yver::util {
 /// Parses one logical CSV record starting at *pos within data. Advances
 /// *pos past the record (including the terminating newline). Returns
 /// std::nullopt at end of input.
+///
+/// Records end at LF or CRLF. A bare CR that is not followed by LF is
+/// ordinary field data and is preserved (FormatCsvRow always quotes
+/// CR-bearing fields, so format -> parse round-trips are the identity;
+/// see the CsvRoundTrip property tests). Parsing is lenient on malformed
+/// input: characters trailing a closing quote are appended to the field
+/// rather than rejected.
 std::optional<std::vector<std::string>> ParseCsvRecord(std::string_view data,
                                                        size_t* pos);
 

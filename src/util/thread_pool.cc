@@ -54,14 +54,30 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
 void ThreadPool::ParallelForChunked(
     size_t n, const std::function<void(size_t, size_t)>& fn) {
+  ParallelForChunkedIndexed(
+      n, [&fn](size_t /*chunk*/, size_t begin, size_t end) {
+        fn(begin, end);
+      });
+}
+
+void ThreadPool::ParallelForChunkedIndexed(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
   if (n == 0) return;
-  size_t num_chunks = std::min(n, num_threads() * 4);
-  size_t chunk = (n + num_chunks - 1) / num_chunks;
-  for (size_t begin = 0; begin < n; begin += chunk) {
+  size_t target = std::min(n, num_threads() * 4);
+  size_t chunk = (n + target - 1) / target;
+  size_t index = 0;
+  for (size_t begin = 0; begin < n; begin += chunk, ++index) {
     size_t end = std::min(n, begin + chunk);
-    Submit([begin, end, &fn] { fn(begin, end); });
+    Submit([index, begin, end, &fn] { fn(index, begin, end); });
   }
   Wait();
+}
+
+size_t ThreadPool::NumChunks(size_t n) const {
+  if (n == 0) return 0;
+  size_t target = std::min(n, num_threads() * 4);
+  size_t chunk = (n + target - 1) / target;
+  return (n + chunk - 1) / chunk;
 }
 
 void ThreadPool::WorkerLoop() {

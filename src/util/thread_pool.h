@@ -57,6 +57,19 @@ class ThreadPool {
   void ParallelForChunked(
       size_t n, const std::function<void(size_t, size_t)>& fn);
 
+  /// Like ParallelForChunked, but fn also receives the chunk's dense index
+  /// (ascending with begin), so callers can write per-chunk partial results
+  /// into chunk-indexed slots — sized via NumChunks(n) up front — and merge
+  /// them serially in chunk order afterwards. This is the pattern behind
+  /// every deterministic parallel reduction in the library (see DESIGN.md
+  /// §7/§9).
+  void ParallelForChunkedIndexed(
+      size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// Number of chunks ParallelForChunked/ParallelForChunkedIndexed will
+  /// split [0, n) into. Depends only on n and num_threads().
+  size_t NumChunks(size_t n) const;
+
  private:
   void WorkerLoop();
 

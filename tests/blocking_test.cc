@@ -173,6 +173,46 @@ TEST(BlockScoringTest, ExpertSimRewardsNearMatches) {
 }
 
 // ---------------------------------------------------------------------------
+// NG cap (shared by size filter and sparse neighborhood)
+
+TEST(NgCapTest, CeilSemanticsAndClamp) {
+  EXPECT_EQ(NgCap(3.0, 5), 15u);
+  EXPECT_EQ(NgCap(2.5, 3), 8u);   // ceil(7.5), not trunc -> 7
+  EXPECT_EQ(NgCap(3.5, 5), 18u);  // ceil(17.5)
+  EXPECT_EQ(NgCap(1.0, 2), 2u);
+  EXPECT_EQ(NgCap(0.5, 2), 2u);   // clamped: a block needs 2 records
+}
+
+// Regression for the block-size/neighborhood cap mismatch: with ng = 2.5,
+// minsup = 3 the old size filter truncated to 7 while the neighborhood cap
+// ceil'd to 8, so a support-8 block passed the NG neighborhood condition
+// yet was silently rejected by the size filter and its records never
+// paired. Both caps now share NgCap (ceil), so the block survives.
+TEST(MfiBlocksTest, FractionalNgCapKeepsCeilSizedBlocks) {
+  Dataset ds;
+  for (int i = 0; i < 8; ++i) {
+    Record r;
+    r.entity_id = 1;
+    r.Add(AttributeId::kFirstName, "Guido");
+    r.Add(AttributeId::kLastName, "Foa");
+    r.Add(AttributeId::kBirthYear, "1920");
+    r.Add(AttributeId::kPermCity, "Torino");
+    ds.Add(std::move(r));
+  }
+  auto encoded = data::EncodeDataset(ds);
+  MfiBlocksConfig config;
+  config.max_minsup = 3;
+  config.ng = 2.5;
+  auto result = RunMfiBlocks(encoded, config);
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.blocks[0].records.size(), 8u);
+  EXPECT_EQ(result.blocks[0].minsup_level, 3u);
+  // All C(8,2) pairs emitted.
+  EXPECT_EQ(result.pairs.size(), 28u);
+  EXPECT_EQ(result.num_records_covered, 8u);
+}
+
+// ---------------------------------------------------------------------------
 // Sparse neighborhood
 
 TEST(NeighborhoodTest, NoViolationMeansZeroThreshold) {
@@ -197,6 +237,27 @@ TEST(NeighborhoodTest, CrowdedRecordRaisesThreshold) {
   EXPECT_DOUBLE_EQ(th, 0.3);
   auto sizes = NeighborhoodSizes(blocks, 6, th);
   EXPECT_LE(sizes[0], 2u);
+}
+
+TEST(NeighborhoodTest, EqualScoreBlocksVisitedInIndexOrder) {
+  // Two equal-score blocks around record 0 under cap = NgCap(1.5, 2) = 3:
+  // whichever is visited second overflows (2 + 3 distinct neighbors), so
+  // min_th must equal the tied score — and with the deterministic
+  // tie-break (score desc, block index asc) the visit order is pinned
+  // rather than left to std::sort's unspecified equal-element placement.
+  std::vector<Block> blocks(3);
+  blocks[0].records = {0, 1, 2};
+  blocks[0].score = 0.5;
+  blocks[1].records = {0, 3, 4, 5};
+  blocks[1].score = 0.5;
+  blocks[2].records = {0, 6};
+  blocks[2].score = 0.2;
+  EXPECT_DOUBLE_EQ(ComputeMinThreshold(blocks, 7, 1.5, 2), 0.5);
+
+  // Same blocks, no tie: the larger block alone fits the cap, the smaller
+  // one overflows on top of it regardless of score order.
+  blocks[1].score = 0.6;
+  EXPECT_DOUBLE_EQ(ComputeMinThreshold(blocks, 7, 1.5, 2), 0.5);
 }
 
 TEST(NeighborhoodTest, SameNeighborsDoNotRecount) {
@@ -267,10 +328,7 @@ TEST(MfiBlocksTest, BlocksRespectSizeCap) {
   config.ng = 1.0;  // cap = minsup * 1
   auto result = RunMfiBlocks(encoded, config);
   for (const auto& b : result.blocks) {
-    EXPECT_LE(b.records.size(),
-              static_cast<size_t>(b.minsup_level * config.ng + 1e-9) < 2
-                  ? 2
-                  : static_cast<size_t>(b.minsup_level * config.ng + 1e-9));
+    EXPECT_LE(b.records.size(), NgCap(config.ng, b.minsup_level));
   }
 }
 

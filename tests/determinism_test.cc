@@ -15,12 +15,16 @@
 
 #include <gtest/gtest.h>
 
+#include "blocking/mfi_blocks.h"
 #include "core/pipeline.h"
 #include "core/resolution_io.h"
+#include "mining/brute_force_miner.h"
+#include "mining/fp_growth.h"
 #include "serve/resolution_index.h"
 #include "synth/gazetteer.h"
 #include "synth/generator.h"
 #include "synth/tag_oracle.h"
+#include "util/rng.h"
 
 namespace yver {
 namespace {
@@ -119,6 +123,82 @@ TEST(DeterminismTest, ResolutionObeysOrderingContract) {
     if (prev.confidence == cur.confidence) {
       EXPECT_TRUE(prev.pair < cur.pair || prev.pair == cur.pair)
           << "tie not broken by ascending pair at index " << i;
+    }
+  }
+}
+
+// Blocking-stage matrix: RunMfiBlocks must produce identical blocks,
+// pairs, and counters for every thread count — the blocking analogue of
+// the pipeline matrix above. Every field is compared, so a drift in key
+// selection, score, minsup level, or ordering fails loudly.
+TEST(DeterminismTest, BlockingThreadMatrixProducesIdenticalResults) {
+  const synth::GeneratedData& corpus = Corpus();
+  auto encoded = data::EncodeDataset(corpus.dataset);
+  blocking::MfiBlocksConfig config;
+  config.max_minsup = 5;
+  config.ng = 3.5;  // fractional on odd minsup: exercises the NgCap path
+  config.expert_weighting = true;
+
+  auto serial = blocking::RunMfiBlocks(encoded, config, nullptr);
+  ASSERT_FALSE(serial.pairs.empty())
+      << "corpus produced no candidate pairs; the matrix is vacuous";
+  ASSERT_FALSE(serial.blocks.empty());
+
+  for (size_t num_threads : {size_t{2}, size_t{8}}) {
+    util::ThreadPool pool(num_threads);
+    auto parallel = blocking::RunMfiBlocks(encoded, config, &pool);
+    EXPECT_EQ(parallel.blocks, serial.blocks)
+        << "blocks diverged at " << num_threads << " threads";
+    EXPECT_EQ(parallel.pairs, serial.pairs)
+        << "pairs diverged at " << num_threads << " threads";
+    EXPECT_EQ(parallel.num_mfis_mined, serial.num_mfis_mined);
+    EXPECT_EQ(parallel.num_blocks_considered, serial.num_blocks_considered);
+    EXPECT_EQ(parallel.num_records_covered, serial.num_records_covered);
+  }
+}
+
+// The parallel per-rank FP-Growth decomposition must agree with the
+// brute-force reference miner (itemsets and supports) AND return the
+// byte-identical vector — order included — for every pool size.
+TEST(DeterminismTest, ParallelMaximalMinerMatchesBruteForce) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<data::ItemBag> bags;
+    size_t num_bags = 12 + static_cast<size_t>(rng.UniformInt(0, 28));
+    size_t alphabet = 6 + static_cast<size_t>(rng.UniformInt(0, 10));
+    for (size_t t = 0; t < num_bags; ++t) {
+      data::ItemBag bag;
+      size_t len = 1 + static_cast<size_t>(rng.UniformInt(0, 6));
+      for (size_t i = 0; i < len; ++i) {
+        bag.push_back(static_cast<data::ItemId>(
+            rng.UniformInt(0, static_cast<int64_t>(alphabet) - 1)));
+      }
+      std::sort(bag.begin(), bag.end());
+      bag.erase(std::unique(bag.begin(), bag.end()), bag.end());
+      bags.push_back(std::move(bag));
+    }
+    mining::MinerOptions opts;
+    opts.minsup = 2 + static_cast<uint32_t>(rng.UniformInt(0, 2));
+
+    auto serial = mining::MineMaximalItemsets(bags, opts, nullptr);
+    auto brute = mining::BruteForceMaximalItemsets(bags, opts.minsup);
+    auto as_set = [](const std::vector<mining::FrequentItemset>& fis) {
+      std::vector<std::vector<data::ItemId>> out;
+      for (const auto& fi : fis) out.push_back(fi.items);
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(as_set(serial), as_set(brute)) << "trial " << trial;
+    for (const auto& mfi : serial) {
+      EXPECT_EQ(mining::CountSupport(bags, mfi.items), mfi.support);
+    }
+
+    for (size_t num_threads : {size_t{2}, size_t{8}}) {
+      util::ThreadPool pool(num_threads);
+      auto parallel = mining::MineMaximalItemsets(bags, opts, &pool);
+      EXPECT_EQ(parallel, serial)
+          << "trial " << trial << " diverged at " << num_threads
+          << " threads";
     }
   }
 }

@@ -204,6 +204,68 @@ TEST(CsvTest, LastLineWithoutNewline) {
 
 TEST(CsvTest, EmptyInput) { EXPECT_TRUE(ParseCsv("").empty()); }
 
+TEST(CsvTest, BareCrIsFieldDataNotTerminator) {
+  // Regression: a bare \r mid-field in unquoted data used to be swallowed
+  // ("a\rb" parsed as "ab"). Only CRLF terminates a record.
+  auto parsed = ParseCsv("a\rb,c\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].size(), 2u);
+  EXPECT_EQ(parsed[0][0], "a\rb");
+  EXPECT_EQ(parsed[0][1], "c");
+}
+
+TEST(CsvTest, BareCrAtEndOfInputPreserved) {
+  auto parsed = ParseCsv("a,b\r");
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].size(), 2u);
+  EXPECT_EQ(parsed[0][1], "b\r");
+}
+
+TEST(CsvTest, CrLfInsideQuotedFieldPreserved) {
+  std::vector<std::string> row = {"a\r\nb", "c\rd"};
+  auto parsed = ParseCsv(FormatCsvRow(row) + "\r\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], row);
+}
+
+// Property: any field content pushed through FormatCsvRow then
+// ParseCsvRecord must come back unchanged, including CR, LF, quote, and
+// comma characters in every position.
+TEST(CsvTest, FormatParseRoundTripIsIdentityOnRandomRows) {
+  const char alphabet[] = {'a', 'b', ',', '"', '\r', '\n', ' ', 'z'};
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::string> row(
+        1 + static_cast<size_t>(rng.UniformInt(0, 4)));
+    for (auto& field : row) {
+      size_t len = static_cast<size_t>(rng.UniformInt(0, 8));
+      for (size_t i = 0; i < len; ++i) {
+        field.push_back(alphabet[rng.UniformInt(0, 7)]);
+      }
+    }
+    std::string data = FormatCsvRow(row) + "\n";
+    size_t pos = 0;
+    auto parsed = ParseCsvRecord(data, &pos);
+    ASSERT_TRUE(parsed.has_value()) << "trial " << trial;
+    EXPECT_EQ(*parsed, row) << "trial " << trial << " data: " << data;
+    EXPECT_EQ(pos, data.size()) << "trial " << trial;
+  }
+}
+
+// Multi-row round trip through the full-document parser, with fields that
+// embed record terminators.
+TEST(CsvTest, MultiRowRoundTripWithEmbeddedTerminators) {
+  std::vector<std::vector<std::string>> rows = {
+      {"plain", "with,comma"},
+      {"with\rcr", "with\r\ncrlf", "with\"quote"},
+      {"", "trailing\n"},
+  };
+  std::string data;
+  for (const auto& row : rows) data += FormatCsvRow(row) + "\n";
+  auto parsed = ParseCsv(data);
+  EXPECT_EQ(parsed, rows);
+}
+
 // ---------------------------------------------------------------------------
 // ThreadPool
 
@@ -228,6 +290,34 @@ TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
 TEST(ThreadPoolTest, ParallelForEmpty) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ChunkedIndexedCoversRangeWithAnnouncedChunks) {
+  ThreadPool pool(3);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{100}}) {
+    size_t num_chunks = pool.NumChunks(n);
+    std::vector<std::atomic<int>> hits(n);
+    std::vector<std::atomic<int>> chunk_sizes(std::max<size_t>(num_chunks, 1));
+    size_t max_chunk_seen = 0;
+    std::mutex mu;
+    pool.ParallelForChunkedIndexed(
+        n, [&](size_t chunk, size_t begin, size_t end) {
+          ASSERT_LT(chunk, num_chunks);
+          chunk_sizes[chunk].fetch_add(static_cast<int>(end - begin));
+          for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+          std::lock_guard<std::mutex> lock(mu);
+          max_chunk_seen = std::max(max_chunk_seen, chunk);
+        });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    if (n > 0) {
+      EXPECT_EQ(max_chunk_seen + 1, num_chunks) << "n=" << n;
+      for (size_t c = 0; c < num_chunks; ++c) {
+        EXPECT_GT(chunk_sizes[c].load(), 0) << "empty chunk " << c;
+      }
+    } else {
+      EXPECT_EQ(num_chunks, 0u);
+    }
+  }
 }
 
 TEST(ThreadPoolTest, WaitIsReusable) {

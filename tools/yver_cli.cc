@@ -160,7 +160,8 @@ ResolveOptions ParseResolveOptions(const Flags& flags) {
   return options;
 }
 
-// Prints the per-stage wall-time breakdown of a resolve run.
+// Prints the per-stage wall-time breakdown of a resolve run, with the
+// blocking stage further broken into its parallel substages.
 void PrintStageProfile(const core::StageTimings& t) {
   struct Row {
     const char* name;
@@ -175,11 +176,25 @@ void PrintStageProfile(const core::StageTimings& t) {
       {"score (ADTree batch)", t.score_seconds},
       {"merge (match assembly + rank)", t.merge_seconds},
   };
+  const blocking::BlockingTimings& b = t.blocking_substages;
+  const Row blocking_rows[] = {
+      {"  mine (FP-Growth itemsets)", b.mine_seconds},
+      {"  support (index intersections)", b.support_seconds},
+      {"  score (block scoring)", b.score_seconds},
+      {"  threshold (sparse neighborhood)", b.threshold_seconds},
+      {"  emit (pair maps + coverage)", b.emit_seconds},
+  };
   double total = t.TotalSeconds();
-  std::printf("\nstage profile (wall time):\n");
-  for (const Row& row : rows) {
+  auto print_row = [total](const Row& row) {
     std::printf("  %-36s %9.3f s  %5.1f%%\n", row.name, row.seconds,
                 total > 0.0 ? 100.0 * row.seconds / total : 0.0);
+  };
+  std::printf("\nstage profile (wall time):\n");
+  for (size_t i = 0; i < std::size(rows); ++i) {
+    print_row(rows[i]);
+    if (i == 1) {  // the blocking row: append its substage breakdown
+      for (const Row& sub : blocking_rows) print_row(sub);
+    }
   }
   std::printf("  %-36s %9.3f s\n", "total (timed stages)", total);
 }
