@@ -9,6 +9,11 @@
 # determinism suites run under ASan+UBSan to pin down any out-of-bounds
 # view or UB the byte-identity tests alone would miss.
 #
+# Both sanitizer stages also run the fault-injection suites (the chaos
+# harness plus the robustness units): concurrent queries with faults armed
+# at every registered point are exactly where a race or lifetime bug in
+# the failure paths would hide.
+#
 #   scripts/check.sh            # all stages
 #   scripts/check.sh --no-tsan  # skip the TSan stage
 #   scripts/check.sh --no-asan  # skip the ASan+UBSan stage
@@ -39,15 +44,16 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --build build-tsan -j "$(nproc)" --target yver_tests
   # Determinism* covers the blocking thread matrix and the parallel
   # per-rank miner; MfiBlocks*/ThreadPool* add the direct blocking and
-  # chunked-merge primitives.
-  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*:Determinism*:GoldenPipeline*:*MfiBlocks*:*ThreadPool*'
+  # chunked-merge primitives; ChaosTest*/the robustness suites drive the
+  # failure model (deadlines, shedding, fault injection) concurrently.
+  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*:Determinism*:GoldenPipeline*:*MfiBlocks*:*ThreadPool*:ChaosTest*:AdmissionController*:FaultInjector*:RetryTest*:DeadlineTest*'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
   echo "==> tier-1: ASan+UBSan memory check (feature path + golden + determinism)"
   cmake -B build-asan -S . -DYVER_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$(nproc)" --target yver_tests
-  ./build-asan/tests/yver_tests --gtest_filter='*Feature*:*Qgram*:*QGram*:*Jaccard*:*Geo*:Determinism*:GoldenPipeline*:*Incremental*'
+  ./build-asan/tests/yver_tests --gtest_filter='*Feature*:*Qgram*:*QGram*:*Jaccard*:*Geo*:Determinism*:GoldenPipeline*:*Incremental*:ChaosTest*:ArtifactFuzzTest*:CsvLenientTest*:ServiceRobustness*'
 fi
 
 echo "==> all checks passed"

@@ -1,11 +1,13 @@
 #include "core/resolution_io.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 
 #include "util/csv.h"
+#include "util/fault_injector.h"
 
 namespace yver::core {
 
@@ -26,6 +28,9 @@ util::Status SaveMatchesCsv(const data::Dataset& dataset,
                             const std::string& path) {
   std::ofstream f(path, std::ios::binary);
   if (!f) return util::Status::NotFound("cannot write " + path);
+  util::Status injected = util::FaultInjector::Global().InjectIo(
+      util::FaultPoint::kMatchesCsvSave);
+  if (!injected.ok()) return injected;
   f << "book_id_a,book_id_b,confidence,block_score\n";
   for (const auto& m : resolution.matches()) {
     f << dataset[m.pair.a].book_id << "," << dataset[m.pair.b].book_id << ","
@@ -39,6 +44,9 @@ util::StatusOr<RankedResolution> LoadMatchesCsv(const data::Dataset& dataset,
                                                 const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) return util::Status::NotFound("cannot read " + path);
+  util::Status injected = util::FaultInjector::Global().InjectIo(
+      util::FaultPoint::kMatchesCsvLoad);
+  if (!injected.ok()) return injected;
   std::ostringstream ss;
   ss << f.rdbuf();
   auto by_book = BookIdIndex(dataset);
@@ -49,13 +57,41 @@ util::StatusOr<RankedResolution> LoadMatchesCsv(const data::Dataset& dataset,
     auto a = by_book.find(std::strtoull(rows[i][0].c_str(), nullptr, 10));
     auto b = by_book.find(std::strtoull(rows[i][1].c_str(), nullptr, 10));
     if (a == by_book.end() || b == by_book.end()) continue;
+    if (a->second == b->second) {
+      return util::Status::DataLoss(path + " row " + std::to_string(i + 1) +
+                                    ": self-pair match");
+    }
     RankedMatch m;
     m.pair = data::RecordPair(a->second, b->second);
     m.confidence = std::strtod(rows[i][2].c_str(), nullptr);
     m.block_score = std::strtod(rows[i][3].c_str(), nullptr);
+    // A NaN confidence would poison every downstream comparator (the
+    // confidence sort relies on a strict weak ordering), so it is
+    // corruption, not data.
+    if (std::isnan(m.confidence)) {
+      return util::Status::DataLoss(path + " row " + std::to_string(i + 1) +
+                                    ": confidence is NaN");
+    }
     matches.push_back(m);
   }
   return RankedResolution(std::move(matches));
+}
+
+util::Status SaveMatchesCsvWithRetry(const data::Dataset& dataset,
+                                     const RankedResolution& resolution,
+                                     const std::string& path,
+                                     const util::RetryPolicy& policy,
+                                     util::RetryStats* stats) {
+  return util::RetryWithPolicy(
+      policy,
+      [&] { return SaveMatchesCsv(dataset, resolution, path); }, stats);
+}
+
+util::StatusOr<RankedResolution> LoadMatchesCsvWithRetry(
+    const data::Dataset& dataset, const std::string& path,
+    const util::RetryPolicy& policy, util::RetryStats* stats) {
+  return util::RetryWithPolicy(
+      policy, [&] { return LoadMatchesCsv(dataset, path); }, stats);
 }
 
 }  // namespace yver::core

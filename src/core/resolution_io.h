@@ -5,12 +5,14 @@
 
 #include "core/ranked_resolution.h"
 #include "data/dataset.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace yver::core {
 
 /// Writes the `book_id_a,book_id_b,confidence,block_score` matches CSV
 /// (the `yver_cli resolve` output format) for `resolution` over `dataset`.
+/// Fault-injection point: core.matches_csv.save.
 util::Status SaveMatchesCsv(const data::Dataset& dataset,
                             const RankedResolution& resolution,
                             const std::string& path);
@@ -18,9 +20,23 @@ util::Status SaveMatchesCsv(const data::Dataset& dataset,
 /// Loads a matches CSV back into a RankedResolution, resolving book ids
 /// against `dataset`. Rows with unknown book ids or too few columns are
 /// skipped (the CSV may cover a superset dataset). NOT_FOUND when the file
-/// cannot be opened.
+/// cannot be opened; DATA_LOSS for a NaN confidence or a self-pair — those
+/// are corruption, not coverage (a NaN would poison the confidence sort's
+/// strict weak ordering downstream). Fault-injection point:
+/// core.matches_csv.load.
 util::StatusOr<RankedResolution> LoadMatchesCsv(const data::Dataset& dataset,
                                                 const std::string& path);
+
+/// Retry-wrapped variants: transient failures (UNAVAILABLE, DATA_LOSS)
+/// are retried under `policy` with jittered exponential backoff.
+util::Status SaveMatchesCsvWithRetry(const data::Dataset& dataset,
+                                     const RankedResolution& resolution,
+                                     const std::string& path,
+                                     const util::RetryPolicy& policy = {},
+                                     util::RetryStats* stats = nullptr);
+util::StatusOr<RankedResolution> LoadMatchesCsvWithRetry(
+    const data::Dataset& dataset, const std::string& path,
+    const util::RetryPolicy& policy = {}, util::RetryStats* stats = nullptr);
 
 }  // namespace yver::core
 

@@ -2,15 +2,69 @@
 
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "util/csv.h"
+#include "util/fault_injector.h"
 #include "util/string_util.h"
 
 namespace yver::data {
 
 namespace {
+
 constexpr char kHeader[] =
     "book_id,source_id,source_kind,entity_id,family_id,values";
+
+/// Parses one data row into `out`. On failure returns the structured
+/// diagnostic instead; `row_number` is the 1-based CSV line.
+std::optional<CsvRowError> ParseRecordRow(const std::vector<std::string>& row,
+                                          size_t row_number, Record* out) {
+  auto fail = [row_number](size_t column, std::string message) {
+    return CsvRowError{row_number, column, std::move(message)};
+  };
+  if (row.size() != 6) {
+    return fail(0, "expected 6 fields, got " + std::to_string(row.size()));
+  }
+  Record r;
+  try {
+    r.book_id = std::stoull(row[0]);
+  } catch (...) {
+    return fail(1, "book_id is not an unsigned integer: \"" + row[0] + "\"");
+  }
+  try {
+    r.source_id = static_cast<uint32_t>(std::stoul(row[1]));
+  } catch (...) {
+    return fail(2, "source_id is not an unsigned integer: \"" + row[1] + "\"");
+  }
+  try {
+    r.entity_id = std::stoll(row[3]);
+  } catch (...) {
+    return fail(4, "entity_id is not an integer: \"" + row[3] + "\"");
+  }
+  try {
+    r.family_id = std::stoll(row[4]);
+  } catch (...) {
+    return fail(5, "family_id is not an integer: \"" + row[4] + "\"");
+  }
+  r.source_kind = row[2] == "POT" ? SourceKind::kPageOfTestimony
+                                  : SourceKind::kVictimList;
+  for (const std::string& part : util::Split(row[5], ';')) {
+    if (part.empty()) continue;
+    size_t underscore = part.find('_');
+    if (underscore == std::string::npos) {
+      return fail(6, "value entry has no SHORTNAME_ prefix: \"" + part + "\"");
+    }
+    auto attr = AttributeFromShortName(part.substr(0, underscore));
+    if (!attr) {
+      return fail(6, "unknown attribute short name: \"" +
+                         part.substr(0, underscore) + "\"");
+    }
+    r.Add(*attr, part.substr(underscore + 1));
+  }
+  *out = std::move(r);
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string DatasetToCsv(const Dataset& dataset) {
@@ -46,46 +100,66 @@ bool SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
   return static_cast<bool>(f);
 }
 
-std::optional<Dataset> DatasetFromCsv(const std::string& text) {
+util::StatusOr<Dataset> DatasetFromCsvLenient(const std::string& text,
+                                              const CsvLoadOptions& options,
+                                              CsvLoadReport* report) {
   auto rows = util::ParseCsv(text);
   if (rows.empty() || util::FormatCsvRow(rows[0]) != kHeader) {
-    return std::nullopt;
+    return util::Status::InvalidArgument(
+        "not a dataset CSV: missing or mismatched header");
   }
   Dataset dataset;
+  size_t errors = 0;
   for (size_t i = 1; i < rows.size(); ++i) {
     const auto& row = rows[i];
     if (row.size() == 1 && row[0].empty()) continue;  // trailing blank line
-    if (row.size() != 6) return std::nullopt;
     Record r;
-    try {
-      r.book_id = std::stoull(row[0]);
-      r.source_id = static_cast<uint32_t>(std::stoul(row[1]));
-      r.entity_id = std::stoll(row[3]);
-      r.family_id = std::stoll(row[4]);
-    } catch (...) {
-      return std::nullopt;
+    std::optional<CsvRowError> error = ParseRecordRow(row, i + 1, &r);
+    if (!error) {
+      dataset.Add(std::move(r));
+      if (report != nullptr) ++report->rows_loaded;
+      continue;
     }
-    r.source_kind = row[2] == "POT" ? SourceKind::kPageOfTestimony
-                                    : SourceKind::kVictimList;
-    for (const std::string& part : util::Split(row[5], ';')) {
-      if (part.empty()) continue;
-      size_t underscore = part.find('_');
-      if (underscore == std::string::npos) return std::nullopt;
-      auto attr = AttributeFromShortName(part.substr(0, underscore));
-      if (!attr) return std::nullopt;
-      r.Add(*attr, part.substr(underscore + 1));
+    // Quarantine: skip the row, keep the diagnostic, and spend one unit
+    // of the error budget. The budget-exceeding row fails the file.
+    if (errors >= options.max_row_errors) {
+      return util::Status::DataLoss(
+          "row " + std::to_string(error->row) + " column " +
+          std::to_string(error->column) + ": " + error->message +
+          " (error budget of " + std::to_string(options.max_row_errors) +
+          " exhausted)");
     }
-    dataset.Add(std::move(r));
+    ++errors;
+    if (report != nullptr) report->row_errors.push_back(std::move(*error));
   }
   return dataset;
 }
 
-std::optional<Dataset> LoadDatasetCsv(const std::string& path) {
+util::StatusOr<Dataset> LoadDatasetCsvLenient(const std::string& path,
+                                              const CsvLoadOptions& options,
+                                              CsvLoadReport* report) {
   std::ifstream f(path, std::ios::binary);
-  if (!f) return std::nullopt;
+  if (!f) return util::Status::NotFound("cannot read " + path);
+  util::Status injected = util::FaultInjector::Global().InjectIo(
+      util::FaultPoint::kDatasetCsvLoad);
+  if (!injected.ok()) return injected;
   std::ostringstream ss;
   ss << f.rdbuf();
-  return DatasetFromCsv(ss.str());
+  return DatasetFromCsvLenient(ss.str(), options, report);
+}
+
+std::optional<Dataset> DatasetFromCsv(const std::string& text) {
+  // Strict = lenient with a zero error budget: the first bad row (or a
+  // bad header) rejects the file.
+  auto result = DatasetFromCsvLenient(text);
+  if (!result.ok()) return std::nullopt;
+  return std::move(result).value();
+}
+
+std::optional<Dataset> LoadDatasetCsv(const std::string& path) {
+  auto result = LoadDatasetCsvLenient(path);
+  if (!result.ok()) return std::nullopt;
+  return std::move(result).value();
 }
 
 }  // namespace yver::data

@@ -1,10 +1,13 @@
 #ifndef YVER_DATA_CSV_IO_H_
 #define YVER_DATA_CSV_IO_H_
 
+#include <cstddef>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
+#include "util/status.h"
 
 namespace yver::data {
 
@@ -27,6 +30,45 @@ std::optional<Dataset> DatasetFromCsv(const std::string& text);
 
 /// Reads a dataset from a file; returns nullopt on I/O or parse failure.
 std::optional<Dataset> LoadDatasetCsv(const std::string& path);
+
+/// One quarantined row: where it went wrong and why. `row` is the 1-based
+/// line in the CSV (the header is row 1); `column` is the 1-based field,
+/// or 0 when the problem is the row shape itself.
+struct CsvRowError {
+  size_t row = 0;
+  size_t column = 0;
+  std::string message;
+};
+
+/// Knobs for the lenient loader.
+struct CsvLoadOptions {
+  /// Malformed rows tolerated (skipped and reported) before the load as a
+  /// whole fails with DATA_LOSS. 0 reproduces the strict loader: the
+  /// first bad row fails the file.
+  size_t max_row_errors = 0;
+};
+
+/// What the lenient loader did: rows that made it into the dataset, and a
+/// structured diagnostic per quarantined row.
+struct CsvLoadReport {
+  size_t rows_loaded = 0;
+  std::vector<CsvRowError> row_errors;
+};
+
+/// Skip-and-quarantine parse: malformed rows are skipped and reported in
+/// `report` (when non-null) instead of rejecting the whole file, up to
+/// `options.max_row_errors`; one more fails the load with DATA_LOSS
+/// carrying the offending row/column. A bad header is always
+/// INVALID_ARGUMENT — there is no budget for not being this format.
+util::StatusOr<Dataset> DatasetFromCsvLenient(const std::string& text,
+                                              const CsvLoadOptions& options = {},
+                                              CsvLoadReport* report = nullptr);
+
+/// File variant of DatasetFromCsvLenient. NOT_FOUND when the file cannot
+/// be opened. Fault-injection point: data.dataset_csv.load.
+util::StatusOr<Dataset> LoadDatasetCsvLenient(const std::string& path,
+                                              const CsvLoadOptions& options = {},
+                                              CsvLoadReport* report = nullptr);
 
 }  // namespace yver::data
 

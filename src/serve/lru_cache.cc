@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault_injector.h"
+
 namespace yver::serve {
 
 ShardedQueryCache::ShardedQueryCache(size_t capacity, size_t num_shards) {
@@ -16,6 +18,16 @@ ShardedQueryCache::ShardedQueryCache(size_t capacity, size_t num_shards) {
 }
 
 std::shared_ptr<const QueryResult> ShardedQueryCache::Get(const Query& query) {
+  // Chaos seam: an injected fault degrades the cache to a miss (the service
+  // recomputes), never to wrong data — a cache can only lose, not lie.
+  switch (util::FaultInjector::Global().Evaluate(util::FaultPoint::kCacheGet)) {
+    case util::FaultKind::kIoError:
+    case util::FaultKind::kShortRead:
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    default:
+      break;
+  }
   if (disabled()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;

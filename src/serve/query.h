@@ -6,6 +6,7 @@
 
 #include "core/ranked_resolution.h"
 #include "data/dataset.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace yver::serve {
@@ -31,8 +32,18 @@ struct Query {
   /// members). 0 means unlimited.
   size_t k = 0;
   Granularity granularity = Granularity::kMatches;
+  /// When to stop trying: the service checks at admission, at fan-out,
+  /// and at per-chunk boundaries, answering DEADLINE_EXCEEDED once
+  /// expired. Default is infinite (pre-deadline behaviour).
+  util::Deadline deadline;
 
-  friend bool operator==(const Query&, const Query&) = default;
+  /// Semantic equality: the deadline is delivery metadata, not part of
+  /// what is being asked, so it is excluded (the result cache likewise
+  /// keys on the semantic fields only).
+  friend bool operator==(const Query& a, const Query& b) {
+    return a.record == b.record && a.certainty == b.certainty &&
+           a.k == b.k && a.granularity == b.granularity;
+  }
 };
 
 /// The response to a Query.
@@ -46,6 +57,11 @@ struct QueryResult {
   std::vector<data::RecordIdx> entity;
   /// True when the service answered from its LRU cache.
   bool from_cache = false;
+  /// True when this is a degraded answer: the service was saturated (the
+  /// admission controller shed the query) but a previously cached result
+  /// existed, so the caller gets the possibly-stale answer instead of
+  /// RESOURCE_EXHAUSTED.
+  bool degraded = false;
 };
 
 /// Validates a query against a corpus of `num_records` records: rejects

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/fault_injector.h"
 
 namespace yver::serve {
 
@@ -79,6 +80,19 @@ ResolutionIndex::ResolutionIndex(const core::RankedResolution& resolution,
     YVER_CHECK_MSG(m.pair.b < num_records,
                    "match references record beyond the corpus");
   }
+}
+
+util::StatusOr<ResolutionIndex> ResolutionIndex::Build(
+    const core::RankedResolution& resolution, size_t num_records) {
+  for (const auto& m : resolution.matches()) {
+    if (m.pair.b >= num_records) {
+      return util::Status::DataLoss(
+          "match (" + std::to_string(m.pair.a) + ", " +
+          std::to_string(m.pair.b) + ") references a record beyond the " +
+          std::to_string(num_records) + "-record corpus");
+    }
+  }
+  return ResolutionIndex(resolution, num_records);
 }
 
 std::vector<core::RankedMatch> ResolutionIndex::ForRecord(data::RecordIdx r,
@@ -159,6 +173,9 @@ util::StatusOr<ResolutionIndex> ResolutionIndex::Load(
     const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) return util::Status::NotFound("cannot read " + path);
+  util::Status injected =
+      util::FaultInjector::Global().InjectIo(util::FaultPoint::kIndexLoadOpen);
+  if (!injected.ok()) return injected;
   char magic[sizeof(kMagic)];
   if (!f.read(magic, sizeof(magic)) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -175,6 +192,9 @@ util::StatusOr<ResolutionIndex> ResolutionIndex::Load(
       std::min<uint64_t>(num_matches, 1u << 20)));  // distrust huge counts
   double prev_confidence = std::numeric_limits<double>::infinity();
   for (uint64_t i = 0; i < num_matches; ++i) {
+    injected = util::FaultInjector::Global().InjectIo(
+        util::FaultPoint::kIndexLoadRead);
+    if (!injected.ok()) return injected;
     uint32_t a = 0, b = 0;
     double confidence = 0, block_score = 0;
     if (!r.Get(&a) || !r.Get(&b) || !r.Get(&confidence) ||
@@ -202,6 +222,13 @@ util::StatusOr<ResolutionIndex> ResolutionIndex::Load(
   }
   index.adjacency_ = core::MatchAdjacency(index.arena_, index.num_records_);
   return index;
+}
+
+util::StatusOr<ResolutionIndex> ResolutionIndex::LoadWithRetry(
+    const std::string& path, const util::RetryPolicy& policy,
+    util::RetryStats* stats, const util::Deadline& deadline) {
+  return util::RetryWithPolicy(
+      policy, [&path] { return Load(path); }, stats, deadline);
 }
 
 }  // namespace yver::serve

@@ -9,6 +9,7 @@
 #include "core/entity_clusters.h"
 #include "core/ranked_resolution.h"
 #include "data/dataset.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace yver::serve {
@@ -29,9 +30,17 @@ class ResolutionIndex {
   ResolutionIndex() = default;
 
   /// Snapshots `resolution` over a corpus of `num_records` records. All
-  /// match record indices must be < num_records.
+  /// match record indices must be < num_records — this ctor CHECK-fails
+  /// otherwise and is for trusted, in-process pipeline output. Untrusted
+  /// input (anything read off disk) goes through Build instead.
   ResolutionIndex(const core::RankedResolution& resolution,
                   size_t num_records);
+
+  /// Validating factory for untrusted resolutions (e.g. matches loaded
+  /// from a CSV): DATA_LOSS when a match references a record beyond the
+  /// corpus, instead of aborting the process.
+  static util::StatusOr<ResolutionIndex> Build(
+      const core::RankedResolution& resolution, size_t num_records);
 
   /// Records in the indexed corpus.
   size_t num_records() const { return num_records_; }
@@ -84,8 +93,19 @@ class ResolutionIndex {
 
   /// Loads an artifact written by Save. NOT_FOUND when the file cannot be
   /// opened, DATA_LOSS on bad magic / version / truncation / malformed
-  /// pairs.
+  /// pairs. Fault-injection points: serve.index_load.open,
+  /// serve.index_load.read (util::FaultInjector).
   static util::StatusOr<ResolutionIndex> Load(const std::string& path);
+
+  /// Load wrapped in util::RetryWithPolicy: transient failures
+  /// (UNAVAILABLE, DATA_LOSS — a torn concurrent write looks like
+  /// corruption) are retried with jittered exponential backoff; permanent
+  /// ones (NOT_FOUND) are returned immediately. `stats`, when non-null,
+  /// receives the attempt count and total backoff for observability.
+  static util::StatusOr<ResolutionIndex> LoadWithRetry(
+      const std::string& path, const util::RetryPolicy& policy = {},
+      util::RetryStats* stats = nullptr,
+      const util::Deadline& deadline = util::Deadline());
 
  private:
   size_t num_records_ = 0;

@@ -3,19 +3,67 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <latch>
 
 #include "util/check.h"
+#include "util/fault_injector.h"
 
 namespace yver::serve {
+
+double ServiceMetrics::LatencyPercentileMs(double p) const {
+  uint64_t total = 0;
+  for (uint64_t c : latency_histogram_ns) total += c;
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(std::ceil(p * total));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < latency_histogram_ns.size(); ++i) {
+    seen += latency_histogram_ns[i];
+    if (seen >= target) {
+      // Upper bound of bucket i is 2^i ns.
+      return std::ldexp(1.0, static_cast<int>(i)) / 1e6;
+    }
+  }
+  return std::ldexp(1.0, static_cast<int>(latency_histogram_ns.size())) / 1e6;
+}
 
 ResolutionService::ResolutionService(
     std::shared_ptr<const ResolutionIndex> index, ServiceOptions options)
     : index_(std::move(index)),
       options_(options),
       pool_(util::ResolveNumThreads(options.num_threads)),
-      cache_(options.cache_capacity, options.cache_shards) {
+      cache_(options.cache_capacity, options.cache_shards),
+      admission_(AdmissionOptions{options.max_in_flight,
+                                  options.max_queue_depth}) {
   YVER_CHECK_MSG(index_ != nullptr, "ResolutionService needs an index");
+}
+
+util::Status ResolutionService::Fail(util::Status status) {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  switch (status.code()) {
+    case util::StatusCode::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case util::StatusCode::kResourceExhausted:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+  return status;
+}
+
+void ResolutionService::RecordLatency(
+    std::chrono::steady_clock::time_point start) {
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  latency_ns_.fetch_add(ns, std::memory_order_relaxed);
+  size_t bucket = static_cast<size_t>(std::bit_width(ns));
+  if (bucket >= kServiceLatencyBuckets) bucket = kServiceLatencyBuckets - 1;
+  latency_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
 util::StatusOr<QueryResult> ResolutionService::QueryRecord(
@@ -23,22 +71,57 @@ util::StatusOr<QueryResult> ResolutionService::QueryRecord(
   auto start = std::chrono::steady_clock::now();
   queries_.fetch_add(1, std::memory_order_relaxed);
   util::Status status = ValidateQuery(query, index_->num_records());
-  if (!status.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    return status;
+  if (!status.ok()) return Fail(std::move(status));
+  // Deadline check #1 — admission boundary: zero and already-expired
+  // deadlines never reach the cache or the compute path.
+  if (query.deadline.HasExpired()) {
+    return Fail(query.deadline.Exceeded("admission"));
   }
+  util::Status admit = admission_.Admit(query.deadline);
+  if (!admit.ok()) {
+    if (admit.code() == util::StatusCode::kResourceExhausted) {
+      // Degraded mode: a shed query still gets its answer if one is
+      // cached — stale beats unavailable for a read-only corpus.
+      std::shared_ptr<const QueryResult> cached = cache_.Get(query);
+      if (cached != nullptr) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        QueryResult result = *cached;
+        result.from_cache = true;
+        result.degraded = true;
+        RecordLatency(start);
+        return result;
+      }
+    }
+    return Fail(std::move(admit));
+  }
+  // Admitted: the slot is held for the remainder of the query.
+  struct SlotGuard {
+    AdmissionController& admission;
+    ~SlotGuard() { admission.Release(); }
+  } guard{admission_};
   std::shared_ptr<const QueryResult> cached = cache_.Get(query);
   QueryResult result;
   if (cached != nullptr) {
     result = *cached;
     result.from_cache = true;
   } else {
-    result = *Compute(query);
+    // Deadline check #2 — compute boundary: don't start work the caller
+    // has already abandoned (the admission wait may have eaten the rest
+    // of the budget).
+    if (query.deadline.HasExpired()) {
+      return Fail(query.deadline.Exceeded("compute start"));
+    }
+    auto computed = Compute(query);
+    if (!computed.ok()) return Fail(computed.status());
+    result = **computed;
+    // Deadline check #3 — delivery boundary: the answer is computed (and
+    // cached for the next caller), but this caller's budget is gone.
+    if (query.deadline.HasExpired()) {
+      return Fail(query.deadline.Exceeded("compute"));
+    }
   }
-  auto elapsed = std::chrono::steady_clock::now() - start;
-  latency_ns_.fetch_add(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
-      std::memory_order_relaxed);
+  RecordLatency(start);
   return result;
 }
 
@@ -71,6 +154,10 @@ void ResolutionService::QueryStream(
     size_t end = std::min(queries.size(), begin + chunk);
     pool_.Submit([this, &queries, &sink, &done, begin, end] {
       for (size_t i = begin; i < end; ++i) {
+        // Per-chunk deadline boundary: an expired query is answered
+        // DEADLINE_EXCEEDED (with counters) by QueryRecord's admission
+        // check without touching the cache or compute paths, so a slow
+        // chunk cannot make later queries burn work nobody is awaiting.
         sink(i, QueryRecord(queries[i]));
       }
       done.count_down();
@@ -79,8 +166,14 @@ void ResolutionService::QueryStream(
   done.wait();
 }
 
-std::shared_ptr<const QueryResult> ResolutionService::Compute(
+util::StatusOr<std::shared_ptr<const QueryResult>> ResolutionService::Compute(
     const Query& query) {
+  // Chaos seam: an injected latency spike stalls the compute (driving the
+  // deadline checks around it); an injected I/O error models a failing
+  // backing store and surfaces as a typed UNAVAILABLE / DATA_LOSS.
+  util::Status injected =
+      util::FaultInjector::Global().InjectIo(util::FaultPoint::kServiceCompute);
+  if (!injected.ok()) return injected;
   auto result = std::make_shared<QueryResult>();
   result->query = query;
   switch (query.granularity) {
@@ -98,7 +191,7 @@ std::shared_ptr<const QueryResult> ResolutionService::Compute(
     }
   }
   cache_.Put(query, result);
-  return result;
+  return std::shared_ptr<const QueryResult>(std::move(result));
 }
 
 std::shared_ptr<const core::EntityClusters> ResolutionService::ClustersAt(
@@ -124,15 +217,29 @@ ServiceMetrics ResolutionService::metrics() const {
   m.errors = errors_.load(std::memory_order_relaxed);
   m.cache_hits = cache_.hits();
   m.cache_misses = cache_.misses();
+  m.shed = shed_.load(std::memory_order_relaxed);
+  m.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  m.degraded = degraded_.load(std::memory_order_relaxed);
   m.total_latency_ms =
       static_cast<double>(latency_ns_.load(std::memory_order_relaxed)) / 1e6;
+  m.latency_histogram_ns.resize(kServiceLatencyBuckets);
+  for (size_t i = 0; i < kServiceLatencyBuckets; ++i) {
+    m.latency_histogram_ns[i] =
+        latency_hist_[i].load(std::memory_order_relaxed);
+  }
   return m;
 }
 
 void ResolutionService::ResetMetrics() {
   queries_.store(0, std::memory_order_relaxed);
   errors_.store(0, std::memory_order_relaxed);
+  shed_.store(0, std::memory_order_relaxed);
+  deadline_exceeded_.store(0, std::memory_order_relaxed);
+  degraded_.store(0, std::memory_order_relaxed);
   latency_ns_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : latency_hist_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
   // Cache hit/miss counters live in the cache; recreate-level reset is not
   // needed for the benches, which read deltas via metrics() snapshots.
 }

@@ -1,7 +1,9 @@
 #ifndef YVER_SERVE_RESOLUTION_SERVICE_H_
 #define YVER_SERVE_RESOLUTION_SERVICE_H_
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "core/entity_clusters.h"
+#include "serve/admission_controller.h"
 #include "serve/lru_cache.h"
 #include "serve/query.h"
 #include "serve/resolution_index.h"
@@ -30,7 +33,16 @@ struct ServiceOptions {
   /// Distinct certainty thresholds whose entity clusterings are memoized;
   /// the memo is dropped wholesale when it outgrows this.
   size_t max_cluster_slices = 64;
+  /// Admission control (load shedding): queries allowed to execute
+  /// concurrently, and callers allowed to queue for a slot beyond that.
+  /// max_in_flight == 0 disables admission entirely (the default).
+  size_t max_in_flight = 0;
+  size_t max_queue_depth = 0;
 };
+
+/// Number of power-of-two latency-histogram buckets a ResolutionService
+/// keeps (bucket i counts answers with latency in [2^(i-1), 2^i) ns).
+inline constexpr size_t kServiceLatencyBuckets = 48;
 
 /// Point-in-time service counters. Latency covers cache hits and misses
 /// alike; hit rate is hits / (hits + misses) of the result cache.
@@ -39,7 +51,17 @@ struct ServiceMetrics {
   uint64_t errors = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Failure-model counters: queries shed with RESOURCE_EXHAUSTED,
+  /// queries answered DEADLINE_EXCEEDED (at admission, while queued, or
+  /// at a compute boundary), and degraded answers (stale cache served to
+  /// a shed query instead of an error).
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t degraded = 0;
   double total_latency_ms = 0.0;
+  /// Log2-bucketed latency histogram of answered queries (see
+  /// kServiceLatencyBuckets); feeds the percentile estimates below.
+  std::vector<uint64_t> latency_histogram_ns;
 
   double HitRate() const {
     uint64_t looked = cache_hits + cache_misses;
@@ -48,6 +70,10 @@ struct ServiceMetrics {
   double MeanLatencyMs() const {
     return queries == 0 ? 0.0 : total_latency_ms / static_cast<double>(queries);
   }
+  /// Approximate latency percentile (p in [0, 1], e.g. 0.99) from the
+  /// log2 histogram: the upper bound of the bucket containing the p-th
+  /// answer. 0 when no latencies were recorded.
+  double LatencyPercentileMs(double p) const;
 };
 
 /// Thread-safe query front end over an immutable ResolutionIndex: the
@@ -56,6 +82,14 @@ struct ServiceMetrics {
 /// util::ThreadPool), and streaming-style (`QueryStream`, results pushed to
 /// a sink as they complete) APIs all answer through one code path, so a
 /// batch answer is always identical to the per-query answer.
+///
+/// Failure model (DESIGN.md §11): every query resolves to OK or a typed
+/// util::Status — never an abort. Per-query deadlines are honoured at
+/// admission, fan-out, and compute boundaries (DEADLINE_EXCEEDED); an
+/// optional AdmissionController bounds concurrent execution and sheds
+/// excess load (RESOURCE_EXHAUSTED) instead of queuing unboundedly; a
+/// shed query whose answer is still in the LRU cache gets the stale
+/// result flagged `degraded` instead of an error.
 ///
 /// Repeated (record, certainty, k, granularity) lookups are served from a
 /// sharded LRU cache; entity-granularity queries additionally memoize the
@@ -102,16 +136,27 @@ class ResolutionService {
   void ResetMetrics();
 
  private:
-  /// Cache-miss path: computes the result and inserts it.
-  std::shared_ptr<const QueryResult> Compute(const Query& query);
+  /// Cache-miss path: computes the result and inserts it. UNAVAILABLE /
+  /// DATA_LOSS only under fault injection (util::FaultInjector).
+  util::StatusOr<std::shared_ptr<const QueryResult>> Compute(
+      const Query& query);
 
   /// Memoized entity clustering at a certainty threshold.
   std::shared_ptr<const core::EntityClusters> ClustersAt(double certainty);
+
+  /// Books a non-OK answer: bumps errors_ plus the matching failure-model
+  /// counter, and returns the status unchanged.
+  util::Status Fail(util::Status status);
+
+  /// Records the latency of an answered query into the total and the
+  /// log2 histogram.
+  void RecordLatency(std::chrono::steady_clock::time_point start);
 
   std::shared_ptr<const ResolutionIndex> index_;
   ServiceOptions options_;
   util::ThreadPool pool_;
   ShardedQueryCache cache_;
+  AdmissionController admission_;
 
   std::mutex clusters_mu_;
   std::map<uint64_t, std::shared_ptr<const core::EntityClusters>>
@@ -119,7 +164,11 @@ class ResolutionService {
 
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> latency_ns_{0};
+  std::array<std::atomic<uint64_t>, kServiceLatencyBuckets> latency_hist_{};
 };
 
 }  // namespace yver::serve

@@ -1,0 +1,86 @@
+#ifndef YVER_UTIL_DEADLINE_H_
+#define YVER_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <limits>
+
+#include "util/status.h"
+
+namespace yver::util {
+
+/// A point on the steady clock by which a request must be answered — the
+/// failure-model primitive propagated from `serve::Query` through every
+/// fan-out and per-chunk boundary of the serving layer. Default-constructed
+/// deadlines are infinite, so existing call sites pay nothing.
+///
+/// Deadlines are checked, never enforced pre-emptively: a stage consults
+/// `HasExpired()` at its boundaries and returns DEADLINE_EXCEEDED instead
+/// of starting (or continuing) work the caller has already given up on.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  /// Never expires. Comparable against any finite deadline.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now. `ms <= 0` is already expired —
+  /// the "zero deadline" edge the serving tests pin.
+  static Deadline AfterMillis(double ms) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::now() + std::chrono::nanoseconds(
+                               static_cast<int64_t>(ms * 1e6));
+    return d;
+  }
+
+  /// A deadline that has already passed.
+  static Deadline ExpiredNow() {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::time_point::min();
+    return d;
+  }
+
+  /// Expires at the given steady-clock instant.
+  static Deadline At(Clock::time_point at) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = at;
+    return d;
+  }
+
+  bool is_infinite() const { return infinite_; }
+
+  /// True once the deadline has passed. Infinite deadlines never expire.
+  bool HasExpired() const { return !infinite_ && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry: +inf for infinite deadlines, <= 0 once
+  /// expired.
+  double RemainingMillis() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+  /// The expiry instant; only meaningful when `!is_infinite()`. Used by
+  /// condition-variable waits (`wait_until`).
+  Clock::time_point time_point() const { return at_; }
+
+  /// The standard DEADLINE_EXCEEDED status for this deadline, tagged with
+  /// the stage that observed the expiry.
+  Status Exceeded(const char* where) const {
+    return Status::DeadlineExceeded(std::string("deadline expired at ") +
+                                    where);
+  }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+}  // namespace yver::util
+
+#endif  // YVER_UTIL_DEADLINE_H_

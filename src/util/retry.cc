@@ -1,0 +1,32 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace yver::util {
+
+bool DefaultRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDataLoss;
+}
+
+double NextBackoffMillis(const RetryPolicy& policy, int next_attempt,
+                         Rng& rng) {
+  double cap = policy.initial_backoff_ms;
+  for (int i = 2; i < next_attempt; ++i) cap *= policy.multiplier;
+  cap = std::clamp(cap, 0.0, policy.max_backoff_ms);
+  return cap * rng.UniformDouble();  // full jitter: Uniform(0, cap)
+}
+
+namespace retry_internal {
+
+void SleepMillis(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(static_cast<int64_t>(ms * 1e6)));
+}
+
+}  // namespace retry_internal
+
+}  // namespace yver::util

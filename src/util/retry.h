@@ -1,0 +1,110 @@
+#ifndef YVER_UTIL_RETRY_H_
+#define YVER_UTIL_RETRY_H_
+
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "util/deadline.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace yver::util {
+
+/// Exponential backoff with full jitter, seeded through util::Rng so every
+/// retry schedule is reproducible bit-for-bit in tests. Wrapped around the
+/// artifact load paths (serve::ResolutionIndex::Load, the matches CSV)
+/// where transient I/O failures — real ones, or ones injected by
+/// util::FaultInjector — should cost a bounded number of re-reads, not an
+/// error surfaced to the caller.
+struct RetryPolicy {
+  /// Total tries, including the first. Must be >= 1.
+  int max_attempts = 3;
+  /// Backoff cap for attempt k is initial * multiplier^(k-1), clamped to
+  /// max_backoff_ms; the actual sleep is Uniform(0, cap) — "full jitter".
+  double initial_backoff_ms = 10.0;
+  double max_backoff_ms = 1000.0;
+  double multiplier = 2.0;
+  /// Seed of the jitter Rng. Same seed + same outcome sequence = same
+  /// backoff schedule.
+  uint64_t seed = 0x5eedf00dULL;
+  /// Which errors are worth retrying. Default: UNAVAILABLE (transient
+  /// I/O) and DATA_LOSS (a re-read may see the complete bytes a racing or
+  /// faulty read truncated). Everything else fails fast.
+  std::function<bool(const Status&)> retryable;
+  /// Test seam: how to wait `ms` between attempts. Null = real sleep.
+  std::function<void(double ms)> sleep_fn;
+};
+
+/// True for the codes RetryPolicy retries by default.
+bool DefaultRetryable(const Status& status);
+
+/// The jittered backoff before attempt `next_attempt` (2-based: the wait
+/// after the first failure precedes attempt 2). Deterministic given rng
+/// state. Exposed for tests.
+double NextBackoffMillis(const RetryPolicy& policy, int next_attempt,
+                         Rng& rng);
+
+/// Per-call retry telemetry.
+struct RetryStats {
+  int attempts = 0;
+  double total_backoff_ms = 0.0;
+  Status last_error = Status::Ok();
+};
+
+namespace retry_internal {
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const StatusOr<T>& s) {
+  return s.status();
+}
+void SleepMillis(double ms);
+}  // namespace retry_internal
+
+/// Runs `fn` (returning Status or StatusOr<T>) up to
+/// `policy.max_attempts` times, sleeping a jittered backoff between
+/// retryable failures. Stops early when `deadline` expires — the expiry
+/// wins over further attempts and the result is DEADLINE_EXCEEDED (the
+/// last underlying error is kept in `stats`). Non-retryable errors and
+/// exhausted budgets return the last result unchanged.
+template <typename F>
+auto RetryWithPolicy(const RetryPolicy& policy, F&& fn,
+                     RetryStats* stats = nullptr,
+                     const Deadline& deadline = Deadline()) ->
+    typename std::invoke_result_t<F> {
+  Rng rng(policy.seed);
+  RetryStats local;
+  RetryStats& s = stats != nullptr ? *stats : local;
+  s = RetryStats();
+  int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    if (deadline.HasExpired()) {
+      s.last_error = deadline.Exceeded("retry loop");
+      return s.last_error;
+    }
+    auto result = fn();
+    ++s.attempts;
+    const Status& status = retry_internal::StatusOf(result);
+    if (status.ok()) return result;
+    s.last_error = status;
+    bool retryable = policy.retryable ? policy.retryable(status)
+                                      : DefaultRetryable(status);
+    if (!retryable || attempt >= max_attempts) return result;
+    double backoff = NextBackoffMillis(policy, attempt + 1, rng);
+    if (!deadline.is_infinite() && backoff >= deadline.RemainingMillis()) {
+      s.last_error = deadline.Exceeded("retry backoff");
+      return s.last_error;
+    }
+    s.total_backoff_ms += backoff;
+    if (policy.sleep_fn) {
+      policy.sleep_fn(backoff);
+    } else {
+      retry_internal::SleepMillis(backoff);
+    }
+  }
+}
+
+}  // namespace yver::util
+
+#endif  // YVER_UTIL_RETRY_H_

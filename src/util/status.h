@@ -13,11 +13,14 @@ namespace yver::util {
 /// the serving layer needs; extend as new failure modes appear.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,   // malformed query (NaN certainty, bad granularity)
-  kNotFound,          // record / file does not exist
-  kOutOfRange,        // record index beyond the indexed corpus
-  kDataLoss,          // corrupt or truncated index file
-  kInternal,          // invariant violation that was recoverable
+  kInvalidArgument,    // malformed query (NaN certainty, bad granularity)
+  kNotFound,           // record / file does not exist
+  kOutOfRange,         // record index beyond the indexed corpus
+  kDataLoss,           // corrupt or truncated index file
+  kInternal,           // invariant violation that was recoverable
+  kDeadlineExceeded,   // the caller's deadline expired before the answer
+  kResourceExhausted,  // load shed: in-flight budget and wait queue full
+  kUnavailable,        // transient I/O failure; retrying may succeed
 };
 
 /// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
@@ -48,6 +51,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "util/check.h"
 
@@ -44,6 +45,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -94,9 +100,19 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      // A throwing task must not escape the worker (std::terminate); park
+      // the first exception for the next Wait() to rethrow.
+      thrown = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (thrown != nullptr && first_exception_ == nullptr) {
+        first_exception_ = thrown;
+      }
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -40,6 +41,14 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.
+  ///
+  /// Exception safety: a throwing task no longer escapes its worker thread
+  /// (which would call std::terminate) — the first exception thrown since
+  /// the last Wait() is captured and rethrown here, after all outstanding
+  /// tasks have drained. Later exceptions from the same batch are dropped.
+  /// The pool stays fully usable after the rethrow. ParallelFor and the
+  /// chunked variants wait internally, so they propagate task exceptions
+  /// the same way.
   void Wait();
 
   /// Number of worker threads.
@@ -80,6 +89,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_exception_;  // guarded by mu_
 };
 
 }  // namespace yver::util

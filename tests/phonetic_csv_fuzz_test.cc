@@ -11,6 +11,7 @@
 #include "synth/generator.h"
 #include "text/phonetic.h"
 #include "util/csv.h"
+#include "util/fault_injector.h"
 #include "util/rng.h"
 
 namespace yver {
@@ -256,6 +257,86 @@ TEST(ArtifactFuzzTest, ResolutionIndexTruncatedAndBitFlippedRejected) {
       serve::ResolutionIndex::Load(::testing::TempDir() + "no_such.yvx");
   ASSERT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+// The corruption fuzzers again, but with the fault injector live on top:
+// a mutated artifact AND injected I/O failures at once must still resolve
+// to a typed status on every load, and any load that does report OK must
+// be the exact artifact (real corruption is never masked by an injected
+// fault, or vice versa).
+TEST(ArtifactFuzzTest, MutationsUnderActiveFaultInjectionStayTyped) {
+  ArtifactFixture fx = MakeArtifactFixture();
+  serve::ResolutionIndex index(fx.resolution, fx.generated.dataset.size());
+  std::string index_path = ::testing::TempDir() + "fuzz_faulted.yvx";
+  ASSERT_TRUE(index.Save(index_path).ok());
+  std::string csv_path = ::testing::TempDir() + "fuzz_faulted.csv";
+  ASSERT_TRUE(
+      core::SaveMatchesCsv(fx.generated.dataset, fx.resolution, csv_path)
+          .ok());
+  const std::string index_bytes = ReadFileBytes(index_path);
+  const std::string csv_bytes = ReadFileBytes(csv_path);
+
+  util::FaultConfig config;
+  config.seed = 23;
+  config.io_error_probability = 0.10;
+  config.short_read_probability = 0.10;
+  config.latency_probability = 0.02;
+  config.latency_micros = 10;
+  util::FaultInjector::Global().Arm(config);
+
+  std::string mutated_index = ::testing::TempDir() + "fuzz_faulted_mut.yvx";
+  std::string mutated_csv = ::testing::TempDir() + "fuzz_faulted_mut.csv";
+  util::Rng rng(29);
+  for (int round = 0; round < 60; ++round) {
+    // Alternate truncations and bit flips across both artifact kinds.
+    bool truncate = round % 2 == 0;
+    {
+      std::string mutated = index_bytes;
+      if (truncate) {
+        mutated.resize(static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1)));
+      } else {
+        size_t pos = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+        mutated[pos] =
+            static_cast<char>(mutated[pos] ^ (1 << rng.UniformInt(0, 7)));
+      }
+      WriteFileBytes(mutated_index, mutated);
+      auto loaded = serve::ResolutionIndex::Load(mutated_index);
+      if (loaded.ok()) {
+        EXPECT_EQ(loaded->Checksum(), index.Checksum());
+      } else {
+        auto code = loaded.status().code();
+        EXPECT_TRUE(code == util::StatusCode::kDataLoss ||
+                    code == util::StatusCode::kUnavailable)
+            << loaded.status().ToString();
+      }
+    }
+    {
+      std::string mutated = csv_bytes;
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] =
+          static_cast<char>(mutated[pos] ^ (1 << rng.UniformInt(0, 7)));
+      WriteFileBytes(mutated_csv, mutated);
+      auto loaded = core::LoadMatchesCsv(fx.generated.dataset, mutated_csv);
+      if (loaded.ok()) {
+        EXPECT_LE(loaded->size(), fx.resolution.size());
+      } else {
+        auto code = loaded.status().code();
+        EXPECT_TRUE(code == util::StatusCode::kDataLoss ||
+                    code == util::StatusCode::kUnavailable)
+            << loaded.status().ToString();
+      }
+    }
+  }
+  util::FaultInjector::Global().Disarm();
+  EXPECT_GT(util::FaultInjector::Global().injections(), 0u);
+
+  // Once disarmed, the clean artifacts load clean again.
+  auto clean = serve::ResolutionIndex::Load(index_path);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->Checksum(), index.Checksum());
 }
 
 }  // namespace

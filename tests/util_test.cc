@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -318,6 +319,46 @@ TEST(ThreadPoolTest, ChunkedIndexedCoversRangeWithAnnouncedChunks) {
       EXPECT_EQ(num_chunks, 0u);
     }
   }
+}
+
+TEST(ThreadPoolTest, ThrowingTaskIsRethrownFromWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // All sibling tasks still ran — the exception is captured, not a worker
+  // death — and the pool stays fully usable afterwards.
+  EXPECT_EQ(counter.load(), 16);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();  // no stale exception: rethrow cleared it
+  EXPECT_EQ(counter.load(), 17);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsKept) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The remaining seven were dropped; a clean batch waits cleanly.
+  pool.Submit([] {});
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesTaskException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [](size_t i) {
+                                  if (i == 33) throw std::logic_error("i33");
+                                }),
+               std::logic_error);
+  // Pool unharmed: the next parallel loop completes normally.
+  std::atomic<int> hits{0};
+  pool.ParallelFor(64, [&hits](size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 64);
 }
 
 TEST(ThreadPoolTest, WaitIsReusable) {

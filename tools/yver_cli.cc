@@ -12,7 +12,7 @@
 //                        [--certainty C] [--book-id B] [--k K]
 //   yver_cli serve-bench --in data.csv (--matches matches.csv | --index idx.yvx)
 //                        [--queries N] [--certainty C] [--threads T]
-//                        [--hot-set H] [--no-cache]
+//                        [--hot-set H] [--no-cache] [--deadline-ms D]
 //   yver_cli sample      --in data.csv --out sub.csv [--fraction F]
 //                        [--by-entity] [--country NAME] [--seed S]
 //   yver_cli graph       --in data.csv (--matches matches.csv | --index idx.yvx)
@@ -62,6 +62,8 @@
 #include "synth/generator.h"
 #include "synth/tag_oracle.h"
 #include "text/normalizer.h"
+#include "util/deadline.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -216,6 +218,7 @@ struct QueryOptions {
   size_t hot_set = 1024;
   size_t threads = 0;
   bool no_cache = false;
+  double deadline_ms = 0;  // per-query budget; 0 = none
 
   serve::Query ToServeQuery(data::RecordIdx record,
                             serve::Granularity granularity) const {
@@ -224,6 +227,9 @@ struct QueryOptions {
     query.certainty = certainty;
     query.k = k;
     query.granularity = granularity;
+    if (deadline_ms > 0) {
+      query.deadline = util::Deadline::AfterMillis(deadline_ms);
+    }
     return query;
   }
 };
@@ -254,16 +260,18 @@ QueryOptions ParseQueryOptions(const Flags& flags) {
   options.hot_set = static_cast<size_t>(flags.GetInt("hot-set", 1024));
   options.threads = static_cast<size_t>(flags.GetInt("threads", 0));
   options.no_cache = flags.Has("no-cache");
+  options.deadline_ms = flags.GetDouble("deadline-ms", 0);
   return options;
 }
 
 data::Dataset LoadOrDie(const std::string& path) {
-  auto dataset = data::LoadDatasetCsv(path);
-  if (!dataset) {
-    std::fprintf(stderr, "cannot load dataset from %s\n", path.c_str());
+  auto dataset = data::LoadDatasetCsvLenient(path);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "cannot load dataset from %s: %s\n", path.c_str(),
+                 dataset.status().ToString().c_str());
     std::exit(1);
   }
-  return std::move(*dataset);
+  return std::move(dataset).value();
 }
 
 bool HasGroundTruth(const data::Dataset& dataset) {
@@ -277,10 +285,15 @@ bool HasGroundTruth(const data::Dataset& dataset) {
 // name: the binary index (preferred) or the matches CSV.
 std::shared_ptr<const serve::ResolutionIndex> LoadIndexOrDie(
     const data::Dataset& dataset, const QueryOptions& options) {
+  // Load paths retry transient failures (a torn concurrent write shows up
+  // as DATA_LOSS; NFS hiccups as UNAVAILABLE) before giving up.
+  util::RetryStats retry_stats;
   if (!options.index_path.empty()) {
-    auto loaded = serve::ResolutionIndex::Load(options.index_path);
+    auto loaded = serve::ResolutionIndex::LoadWithRetry(
+        options.index_path, util::RetryPolicy{}, &retry_stats);
     if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      std::fprintf(stderr, "%s (after %d attempt(s))\n",
+                   loaded.status().ToString().c_str(), retry_stats.attempts);
       std::exit(1);
     }
     if (loaded->num_records() != dataset.size()) {
@@ -296,13 +309,21 @@ std::shared_ptr<const serve::ResolutionIndex> LoadIndexOrDie(
     std::fprintf(stderr, "need --matches or --index\n");
     std::exit(2);
   }
-  auto resolution = core::LoadMatchesCsv(dataset, options.matches);
+  auto resolution = core::LoadMatchesCsvWithRetry(
+      dataset, options.matches, util::RetryPolicy{}, &retry_stats);
   if (!resolution.ok()) {
-    std::fprintf(stderr, "%s\n", resolution.status().ToString().c_str());
+    std::fprintf(stderr, "%s (after %d attempt(s))\n",
+                 resolution.status().ToString().c_str(),
+                 retry_stats.attempts);
     std::exit(1);
   }
-  return std::make_shared<const serve::ResolutionIndex>(*resolution,
-                                                        dataset.size());
+  // The CSV is untrusted input: Build validates instead of CHECK-failing.
+  auto built = serve::ResolutionIndex::Build(*resolution, dataset.size());
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::make_shared<const serve::ResolutionIndex>(*std::move(built));
 }
 
 std::map<uint64_t, data::RecordIdx> BookIdIndex(
@@ -552,12 +573,22 @@ int CmdServeBench(const QueryOptions& options) {
               "over %zu hot records, certainty %.2f, %zu threads\n",
               index->num_records(), index->num_matches(), workload.size(),
               hot, options.certainty, service.num_threads());
+  if (options.deadline_ms > 0) {
+    std::printf("per-query deadline: %.2f ms (%llu exceeded)\n",
+                options.deadline_ms,
+                static_cast<unsigned long long>(metrics.deadline_exceeded));
+  }
   std::printf("linear scan   : %10.2f ms  (%.1f us/query, %zu match visits)\n",
               linear_ms, 1000.0 * linear_ms / workload.size(), linear_hits);
   std::printf("batch cold    : %10.2f ms  (%.1f us/query)\n", cold_ms,
               1000.0 * cold_ms / workload.size());
   std::printf("batch warm    : %10.2f ms  (%.1f us/query)\n", warm_ms,
               1000.0 * warm_ms / workload.size());
+  std::printf("per-query latency: p50 %.3f ms  p95 %.3f ms  p99 %.3f ms "
+              "(log2-bucket upper bounds)\n",
+              metrics.LatencyPercentileMs(0.50),
+              metrics.LatencyPercentileMs(0.95),
+              metrics.LatencyPercentileMs(0.99));
   std::printf("warm speedup vs linear scan: %.1fx  (cache hit rate %.1f%%, "
               "%zu/%zu answered)\n",
               warm_ms > 0 ? linear_ms / warm_ms : 0.0,
