@@ -1,0 +1,256 @@
+// Wire-serving benchmark: a serve::net::Server on loopback driven by the
+// load generator at several offered loads, reporting client-observed and
+// server-side latency percentiles (p50/p95/p99) per level. Before any
+// number is reported the harness proves the determinism contract the wire
+// path promises: a recorded capture replays byte-identically (equal
+// response hashes across a record run and two replays), and every run
+// answers every query. Writes a JSON record (--out) so the repo can track
+// the serving-latency trajectory (BENCH_serve_net.json).
+//
+//   bench_serve_net [--records N] [--matches M] [--queries Q]
+//                   [--connections C] [--qps Q1,Q2,...] [--dispatch D]
+//                   [--out bench.json]
+//
+// Levels: one closed-loop run (qps=0 — each connection waits for its
+// answer, measuring unloaded round-trip latency) followed by one open-loop
+// run per --qps value (sends paced on schedule, so queueing delay shows up
+// in the client percentiles as offered load approaches capacity).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ranked_resolution.h"
+#include "serve/net/loadgen.h"
+#include "serve/net/server.h"
+#include "serve/resolution_index.h"
+#include "serve/resolution_service.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace yver;
+
+struct Options {
+  size_t records = 5000;
+  size_t matches = 20000;
+  size_t queries = 20000;
+  size_t connections = 4;
+  size_t dispatch = 2;
+  std::vector<double> qps = {20000, 100000};
+  std::string out;
+};
+
+std::vector<double> ParseQpsList(const char* arg) {
+  std::vector<double> out;
+  for (const char* p = arg; *p != '\0';) {
+    out.push_back(std::strtod(p, nullptr));
+    p = std::strchr(p, ',');
+    if (p == nullptr) break;
+    ++p;
+  }
+  return out;
+}
+
+Options ParseOptions(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--records") == 0) {
+      options.records = static_cast<size_t>(std::atol(next("--records")));
+    } else if (std::strcmp(argv[i], "--matches") == 0) {
+      options.matches = static_cast<size_t>(std::atol(next("--matches")));
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      options.queries = static_cast<size_t>(std::atol(next("--queries")));
+    } else if (std::strcmp(argv[i], "--connections") == 0) {
+      options.connections =
+          static_cast<size_t>(std::atol(next("--connections")));
+    } else if (std::strcmp(argv[i], "--dispatch") == 0) {
+      options.dispatch = static_cast<size_t>(std::atol(next("--dispatch")));
+    } else if (std::strcmp(argv[i], "--qps") == 0) {
+      options.qps = ParseQpsList(next("--qps"));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      options.out = next("--out");
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+core::RankedResolution MakeResolution(size_t num_records,
+                                      size_t num_matches) {
+  util::Rng rng(41);
+  std::set<data::RecordPair> seen;
+  std::vector<core::RankedMatch> matches;
+  while (matches.size() < num_matches) {
+    auto a = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int64_t>(num_records) - 1));
+    auto b = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int64_t>(num_records) - 1));
+    if (a == b) continue;
+    data::RecordPair pair(a, b);
+    if (!seen.insert(pair).second) continue;
+    core::RankedMatch m;
+    m.pair = pair;
+    m.confidence = rng.UniformDouble() * 2.0 - 0.2;
+    m.block_score = rng.UniformDouble();
+    matches.push_back(m);
+  }
+  return core::RankedResolution(std::move(matches));
+}
+
+struct Level {
+  const char* mode = "";
+  double qps_offered = 0;  // 0 = closed loop
+  serve::net::LoadGenReport report;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options = ParseOptions(argc, argv);
+
+  auto index = std::make_shared<const serve::ResolutionIndex>(
+      MakeResolution(options.records, options.matches), options.records);
+  auto service = std::make_shared<serve::ResolutionService>(index);
+
+  serve::net::ServerOptions server_options;
+  server_options.dispatch_threads = options.dispatch;
+  serve::net::Server server(service, server_options);
+  auto started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("corpus: %zu records, %zu matches; %zu queries over %zu "
+              "connection(s), %zu dispatcher(s), port %u\n",
+              options.records, options.matches, options.queries,
+              options.connections, options.dispatch, server.port());
+
+  serve::net::LoadGenOptions base;
+  base.port = server.port();
+  base.connections = options.connections;
+  base.num_queries = options.queries;
+  base.certainty = 0.5;
+  base.hot_set = options.records;  // uniform over the corpus: no cache bias
+
+  // Determinism gate: record, replay twice, demand one hash.
+  const std::string capture = "/tmp/bench_serve_net_capture.yvr";
+  std::vector<uint64_t> hashes;
+  for (int run = 0; run < 3; ++run) {
+    serve::net::LoadGenOptions lg = base;
+    lg.num_queries = std::min<size_t>(options.queries, 5000);
+    if (run == 0) {
+      lg.record_path = capture;
+    } else {
+      lg.replay_path = capture;
+    }
+    auto report = serve::net::RunLoadGen(lg);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    hashes.push_back(report->response_hash);
+  }
+  std::remove(capture.c_str());
+  bool replay_identical =
+      hashes[0] == hashes[1] && hashes[1] == hashes[2];
+  std::printf("record/replay hashes: %016llx %016llx %016llx -> %s\n",
+              static_cast<unsigned long long>(hashes[0]),
+              static_cast<unsigned long long>(hashes[1]),
+              static_cast<unsigned long long>(hashes[2]),
+              replay_identical ? "identical" : "DIVERGED");
+  if (!replay_identical) {
+    std::fprintf(stderr, "FATAL: replay diverged — the wire determinism "
+                 "contract is broken\n");
+    return 1;
+  }
+
+  std::vector<Level> levels;
+  levels.push_back({"closed", 0});
+  for (double qps : options.qps) levels.push_back({"open", qps});
+
+  bool all_answered = true;
+  for (Level& level : levels) {
+    service->ResetMetrics();  // per-level server-side percentiles
+    serve::net::LoadGenOptions lg = base;
+    lg.qps = level.qps_offered;
+    auto report = serve::net::RunLoadGen(lg);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    level.report = std::move(*report);
+    const serve::net::LoadGenReport& r = level.report;
+    all_answered = all_answered && r.ok + r.errors == r.queries_sent;
+    std::printf(
+        "%-6s qps=%-8.0f achieved %8.0f  client p50/p95/p99 %7.3f %7.3f "
+        "%7.3f ms  server p50/p95/p99 %7.3f %7.3f %7.3f ms  (%llu ok, "
+        "%llu errors)\n",
+        level.mode, level.qps_offered, r.qps_achieved,
+        r.LatencyPercentileMs(0.50), r.LatencyPercentileMs(0.95),
+        r.LatencyPercentileMs(0.99),
+        r.server_metrics.LatencyPercentileMs(0.50),
+        r.server_metrics.LatencyPercentileMs(0.95),
+        r.server_metrics.LatencyPercentileMs(0.99),
+        static_cast<unsigned long long>(r.ok),
+        static_cast<unsigned long long>(r.errors));
+  }
+  server.Shutdown();
+  if (!all_answered) {
+    std::fprintf(stderr, "FATAL: a level lost responses\n");
+    return 1;
+  }
+
+  if (!options.out.empty()) {
+    std::ofstream out(options.out);
+    out << "{\n"
+        << "  \"bench\": \"serve_net\",\n"
+        << "  \"corpus_records\": " << options.records << ",\n"
+        << "  \"corpus_matches\": " << options.matches << ",\n"
+        << "  \"queries_per_level\": " << options.queries << ",\n"
+        << "  \"connections\": " << options.connections << ",\n"
+        << "  \"dispatch_threads\": " << options.dispatch << ",\n"
+        << "  \"replay_hash_identical\": true,\n"
+        << "  \"levels\": [\n";
+    for (size_t i = 0; i < levels.size(); ++i) {
+      const Level& level = levels[i];
+      const serve::net::LoadGenReport& r = level.report;
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"mode\": \"%s\", \"qps_offered\": %.0f, "
+          "\"qps_achieved\": %.0f, \"ok\": %llu, \"errors\": %llu, "
+          "\"client_p50_ms\": %.3f, \"client_p95_ms\": %.3f, "
+          "\"client_p99_ms\": %.3f, \"server_p50_ms\": %.3f, "
+          "\"server_p95_ms\": %.3f, \"server_p99_ms\": %.3f}%s\n",
+          level.mode, level.qps_offered, r.qps_achieved,
+          static_cast<unsigned long long>(r.ok),
+          static_cast<unsigned long long>(r.errors),
+          r.LatencyPercentileMs(0.50), r.LatencyPercentileMs(0.95),
+          r.LatencyPercentileMs(0.99),
+          r.server_metrics.LatencyPercentileMs(0.50),
+          r.server_metrics.LatencyPercentileMs(0.95),
+          r.server_metrics.LatencyPercentileMs(0.99),
+          i + 1 < levels.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ]\n" << "}\n";
+    std::printf("wrote %s\n", options.out.c_str());
+  }
+  return 0;
+}

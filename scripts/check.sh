@@ -14,6 +14,11 @@
 # at every registered point are exactly where a race or lifetime bug in
 # the failure paths would hide.
 #
+# The TSan stage ends with a loopback serving smoke: a TSan-built
+# `yver_cli serve` on an ephemeral port, a recorded loadgen workload, and
+# two replays whose response hashes must reproduce the recorded one —
+# the wire determinism contract exercised end to end over real sockets.
+#
 #   scripts/check.sh            # all stages
 #   scripts/check.sh --no-tsan  # skip the TSan stage
 #   scripts/check.sh --no-asan  # skip the ASan+UBSan stage
@@ -46,7 +51,42 @@ if [[ "$run_tsan" == 1 ]]; then
   # per-rank miner; MfiBlocks*/ThreadPool* add the direct blocking and
   # chunked-merge primitives; ChaosTest*/the robustness suites drive the
   # failure model (deadlines, shedding, fault injection) concurrently.
-  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*:Determinism*:GoldenPipeline*:*MfiBlocks*:*ThreadPool*:ChaosTest*:AdmissionController*:FaultInjector*:RetryTest*:DeadlineTest*'
+  # Wire*/Net* add the TCP front end: the epoll loop, dispatchers, and
+  # loadgen threads all share connection state, so the loopback
+  # integration and socket-fault chaos suites run race-checked too.
+  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*:Determinism*:GoldenPipeline*:*MfiBlocks*:*ThreadPool*:ChaosTest*:AdmissionController*:FaultInjector*:RetryTest*:DeadlineTest*:*Wire*:*Net*:CaptureFile*'
+
+  echo "==> tier-1: loopback serve/loadgen smoke (TSan binaries, record/replay)"
+  # End-to-end over a real socket: a TSan-built server on an ephemeral
+  # port, a recorded workload, and two replays that must reproduce the
+  # recorded response hash bit-for-bit.
+  cmake --build build-tsan -j "$(nproc)" --target yver_cli
+  smoke_dir="$(mktemp -d)"
+  trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$smoke_dir"' EXIT
+  ./build-tsan/tools/yver_cli generate --persons 400 --out "$smoke_dir/data.csv" --seed 7 >/dev/null
+  ./build-tsan/tools/yver_cli resolve --in "$smoke_dir/data.csv" --out "$smoke_dir/matches.csv" >/dev/null 2>&1
+  ./build-tsan/tools/yver_cli index --in "$smoke_dir/data.csv" --matches "$smoke_dir/matches.csv" --out "$smoke_dir/idx.yvx" >/dev/null
+  ./build-tsan/tools/yver_cli serve --in "$smoke_dir/data.csv" --index "$smoke_dir/idx.yvx" \
+      --port-file "$smoke_dir/port" --dispatch-threads 2 >"$smoke_dir/serve.log" 2>&1 &
+  serve_pid=$!
+  for _ in $(seq 1 200); do [[ -s "$smoke_dir/port" ]] && break; sleep 0.05; done
+  [[ -s "$smoke_dir/port" ]] || { echo "serve never wrote its port file" >&2; cat "$smoke_dir/serve.log" >&2; exit 1; }
+  port="$(cat "$smoke_dir/port")"
+  hash_of() { sed -n 's/.*"response_hash": "\([0-9a-f]*\)".*/\1/p' "$1"; }
+  ./build-tsan/tools/yver_cli loadgen --port "$port" --queries 1000 --connections 3 \
+      --record "$smoke_dir/cap.yvr" --json >"$smoke_dir/rec.json"
+  ./build-tsan/tools/yver_cli loadgen --port "$port" --replay "$smoke_dir/cap.yvr" \
+      --connections 3 --json >"$smoke_dir/rep1.json"
+  ./build-tsan/tools/yver_cli loadgen --port "$port" --replay "$smoke_dir/cap.yvr" \
+      --connections 3 --json >"$smoke_dir/rep2.json"
+  h0="$(hash_of "$smoke_dir/rec.json")"; h1="$(hash_of "$smoke_dir/rep1.json")"; h2="$(hash_of "$smoke_dir/rep2.json")"
+  [[ -n "$h0" && "$h0" == "$h1" && "$h1" == "$h2" ]] || {
+    echo "loopback replay hash diverged: $h0 $h1 $h2" >&2; exit 1; }
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" || { echo "serve exited non-zero after SIGTERM" >&2; cat "$smoke_dir/serve.log" >&2; exit 1; }
+  trap - EXIT
+  rm -rf "$smoke_dir"
+  echo "loopback smoke: 3000 queries, replay hash $h0 reproduced twice"
 fi
 
 if [[ "$run_asan" == 1 ]]; then

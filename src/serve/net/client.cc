@@ -1,0 +1,99 @@
+#include "serve/net/client.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+namespace yver::serve::net {
+
+util::StatusOr<Client> Client::Connect(uint16_t port) {
+  auto sock = util::Socket::ConnectLoopback(port);
+  if (!sock.ok()) return sock.status();
+  util::Status nd = sock->SetNoDelay(true);
+  if (!nd.ok()) return nd;
+  return Client(std::move(*sock));
+}
+
+util::Status Client::FinishSending() {
+  if (::shutdown(sock_.fd(), SHUT_WR) != 0) {
+    return util::Status::Unavailable("shutdown(SHUT_WR) failed");
+  }
+  return util::Status::Ok();
+}
+
+util::Status Client::SendQuery(const Query& query, double deadline_ms) {
+  std::string bytes;
+  wire::EncodeQuery(query, deadline_ms, &bytes);
+  return SendBytes(bytes);
+}
+
+util::Status Client::SendBytes(std::string_view bytes,
+                               const util::Deadline& deadline) {
+  return sock_.WriteFull(bytes.data(), bytes.size(), deadline);
+}
+
+util::Status Client::SendInfoRequest() {
+  std::string bytes;
+  wire::EncodeInfoRequest(&bytes);
+  return SendBytes(bytes);
+}
+
+util::StatusOr<std::string> Client::ReadFrameBytes(
+    const util::Deadline& deadline) {
+  // Header first: the length field says how much more to read. Validation
+  // (magic, version, type, length bound) is ExtractFrame's job — done once
+  // the frame is whole, so client and server reject bad frames through the
+  // exact same code path.
+  std::string frame(wire::kHeaderSize, '\0');
+  util::Status st = sock_.ReadFull(frame.data(), wire::kHeaderSize, deadline);
+  if (!st.ok()) return st;
+  uint32_t payload_len = 0;
+  for (int i = 3; i >= 0; --i) {
+    payload_len = (payload_len << 8) |
+                  static_cast<uint8_t>(frame[4 + static_cast<size_t>(i)]);
+  }
+  if (payload_len > wire::kMaxFramePayload) {
+    return util::Status::DataLoss("response frame length out of bounds");
+  }
+  size_t off = frame.size();
+  frame.resize(off + payload_len);
+  if (payload_len > 0) {
+    st = sock_.ReadFull(frame.data() + off, payload_len, deadline);
+    if (!st.ok()) return st;
+  }
+  return frame;
+}
+
+util::StatusOr<QueryResult> Client::ReadResult(
+    const util::Deadline& deadline) {
+  auto bytes = ReadFrameBytes(deadline);
+  if (!bytes.ok()) return bytes.status();
+  wire::Frame frame;
+  auto consumed = wire::ExtractFrame(*bytes, &frame);
+  if (!consumed.ok()) return consumed.status();
+  if (*consumed != bytes->size()) {
+    return util::Status::DataLoss("response frame size mismatch");
+  }
+  return wire::DecodeResult(frame);
+}
+
+util::StatusOr<QueryResult> Client::Call(const Query& query,
+                                         double deadline_ms,
+                                         const util::Deadline& deadline) {
+  util::Status st = SendQuery(query, deadline_ms);
+  if (!st.ok()) return st;
+  return ReadResult(deadline);
+}
+
+util::StatusOr<wire::ServerInfo> Client::Info(const util::Deadline& deadline) {
+  util::Status st = SendInfoRequest();
+  if (!st.ok()) return st;
+  auto bytes = ReadFrameBytes(deadline);
+  if (!bytes.ok()) return bytes.status();
+  wire::Frame frame;
+  auto consumed = wire::ExtractFrame(*bytes, &frame);
+  if (!consumed.ok()) return consumed.status();
+  return wire::DecodeInfo(frame);
+}
+
+}  // namespace yver::serve::net

@@ -1,0 +1,80 @@
+#ifndef YVER_SERVE_NET_CLIENT_H_
+#define YVER_SERVE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/query.h"
+#include "serve/wire.h"
+#include "util/deadline.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace yver::serve::net {
+
+/// A blocking wire client for one connection to a serve::net::Server.
+///
+/// The API splits sends from receives so callers can pipeline: any number
+/// of SendQuery/SendBytes calls may be outstanding, and responses come
+/// back strictly in send order (the server's ordering contract). The
+/// receive side exposes both decoded results (ReadResult) and the raw
+/// response frame bytes (ReadFrameBytes) — the raw form is what the
+/// byte-equality tests and the load generator's response hash consume.
+///
+/// Not thread-safe; one Client per thread.
+class Client {
+ public:
+  Client() = default;
+
+  /// Blocking connect to 127.0.0.1:`port` (TCP_NODELAY on).
+  static util::StatusOr<Client> Connect(uint16_t port);
+
+  bool connected() const { return sock_.valid(); }
+
+  /// Half-closes the send direction: the server sees EOF, answers every
+  /// query already sent, then closes. Reads still work.
+  util::Status FinishSending();
+
+  void Close() { sock_.Close(); }
+
+  /// Encodes and sends one query frame with a relative millisecond
+  /// deadline budget (0 = none). Does not wait for the response.
+  util::Status SendQuery(const Query& query, double deadline_ms = 0.0);
+
+  /// Sends pre-encoded frame bytes verbatim — the replay path: captured
+  /// query frames go back on the wire byte-identically.
+  util::Status SendBytes(std::string_view bytes,
+                         const util::Deadline& deadline = {});
+
+  /// Sends a kInfoRequest frame.
+  util::Status SendInfoRequest();
+
+  /// Reads exactly one response frame and returns its raw bytes (header +
+  /// payload). UNAVAILABLE when the server closed the connection first.
+  util::StatusOr<std::string> ReadFrameBytes(
+      const util::Deadline& deadline = {});
+
+  /// Reads one response frame and decodes it as the answer to the oldest
+  /// unanswered query: the QueryResult on kResult, the server's typed
+  /// Status on kError (so a shed query surfaces here as RESOURCE_EXHAUSTED,
+  /// exactly like the in-process API).
+  util::StatusOr<QueryResult> ReadResult(const util::Deadline& deadline = {});
+
+  /// SendQuery + ReadResult: the convenience round trip.
+  util::StatusOr<QueryResult> Call(const Query& query,
+                                   double deadline_ms = 0.0,
+                                   const util::Deadline& deadline = {});
+
+  /// SendInfoRequest + read + decode.
+  util::StatusOr<wire::ServerInfo> Info(const util::Deadline& deadline = {});
+
+ private:
+  explicit Client(util::Socket sock) : sock_(std::move(sock)) {}
+
+  util::Socket sock_;
+};
+
+}  // namespace yver::serve::net
+
+#endif  // YVER_SERVE_NET_CLIENT_H_

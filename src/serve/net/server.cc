@@ -1,0 +1,455 @@
+#include "serve/net/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace yver::serve::net {
+
+namespace {
+
+constexpr uint64_t kListenerId = 0;
+constexpr uint64_t kWakeId = 1;
+constexpr size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+Server::Server(std::shared_ptr<ResolutionService> service,
+               ServerOptions options)
+    : service_(std::move(service)), options_(options) {
+  YVER_CHECK_MSG(service_ != nullptr, "Server needs a ResolutionService");
+  if (options_.dispatch_threads == 0) options_.dispatch_threads = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+}
+
+Server::~Server() { Shutdown(); }
+
+util::Status Server::Start() {
+  if (running()) return util::Status::Ok();
+  auto listener = util::Socket::Listen(options_.port, options_.backlog);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  auto port = listener_.LocalPort();
+  if (!port.ok()) return port.status();
+  port_ = *port;
+  util::Status nb = listener_.SetNonBlocking(true);
+  if (!nb.ok()) return nb;
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return util::Status::Unavailable("epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return util::Status::Unavailable("eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &ev);
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  dispatchers_ =
+      std::make_unique<util::ThreadPool>(options_.dispatch_threads);
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { Loop(); });
+  return util::Status::Ok();
+}
+
+void Server::Shutdown() {
+  if (!loop_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  loop_.join();
+  // The loop has exited: it drained the dispatchers before leaving and
+  // every connection is closed. Tear down the fds.
+  dispatchers_.reset();
+  conns_.clear();
+  listener_.Close();
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_closed = closed_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.queries_dispatched = queries_dispatched_.load(std::memory_order_relaxed);
+  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.socket_errors = socket_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+wire::ServerInfo Server::MakeInfo() const {
+  wire::ServerInfo info;
+  info.num_records = service_->index().num_records();
+  info.num_matches = service_->index().num_matches();
+  info.checksum = service_->index().Checksum();
+  info.metrics = service_->metrics();
+  return info;
+}
+
+void Server::Loop() {
+  std::vector<epoll_event> events(128);
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
+  for (;;) {
+    if (!draining && stop_requested_.load(std::memory_order_acquire)) {
+      // Graceful shutdown begins: no new connections, no new reads; every
+      // already-decoded query still gets dispatched, answered, flushed.
+      draining = true;
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(static_cast<int64_t>(
+                           options_.drain_timeout_ms * 1000));
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listener_.fd(), nullptr);
+      for (auto& [id, conn] : conns_) {
+        if (conn.dead) continue;
+        conn.closing = true;
+        epoll_event ev{};
+        ev.events = conn.want_write ? static_cast<uint32_t>(EPOLLOUT)
+                                    : 0u;  // reads off
+        ev.data.u64 = id;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.sock.fd(), &ev);
+        MaybeDispatch(id, conn);
+      }
+    }
+    if (draining) {
+      for (auto& [id, conn] : conns_) {
+        if (!conn.dead && !conn.in_flight && conn.pending.empty() &&
+            conn.out_off >= conn.out.size()) {
+          MarkDead(conn);
+        }
+      }
+    }
+    ReapDead();
+    if (draining &&
+        (conns_.empty() ||
+         std::chrono::steady_clock::now() >= drain_deadline)) {
+      break;
+    }
+
+    int timeout_ms = draining ? 10 : -1;
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; nothing sane left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t id = events[i].data.u64;
+      uint32_t mask = events[i].events;
+      if (id == kListenerId) {
+        if (!draining) AcceptAll();
+        continue;
+      }
+      if (id == kWakeId) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        DrainCompletions();
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end() || it->second.dead) continue;
+      Connection& conn = it->second;
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0 && !conn.in_flight &&
+          conn.pending.empty()) {
+        MarkDead(conn);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0 && !draining) HandleReadable(id, conn);
+      if (!conn.dead && (mask & EPOLLOUT) != 0) HandleWritable(id, conn);
+    }
+    // Completions can land between epoll wakeups; always sweep.
+    DrainCompletions();
+  }
+  // Drain-deadline expiry or epoll failure: force-close stragglers so
+  // peers see EOF rather than a hung connection.
+  for (auto& [id, conn] : conns_) {
+    if (!conn.dead) MarkDead(conn);
+  }
+  ReapDead();
+  // Dispatched batches may still be running; their completions go to a
+  // queue nobody reads past this point, which is fine — but the tasks
+  // must finish before the dispatcher pool is destroyed in Shutdown().
+  dispatchers_->Wait();
+}
+
+void Server::AcceptAll() {
+  for (;;) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      socket_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!accepted->valid()) return;  // EAGAIN: backlog empty
+    if (conns_.size() >= options_.max_connections) {
+      // Over the cap: closing immediately beats an invisible backlog queue.
+      continue;
+    }
+    util::Socket sock = std::move(*accepted);
+    if (!sock.SetNonBlocking(true).ok() || !sock.SetNoDelay(true).ok()) {
+      socket_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    uint64_t id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, sock.fd(), &ev) != 0) {
+      socket_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Connection conn;
+    conn.sock = std::move(sock);
+    conns_.emplace(id, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::HandleReadable(uint64_t id, Connection& conn) {
+  char buf[kReadChunk];
+  for (;;) {
+    auto r = conn.sock.ReadSome(buf, sizeof(buf));
+    if (!r.ok()) {
+      // Hard or injected socket error: the stream is gone; drop the
+      // connection (in-flight work completes and is discarded).
+      socket_errors_.fetch_add(1, std::memory_order_relaxed);
+      MarkDead(conn);
+      return;
+    }
+    if (r->would_block) break;
+    if (r->eof) {
+      // Peer finished sending: answer what we have, then close.
+      conn.closing = true;
+      break;
+    }
+    conn.in.append(buf, r->bytes);
+    if (r->bytes < sizeof(buf)) break;  // level-triggered: rest next round
+  }
+  // Frame decode loop over whatever accumulated (partial frames stay).
+  while (!conn.dead && !conn.in.empty()) {
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(conn.in, &frame);
+    if (!consumed.ok()) {
+      // Framing is poisoned: one typed error frame, then close after
+      // flushing (closing + cleared input stops further reads).
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::string bytes;
+      wire::EncodeResult(consumed.status(), &bytes);
+      conn.closing = true;
+      conn.in.clear();
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      QueueWrite(id, conn, std::move(bytes));
+      break;
+    }
+    if (*consumed == 0) break;  // partial frame: wait for more bytes
+    conn.in.erase(0, *consumed);
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    if (frame.type == wire::FrameType::kQuery) {
+      auto decoded = wire::DecodeQuery(frame);
+      if (decoded.ok()) {
+        conn.pending.push_back(PendingEntry{PendingEntry::Kind::kQuery,
+                                            std::move(decoded->query)});
+      } else {
+        // Well-formed frame, malformed query payload: a typed error
+        // response that must not overtake earlier queries — it rides the
+        // pending queue as a marker and is answered at head-of-line.
+        conn.pending.push_back(
+            PendingEntry{PendingEntry::Kind::kDecodeError, Query{}});
+      }
+    } else if (frame.type == wire::FrameType::kInfoRequest) {
+      conn.pending.push_back(
+          PendingEntry{PendingEntry::Kind::kInfoRequest, Query{}});
+    } else {
+      // kResult/kError/kInfo from a client: protocol violation.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::string bytes;
+      wire::EncodeResult(
+          util::Status::InvalidArgument("unexpected client frame type"),
+          &bytes);
+      conn.closing = true;
+      conn.in.clear();
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      QueueWrite(id, conn, std::move(bytes));
+      break;
+    }
+  }
+  if (conn.dead) return;
+  MaybeDispatch(id, conn);
+  // EOF with nothing outstanding: close now.
+  if (!conn.dead && conn.closing && !conn.in_flight &&
+      conn.pending.empty() && conn.out_off >= conn.out.size()) {
+    MarkDead(conn);
+  }
+}
+
+void Server::MaybeDispatch(uint64_t id, Connection& conn) {
+  if (conn.dead || conn.in_flight) return;
+  // Markers at the head of the line (decode errors / info requests that
+  // queued behind queries) are answered inline, in arrival order.
+  while (!conn.dead && !conn.pending.empty() &&
+         conn.pending.front().kind != PendingEntry::Kind::kQuery) {
+    PendingEntry::Kind kind = conn.pending.front().kind;
+    conn.pending.pop_front();
+    std::string bytes;
+    if (kind == PendingEntry::Kind::kInfoRequest) {
+      wire::EncodeInfo(MakeInfo(), &bytes);
+    } else {
+      wire::EncodeResult(
+          util::Status::InvalidArgument("malformed query payload"), &bytes);
+    }
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    QueueWrite(id, conn, std::move(bytes));
+  }
+  if (conn.dead || conn.pending.empty()) return;
+  size_t take = std::min(options_.max_batch, conn.pending.size());
+  // Stop the batch at the next marker so markers stay in sequence.
+  for (size_t i = 0; i < take; ++i) {
+    if (conn.pending[i].kind != PendingEntry::Kind::kQuery) {
+      take = i;
+      break;
+    }
+  }
+  if (take == 0) return;
+  auto batch = std::make_shared<std::vector<Query>>();
+  batch->reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch->push_back(conn.pending.front().query);
+    conn.pending.pop_front();
+  }
+  conn.in_flight = true;
+  queries_dispatched_.fetch_add(take, std::memory_order_relaxed);
+  dispatchers_->Submit([this, id, batch] {
+    BatchResult results = service_->QueryBatch(*batch);
+    std::string bytes;
+    for (const auto& result : results) wire::EncodeResult(result, &bytes);
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(
+          Completion{id, std::move(bytes), results.size()});
+    }
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  });
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& c : batch) {
+    auto it = conns_.find(c.conn_id);
+    if (it == conns_.end()) continue;
+    if (it->second.dead) {
+      // The connection died while this batch was computing: drop the
+      // response, but release the tombstone so ReapDead can erase it.
+      it->second.in_flight = false;
+      continue;
+    }
+    Connection& conn = it->second;
+    conn.in_flight = false;
+    responses_sent_.fetch_add(c.responses, std::memory_order_relaxed);
+    QueueWrite(c.conn_id, conn, std::move(c.bytes));
+    if (conn.dead) continue;
+    MaybeDispatch(c.conn_id, conn);
+    if (!conn.dead && conn.closing && !conn.in_flight &&
+        conn.pending.empty() && conn.out_off >= conn.out.size()) {
+      MarkDead(conn);
+    }
+  }
+}
+
+void Server::QueueWrite(uint64_t id, Connection& conn, std::string bytes) {
+  if (conn.dead) return;
+  if (conn.out_off == conn.out.size()) {
+    conn.out = std::move(bytes);
+    conn.out_off = 0;
+  } else {
+    conn.out.append(bytes);
+  }
+  HandleWritable(id, conn);
+}
+
+void Server::HandleWritable(uint64_t id, Connection& conn) {
+  if (conn.dead) return;
+  while (conn.out_off < conn.out.size()) {
+    auto r = conn.sock.WriteSome(conn.out.data() + conn.out_off,
+                                 conn.out.size() - conn.out_off);
+    if (!r.ok()) {
+      socket_errors_.fetch_add(1, std::memory_order_relaxed);
+      MarkDead(conn);
+      return;
+    }
+    if (r->would_block || r->bytes == 0) break;
+    conn.out_off += r->bytes;
+  }
+  if (conn.out_off == conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+    if (conn.closing && !conn.in_flight && conn.pending.empty()) {
+      MarkDead(conn);
+      return;
+    }
+  }
+  UpdateWriteInterest(id, conn);
+}
+
+void Server::UpdateWriteInterest(uint64_t id, Connection& conn) {
+  if (conn.dead) return;
+  bool want = conn.out_off < conn.out.size();
+  if (want == conn.want_write) return;
+  conn.want_write = want;
+  epoll_event ev{};
+  bool reading =
+      !conn.closing && !stop_requested_.load(std::memory_order_acquire);
+  ev.events = (reading ? EPOLLIN : 0u) | (want ? EPOLLOUT : 0u);
+  ev.data.u64 = id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.sock.fd(), &ev);
+}
+
+void Server::MarkDead(Connection& conn) {
+  if (conn.dead) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.sock.fd(), nullptr);
+  conn.sock.Close();
+  conn.dead = true;
+  closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::ReapDead() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    // A dead connection with a batch still at the dispatchers keeps its
+    // entry (as a tombstone) so the completion can be matched and dropped;
+    // it is reaped once the batch lands.
+    if (it->second.dead && !it->second.in_flight) {
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace yver::serve::net

@@ -1,0 +1,182 @@
+#ifndef YVER_SERVE_NET_SERVER_H_
+#define YVER_SERVE_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/resolution_service.h"
+#include "serve/wire.h"
+#include "util/socket.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace yver::serve::net {
+
+/// Tuning knobs for a wire Server.
+struct ServerOptions {
+  /// TCP port on 127.0.0.1 (0 = kernel-assigned; read back via port()).
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Threads running ResolutionService::QueryBatch on behalf of
+  /// connections. The service fans each batch out over its own pool, so
+  /// one dispatcher already keeps every service worker busy; more
+  /// dispatchers let independent connections overlap their batches.
+  size_t dispatch_threads = 1;
+  /// Decoded queries handed to the service per dispatch. Batching
+  /// amortizes the fan-out latch; responses stay in request order.
+  size_t max_batch = 64;
+  /// Connections beyond this are accepted and immediately closed (the
+  /// listen backlog would otherwise queue them invisibly).
+  size_t max_connections = 1024;
+  /// Graceful-shutdown bound: in-flight and already-decoded queries get
+  /// this long to drain and flush before connections are force-closed.
+  double drain_timeout_ms = 5000;
+};
+
+/// Monotonic counters, readable while the server runs.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;   // well-formed frames parsed
+  uint64_t queries_dispatched = 0;
+  uint64_t responses_sent = 0;    // result/error/info frames fully written
+  uint64_t protocol_errors = 0;   // malformed frames (connection poisoned)
+  uint64_t socket_errors = 0;     // read/write failures (incl. injected)
+};
+
+/// The TCP front end over a ResolutionService (DESIGN.md §12): one epoll
+/// event-loop thread owns every connection — per-connection read/write
+/// buffers with partial-read and short-write handling, wire::ExtractFrame
+/// framing, and strict in-order request/response pipelining — while query
+/// execution happens off-loop on a small dispatcher pool that feeds
+/// batches into ResolutionService::QueryBatch (and through it the
+/// service's ThreadPool, AdmissionController, deadlines, and cache).
+///
+/// Ordering contract: responses on a connection are sent in the order the
+/// queries arrived, one response frame per query frame, regardless of
+/// dispatcher or service-thread scheduling — at most one batch per
+/// connection is in flight and batches never reorder internally. Combined
+/// with the codec's exclusion of server-side observability bits, this is
+/// what makes a replayed capture byte-identical run over run and wire
+/// answers byte-equal to the in-process API.
+///
+/// Failure model: a malformed frame gets a typed kError frame and a
+/// connection close (protocol errors poison framing); a query that fails
+/// validation/admission/deadline gets its typed kError frame and the
+/// connection lives on; socket errors (including injected faults at
+/// net.socket.read/write) close the connection. The process never aborts
+/// on network input.
+///
+/// Shutdown() is graceful: stop accepting, stop reading, drain every
+/// dispatched and already-decoded query, flush the write buffers, then
+/// close — bounded by ServerOptions::drain_timeout_ms.
+class Server {
+ public:
+  Server(std::shared_ptr<ResolutionService> service,
+         ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the event-loop thread. UNAVAILABLE when
+  /// the port cannot be bound.
+  util::Status Start();
+
+  /// The bound port (after Start; resolves port 0 to the ephemeral pick).
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Graceful shutdown; idempotent; blocks until the loop thread exits.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+  const ResolutionService& service() const { return *service_; }
+
+ private:
+  /// One element of a connection's in-order pending queue. Besides real
+  /// queries it carries two inline-answerable markers — a malformed query
+  /// payload (answers INVALID_ARGUMENT) and an info request — which must
+  /// hold their place in line so responses never overtake earlier queries.
+  struct PendingEntry {
+    enum class Kind : uint8_t { kQuery, kDecodeError, kInfoRequest };
+    Kind kind = Kind::kQuery;
+    Query query;
+  };
+
+  struct Connection {
+    util::Socket sock;
+    std::string in;                         // unparsed wire bytes
+    std::deque<PendingEntry> pending;       // decoded, not yet dispatched
+    std::string out;                        // encoded frames awaiting write
+    size_t out_off = 0;                     // bytes of `out` already sent
+    bool in_flight = false;                 // a batch is at the dispatchers
+    bool closing = false;                   // drain then close (EOF/protocol)
+    bool want_write = false;                // EPOLLOUT currently armed
+    bool dead = false;                      // socket closed; erased at reap
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string bytes;        // encoded response frames, request order
+    uint64_t responses = 0;
+  };
+
+  void Loop();
+  void AcceptAll();
+  void HandleReadable(uint64_t id, Connection& conn);
+  void HandleWritable(uint64_t id, Connection& conn);
+  void MaybeDispatch(uint64_t id, Connection& conn);
+  void DrainCompletions();
+  void UpdateWriteInterest(uint64_t id, Connection& conn);
+  /// Appends bytes to the connection's write buffer and pushes them into
+  /// the kernel immediately (short writes leave the rest for EPOLLOUT).
+  void QueueWrite(uint64_t id, Connection& conn, std::string bytes);
+  /// Closes the socket and flags the connection; the entry itself is
+  /// erased only by ReapDead at a safe point in the loop, so nested
+  /// handlers never hold a dangling Connection reference.
+  void MarkDead(Connection& conn);
+  void ReapDead();
+  wire::ServerInfo MakeInfo() const;
+
+  std::shared_ptr<ResolutionService> service_;
+  ServerOptions options_;
+  util::Socket listener_;
+  uint16_t port_ = 0;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions + shutdown wakeups
+
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  std::unique_ptr<util::ThreadPool> dispatchers_;
+
+  std::unordered_map<uint64_t, Connection> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake fd
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  // Counters are atomics: the loop and dispatchers write, stats() reads.
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> queries_dispatched_{0};
+  std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> socket_errors_{0};
+};
+
+}  // namespace yver::serve::net
+
+#endif  // YVER_SERVE_NET_SERVER_H_

@@ -125,17 +125,18 @@ util::StatusOr<QueryResult> ResolutionService::QueryRecord(
   return result;
 }
 
-std::vector<util::StatusOr<QueryResult>> ResolutionService::QueryBatch(
+BatchResult ResolutionService::QueryBatch(
     const std::vector<Query>& queries) {
-  std::vector<util::StatusOr<QueryResult>> results(
-      queries.size(), util::Status::Internal("unanswered"));
+  BatchResult batch;
+  batch.results.assign(queries.size(), util::Status::Internal("unanswered"));
   QueryStream(queries,
-              [&results](size_t i, util::StatusOr<QueryResult> result) {
+              [&batch](size_t i, util::StatusOr<QueryResult> result) {
                 // Each i is written by exactly one worker; the latch inside
                 // QueryStream orders these writes before the return.
-                results[i] = std::move(result);
+                batch.results[i] = std::move(result);
               });
-  return results;
+  batch.Tally();
+  return batch;
 }
 
 void ResolutionService::QueryStream(

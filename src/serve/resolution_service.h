@@ -13,6 +13,7 @@
 
 #include "core/entity_clusters.h"
 #include "serve/admission_controller.h"
+#include "serve/batch_result.h"
 #include "serve/lru_cache.h"
 #include "serve/query.h"
 #include "serve/resolution_index.h"
@@ -111,9 +112,10 @@ class ResolutionService {
 
   /// Answers a batch concurrently; results[i] corresponds to queries[i]
   /// and equals what QueryRecord(queries[i]) would return. Blocks until
-  /// the whole batch is done.
-  std::vector<util::StatusOr<QueryResult>> QueryBatch(
-      const std::vector<Query>& queries);
+  /// the whole batch is done. The returned BatchResult carries the tallied
+  /// per-batch counters (ok / shed / deadline / degraded) alongside the
+  /// per-query statuses.
+  BatchResult QueryBatch(const std::vector<Query>& queries);
 
   /// Streaming-style variant: `sink(i, result)` is invoked once per query,
   /// from worker threads, as each result becomes ready (order is not

@@ -1,0 +1,140 @@
+#ifndef YVER_SERVE_WIRE_H_
+#define YVER_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/query.h"
+#include "serve/resolution_service.h"
+#include "util/status.h"
+
+namespace yver::serve::wire {
+
+/// The transport-neutral serialization layer of the serving protocol
+/// (DESIGN.md §12): one typed codec shared by the TCP front end
+/// (serve::net), the record/replay capture format, and any future
+/// transport. Everything on the wire is a length-prefixed frame:
+///
+///   offset 0  magic      0x59 'Y'
+///   offset 1  magic      0x57 'W'
+///   offset 2  version    kVersion (compat rules below)
+///   offset 3  frame type FrameType
+///   offset 4  payload length, uint32 little-endian
+///   offset 8  payload (length bytes)
+///
+/// All integers are little-endian; doubles travel as their IEEE-754 bit
+/// patterns (bit-exact round-trip, NaN payloads included). Malformed input
+/// always yields a typed util::Status — the decoder never crashes, never
+/// over-reads, and never allocates more than kMaxFramePayload.
+///
+/// Version/compat rules: a decoder accepts frames with version in
+/// [1, kVersion] (payload layouts are append-only within a frame type, so
+/// an old capture stays replayable against a newer binary); versions
+/// beyond kVersion are rejected with INVALID_ARGUMENT ("speak an older
+/// dialect, never guess a newer one").
+
+inline constexpr uint8_t kMagic0 = 0x59;  // 'Y'
+inline constexpr uint8_t kMagic1 = 0x57;  // 'W'
+inline constexpr uint8_t kVersion = 1;
+inline constexpr size_t kHeaderSize = 8;
+/// Upper bound on a single frame payload: a decode of a hostile length
+/// field fails typed instead of attempting a huge allocation.
+inline constexpr size_t kMaxFramePayload = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kQuery = 1,        // client -> server: one serve::Query
+  kResult = 2,       // server -> client: the OK answer to a query
+  kError = 3,        // server -> client: a typed non-OK util::Status
+  kInfoRequest = 4,  // client -> server: corpus + metrics snapshot request
+  kInfo = 5,         // server -> client: ServerInfo
+};
+
+/// One decoded frame: the type plus the raw payload bytes. The payload is
+/// owned so a frame outlives the connection buffer it was parsed from.
+struct Frame {
+  FrameType type = FrameType::kQuery;
+  uint8_t version = kVersion;
+  std::string payload;
+};
+
+/// Appends a complete frame (header + payload) to `out`.
+void AppendFrame(FrameType type, std::string_view payload, std::string* out);
+
+/// Tries to parse one frame from the start of `buffer`. Returns the number
+/// of bytes consumed (header + payload) with `*frame` filled, or 0 when
+/// the buffer holds only a prefix of a frame (read more and retry — the
+/// partial-read half of the protocol). Bad magic, an unsupported version,
+/// an unknown frame type, or an oversized length field are typed errors:
+/// the connection is poisoned and must be closed.
+util::StatusOr<size_t> ExtractFrame(std::string_view buffer, Frame* frame);
+
+// ---------------------------------------------------------------------------
+// Query
+
+/// A query as it travels: the semantic fields of serve::Query plus the
+/// deadline as a relative millisecond budget (a steady-clock time_point is
+/// meaningless across machines). `deadline_ms` encodes as its f64 bit
+/// pattern; all-zero bits mean "no deadline". The decoder materializes the
+/// budget into `query.deadline` at decode time, which is what propagates a
+/// wire deadline into the service's admission/compute checks.
+struct DecodedQuery {
+  Query query;
+  double deadline_ms = 0.0;  // 0 = infinite
+};
+
+/// Appends a kQuery frame for `query` with the given millisecond budget
+/// (0 = none). The query's own `deadline` member is ignored — budgets are
+/// wire metadata, exactly like Query::operator== treats them.
+void EncodeQuery(const Query& query, double deadline_ms, std::string* out);
+
+/// Decodes a kQuery frame. DATA_LOSS on a payload size mismatch,
+/// INVALID_ARGUMENT on an unknown granularity or a NaN deadline. A NaN
+/// certainty decodes fine and is rejected by serve::ValidateQuery
+/// server-side, so the client gets the same typed error the in-process
+/// API gives.
+util::StatusOr<DecodedQuery> DecodeQuery(const Frame& frame);
+
+// ---------------------------------------------------------------------------
+// Result / error
+
+/// Appends the answer to a query: a kResult frame when `result` is OK, a
+/// kError frame (status code + message) otherwise. The result encoding
+/// carries the semantic query echo, the degraded flag, and the
+/// matches/entity payload — but NOT `from_cache` (server-side
+/// observability, not part of the answer; excluding it is what makes wire
+/// responses byte-equal across cache states and server thread counts).
+void EncodeResult(const util::StatusOr<QueryResult>& result,
+                  std::string* out);
+
+/// Decodes a kResult or kError frame into exactly what the in-process
+/// ResolutionService::QueryRecord would have returned: the QueryResult on
+/// kResult, the typed Status on kError. DATA_LOSS on truncated or
+/// inconsistent payloads, INVALID_ARGUMENT on an unknown status code.
+util::StatusOr<QueryResult> DecodeResult(const Frame& frame);
+
+// ---------------------------------------------------------------------------
+// Server info
+
+/// Corpus identity plus a ServiceMetrics snapshot: what a load generator
+/// needs to shape a workload (record count) and report the server-side
+/// latency histogram without a side channel.
+struct ServerInfo {
+  uint64_t num_records = 0;
+  uint64_t num_matches = 0;
+  uint64_t checksum = 0;
+  ServiceMetrics metrics;
+};
+
+/// Appends a kInfoRequest frame (empty payload).
+void EncodeInfoRequest(std::string* out);
+
+/// Appends a kInfo frame for `info`.
+void EncodeInfo(const ServerInfo& info, std::string* out);
+
+/// Decodes a kInfo frame. DATA_LOSS on size mismatch.
+util::StatusOr<ServerInfo> DecodeInfo(const Frame& frame);
+
+}  // namespace yver::serve::wire
+
+#endif  // YVER_SERVE_WIRE_H_

@@ -39,6 +39,10 @@ const char* FaultPointName(FaultPoint point) {
       return "serve.cache.get";
     case FaultPoint::kServiceCompute:
       return "serve.service.compute";
+    case FaultPoint::kSocketRead:
+      return "net.socket.read";
+    case FaultPoint::kSocketWrite:
+      return "net.socket.write";
     case FaultPoint::kNumPoints:
       break;
   }

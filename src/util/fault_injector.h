@@ -21,6 +21,8 @@ enum class FaultPoint : uint8_t {
   kDatasetCsvLoad,      // data: reading the dataset CSV
   kCacheGet,            // serve: LRU cache lookup (latency only)
   kServiceCompute,      // serve: the query compute path (latency only)
+  kSocketRead,          // net: per-read() of the wire transport
+  kSocketWrite,         // net: per-write() of the wire transport
   kNumPoints,           // sentinel — keep last
 };
 

@@ -1,0 +1,545 @@
+// Integration tests of the TCP front end (DESIGN.md §12): the wire
+// answers must be byte-equal to the in-process API at every server thread
+// count, responses must come back in request order under pipelining,
+// malformed bytes must produce typed error frames (never a crash), a
+// graceful shutdown must drain every accepted query, a recorded capture
+// must replay to an identical response hash, and injected socket faults
+// must only ever fragment or fail I/O — never corrupt an answer.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ranked_resolution.h"
+#include "serve/net/client.h"
+#include "serve/net/loadgen.h"
+#include "serve/net/replay.h"
+#include "serve/net/server.h"
+#include "serve/query.h"
+#include "serve/resolution_index.h"
+#include "serve/resolution_service.h"
+#include "serve/wire.h"
+#include "util/deadline.h"
+#include "util/fault_injector.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace yver::serve {
+namespace {
+
+using util::StatusCode;
+
+constexpr size_t kNumRecords = 200;
+constexpr size_t kNumMatches = 800;
+
+core::RankedResolution MakeResolution(size_t num_records, size_t num_matches,
+                                      uint64_t seed) {
+  util::Rng rng(seed);
+  std::set<data::RecordPair> seen;
+  std::vector<core::RankedMatch> matches;
+  while (matches.size() < num_matches) {
+    auto a = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int64_t>(num_records) - 1));
+    auto b = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int64_t>(num_records) - 1));
+    if (a == b) continue;
+    data::RecordPair pair(a, b);
+    if (!seen.insert(pair).second) continue;
+    core::RankedMatch m;
+    m.pair = pair;
+    m.confidence = rng.UniformInt(-2, 20) / 10.0;
+    m.block_score = rng.UniformDouble();
+    matches.push_back(m);
+  }
+  return core::RankedResolution(std::move(matches));
+}
+
+std::shared_ptr<const ResolutionIndex> MakeIndex() {
+  return std::make_shared<const ResolutionIndex>(
+      MakeResolution(kNumRecords, kNumMatches, /*seed=*/77), kNumRecords);
+}
+
+std::vector<Query> MakeWorkload(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Query> workload;
+  workload.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Query query;
+    query.record = static_cast<data::RecordIdx>(
+        rng.UniformInt(0, static_cast<int64_t>(kNumRecords) - 1));
+    query.certainty = rng.UniformInt(-2, 20) / 10.0;
+    query.k = static_cast<size_t>(rng.UniformInt(0, 8));
+    query.granularity =
+        rng.Bernoulli(0.3) ? Granularity::kEntity : Granularity::kMatches;
+    workload.push_back(query);
+  }
+  return workload;
+}
+
+/// The reference bytes: what the uncached single-threaded in-process API
+/// answers, pushed through the same codec.
+std::vector<std::string> ReferenceBytes(
+    const std::shared_ptr<const ResolutionIndex>& index,
+    const std::vector<Query>& workload) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 0;
+  ResolutionService reference(index, options);
+  std::vector<std::string> expected;
+  expected.reserve(workload.size());
+  for (const Query& query : workload) {
+    std::string bytes;
+    wire::EncodeResult(reference.QueryRecord(query), &bytes);
+    expected.push_back(std::move(bytes));
+  }
+  return expected;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Byte equality: the tentpole determinism contract
+
+TEST(NetServerTest, WireAnswersAreByteEqualToInProcessAcrossThreadCounts) {
+  auto index = MakeIndex();
+  auto workload = MakeWorkload(300, /*seed=*/5);
+  auto expected = ReferenceBytes(index, workload);
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    ServiceOptions service_options;
+    service_options.num_threads = threads;
+    auto service =
+        std::make_shared<ResolutionService>(index, service_options);
+    net::ServerOptions server_options;
+    server_options.dispatch_threads = threads;
+    net::Server server(service, server_options);
+    ASSERT_TRUE(server.Start().ok());
+
+    auto client = net::Client::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+    for (size_t i = 0; i < workload.size(); ++i) {
+      ASSERT_TRUE(client->SendQuery(workload[i]).ok());
+      auto response = client->ReadFrameBytes();
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_EQ(*response, expected[i])
+          << "query " << i << " at " << threads << " threads";
+    }
+    server.Shutdown();
+  }
+}
+
+TEST(NetServerTest, PipelinedResponsesComeBackInRequestOrder) {
+  auto index = MakeIndex();
+  auto workload = MakeWorkload(500, /*seed=*/6);
+  auto expected = ReferenceBytes(index, workload);
+
+  auto service = std::make_shared<ResolutionService>(index);
+  net::ServerOptions options;
+  options.dispatch_threads = 4;
+  options.max_batch = 16;  // force several dispatch rounds
+  net::Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = net::Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  // Fire the whole pipeline before reading anything.
+  for (const Query& query : workload) {
+    ASSERT_TRUE(client->SendQuery(query).ok());
+  }
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto response = client->ReadFrameBytes();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(*response, expected[i]) << "response " << i;
+  }
+  server.Shutdown();
+}
+
+TEST(NetServerTest, ConcurrentConnectionsEachGetOrderedByteEqualAnswers) {
+  auto index = MakeIndex();
+  auto service = std::make_shared<ResolutionService>(index);
+  net::ServerOptions options;
+  options.dispatch_threads = 4;
+  net::Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kClients = 8;
+  std::vector<std::thread> threads;
+  // One atomic per client: vector<bool> packs bits, so concurrent writers
+  // to neighboring indices would race on the shared word.
+  std::array<std::atomic<bool>, kClients> passed{};
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto workload = MakeWorkload(100, /*seed=*/100 + c);
+      auto expected = ReferenceBytes(index, workload);
+      auto client = net::Client::Connect(server.port());
+      if (!client.ok()) return;
+      for (const Query& query : workload) {
+        if (!client->SendQuery(query).ok()) return;
+      }
+      for (size_t i = 0; i < workload.size(); ++i) {
+        auto response = client->ReadFrameBytes();
+        if (!response.ok() || *response != expected[i]) return;
+      }
+      passed[c] = true;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(passed[c]) << "client " << c;
+  }
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Typed failures over the wire
+
+TEST(NetServerTest, InvalidQueriesGetTypedErrorFramesAndConnectionLivesOn) {
+  auto index = MakeIndex();
+  auto service = std::make_shared<ResolutionService>(index);
+  net::Server server(service);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = net::Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  Query nan_query;
+  nan_query.certainty = std::numeric_limits<double>::quiet_NaN();
+  auto result = client->Call(nan_query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  Query out_of_range;
+  out_of_range.record = kNumRecords + 5;
+  result = client->Call(out_of_range);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+
+  // An already-expired wire deadline answers DEADLINE_EXCEEDED.
+  result = client->Call(Query{}, /*deadline_ms=*/-1.0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The connection survived all of it.
+  result = client->Call(Query{});
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  server.Shutdown();
+}
+
+TEST(NetServerTest, MalformedQueryPayloadKeepsResponseOrder) {
+  auto index = MakeIndex();
+  auto service = std::make_shared<ResolutionService>(index);
+  net::Server server(service);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = net::Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  // good, bad-payload (valid frame, wrong size), good — pipelined. The
+  // malformed one answers INVALID_ARGUMENT in position, not first or last.
+  std::string stream;
+  wire::EncodeQuery(Query{}, 0, &stream);
+  wire::AppendFrame(wire::FrameType::kQuery, "abc", &stream);
+  wire::EncodeQuery(Query{}, 0, &stream);
+  ASSERT_TRUE(client->SendBytes(stream).ok());
+
+  auto first = client->ReadResult();
+  EXPECT_TRUE(first.ok());
+  auto second = client->ReadResult();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kInvalidArgument);
+  auto third = client->ReadResult();
+  EXPECT_TRUE(third.ok());
+  server.Shutdown();
+}
+
+TEST(NetServerTest, GarbageBytesGetOneErrorFrameThenEof) {
+  auto index = MakeIndex();
+  auto service = std::make_shared<ResolutionService>(index);
+  net::Server server(service);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = net::Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE(client->SendBytes("this is not a frame").ok());
+  auto result = client->ReadResult();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  // The connection is poisoned: next read sees EOF.
+  auto eof = client->ReadFrameBytes();
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+  server.Shutdown();
+}
+
+TEST(NetServerTest, InfoReportsCorpusIdentityAndMetrics) {
+  auto index = MakeIndex();
+  auto service = std::make_shared<ResolutionService>(index);
+  net::Server server(service);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = net::Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE(client->Call(Query{}).ok());
+  auto info = client->Info();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->num_records, kNumRecords);
+  EXPECT_EQ(info->num_matches, kNumMatches);
+  EXPECT_EQ(info->checksum, index->Checksum());
+  EXPECT_GE(info->metrics.queries, 1u);
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful shutdown
+
+TEST(NetServerTest, ShutdownDrainsEveryReceivedQuery) {
+  auto index = MakeIndex();
+  auto workload = MakeWorkload(200, /*seed=*/8);
+  auto expected = ReferenceBytes(index, workload);
+
+  auto service = std::make_shared<ResolutionService>(index);
+  net::ServerOptions options;
+  options.dispatch_threads = 2;
+  options.max_batch = 8;
+  net::Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = net::Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  for (const Query& query : workload) {
+    ASSERT_TRUE(client->SendQuery(query).ok());
+  }
+  // Wait until the server has parsed every frame (the wire is async), so
+  // the drain contract — not a read race — is what's under test.
+  while (server.stats().frames_received < workload.size()) {
+    std::this_thread::yield();
+  }
+  server.Shutdown();
+
+  // Every received query was answered before the close, in order.
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto response = client->ReadFrameBytes();
+    ASSERT_TRUE(response.ok()) << "response " << i << ": "
+                               << response.status().ToString();
+    EXPECT_EQ(*response, expected[i]) << "response " << i;
+  }
+  auto eof = client->ReadFrameBytes();
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetServerTest, ClientEofGetsAllAnswersThenClose) {
+  auto index = MakeIndex();
+  auto workload = MakeWorkload(50, /*seed=*/9);
+  auto expected = ReferenceBytes(index, workload);
+
+  auto service = std::make_shared<ResolutionService>(index);
+  net::Server server(service);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = net::Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  for (const Query& query : workload) {
+    ASSERT_TRUE(client->SendQuery(query).ok());
+  }
+  ASSERT_TRUE(client->FinishSending().ok());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto response = client->ReadFrameBytes();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(*response, expected[i]);
+  }
+  auto eof = client->ReadFrameBytes();
+  ASSERT_FALSE(eof.ok());
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Load generator: record/replay determinism
+
+TEST(NetLoadGenTest, RecordThenReplayIsHashIdentical) {
+  auto index = MakeIndex();
+  auto service = std::make_shared<ResolutionService>(index);
+  net::ServerOptions server_options;
+  server_options.dispatch_threads = 2;
+  net::Server server(service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::string capture = TempPath("loadgen_capture.yvq");
+  net::LoadGenOptions options;
+  options.port = server.port();
+  options.connections = 3;
+  options.num_queries = 400;
+  options.hot_set = 64;
+  options.entity_fraction = 0.25;
+  options.record_path = capture;
+  auto recorded = net::RunLoadGen(options);
+  ASSERT_TRUE(recorded.ok()) << recorded.status().ToString();
+  EXPECT_EQ(recorded->queries_sent, 400u);
+  EXPECT_EQ(recorded->ok, 400u);
+
+  net::LoadGenOptions replay_options;
+  replay_options.port = server.port();
+  replay_options.connections = 3;
+  replay_options.replay_path = capture;
+  auto replay1 = net::RunLoadGen(replay_options);
+  ASSERT_TRUE(replay1.ok()) << replay1.status().ToString();
+  auto replay2 = net::RunLoadGen(replay_options);
+  ASSERT_TRUE(replay2.ok());
+
+  // The recorded run and both replays got byte-identical answers — cache
+  // state and scheduling have changed in between, the bytes have not.
+  EXPECT_EQ(replay1->response_hash, recorded->response_hash);
+  EXPECT_EQ(replay2->response_hash, recorded->response_hash);
+  EXPECT_EQ(replay1->queries_sent, 400u);
+
+  // Server-side metrics travelled back over the wire.
+  EXPECT_GE(replay2->server_metrics.queries, 1200u);
+  server.Shutdown();
+  std::remove(capture.c_str());
+}
+
+TEST(NetLoadGenTest, OpenLoopPacingAnswersEverything) {
+  auto index = MakeIndex();
+  auto service = std::make_shared<ResolutionService>(index);
+  net::Server server(service);
+  ASSERT_TRUE(server.Start().ok());
+
+  net::LoadGenOptions options;
+  options.port = server.port();
+  options.connections = 2;
+  options.num_queries = 200;
+  options.qps = 20000;  // paced, but fast enough to finish quickly
+  auto report = net::RunLoadGen(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->queries_sent, 200u);
+  EXPECT_EQ(report->ok + report->errors, 200u);
+  EXPECT_GT(report->qps_achieved, 0.0);
+  EXPECT_GT(report->LatencyPercentileMs(0.5), 0.0);
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Chaos at the socket: faults fragment or fail, never corrupt
+
+TEST(NetChaosTest, InjectedSocketFaultsNeverCorruptAnswers) {
+  auto index = MakeIndex();
+  auto workload = MakeWorkload(400, /*seed=*/12);
+  auto expected = ReferenceBytes(index, workload);
+
+  auto service = std::make_shared<ResolutionService>(index);
+  net::ServerOptions server_options;
+  server_options.dispatch_threads = 2;
+  net::Server server(service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = net::Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Latency spikes and short reads at net.socket.read / net.socket.write:
+  // they fragment frames across partial reads and short writes, which must
+  // be invisible in the response bytes. (No injected hard errors here —
+  // those close connections by design and are covered below.)
+  util::FaultConfig config;
+  config.seed = 99;
+  config.latency_probability = 0.02;
+  config.latency_micros = 200;
+  config.short_read_probability = 0.3;
+  util::FaultInjector::Global().Arm(config);
+
+  // The injector is global, so besides fragmenting the socket it also
+  // fires inside the service (serve.service.compute): a query may
+  // legitimately answer with a typed kError frame. The contract under
+  // chaos: every kResult frame is byte-equal to the reference, every
+  // kError frame carries an allowed injected code.
+  size_t mismatches = 0;
+  size_t ok_frames = 0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (!client->SendQuery(workload[i]).ok()) break;
+    auto response = client->ReadFrameBytes(util::Deadline::AfterMillis(5000));
+    if (!response.ok()) break;
+    if (static_cast<uint8_t>((*response)[3]) ==
+        static_cast<uint8_t>(wire::FrameType::kError)) {
+      wire::Frame frame;
+      ASSERT_TRUE(wire::ExtractFrame(*response, &frame).ok());
+      auto decoded = wire::DecodeResult(frame);
+      ASSERT_FALSE(decoded.ok());
+      StatusCode code = decoded.status().code();
+      EXPECT_TRUE(code == StatusCode::kUnavailable ||
+                  code == StatusCode::kDataLoss)
+          << decoded.status().ToString();
+      continue;
+    }
+    ++ok_frames;
+    if (*response != expected[i]) ++mismatches;
+  }
+  auto& injector = util::FaultInjector::Global();
+  uint64_t read_hits = injector.hits(util::FaultPoint::kSocketRead);
+  uint64_t write_hits = injector.hits(util::FaultPoint::kSocketWrite);
+  util::FaultInjector::Global().Disarm();
+  server.Shutdown();
+
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_GT(ok_frames, 0u);
+  // The chaos actually reached the socket layer on both sides.
+  EXPECT_GT(read_hits, 0u);
+  EXPECT_GT(write_hits, 0u);
+}
+
+TEST(NetChaosTest, InjectedIoErrorsCloseConnectionsNeverCrash) {
+  auto index = MakeIndex();
+  auto service = std::make_shared<ResolutionService>(index);
+  net::Server server(service);
+  ASSERT_TRUE(server.Start().ok());
+
+  util::FaultConfig config;
+  config.seed = 7;
+  config.io_error_probability = 0.05;
+  config.short_read_probability = 0.2;
+  util::FaultInjector::Global().Arm(config);
+
+  // Hammer the server with short pipelines over fresh connections; every
+  // response is either a valid frame or a typed failure. Reads carry a
+  // deadline: a client whose own send was cut short mid-frame would
+  // otherwise wait forever for an answer to a query that never fully
+  // arrived (the server, correctly, holds the partial frame).
+  auto workload = MakeWorkload(20, /*seed=*/13);
+  for (int round = 0; round < 30; ++round) {
+    auto client = net::Client::Connect(server.port());
+    if (!client.ok()) continue;
+    size_t sent = 0;
+    for (const Query& query : workload) {
+      if (!client->SendQuery(query).ok()) break;
+      ++sent;
+    }
+    for (size_t i = 0; i < sent; ++i) {
+      auto response =
+          client->ReadResult(util::Deadline::AfterMillis(2000));
+      if (!response.ok()) {
+        // Injected faults surface as UNAVAILABLE (error or peer close),
+        // DATA_LOSS (torn frame / injected short read in the service),
+        // or DEADLINE_EXCEEDED (this read's own bound, above).
+        StatusCode code = response.status().code();
+        EXPECT_TRUE(code == StatusCode::kUnavailable ||
+                    code == StatusCode::kDataLoss ||
+                    code == StatusCode::kDeadlineExceeded)
+            << response.status().ToString();
+        break;
+      }
+    }
+  }
+  util::FaultInjector::Global().Disarm();
+  server.Shutdown();
+  // The server survived and kept its books.
+  EXPECT_GT(server.stats().connections_accepted, 0u);
+}
+
+}  // namespace
+}  // namespace yver::serve

@@ -1,0 +1,424 @@
+// Property tests of the serve::wire codec (DESIGN.md §12): encode ->
+// extract -> decode -> re-encode must be byte-identical for arbitrary
+// queries and results; truncated, bit-flipped, or version-skewed bytes
+// must produce typed util::Status errors — never a crash or over-read.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "serve/net/replay.h"
+#include "serve/query.h"
+#include "serve/wire.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace yver::serve {
+namespace {
+
+using util::StatusCode;
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Query RandomQuery(util::Rng& rng) {
+  Query query;
+  query.record = static_cast<data::RecordIdx>(rng.Next() & 0xffffffff);
+  query.certainty = rng.UniformDouble() * 2 - 1;
+  query.k = static_cast<size_t>(rng.UniformInt(0, 100));
+  query.granularity =
+      rng.Bernoulli(0.5) ? Granularity::kEntity : Granularity::kMatches;
+  return query;
+}
+
+QueryResult RandomResult(util::Rng& rng) {
+  QueryResult result;
+  result.query = RandomQuery(rng);
+  result.degraded = rng.Bernoulli(0.3);
+  size_t matches = static_cast<size_t>(rng.UniformInt(0, 20));
+  for (size_t i = 0; i < matches; ++i) {
+    core::RankedMatch m;
+    auto a = static_cast<data::RecordIdx>(rng.UniformInt(0, 1000));
+    auto b = static_cast<data::RecordIdx>(rng.UniformInt(1001, 2000));
+    m.pair = data::RecordPair(a, b);
+    m.confidence = rng.UniformDouble();
+    m.block_score = rng.UniformDouble();
+    result.matches.push_back(m);
+  }
+  size_t entity = static_cast<size_t>(rng.UniformInt(0, 30));
+  for (size_t i = 0; i < entity; ++i) {
+    result.entity.push_back(
+        static_cast<data::RecordIdx>(rng.UniformInt(0, 5000)));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+
+TEST(WireCodecTest, QueryRoundTripIsByteIdentical) {
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Query query = RandomQuery(rng);
+    double deadline_ms = rng.Bernoulli(0.5) ? rng.UniformDouble() * 100 : 0;
+    std::string bytes;
+    wire::EncodeQuery(query, deadline_ms, &bytes);
+
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(bytes, &frame);
+    ASSERT_TRUE(consumed.ok());
+    ASSERT_EQ(*consumed, bytes.size());
+    auto decoded = wire::DecodeQuery(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->query, query);  // semantic fields
+    EXPECT_EQ(decoded->deadline_ms, deadline_ms);
+    // A wire deadline materializes into a real Deadline at decode time.
+    EXPECT_EQ(decoded->query.deadline.is_infinite(), deadline_ms == 0);
+
+    std::string again;
+    wire::EncodeQuery(decoded->query, decoded->deadline_ms, &again);
+    EXPECT_EQ(bytes, again);
+  }
+}
+
+TEST(WireCodecTest, ResultRoundTripIsByteIdentical) {
+  util::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    QueryResult result = RandomResult(rng);
+    std::string bytes;
+    wire::EncodeResult(result, &bytes);
+
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(bytes, &frame);
+    ASSERT_TRUE(consumed.ok());
+    ASSERT_EQ(*consumed, bytes.size());
+    ASSERT_EQ(frame.type, wire::FrameType::kResult);
+    auto decoded = wire::DecodeResult(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->degraded, result.degraded);
+    EXPECT_EQ(decoded->entity, result.entity);
+    ASSERT_EQ(decoded->matches.size(), result.matches.size());
+
+    std::string again;
+    wire::EncodeResult(*decoded, &again);
+    EXPECT_EQ(bytes, again);
+  }
+}
+
+TEST(WireCodecTest, FromCacheIsNotOnTheWire) {
+  util::Rng rng(13);
+  QueryResult result = RandomResult(rng);
+  result.from_cache = false;
+  std::string cold;
+  wire::EncodeResult(result, &cold);
+  result.from_cache = true;
+  std::string warm;
+  wire::EncodeResult(result, &warm);
+  // The determinism contract: cache state never changes response bytes.
+  EXPECT_EQ(cold, warm);
+}
+
+TEST(WireCodecTest, ErrorRoundTripPreservesCodeAndMessage) {
+  const util::Status statuses[] = {
+      util::Status::InvalidArgument("certainty is NaN"),
+      util::Status::NotFound("no such record"),
+      util::Status::OutOfRange("record 999 beyond corpus"),
+      util::Status::DataLoss("torn read"),
+      util::Status::Internal("invariant"),
+      util::Status::DeadlineExceeded("budget spent"),
+      util::Status::ResourceExhausted("shed"),
+      util::Status::Unavailable("try again"),
+  };
+  for (const util::Status& status : statuses) {
+    std::string bytes;
+    wire::EncodeResult(status, &bytes);
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(bytes, &frame);
+    ASSERT_TRUE(consumed.ok());
+    ASSERT_EQ(frame.type, wire::FrameType::kError);
+    auto decoded = wire::DecodeResult(frame);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), status.code());
+    EXPECT_EQ(decoded.status().message(), status.message());
+  }
+}
+
+TEST(WireCodecTest, DoubleBitPatternsSurviveExactly) {
+  // NaN certainty must travel bit-exactly: the server rejects it with the
+  // same typed error the in-process API gives, which requires it to arrive
+  // intact rather than be mangled by a lossy text encoding.
+  Query query;
+  query.certainty = std::numeric_limits<double>::quiet_NaN();
+  std::string bytes;
+  wire::EncodeQuery(query, 0, &bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(bytes, &frame).ok());
+  auto decoded = wire::DecodeQuery(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::bit_cast<uint64_t>(decoded->query.certainty),
+            std::bit_cast<uint64_t>(query.certainty));
+}
+
+TEST(WireCodecTest, InfoRoundTrip) {
+  wire::ServerInfo info;
+  info.num_records = 123;
+  info.num_matches = 456;
+  info.checksum = 0xdeadbeefcafef00dULL;
+  info.metrics.queries = 9;
+  info.metrics.errors = 2;
+  info.metrics.cache_hits = 3;
+  info.metrics.cache_misses = 6;
+  info.metrics.shed = 1;
+  info.metrics.deadline_exceeded = 1;
+  info.metrics.degraded = 1;
+  info.metrics.total_latency_ms = 2.5;
+  info.metrics.latency_histogram_ns.assign(kServiceLatencyBuckets, 0);
+  info.metrics.latency_histogram_ns[20] = 9;
+  std::string bytes;
+  wire::EncodeInfo(info, &bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(bytes, &frame).ok());
+  auto decoded = wire::DecodeInfo(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_records, info.num_records);
+  EXPECT_EQ(decoded->num_matches, info.num_matches);
+  EXPECT_EQ(decoded->checksum, info.checksum);
+  EXPECT_EQ(decoded->metrics.queries, info.metrics.queries);
+  EXPECT_EQ(decoded->metrics.latency_histogram_ns,
+            info.metrics.latency_histogram_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input: typed errors, never crashes
+
+TEST(WireCodecTest, TruncatedPrefixesAreIncompleteNeverError) {
+  util::Rng rng(17);
+  Query query = RandomQuery(rng);
+  std::string bytes;
+  wire::EncodeQuery(query, 5.0, &bytes);
+  // Every strict prefix is either "incomplete, read more" (consumed == 0)
+  // — a partial read is not an error — and never a crash.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(std::string_view(bytes).substr(0, len),
+                                       &frame);
+    ASSERT_TRUE(consumed.ok()) << "prefix " << len;
+    EXPECT_EQ(*consumed, 0u) << "prefix " << len;
+  }
+}
+
+TEST(WireCodecTest, TruncatedPayloadIsTypedError) {
+  // A frame whose header promises more payload than the type needs, or a
+  // payload cut short relative to its own counts, must fail typed.
+  util::Rng rng(19);
+  QueryResult result = RandomResult(rng);
+  std::string bytes;
+  wire::EncodeResult(result, &bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(bytes, &frame).ok());
+  for (size_t cut = 0; cut < frame.payload.size(); ++cut) {
+    wire::Frame shorter = frame;
+    shorter.payload.resize(cut);
+    auto decoded = wire::DecodeResult(shorter);
+    ASSERT_FALSE(decoded.ok()) << "cut " << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss) << "cut " << cut;
+  }
+}
+
+TEST(WireCodecTest, BitFlipsNeverCrashTheDecoder) {
+  util::Rng rng(23);
+  Query query = RandomQuery(rng);
+  std::string bytes;
+  wire::EncodeQuery(query, 2.5, &bytes);
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = bytes;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      wire::Frame frame;
+      auto consumed = wire::ExtractFrame(flipped, &frame);
+      if (!consumed.ok()) continue;  // typed header rejection — fine
+      if (*consumed == 0) continue;  // looks incomplete now — fine
+      // A frame that still parses decodes to a value or a typed error.
+      if (frame.type == wire::FrameType::kQuery) {
+        auto decoded = wire::DecodeQuery(frame);
+        (void)decoded;
+      } else {
+        auto decoded = wire::DecodeResult(frame);
+        (void)decoded;
+      }
+    }
+  }
+}
+
+TEST(WireCodecTest, HeaderRejectionsAreTyped) {
+  std::string bytes;
+  wire::EncodeQuery(Query{}, 0, &bytes);
+  {
+    std::string bad = bytes;
+    bad[0] = 'X';  // magic
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(bad, &frame);
+    ASSERT_FALSE(consumed.ok());
+    EXPECT_EQ(consumed.status().code(), StatusCode::kDataLoss);
+  }
+  {
+    std::string bad = bytes;
+    bad[2] = 0;  // version 0: never valid
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(bad, &frame);
+    ASSERT_FALSE(consumed.ok());
+    EXPECT_EQ(consumed.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    std::string bad = bytes;
+    bad[2] = wire::kVersion + 1;  // newer dialect: reject, never guess
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(bad, &frame);
+    ASSERT_FALSE(consumed.ok());
+    EXPECT_EQ(consumed.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    std::string bad = bytes;
+    bad[3] = 99;  // unknown frame type
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(bad, &frame);
+    ASSERT_FALSE(consumed.ok());
+    EXPECT_EQ(consumed.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    std::string bad = bytes;
+    bad[7] = 0x7f;  // length field far beyond kMaxFramePayload
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(bad, &frame);
+    ASSERT_FALSE(consumed.ok());
+    EXPECT_EQ(consumed.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(WireCodecTest, QueryPayloadSizeIsExact) {
+  std::string bytes;
+  wire::EncodeQuery(Query{}, 0, &bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(bytes, &frame).ok());
+  frame.payload.push_back('\0');
+  auto decoded = wire::DecodeQuery(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WireCodecTest, NaNWireDeadlineIsRejected) {
+  std::string bytes;
+  wire::EncodeQuery(Query{}, std::numeric_limits<double>::quiet_NaN(),
+                    &bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(bytes, &frame).ok());
+  auto decoded = wire::DecodeQuery(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireCodecTest, PipelinedFramesExtractOneAtATime) {
+  util::Rng rng(29);
+  std::string stream;
+  std::vector<Query> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(RandomQuery(rng));
+    wire::EncodeQuery(queries.back(), 0, &stream);
+  }
+  std::string_view rest(stream);
+  for (int i = 0; i < 10; ++i) {
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(rest, &frame);
+    ASSERT_TRUE(consumed.ok());
+    ASSERT_GT(*consumed, 0u);
+    auto decoded = wire::DecodeQuery(frame);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->query, queries[static_cast<size_t>(i)]);
+    rest.remove_prefix(*consumed);
+  }
+  EXPECT_TRUE(rest.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Capture files (record/replay)
+
+TEST(CaptureFileTest, RoundTripsFramesByteIdentically) {
+  util::Rng rng(31);
+  std::vector<std::string> frames;
+  for (int i = 0; i < 50; ++i) {
+    std::string frame;
+    wire::EncodeQuery(RandomQuery(rng), rng.UniformDouble() * 10, &frame);
+    frames.push_back(frame);
+  }
+  std::string path = TempPath("capture_roundtrip.yvq");
+  auto writer = net::CaptureWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  for (const auto& frame : frames) ASSERT_TRUE(writer->Append(frame).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto loaded = net::LoadCapture(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, frames);
+  std::remove(path.c_str());
+}
+
+TEST(CaptureFileTest, TruncatedTailIsTypedError) {
+  std::string path = TempPath("capture_truncated.yvq");
+  auto writer = net::CaptureWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  std::string frame;
+  wire::EncodeQuery(Query{}, 0, &frame);
+  ASSERT_TRUE(writer->Append(frame).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  // Chop the last byte: the final frame is now a torn write.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()) - 1);
+  out.close();
+
+  auto loaded = net::LoadCapture(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(CaptureFileTest, BadMagicAndVersionAreTypedErrors) {
+  std::string path = TempPath("capture_bad_header.yvq");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "NOTACAPT";
+  }
+  auto loaded = net::LoadCapture(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const char header[8] = {0x59, 0x57, 0x52, 0x43,
+                            wire::kVersion + 1, 0, 0, 0};
+    out.write(header, sizeof(header));
+  }
+  loaded = net::LoadCapture(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CaptureFileTest, MissingFileIsNotFound) {
+  auto loaded = net::LoadCapture(TempPath("does_not_exist.yvq"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace yver::serve

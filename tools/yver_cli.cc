@@ -13,6 +13,13 @@
 //   yver_cli serve-bench --in data.csv (--matches matches.csv | --index idx.yvx)
 //                        [--queries N] [--certainty C] [--threads T]
 //                        [--hot-set H] [--no-cache] [--deadline-ms D]
+//   yver_cli serve       --in data.csv (--matches matches.csv | --index idx.yvx)
+//                        [--port P] [--port-file F] [--threads T]
+//                        [--dispatch-threads D] [--max-batch B] [--no-cache]
+//   yver_cli loadgen     --port P [--connections C] [--queries N] [--qps Q]
+//                        [--certainty X] [--k K] [--deadline-ms D]
+//                        [--hot-set H] [--entity-fraction F] [--seed S]
+//                        [--record cap.yvr | --replay cap.yvr] [--json]
 //   yver_cli sample      --in data.csv --out sub.csv [--fraction F]
 //                        [--by-entity] [--country NAME] [--seed S]
 //   yver_cli graph       --in data.csv (--matches matches.csv | --index idx.yvx)
@@ -32,8 +39,15 @@
 // `index` freezes a matches CSV into the binary serve::ResolutionIndex
 // artifact; `query`, `graph`, `families` and `serve-bench` accept either
 // form and build the same in-memory index from both.
+//
+// `serve` puts the index on the wire (DESIGN.md §12): a binary TCP front
+// end on 127.0.0.1 that `loadgen` drives with a synthetic or replayed
+// workload. `yver_cli serve --help` documents every serving knob.
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +56,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/entity_clusters.h"
@@ -55,6 +70,8 @@
 #include "data/sample.h"
 #include "data/stats.h"
 #include "ml/adtree_io.h"
+#include "serve/net/loadgen.h"
+#include "serve/net/server.h"
 #include "serve/query.h"
 #include "serve/resolution_index.h"
 #include "serve/resolution_service.h"
@@ -234,12 +251,12 @@ struct QueryOptions {
   }
 };
 
-QueryOptions ParseQueryOptions(const Flags& flags) {
+/// Parses the workload-shape knobs every query-ish command shares. The
+/// corpus flags (--in / --matches / --index) are layered on by
+/// ParseQueryOptions; `loadgen` skips them because it talks to a running
+/// server instead of loading an index itself.
+QueryOptions ParseWorkloadShape(const Flags& flags) {
   QueryOptions options;
-  options.in = flags.Require("in");
-  options.matches = flags.Get("matches");
-  options.index_path = flags.Get("index");
-  options.out = flags.Get("out");
   options.certainty = flags.GetDouble("certainty", 0.0);
   if (std::isnan(options.certainty)) {
     // Mirror serve::ValidateQuery: the clustering paths that bypass the
@@ -263,6 +280,154 @@ QueryOptions ParseQueryOptions(const Flags& flags) {
   options.deadline_ms = flags.GetDouble("deadline-ms", 0);
   return options;
 }
+
+QueryOptions ParseQueryOptions(const Flags& flags) {
+  QueryOptions options = ParseWorkloadShape(flags);
+  options.in = flags.Require("in");
+  options.matches = flags.Get("matches");
+  options.index_path = flags.Get("index");
+  options.out = flags.Get("out");
+  return options;
+}
+
+/// The one options struct behind every serving subcommand. `serve`,
+/// `serve-bench`, and `loadgen` parse the same flags into the same fields
+/// (each ignores what it doesn't use: serve-bench never opens a port,
+/// loadgen never loads a corpus), so a knob means the same thing — and is
+/// documented once, in kServeHelp — across all three.
+struct ServeOptions {
+  QueryOptions query;          // corpus + workload shape (certainty, k, ...)
+  uint16_t port = 0;           // serve: bind port (0 = ephemeral); loadgen:
+                               // the server's port (required)
+  std::string port_file;       // serve: write the bound port here (scripts
+                               // find an ephemeral server without racing)
+  size_t dispatch_threads = 1;
+  size_t max_batch = 64;
+  size_t max_connections = 1024;
+  double drain_timeout_ms = 5000;
+  // Admission budgets (serve, serve-bench): 0 disables shedding.
+  size_t max_in_flight = 0;
+  size_t max_queue_depth = 0;
+  // loadgen pacing + capture:
+  size_t connections = 1;
+  double qps = 0;              // 0 = closed loop
+  double entity_fraction = 0;
+  uint64_t seed = 17;
+  std::string record_path;
+  std::string replay_path;
+  bool json = false;
+
+  serve::ServiceOptions ToServiceOptions() const {
+    serve::ServiceOptions o;
+    o.num_threads = query.threads;
+    if (query.no_cache) o.cache_capacity = 0;
+    o.max_in_flight = max_in_flight;
+    o.max_queue_depth = max_queue_depth;
+    return o;
+  }
+
+  serve::net::ServerOptions ToServerOptions() const {
+    serve::net::ServerOptions o;
+    o.port = port;
+    o.dispatch_threads = dispatch_threads;
+    o.max_batch = max_batch;
+    o.max_connections = max_connections;
+    o.drain_timeout_ms = drain_timeout_ms;
+    return o;
+  }
+
+  serve::net::LoadGenOptions ToLoadGenOptions() const {
+    serve::net::LoadGenOptions o;
+    o.port = port;
+    o.connections = connections;
+    o.num_queries = query.num_queries;
+    o.qps = qps;
+    o.certainty = query.certainty;
+    o.k = query.k;
+    o.deadline_ms = query.deadline_ms;
+    o.hot_set = query.hot_set;
+    o.entity_fraction = entity_fraction;
+    o.seed = seed;
+    o.record_path = record_path;
+    o.replay_path = replay_path;
+    return o;
+  }
+};
+
+ServeOptions ParseServeOptions(const Flags& flags, bool needs_corpus) {
+  ServeOptions options;
+  options.query =
+      needs_corpus ? ParseQueryOptions(flags) : ParseWorkloadShape(flags);
+  if (!needs_corpus && !flags.Has("queries")) {
+    options.query.num_queries = 1000;  // loadgen default; bench keeps 10000
+  }
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  options.port_file = flags.Get("port-file");
+  options.dispatch_threads =
+      static_cast<size_t>(flags.GetInt("dispatch-threads", 1));
+  options.max_batch = static_cast<size_t>(flags.GetInt("max-batch", 64));
+  options.max_connections =
+      static_cast<size_t>(flags.GetInt("max-connections", 1024));
+  options.drain_timeout_ms = flags.GetDouble("drain-timeout-ms", 5000);
+  options.max_in_flight =
+      static_cast<size_t>(flags.GetInt("max-in-flight", 0));
+  options.max_queue_depth =
+      static_cast<size_t>(flags.GetInt("max-queue-depth", 0));
+  options.connections = static_cast<size_t>(flags.GetInt("connections", 1));
+  options.qps = flags.GetDouble("qps", 0);
+  options.entity_fraction = flags.GetDouble("entity-fraction", 0);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+  options.record_path = flags.Get("record");
+  options.replay_path = flags.Get("replay");
+  options.json = flags.Has("json");
+  return options;
+}
+
+// Every serving knob, documented exactly once; printed by --help on
+// serve, serve-bench, and loadgen.
+constexpr const char kServeHelp[] =
+    "serving subcommands (shared flags parse into one ServeOptions):\n"
+    "\n"
+    "  serve       --in data.csv (--matches m.csv | --index idx.yvx)\n"
+    "              binary TCP front end on 127.0.0.1; SIGINT/SIGTERM\n"
+    "              drains in-flight queries before exiting\n"
+    "  serve-bench --in data.csv (--matches m.csv | --index idx.yvx)\n"
+    "              in-process batch benchmark (no socket)\n"
+    "  loadgen     --port P\n"
+    "              wire client driving a running `serve`\n"
+    "\n"
+    "corpus (serve, serve-bench):\n"
+    "  --in F                dataset CSV (required)\n"
+    "  --matches F           ranked matches CSV\n"
+    "  --index F             binary resolution index (preferred)\n"
+    "  --threads T           service worker threads (0 = hw threads)\n"
+    "  --no-cache            disable the query cache\n"
+    "  --max-in-flight N     admission budget; 0 = no shedding (0)\n"
+    "  --max-queue-depth N   waiters allowed beyond the budget (0)\n"
+    "\n"
+    "server (serve):\n"
+    "  --port P              bind port (0 = kernel-assigned, default)\n"
+    "  --port-file F         write the bound port to F once listening\n"
+    "  --dispatch-threads D  batches in flight across connections (1)\n"
+    "  --max-batch B         queries per dispatch per connection (64)\n"
+    "  --max-connections N   accept cap; excess closed at once (1024)\n"
+    "  --drain-timeout-ms D  graceful-shutdown bound (5000)\n"
+    "\n"
+    "workload shape (serve-bench, loadgen):\n"
+    "  --queries N           total queries (10000 bench / 1000 loadgen)\n"
+    "  --certainty C         confidence threshold in [0,1) (0)\n"
+    "  --k K                 top-k matches per query (0 = all)\n"
+    "  --deadline-ms D       per-query budget; 0 = none\n"
+    "  --hot-set H           distinct hot records queried (1024)\n"
+    "\n"
+    "load generator (loadgen):\n"
+    "  --connections C       concurrent client connections (1)\n"
+    "  --qps Q               open-loop target rate; 0 = closed loop\n"
+    "  --entity-fraction F   fraction at entity granularity (0)\n"
+    "  --seed S              workload RNG seed (17)\n"
+    "  --record F            capture every query frame sent to F\n"
+    "  --replay F            replay a capture byte-identically\n"
+    "  --json                machine-readable report on stdout\n";
 
 data::Dataset LoadOrDie(const std::string& path) {
   auto dataset = data::LoadDatasetCsvLenient(path);
@@ -514,7 +679,8 @@ int CmdQuery(const QueryOptions& options) {
   return 0;
 }
 
-int CmdServeBench(const QueryOptions& options) {
+int CmdServeBench(const ServeOptions& serve_options) {
+  const QueryOptions& options = serve_options.query;
   data::Dataset dataset = LoadOrDie(options.in);
   auto index = LoadIndexOrDie(dataset, options);
   if (index->num_records() == 0) {
@@ -537,10 +703,8 @@ int CmdServeBench(const QueryOptions& options) {
         options.ToServeQuery(record, serve::Granularity::kMatches));
   }
 
-  serve::ServiceOptions service_options;
-  service_options.num_threads = options.threads;
-  if (options.no_cache) service_options.cache_capacity = 0;
-  serve::ResolutionService service(index, service_options);
+  serve::ResolutionService service(index,
+                                   serve_options.ToServiceOptions());
 
   // Baseline: the pre-index behaviour — one linear scan of the full match
   // list per query (what `query` did per invocation before ResolutionIndex).
@@ -566,17 +730,20 @@ int CmdServeBench(const QueryOptions& options) {
   auto warm = service.QueryBatch(workload);
   double warm_ms = timer.ElapsedMillis();
 
-  size_t answered = 0;
-  for (const auto& result : warm) answered += result.ok();
   auto metrics = service.metrics();
   std::printf("corpus: %zu records, %zu matches; workload: %zu queries "
               "over %zu hot records, certainty %.2f, %zu threads\n",
               index->num_records(), index->num_matches(), workload.size(),
               hot, options.certainty, service.num_threads());
   if (options.deadline_ms > 0) {
-    std::printf("per-query deadline: %.2f ms (%llu exceeded)\n",
+    std::printf("per-query deadline: %.2f ms (%llu exceeded, %llu shed, "
+                "%llu degraded)\n",
                 options.deadline_ms,
-                static_cast<unsigned long long>(metrics.deadline_exceeded));
+                static_cast<unsigned long long>(cold.deadline_exceeded +
+                                                warm.deadline_exceeded),
+                static_cast<unsigned long long>(cold.shed + warm.shed),
+                static_cast<unsigned long long>(cold.degraded +
+                                                warm.degraded));
   }
   std::printf("linear scan   : %10.2f ms  (%.1f us/query, %zu match visits)\n",
               linear_ms, 1000.0 * linear_ms / workload.size(), linear_hits);
@@ -590,10 +757,132 @@ int CmdServeBench(const QueryOptions& options) {
               metrics.LatencyPercentileMs(0.95),
               metrics.LatencyPercentileMs(0.99));
   std::printf("warm speedup vs linear scan: %.1fx  (cache hit rate %.1f%%, "
-              "%zu/%zu answered)\n",
+              "%llu/%zu answered)\n",
               warm_ms > 0 ? linear_ms / warm_ms : 0.0,
-              100.0 * metrics.HitRate(), answered, warm.size());
-  (void)cold;
+              100.0 * metrics.HitRate(),
+              static_cast<unsigned long long>(warm.ok), warm.size());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Wire serving: `serve` runs the TCP front end until SIGINT/SIGTERM,
+// `loadgen` drives one from the client side.
+
+std::atomic<bool> g_stop_requested{false};
+
+void HandleStopSignal(int) { g_stop_requested.store(true); }
+
+int CmdServe(const ServeOptions& options) {
+  data::Dataset dataset = LoadOrDie(options.query.in);
+  auto index = LoadIndexOrDie(dataset, options.query);
+
+  auto service = std::make_shared<serve::ResolutionService>(
+      index, options.ToServiceOptions());
+
+  serve::net::Server server(service, options.ToServerOptions());
+  auto started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (!options.port_file.empty()) {
+    // Written after listen succeeds: a script that polls this file never
+    // connects to a port the server doesn't own yet.
+    std::ofstream f(options.port_file, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", options.port_file.c_str());
+      server.Shutdown();
+      return 1;
+    }
+    f << server.port() << "\n";
+  }
+  std::printf("serving %zu records / %zu matches on 127.0.0.1:%u "
+              "(%zu service thread(s), %zu dispatcher(s))\n",
+              index->num_records(), index->num_matches(), server.port(),
+              service->num_threads(), options.dispatch_threads);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop_requested.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("draining...\n");
+  server.Shutdown();
+  auto stats = server.stats();
+  std::printf("served %llu queries over %llu connection(s) "
+              "(%llu responses, %llu protocol error(s))\n",
+              static_cast<unsigned long long>(stats.queries_dispatched),
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.responses_sent),
+              static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}
+
+int CmdLoadGen(const ServeOptions& options) {
+  if (options.port == 0) {
+    std::fprintf(stderr, "missing required flag --port\n");
+    return 2;
+  }
+  if (!options.record_path.empty() && !options.replay_path.empty()) {
+    std::fprintf(stderr, "--record and --replay are mutually exclusive\n");
+    return 2;
+  }
+  auto report = serve::net::RunLoadGen(options.ToLoadGenOptions());
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  if (options.json) {
+    std::printf(
+        "{\"queries_sent\": %llu, \"ok\": %llu, \"errors\": %llu, "
+        "\"wall_seconds\": %.6f, \"qps\": %.1f, "
+        "\"response_hash\": \"%016llx\", "
+        "\"client_p50_ms\": %.3f, \"client_p95_ms\": %.3f, "
+        "\"client_p99_ms\": %.3f, \"server_p50_ms\": %.3f, "
+        "\"server_p95_ms\": %.3f, \"server_p99_ms\": %.3f, "
+        "\"server_queries\": %llu, \"server_shed\": %llu, "
+        "\"server_deadline_exceeded\": %llu, \"cache_hit_rate\": %.4f}\n",
+        static_cast<unsigned long long>(report->queries_sent),
+        static_cast<unsigned long long>(report->ok),
+        static_cast<unsigned long long>(report->errors),
+        report->wall_seconds, report->qps_achieved,
+        static_cast<unsigned long long>(report->response_hash),
+        report->LatencyPercentileMs(0.50),
+        report->LatencyPercentileMs(0.95),
+        report->LatencyPercentileMs(0.99),
+        report->server_metrics.LatencyPercentileMs(0.50),
+        report->server_metrics.LatencyPercentileMs(0.95),
+        report->server_metrics.LatencyPercentileMs(0.99),
+        static_cast<unsigned long long>(report->server_metrics.queries),
+        static_cast<unsigned long long>(report->server_metrics.shed),
+        static_cast<unsigned long long>(
+            report->server_metrics.deadline_exceeded),
+        report->server_metrics.HitRate());
+    return 0;
+  }
+  std::printf("%llu queries over %zu connection(s) in %.2f s "
+              "(%.0f qps%s): %llu ok, %llu error frame(s)\n",
+              static_cast<unsigned long long>(report->queries_sent),
+              options.connections, report->wall_seconds,
+              report->qps_achieved,
+              options.qps > 0 ? ", open loop" : ", closed loop",
+              static_cast<unsigned long long>(report->ok),
+              static_cast<unsigned long long>(report->errors));
+  std::printf("client latency: p50 %.3f ms  p95 %.3f ms  p99 %.3f ms "
+              "(log2-bucket upper bounds)\n",
+              report->LatencyPercentileMs(0.50),
+              report->LatencyPercentileMs(0.95),
+              report->LatencyPercentileMs(0.99));
+  std::printf("server latency: p50 %.3f ms  p95 %.3f ms  p99 %.3f ms "
+              "(%llu served, cache hit rate %.1f%%)\n",
+              report->server_metrics.LatencyPercentileMs(0.50),
+              report->server_metrics.LatencyPercentileMs(0.95),
+              report->server_metrics.LatencyPercentileMs(0.99),
+              static_cast<unsigned long long>(report->server_metrics.queries),
+              100.0 * report->server_metrics.HitRate());
+  std::printf("response hash: %016llx\n",
+              static_cast<unsigned long long>(report->response_hash));
   return 0;
 }
 
@@ -677,9 +966,10 @@ int CmdFamilies(const QueryOptions& options) {
 int Usage() {
   std::fprintf(stderr,
                "usage: yver_cli "
-               "<generate|stats|normalize|resolve|index|query|serve-bench|"
-               "sample|graph|families> "
-               "[flags]\n(see the header of tools/yver_cli.cc)\n");
+               "<generate|stats|normalize|resolve|index|query|serve|"
+               "serve-bench|loadgen|sample|graph|families> "
+               "[flags]\n(see the header of tools/yver_cli.cc; "
+               "`yver_cli serve --help` covers the serving knobs)\n");
   return 2;
 }
 
@@ -688,14 +978,32 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "help") {
+    Usage();
+    return 0;
+  }
   Flags flags(argc, argv, 2);
+  bool serving =
+      cmd == "serve" || cmd == "serve-bench" || cmd == "loadgen";
+  if (flags.Has("help")) {
+    if (serving) {
+      std::fputs(kServeHelp, stdout);
+    } else {
+      Usage();
+    }
+    return 0;
+  }
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "stats") return CmdStats(flags);
   if (cmd == "normalize") return CmdNormalize(flags);
   if (cmd == "resolve") return CmdResolve(ParseResolveOptions(flags));
   if (cmd == "index") return CmdIndex(ParseQueryOptions(flags));
   if (cmd == "query") return CmdQuery(ParseQueryOptions(flags));
-  if (cmd == "serve-bench") return CmdServeBench(ParseQueryOptions(flags));
+  if (cmd == "serve") return CmdServe(ParseServeOptions(flags, true));
+  if (cmd == "serve-bench") {
+    return CmdServeBench(ParseServeOptions(flags, true));
+  }
+  if (cmd == "loadgen") return CmdLoadGen(ParseServeOptions(flags, false));
   if (cmd == "sample") return CmdSample(flags);
   if (cmd == "graph") return CmdGraph(ParseQueryOptions(flags));
   if (cmd == "families") return CmdFamilies(ParseQueryOptions(flags));
