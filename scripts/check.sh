@@ -15,9 +15,12 @@
 # the failure paths would hide.
 #
 # The TSan stage ends with a loopback serving smoke: a TSan-built
-# `yver_cli serve` on an ephemeral port, a recorded loadgen workload, and
-# two replays whose response hashes must reproduce the recorded one —
-# the wire determinism contract exercised end to end over real sockets.
+# `yver_cli serve --live` on an ephemeral port, a recorded loadgen
+# workload, and two replays whose response hashes must reproduce the
+# recorded one — the wire determinism contract exercised end to end over
+# real sockets — followed by a live-append step: fresh reports streamed
+# in with `yver_cli append --verify`, which must see the served
+# generation advance and the appended record answer queries.
 #
 #   scripts/check.sh            # all stages
 #   scripts/check.sh --no-tsan  # skip the TSan stage
@@ -54,7 +57,12 @@ if [[ "$run_tsan" == 1 ]]; then
   # Wire*/Net* add the TCP front end: the epoll loop, dispatchers, and
   # loadgen threads all share connection state, so the loopback
   # integration and socket-fault chaos suites run race-checked too.
-  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*:Determinism*:GoldenPipeline*:*MfiBlocks*:*ThreadPool*:ChaosTest*:AdmissionController*:FaultInjector*:RetryTest*:DeadlineTest*:*Wire*:*Net*:CaptureFile*'
+  # IndexManager*/LiveIndexBuilder* are the live-update layer (DESIGN.md
+  # §13): the RCU snapshot swap and the ingest builder are exactly the
+  # code TSan exists for — readers pin generations wait-free while a
+  # writer publishes — and ChaosTest.SwapUnderLoad* drives the full
+  # swap-under-load consistency proof race-checked.
+  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*:Determinism*:GoldenPipeline*:*MfiBlocks*:*ThreadPool*:ChaosTest*:AdmissionController*:FaultInjector*:RetryTest*:DeadlineTest*:*Wire*:*Net*:CaptureFile*:IndexManager*:LiveIndexBuilder*'
 
   echo "==> tier-1: loopback serve/loadgen smoke (TSan binaries, record/replay)"
   # End-to-end over a real socket: a TSan-built server on an ephemeral
@@ -67,7 +75,7 @@ if [[ "$run_tsan" == 1 ]]; then
   ./build-tsan/tools/yver_cli resolve --in "$smoke_dir/data.csv" --out "$smoke_dir/matches.csv" >/dev/null 2>&1
   ./build-tsan/tools/yver_cli index --in "$smoke_dir/data.csv" --matches "$smoke_dir/matches.csv" --out "$smoke_dir/idx.yvx" >/dev/null
   ./build-tsan/tools/yver_cli serve --in "$smoke_dir/data.csv" --index "$smoke_dir/idx.yvx" \
-      --port-file "$smoke_dir/port" --dispatch-threads 2 >"$smoke_dir/serve.log" 2>&1 &
+      --live --port-file "$smoke_dir/port" --dispatch-threads 2 >"$smoke_dir/serve.log" 2>&1 &
   serve_pid=$!
   for _ in $(seq 1 200); do [[ -s "$smoke_dir/port" ]] && break; sleep 0.05; done
   [[ -s "$smoke_dir/port" ]] || { echo "serve never wrote its port file" >&2; cat "$smoke_dir/serve.log" >&2; exit 1; }
@@ -82,6 +90,13 @@ if [[ "$run_tsan" == 1 ]]; then
   h0="$(hash_of "$smoke_dir/rec.json")"; h1="$(hash_of "$smoke_dir/rep1.json")"; h2="$(hash_of "$smoke_dir/rep2.json")"
   [[ -n "$h0" && "$h0" == "$h1" && "$h1" == "$h2" ]] || {
     echo "loopback replay hash diverged: $h0 $h1 $h2" >&2; exit 1; }
+  # Live-update smoke against the same TSan server (it runs --live): append
+  # fresh reports over the wire, wait for the served generation to contain
+  # them, and query the last one back — the DESIGN.md §13 ingest path
+  # end to end over a real socket, race-checked.
+  ./build-tsan/tools/yver_cli generate --persons 10 --out "$smoke_dir/new.csv" --seed 11 >/dev/null
+  ./build-tsan/tools/yver_cli append --port "$port" --in "$smoke_dir/new.csv" --count 5 --verify || {
+    echo "live append smoke failed" >&2; cat "$smoke_dir/serve.log" >&2; exit 1; }
   kill -TERM "$serve_pid"
   wait "$serve_pid" || { echo "serve exited non-zero after SIGTERM" >&2; cat "$smoke_dir/serve.log" >&2; exit 1; }
   trap - EXIT
@@ -93,7 +108,11 @@ if [[ "$run_asan" == 1 ]]; then
   echo "==> tier-1: ASan+UBSan memory check (feature path + golden + determinism)"
   cmake -B build-asan -S . -DYVER_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$(nproc)" --target yver_tests
-  ./build-asan/tests/yver_tests --gtest_filter='*Feature*:*Qgram*:*QGram*:*Jaccard*:*Geo*:Determinism*:GoldenPipeline*:*Incremental*:ChaosTest*:ArtifactFuzzTest*:CsvLenientTest*:ServiceRobustness*'
+  # The live-update suites run memory-checked too: snapshot retirement
+  # (IndexManager*) is a lifetime protocol, the append codec (*Wire*) is
+  # raw offset arithmetic over hostile bytes, and LiveIndexBuilder*/
+  # ServicePublish* exercise the resolver-to-snapshot copy path.
+  ./build-asan/tests/yver_tests --gtest_filter='*Feature*:*Qgram*:*QGram*:*Jaccard*:*Geo*:Determinism*:GoldenPipeline*:*Incremental*:ChaosTest*:ArtifactFuzzTest*:CsvLenientTest*:ServiceRobustness*:IndexManager*:LiveIndexBuilder*:ServicePublish*:*Wire*:NetLiveIngest*'
 fi
 
 echo "==> all checks passed"

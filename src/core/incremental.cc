@@ -78,16 +78,27 @@ data::RecordIdx IncrementalResolver::AddRecord(data::Record record) {
   // the new record's columns before any pair involving `idx` is extracted.
   extractor_->SyncAppendedRecords();
 
-  // Score candidates with the deployed model.
+  // Score candidates with the deployed model. With no model deployed
+  // (serving without a trained ADTree), fall back to the blocking
+  // evidence alone: the shared-item fraction is in (0, 1] for every
+  // candidate, deterministic, and keeps the ingest path usable instead
+  // of aborting inside AdTree::Score.
   for (const auto& [count, other] : candidates) {
-    features::FeatureVector fv = extractor_->Extract(other, idx);
-    double score = model_.Score(fv);
+    double block_score = bag.empty() ? 0.0
+                                     : static_cast<double>(count) /
+                                           static_cast<double>(bag.size());
+    double score;
+    if (model_.empty()) {
+      score = block_score;
+    } else {
+      features::FeatureVector fv = extractor_->Extract(other, idx);
+      score = model_.Score(fv);
+    }
     if (score <= 0.0) continue;
     RankedMatch match;
     match.pair = data::RecordPair(other, idx);
     match.confidence = score;
-    match.block_score =
-        static_cast<double>(count) / static_cast<double>(bag.size());
+    match.block_score = block_score;
     last_matches_.push_back(match);
     matches_.push_back(match);
   }

@@ -75,6 +75,11 @@ class AdTree {
   /// Number of splitter nodes (boosting rounds accepted).
   size_t num_splitters() const { return splitters_.size(); }
 
+  /// True for a default-constructed tree with no prior and no splitters —
+  /// the "no deployed model" state; Score() on such a tree aborts, so
+  /// callers with an optional model branch on this instead.
+  bool empty() const { return predictions_.empty(); }
+
   /// Indices of the features actually used by the model.
   std::vector<size_t> UsedFeatures() const;
 

@@ -1,0 +1,139 @@
+#include "serve/ingest.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace yver::serve {
+
+LiveIndexBuilder::LiveIndexBuilder(
+    std::shared_ptr<ResolutionService> service,
+    std::unique_ptr<core::IncrementalResolver> resolver,
+    IngestOptions options)
+    : service_(std::move(service)),
+      resolver_(std::move(resolver)),
+      options_(options) {
+  YVER_CHECK_MSG(service_ != nullptr, "LiveIndexBuilder needs a service");
+  YVER_CHECK_MSG(resolver_ != nullptr, "LiveIndexBuilder needs a resolver");
+  if (options_.publish_batch == 0) options_.publish_batch = 1;
+  base_records_ = resolver_->dataset().size();
+  builder_ = std::thread([this] { Run(); });
+}
+
+LiveIndexBuilder::~LiveIndexBuilder() { Stop(); }
+
+util::StatusOr<data::RecordIdx> LiveIndexBuilder::Submit(
+    data::Record record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    return util::Status::Unavailable("live ingest is shutting down");
+  }
+  if (queue_.size() >= options_.max_queue_depth) {
+    return util::Status::ResourceExhausted("ingest queue is full");
+  }
+  // The index is assigned here, at enqueue: base corpus + arrival
+  // position. The builder applies strictly in queue order, so the record
+  // is guaranteed to land at exactly this index in every generation that
+  // contains it.
+  data::RecordIdx idx =
+      static_cast<data::RecordIdx>(base_records_ + submitted_);
+  ++submitted_;
+  queue_.push_back(std::move(record));
+  work_cv_.notify_one();
+  return idx;
+}
+
+util::Status LiveIndexBuilder::WaitForIdle(const util::Deadline& deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto idle = [this] {
+    return queue_.empty() && !dirty_ && applied_ == submitted_;
+  };
+  if (deadline.is_infinite()) {
+    idle_cv_.wait(lock, idle);
+    return util::Status::Ok();
+  }
+  while (!idle()) {
+    if (deadline.HasExpired()) return deadline.Exceeded("ingest idle wait");
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+  return util::Status::Ok();
+}
+
+void LiveIndexBuilder::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !builder_.joinable()) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (builder_.joinable()) builder_.join();
+}
+
+IngestStats LiveIndexBuilder::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IngestStats s;
+  s.submitted = submitted_;
+  s.applied = applied_;
+  s.published = published_;
+  s.publish_failures = publish_failures_;
+  return s;
+}
+
+void LiveIndexBuilder::Run() {
+  for (;;) {
+    std::vector<data::Record> batch;
+    bool need_publish = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (dirty_) {
+        // A publish failed: retry shortly, or sooner if work arrives.
+        work_cv_.wait_for(lock, std::chrono::milliseconds(2), [this] {
+          return stopping_ || !queue_.empty();
+        });
+      } else {
+        work_cv_.wait(lock,
+                      [this] { return stopping_ || !queue_.empty(); });
+      }
+      if (stopping_ && queue_.empty() && !dirty_) return;
+      size_t take = std::min(options_.publish_batch, queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      need_publish = dirty_ || !batch.empty();
+    }
+    if (!need_publish) continue;
+    // Apply in arrival order — the whole determinism contract of live
+    // ingest rests on this being the only order records ever enter the
+    // resolver in.
+    for (data::Record& record : batch) {
+      resolver_->AddRecord(std::move(record));
+    }
+    // Snapshot the cumulative resolution and try to install it. The
+    // snapshot is rebuilt from scratch per publish: generations are
+    // immutable, so the previous one must not be mutated in place.
+    auto snapshot = std::make_shared<const ResolutionIndex>(
+        resolver_->Resolution(), resolver_->dataset().size());
+    auto published = service_->PublishIndex(std::move(snapshot));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      applied_ += batch.size();
+      if (published.ok()) {
+        dirty_ = false;
+        ++published_;
+      } else {
+        // Resolver state is cumulative; the next round republishes
+        // everything applied so far. Nothing is lost.
+        dirty_ = true;
+        ++publish_failures_;
+      }
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace yver::serve

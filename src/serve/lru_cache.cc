@@ -17,7 +17,8 @@ ShardedQueryCache::ShardedQueryCache(size_t capacity, size_t num_shards) {
   shard_mask_ = num_shards - 1;
 }
 
-std::shared_ptr<const QueryResult> ShardedQueryCache::Get(const Query& query) {
+std::shared_ptr<const QueryResult> ShardedQueryCache::Get(
+    const Query& query, uint64_t generation) {
   // Chaos seam: an injected fault degrades the cache to a miss (the service
   // recomputes), never to wrong data — a cache can only lose, not lie.
   switch (util::FaultInjector::Global().Evaluate(util::FaultPoint::kCacheGet)) {
@@ -32,7 +33,7 @@ std::shared_ptr<const QueryResult> ShardedQueryCache::Get(const Query& query) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  Key key = MakeKey(query);
+  Key key = MakeKey(query, generation);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.by_key.find(key);
@@ -45,10 +46,10 @@ std::shared_ptr<const QueryResult> ShardedQueryCache::Get(const Query& query) {
   return it->second->second;
 }
 
-void ShardedQueryCache::Put(const Query& query,
+void ShardedQueryCache::Put(const Query& query, uint64_t generation,
                             std::shared_ptr<const QueryResult> result) {
   if (disabled()) return;
-  Key key = MakeKey(query);
+  Key key = MakeKey(query, generation);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.by_key.find(key);

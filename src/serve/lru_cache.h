@@ -19,9 +19,13 @@ namespace yver::serve {
 /// Values are shared_ptr<const QueryResult>: hits hand out refcounted
 /// pointers, so eviction never invalidates a result a reader still holds.
 ///
-/// Keyed by the full (record, certainty-bits, k, granularity) tuple —
-/// certainty participates as its raw bit pattern, so 0.0 and -0.0 are
-/// distinct keys (harmless: both would cache correct results).
+/// Keyed by the full (generation, record, certainty-bits, k, granularity)
+/// tuple — certainty participates as its raw bit pattern, so 0.0 and -0.0
+/// are distinct keys (harmless: both would cache correct results). The
+/// generation is the index snapshot the result was computed against
+/// (IndexManager); including it in the key is what prevents a post-swap
+/// lookup from serving an answer computed on a retired generation as
+/// fresh. Entries from older generations simply age out of the LRU.
 class ShardedQueryCache {
  public:
   /// `capacity` is the total entry budget across all shards; 0 disables
@@ -32,13 +36,17 @@ class ShardedQueryCache {
   ShardedQueryCache(const ShardedQueryCache&) = delete;
   ShardedQueryCache& operator=(const ShardedQueryCache&) = delete;
 
-  /// The cached result for `query`, or nullptr on miss. Promotes the
-  /// entry to most-recently-used and bumps the hit/miss counters.
-  std::shared_ptr<const QueryResult> Get(const Query& query);
+  /// The result cached for `query` against index `generation`, or nullptr
+  /// on miss. Promotes the entry to most-recently-used and bumps the
+  /// hit/miss counters.
+  std::shared_ptr<const QueryResult> Get(const Query& query,
+                                         uint64_t generation);
 
-  /// Inserts (or refreshes) the result for `query`, evicting the shard's
-  /// least-recently-used entry when the shard is at capacity.
-  void Put(const Query& query, std::shared_ptr<const QueryResult> result);
+  /// Inserts (or refreshes) the result for `query` under `generation`,
+  /// evicting the shard's least-recently-used entry when the shard is at
+  /// capacity.
+  void Put(const Query& query, uint64_t generation,
+           std::shared_ptr<const QueryResult> result);
 
   /// Drops all entries (counters are kept).
   void Clear();
@@ -57,6 +65,7 @@ class ShardedQueryCache {
     uint64_t record_and_granularity = 0;  // record << 8 | granularity
     uint64_t certainty_bits = 0;
     uint64_t k = 0;
+    uint64_t generation = 0;  // index snapshot identity
 
     friend bool operator==(const Key&, const Key&) = default;
   };
@@ -64,8 +73,8 @@ class ShardedQueryCache {
   struct KeyHash {
     size_t operator()(const Key& key) const {
       uint64_t h = 0x9e3779b97f4a7c15ULL;
-      for (uint64_t v :
-           {key.record_and_granularity, key.certainty_bits, key.k}) {
+      for (uint64_t v : {key.record_and_granularity, key.certainty_bits,
+                         key.k, key.generation}) {
         h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
         h *= 0xff51afd7ed558ccdULL;
         h ^= h >> 33;
@@ -81,13 +90,14 @@ class ShardedQueryCache {
     std::unordered_map<Key, decltype(entries)::iterator, KeyHash> by_key;
   };
 
-  static Key MakeKey(const Query& query) {
+  static Key MakeKey(const Query& query, uint64_t generation) {
     Key key;
     key.record_and_granularity =
         (static_cast<uint64_t>(query.record) << 8) |
         static_cast<uint64_t>(query.granularity);
     key.certainty_bits = std::bit_cast<uint64_t>(query.certainty);
     key.k = query.k;
+    key.generation = generation;
     return key;
   }
 

@@ -96,4 +96,35 @@ util::StatusOr<wire::ServerInfo> Client::Info(const util::Deadline& deadline) {
   return wire::DecodeInfo(frame);
 }
 
+util::Status Client::SendAppend(const data::Record& record) {
+  std::string bytes;
+  wire::EncodeAppend(record, &bytes);
+  return SendBytes(bytes);
+}
+
+util::StatusOr<wire::AppendAck> Client::ReadAppendAck(
+    const util::Deadline& deadline) {
+  auto bytes = ReadFrameBytes(deadline);
+  if (!bytes.ok()) return bytes.status();
+  wire::Frame frame;
+  auto consumed = wire::ExtractFrame(*bytes, &frame);
+  if (!consumed.ok()) return consumed.status();
+  if (frame.type == wire::FrameType::kError) {
+    // DecodeResult owns the error-frame decoding; surface its Status.
+    auto result = wire::DecodeResult(frame);
+    if (result.ok()) {
+      return util::Status::DataLoss("error frame decoded as a result");
+    }
+    return result.status();
+  }
+  return wire::DecodeAppendAck(frame);
+}
+
+util::StatusOr<wire::AppendAck> Client::Append(
+    const data::Record& record, const util::Deadline& deadline) {
+  util::Status st = SendAppend(record);
+  if (!st.ok()) return st;
+  return ReadAppendAck(deadline);
+}
+
 }  // namespace yver::serve::net

@@ -69,6 +69,20 @@ class Client {
   /// SendInfoRequest + read + decode.
   util::StatusOr<wire::ServerInfo> Info(const util::Deadline& deadline = {});
 
+  /// Encodes and sends one kAppendRequest frame carrying `record`. Does
+  /// not wait for the ack.
+  util::Status SendAppend(const data::Record& record);
+
+  /// Reads one response frame as the answer to the oldest unanswered
+  /// append: the AppendAck on kAppendAck, the server's typed Status on
+  /// kError (UNAVAILABLE when the server runs without live ingest).
+  util::StatusOr<wire::AppendAck> ReadAppendAck(
+      const util::Deadline& deadline = {});
+
+  /// SendAppend + ReadAppendAck: the convenience round trip.
+  util::StatusOr<wire::AppendAck> Append(const data::Record& record,
+                                         const util::Deadline& deadline = {});
+
  private:
   explicit Client(util::Socket sock) : sock_(std::move(sock)) {}
 

@@ -23,8 +23,11 @@ constexpr size_t kReadChunk = 64 * 1024;
 }  // namespace
 
 Server::Server(std::shared_ptr<ResolutionService> service,
-               ServerOptions options)
-    : service_(std::move(service)), options_(options) {
+               ServerOptions options,
+               std::shared_ptr<LiveIndexBuilder> builder)
+    : service_(std::move(service)),
+      options_(options),
+      builder_(std::move(builder)) {
   YVER_CHECK_MSG(service_ != nullptr, "Server needs a ResolutionService");
   if (options_.dispatch_threads == 0) options_.dispatch_threads = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
@@ -95,6 +98,7 @@ ServerStats Server::stats() const {
   s.connections_closed = closed_.load(std::memory_order_relaxed);
   s.frames_received = frames_received_.load(std::memory_order_relaxed);
   s.queries_dispatched = queries_dispatched_.load(std::memory_order_relaxed);
+  s.appends_accepted = appends_accepted_.load(std::memory_order_relaxed);
   s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.socket_errors = socket_errors_.load(std::memory_order_relaxed);
@@ -103,9 +107,12 @@ ServerStats Server::stats() const {
 
 wire::ServerInfo Server::MakeInfo() const {
   wire::ServerInfo info;
-  info.num_records = service_->index().num_records();
-  info.num_matches = service_->index().num_matches();
-  info.checksum = service_->index().Checksum();
+  // One pin for the whole snapshot: records/matches/checksum all describe
+  // the same generation even if a publish lands mid-call.
+  PinnedIndex pin = service_->PinIndex();
+  info.num_records = pin->num_records();
+  info.num_matches = pin->num_matches();
+  info.checksum = pin->Checksum();
   info.metrics = service_->metrics();
   return info;
 }
@@ -271,17 +278,26 @@ void Server::HandleReadable(uint64_t id, Connection& conn) {
       auto decoded = wire::DecodeQuery(frame);
       if (decoded.ok()) {
         conn.pending.push_back(PendingEntry{PendingEntry::Kind::kQuery,
-                                            std::move(decoded->query)});
+                                            std::move(decoded->query), {}});
       } else {
         // Well-formed frame, malformed query payload: a typed error
         // response that must not overtake earlier queries — it rides the
         // pending queue as a marker and is answered at head-of-line.
         conn.pending.push_back(
-            PendingEntry{PendingEntry::Kind::kDecodeError, Query{}});
+            PendingEntry{PendingEntry::Kind::kDecodeError, Query{}, {}});
       }
     } else if (frame.type == wire::FrameType::kInfoRequest) {
       conn.pending.push_back(
-          PendingEntry{PendingEntry::Kind::kInfoRequest, Query{}});
+          PendingEntry{PendingEntry::Kind::kInfoRequest, Query{}, {}});
+    } else if (frame.type == wire::FrameType::kAppendRequest) {
+      auto record = wire::DecodeAppend(frame);
+      if (record.ok()) {
+        conn.pending.push_back(PendingEntry{PendingEntry::Kind::kAppend,
+                                            Query{}, std::move(*record)});
+      } else {
+        conn.pending.push_back(
+            PendingEntry{PendingEntry::Kind::kAppendError, Query{}, {}});
+      }
     } else {
       // kResult/kError/kInfo from a client: protocol violation.
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -311,14 +327,44 @@ void Server::MaybeDispatch(uint64_t id, Connection& conn) {
   // queued behind queries) are answered inline, in arrival order.
   while (!conn.dead && !conn.pending.empty() &&
          conn.pending.front().kind != PendingEntry::Kind::kQuery) {
-    PendingEntry::Kind kind = conn.pending.front().kind;
+    PendingEntry entry = std::move(conn.pending.front());
     conn.pending.pop_front();
     std::string bytes;
-    if (kind == PendingEntry::Kind::kInfoRequest) {
-      wire::EncodeInfo(MakeInfo(), &bytes);
-    } else {
-      wire::EncodeResult(
-          util::Status::InvalidArgument("malformed query payload"), &bytes);
+    switch (entry.kind) {
+      case PendingEntry::Kind::kInfoRequest:
+        wire::EncodeInfo(MakeInfo(), &bytes);
+        break;
+      case PendingEntry::Kind::kAppend: {
+        // Ingest is answered inline, in line: the ack (or typed error)
+        // keeps its place among the connection's responses.
+        if (builder_ == nullptr) {
+          wire::EncodeResult(
+              util::Status::Unavailable("live ingest disabled"), &bytes);
+          break;
+        }
+        auto submitted = builder_->Submit(std::move(entry.record));
+        if (!submitted.ok()) {
+          wire::EncodeResult(submitted.status(), &bytes);
+          break;
+        }
+        appends_accepted_.fetch_add(1, std::memory_order_relaxed);
+        wire::AppendAck ack;
+        ack.record_idx = *submitted;
+        ack.generation = service_->index_manager().generation();
+        wire::EncodeAppendAck(ack, &bytes);
+        break;
+      }
+      case PendingEntry::Kind::kAppendError:
+        wire::EncodeResult(
+            util::Status::InvalidArgument("malformed append payload"),
+            &bytes);
+        break;
+      case PendingEntry::Kind::kDecodeError:
+      default:
+        wire::EncodeResult(
+            util::Status::InvalidArgument("malformed query payload"),
+            &bytes);
+        break;
     }
     responses_sent_.fetch_add(1, std::memory_order_relaxed);
     QueueWrite(id, conn, std::move(bytes));

@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "data/record.h"
+#include "serve/ingest.h"
 #include "serve/resolution_service.h"
 #include "serve/wire.h"
 #include "util/socket.h"
@@ -46,6 +48,7 @@ struct ServerStats {
   uint64_t connections_closed = 0;
   uint64_t frames_received = 0;   // well-formed frames parsed
   uint64_t queries_dispatched = 0;
+  uint64_t appends_accepted = 0;  // kAppendRequest frames acked into ingest
   uint64_t responses_sent = 0;    // result/error/info frames fully written
   uint64_t protocol_errors = 0;   // malformed frames (connection poisoned)
   uint64_t socket_errors = 0;     // read/write failures (incl. injected)
@@ -79,8 +82,13 @@ struct ServerStats {
 /// close — bounded by ServerOptions::drain_timeout_ms.
 class Server {
  public:
+  /// `builder`, when non-null, enables live ingest: kAppendRequest frames
+  /// are submitted to it and acked with the assigned record index. With
+  /// no builder, append frames get a typed UNAVAILABLE ("live ingest
+  /// disabled") and the connection lives on.
   Server(std::shared_ptr<ResolutionService> service,
-         ServerOptions options = {});
+         ServerOptions options = {},
+         std::shared_ptr<LiveIndexBuilder> builder = nullptr);
   ~Server();
 
   Server(const Server&) = delete;
@@ -104,13 +112,21 @@ class Server {
 
  private:
   /// One element of a connection's in-order pending queue. Besides real
-  /// queries it carries two inline-answerable markers — a malformed query
-  /// payload (answers INVALID_ARGUMENT) and an info request — which must
-  /// hold their place in line so responses never overtake earlier queries.
+  /// queries it carries inline-answerable markers — a malformed query or
+  /// append payload (answers INVALID_ARGUMENT), an info request, and a
+  /// decoded append — which must hold their place in line so responses
+  /// never overtake earlier queries.
   struct PendingEntry {
-    enum class Kind : uint8_t { kQuery, kDecodeError, kInfoRequest };
+    enum class Kind : uint8_t {
+      kQuery,
+      kDecodeError,
+      kInfoRequest,
+      kAppend,
+      kAppendError,
+    };
     Kind kind = Kind::kQuery;
     Query query;
+    data::Record record;  // kAppend only
   };
 
   struct Connection {
@@ -150,6 +166,7 @@ class Server {
 
   std::shared_ptr<ResolutionService> service_;
   ServerOptions options_;
+  std::shared_ptr<LiveIndexBuilder> builder_;  // nullptr = ingest disabled
   util::Socket listener_;
   uint16_t port_ = 0;
   int epoll_fd_ = -1;
@@ -172,6 +189,7 @@ class Server {
   std::atomic<uint64_t> closed_{0};
   std::atomic<uint64_t> frames_received_{0};
   std::atomic<uint64_t> queries_dispatched_{0};
+  std::atomic<uint64_t> appends_accepted_{0};
   std::atomic<uint64_t> responses_sent_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> socket_errors_{0};

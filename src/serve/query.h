@@ -62,6 +62,12 @@ struct QueryResult {
   /// existed, so the caller gets the possibly-stale answer instead of
   /// RESOURCE_EXHAUSTED.
   bool degraded = false;
+  /// Index generation this answer was computed against (IndexManager's
+  /// monotonic snapshot counter; 1 is the initially served index). Every
+  /// answer — fresh, cached, or degraded — is internally consistent with
+  /// exactly this generation; the swap-under-load chaos harness compares
+  /// each answer against the serial baseline of its generation.
+  uint64_t generation = 1;
 };
 
 /// Validates a query against a corpus of `num_records` records: rejects

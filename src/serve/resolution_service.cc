@@ -31,13 +31,27 @@ double ServiceMetrics::LatencyPercentileMs(double p) const {
 
 ResolutionService::ResolutionService(
     std::shared_ptr<const ResolutionIndex> index, ServiceOptions options)
-    : index_(std::move(index)),
+    : manager_(std::move(index)),
       options_(options),
       pool_(util::ResolveNumThreads(options.num_threads)),
       cache_(options.cache_capacity, options.cache_shards),
       admission_(AdmissionOptions{options.max_in_flight,
-                                  options.max_queue_depth}) {
-  YVER_CHECK_MSG(index_ != nullptr, "ResolutionService needs an index");
+                                  options.max_queue_depth}) {}
+
+util::StatusOr<uint64_t> ResolutionService::PublishIndex(
+    std::shared_ptr<const ResolutionIndex> next) {
+  auto published = manager_.Publish(std::move(next));
+  if (!published.ok()) return published;
+  {
+    // Invalidate cluster memos of retired generations. An in-flight query
+    // still pinning an old snapshot may transiently rebuild one; the
+    // max_cluster_slices pressure valve bounds that.
+    std::lock_guard<std::mutex> lock(clusters_mu_);
+    std::erase_if(cluster_slices_, [&](const auto& kv) {
+      return kv.first.first < *published;
+    });
+  }
+  return published;
 }
 
 util::Status ResolutionService::Fail(util::Status status) {
@@ -70,7 +84,10 @@ util::StatusOr<QueryResult> ResolutionService::QueryRecord(
     const Query& query) {
   auto start = std::chrono::steady_clock::now();
   queries_.fetch_add(1, std::memory_order_relaxed);
-  util::Status status = ValidateQuery(query, index_->num_records());
+  // Pin the current snapshot for the whole query: validation, cache, and
+  // compute all see one generation, even if a publish lands mid-flight.
+  PinnedIndex pin = manager_.Acquire();
+  util::Status status = ValidateQuery(query, pin->num_records());
   if (!status.ok()) return Fail(std::move(status));
   // Deadline check #1 — admission boundary: zero and already-expired
   // deadlines never reach the cache or the compute path.
@@ -81,8 +98,11 @@ util::StatusOr<QueryResult> ResolutionService::QueryRecord(
   if (!admit.ok()) {
     if (admit.code() == util::StatusCode::kResourceExhausted) {
       // Degraded mode: a shed query still gets its answer if one is
-      // cached — stale beats unavailable for a read-only corpus.
-      std::shared_ptr<const QueryResult> cached = cache_.Get(query);
+      // cached — stale beats unavailable. The lookup is against the
+      // pinned generation, so even a degraded answer is consistent with
+      // the index being served right now.
+      std::shared_ptr<const QueryResult> cached =
+          cache_.Get(query, pin.generation());
       if (cached != nullptr) {
         shed_.fetch_add(1, std::memory_order_relaxed);
         degraded_.fetch_add(1, std::memory_order_relaxed);
@@ -100,7 +120,8 @@ util::StatusOr<QueryResult> ResolutionService::QueryRecord(
     AdmissionController& admission;
     ~SlotGuard() { admission.Release(); }
   } guard{admission_};
-  std::shared_ptr<const QueryResult> cached = cache_.Get(query);
+  std::shared_ptr<const QueryResult> cached =
+      cache_.Get(query, pin.generation());
   QueryResult result;
   if (cached != nullptr) {
     result = *cached;
@@ -112,7 +133,7 @@ util::StatusOr<QueryResult> ResolutionService::QueryRecord(
     if (query.deadline.HasExpired()) {
       return Fail(query.deadline.Exceeded("compute start"));
     }
-    auto computed = Compute(query);
+    auto computed = Compute(query, pin);
     if (!computed.ok()) return Fail(computed.status());
     result = **computed;
     // Deadline check #3 — delivery boundary: the answer is computed (and
@@ -168,7 +189,7 @@ void ResolutionService::QueryStream(
 }
 
 util::StatusOr<std::shared_ptr<const QueryResult>> ResolutionService::Compute(
-    const Query& query) {
+    const Query& query, const PinnedIndex& pin) {
   // Chaos seam: an injected latency spike stalls the compute (driving the
   // deadline checks around it); an injected I/O error models a failing
   // backing store and surfaces as a typed UNAVAILABLE / DATA_LOSS.
@@ -177,13 +198,14 @@ util::StatusOr<std::shared_ptr<const QueryResult>> ResolutionService::Compute(
   if (!injected.ok()) return injected;
   auto result = std::make_shared<QueryResult>();
   result->query = query;
+  result->generation = pin.generation();
   switch (query.granularity) {
     case Granularity::kMatches:
-      result->matches = index_->ForRecord(query.record, query.certainty,
-                                          query.k);
+      result->matches = pin->ForRecord(query.record, query.certainty,
+                                       query.k);
       break;
     case Granularity::kEntity: {
-      auto clusters = ClustersAt(query.certainty);
+      auto clusters = ClustersAt(pin, query.certainty);
       const auto& members = clusters->Members(query.record);
       size_t n = query.k == 0 ? members.size()
                               : std::min(query.k, members.size());
@@ -191,13 +213,14 @@ util::StatusOr<std::shared_ptr<const QueryResult>> ResolutionService::Compute(
       break;
     }
   }
-  cache_.Put(query, result);
+  cache_.Put(query, pin.generation(), result);
   return std::shared_ptr<const QueryResult>(std::move(result));
 }
 
 std::shared_ptr<const core::EntityClusters> ResolutionService::ClustersAt(
-    double certainty) {
-  uint64_t key = std::bit_cast<uint64_t>(certainty);
+    const PinnedIndex& pin, double certainty) {
+  std::pair<uint64_t, uint64_t> key{pin.generation(),
+                                    std::bit_cast<uint64_t>(certainty)};
   std::lock_guard<std::mutex> lock(clusters_mu_);
   auto it = cluster_slices_.find(key);
   if (it != cluster_slices_.end()) return it->second;
@@ -207,7 +230,7 @@ std::shared_ptr<const core::EntityClusters> ResolutionService::ClustersAt(
   // Built under the lock: a thundering herd on a brand-new threshold would
   // otherwise cluster the same slice N times; serialize instead.
   auto clusters =
-      std::make_shared<const core::EntityClusters>(index_->ClustersAt(certainty));
+      std::make_shared<const core::EntityClusters>(pin->ClustersAt(certainty));
   cluster_slices_.emplace(key, clusters);
   return clusters;
 }
@@ -221,6 +244,9 @@ ServiceMetrics ResolutionService::metrics() const {
   m.shed = shed_.load(std::memory_order_relaxed);
   m.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   m.degraded = degraded_.load(std::memory_order_relaxed);
+  m.generation = manager_.generation();
+  m.publishes = manager_.publishes();
+  m.pinned_readers = manager_.pinned_readers();
   m.total_latency_ms =
       static_cast<double>(latency_ns_.load(std::memory_order_relaxed)) / 1e6;
   m.latency_histogram_ns.resize(kServiceLatencyBuckets);

@@ -14,6 +14,7 @@
 #include "core/entity_clusters.h"
 #include "serve/admission_controller.h"
 #include "serve/batch_result.h"
+#include "serve/index_manager.h"
 #include "serve/lru_cache.h"
 #include "serve/query.h"
 #include "serve/resolution_index.h"
@@ -59,6 +60,12 @@ struct ServiceMetrics {
   uint64_t shed = 0;
   uint64_t deadline_exceeded = 0;
   uint64_t degraded = 0;
+  /// Live-index counters (IndexManager): generation currently served,
+  /// successful publishes since construction, and the point-in-time
+  /// pinned-reader gauge (0 when no query holds a snapshot).
+  uint64_t generation = 1;
+  uint64_t publishes = 0;
+  uint64_t pinned_readers = 0;
   double total_latency_ms = 0.0;
   /// Log2-bucketed latency histogram of answered queries (see
   /// kServiceLatencyBuckets); feeds the percentile estimates below.
@@ -91,6 +98,14 @@ struct ServiceMetrics {
 /// excess load (RESOURCE_EXHAUSTED) instead of queuing unboundedly; a
 /// shed query whose answer is still in the LRU cache gets the stale
 /// result flagged `degraded` instead of an error.
+///
+/// Live updates (DESIGN.md §13): the served index lives in an
+/// IndexManager. Every query pins the current snapshot for its whole
+/// execution — validation, cache lookup, compute, and cache fill all see
+/// one generation, so an in-flight query never observes a torn swap.
+/// `PublishIndex` installs a new generation atomically; cache entries are
+/// keyed by generation (a retired answer can never be served as fresh)
+/// and the per-threshold cluster memo is invalidated on publish.
 ///
 /// Repeated (record, certainty, k, granularity) lookups are served from a
 /// sharded LRU cache; entity-granularity queries additionally memoize the
@@ -125,7 +140,23 @@ class ResolutionService {
       const std::vector<Query>& queries,
       const std::function<void(size_t, util::StatusOr<QueryResult>)>& sink);
 
-  const ResolutionIndex& index() const { return *index_; }
+  /// Atomically installs `next` as the new served snapshot and returns
+  /// its generation. In-flight queries finish on whatever generation they
+  /// pinned; queries admitted after the publish see the new one. Typed
+  /// UNAVAILABLE (nothing installed) under an injected fault at
+  /// serve.index.publish — safe to retry.
+  util::StatusOr<uint64_t> PublishIndex(
+      std::shared_ptr<const ResolutionIndex> next);
+
+  /// Pins and returns the currently served snapshot — the only way to
+  /// look at the index from outside a query. Hold the pin only as long
+  /// as needed; a live pin keeps its whole generation in memory.
+  PinnedIndex PinIndex() const { return manager_.Acquire(); }
+
+  /// The snapshot-swap machinery itself (generation / publish / pin
+  /// gauges beyond what metrics() snapshots).
+  const IndexManager& index_manager() const { return manager_; }
+
   const ServiceOptions& options() const { return options_; }
 
   /// Actual worker count (options().num_threads resolved against the
@@ -138,13 +169,17 @@ class ResolutionService {
   void ResetMetrics();
 
  private:
-  /// Cache-miss path: computes the result and inserts it. UNAVAILABLE /
-  /// DATA_LOSS only under fault injection (util::FaultInjector).
+  /// Cache-miss path: computes the result against the pinned snapshot and
+  /// inserts it under the pin's generation. UNAVAILABLE / DATA_LOSS only
+  /// under fault injection (util::FaultInjector).
   util::StatusOr<std::shared_ptr<const QueryResult>> Compute(
-      const Query& query);
+      const Query& query, const PinnedIndex& pin);
 
-  /// Memoized entity clustering at a certainty threshold.
-  std::shared_ptr<const core::EntityClusters> ClustersAt(double certainty);
+  /// Memoized entity clustering at a certainty threshold, keyed by
+  /// (generation, threshold) so a swapped index never serves a stale
+  /// clustering.
+  std::shared_ptr<const core::EntityClusters> ClustersAt(
+      const PinnedIndex& pin, double certainty);
 
   /// Books a non-OK answer: bumps errors_ plus the matching failure-model
   /// counter, and returns the status unchanged.
@@ -154,15 +189,16 @@ class ResolutionService {
   /// log2 histogram.
   void RecordLatency(std::chrono::steady_clock::time_point start);
 
-  std::shared_ptr<const ResolutionIndex> index_;
+  IndexManager manager_;
   ServiceOptions options_;
   util::ThreadPool pool_;
   ShardedQueryCache cache_;
   AdmissionController admission_;
 
   std::mutex clusters_mu_;
-  std::map<uint64_t, std::shared_ptr<const core::EntityClusters>>
-      cluster_slices_;  // keyed by certainty bit pattern
+  std::map<std::pair<uint64_t, uint64_t>,
+           std::shared_ptr<const core::EntityClusters>>
+      cluster_slices_;  // keyed by (generation, certainty bit pattern)
 
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> errors_{0};

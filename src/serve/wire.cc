@@ -1,5 +1,6 @@
 #include "serve/wire.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstring>
@@ -133,9 +134,13 @@ bool StatusCodeFromWire(uint8_t byte, util::StatusCode* code) {
   }
 }
 
-bool KnownFrameType(uint8_t byte) {
-  return byte >= static_cast<uint8_t>(FrameType::kQuery) &&
-         byte <= static_cast<uint8_t>(FrameType::kInfo);
+// Frame types are versioned: v1 defined kQuery..kInfo, v2 added the
+// append pair. A frame whose version predates its own type is a protocol
+// violation, not a forward-compat case.
+bool KnownFrameType(uint8_t byte, uint8_t version) {
+  uint8_t last = static_cast<uint8_t>(version >= 2 ? FrameType::kAppendAck
+                                                   : FrameType::kInfo);
+  return byte >= static_cast<uint8_t>(FrameType::kQuery) && byte <= last;
 }
 
 void PutQueryEcho(std::string* out, const Query& query) {
@@ -186,9 +191,10 @@ util::StatusOr<size_t> ExtractFrame(std::string_view buffer, Frame* frame) {
         "unsupported wire version " + std::to_string(version) +
         " (this binary speaks <= " + std::to_string(kVersion) + ")");
   }
-  if (!KnownFrameType(p[3])) {
-    return util::Status::InvalidArgument("unknown frame type " +
-                                         std::to_string(p[3]));
+  if (!KnownFrameType(p[3], version)) {
+    return util::Status::InvalidArgument(
+        "unknown frame type " + std::to_string(p[3]) + " for version " +
+        std::to_string(version));
   }
   uint32_t length = 0;
   for (int i = 0; i < 4; ++i) {
@@ -286,6 +292,7 @@ void EncodeResult(const util::StatusOr<QueryResult>& result,
   }
   PutU32(&payload, static_cast<uint32_t>(r.entity.size()));
   for (data::RecordIdx member : r.entity) PutU32(&payload, member);
+  PutU64(&payload, r.generation);  // v2: which snapshot answered
   AppendFrame(FrameType::kResult, payload, out);
 }
 
@@ -358,6 +365,11 @@ util::StatusOr<QueryResult> DecodeResult(const Frame& frame) {
     if (!r.ReadU32(&member)) return Truncated("result entity list");
     result.entity.push_back(member);
   }
+  if (frame.version >= 2) {
+    if (!r.ReadU64(&result.generation)) return Truncated("result");
+  } else {
+    result.generation = 1;  // a v1 server only ever serves generation 1
+  }
   if (!r.Done()) return TrailingBytes("result");
   return result;
 }
@@ -371,7 +383,7 @@ void EncodeInfoRequest(std::string* out) {
 
 void EncodeInfo(const ServerInfo& info, std::string* out) {
   std::string payload;
-  payload.reserve(3 * 8 + 7 * 8 + 4 + kServiceLatencyBuckets * 8);
+  payload.reserve(3 * 8 + 10 * 8 + 4 + kServiceLatencyBuckets * 8);
   PutU64(&payload, info.num_records);
   PutU64(&payload, info.num_matches);
   PutU64(&payload, info.checksum);
@@ -388,6 +400,10 @@ void EncodeInfo(const ServerInfo& info, std::string* out) {
   for (uint64_t bucket : info.metrics.latency_histogram_ns) {
     PutU64(&payload, bucket);
   }
+  // v2: live-index gauges, appended so a v1 decoder's layout is a prefix.
+  PutU64(&payload, info.metrics.generation);
+  PutU64(&payload, info.metrics.publishes);
+  PutU64(&payload, info.metrics.pinned_readers);
   AppendFrame(FrameType::kInfo, payload, out);
 }
 
@@ -418,8 +434,108 @@ util::StatusOr<ServerInfo> DecodeInfo(const Frame& frame) {
     if (!r.ReadU64(&bucket)) return Truncated("info histogram");
     info.metrics.latency_histogram_ns.push_back(bucket);
   }
+  if (frame.version >= 2) {
+    if (!r.ReadU64(&info.metrics.generation) ||
+        !r.ReadU64(&info.metrics.publishes) ||
+        !r.ReadU64(&info.metrics.pinned_readers)) {
+      return Truncated("info");
+    }
+  } else {
+    info.metrics.generation = 1;
+    info.metrics.publishes = 0;
+    info.metrics.pinned_readers = 0;
+  }
   if (!r.Done()) return TrailingBytes("info");
   return info;
+}
+
+// ---------------------------------------------------------------------------
+// Live ingest (v2)
+
+void EncodeAppend(const data::Record& record, std::string* out) {
+  std::string payload;
+  payload.reserve(31 + record.entries().size() * 12);
+  PutU64(&payload, record.book_id);
+  PutU32(&payload, record.source_id);
+  PutU8(&payload, static_cast<uint8_t>(record.source_kind));
+  PutU64(&payload, std::bit_cast<uint64_t>(record.entity_id));
+  PutU64(&payload, std::bit_cast<uint64_t>(record.family_id));
+  PutU16(&payload, static_cast<uint16_t>(
+                       std::min<size_t>(record.entries().size(), 0xffff)));
+  size_t n = std::min<size_t>(record.entries().size(), 0xffff);
+  for (size_t i = 0; i < n; ++i) {
+    const data::Record::Entry& entry = record.entries()[i];
+    PutU8(&payload, static_cast<uint8_t>(entry.attr));
+    size_t len = std::min<size_t>(entry.value.size(), 0xffff);
+    PutU16(&payload, static_cast<uint16_t>(len));
+    payload.append(entry.value, 0, len);
+  }
+  AppendFrame(FrameType::kAppendRequest, payload, out);
+}
+
+util::StatusOr<data::Record> DecodeAppend(const Frame& frame) {
+  if (frame.type != FrameType::kAppendRequest) {
+    return util::Status::InvalidArgument("not an append frame");
+  }
+  PayloadReader r(frame.payload);
+  data::Record record;
+  uint8_t source_kind = 0;
+  uint64_t entity_bits = 0;
+  uint64_t family_bits = 0;
+  uint16_t num_entries = 0;
+  if (!r.ReadU64(&record.book_id) || !r.ReadU32(&record.source_id) ||
+      !r.ReadU8(&source_kind) || !r.ReadU64(&entity_bits) ||
+      !r.ReadU64(&family_bits) || !r.ReadU16(&num_entries)) {
+    return Truncated("append");
+  }
+  if (source_kind > static_cast<uint8_t>(data::SourceKind::kVictimList)) {
+    return util::Status::InvalidArgument("unknown source kind " +
+                                         std::to_string(source_kind));
+  }
+  record.source_kind = static_cast<data::SourceKind>(source_kind);
+  record.entity_id = std::bit_cast<int64_t>(entity_bits);
+  record.family_id = std::bit_cast<int64_t>(family_bits);
+  for (uint16_t i = 0; i < num_entries; ++i) {
+    uint8_t attr = 0;
+    uint16_t len = 0;
+    std::string value;
+    if (!r.ReadU8(&attr) || !r.ReadU16(&len) || !r.ReadBytes(&value, len)) {
+      return Truncated("append entry list");
+    }
+    if (attr >= data::kNumAttributes) {
+      return util::Status::InvalidArgument("out-of-schema attribute " +
+                                           std::to_string(attr));
+    }
+    // Record::Add drops empty values silently; that would make the decoded
+    // record differ from the encoded one, so reject them typed instead.
+    if (value.empty()) {
+      return util::Status::InvalidArgument("empty attribute value");
+    }
+    record.Add(static_cast<data::AttributeId>(attr), std::move(value));
+  }
+  if (!r.Done()) return TrailingBytes("append");
+  return record;
+}
+
+void EncodeAppendAck(const AppendAck& ack, std::string* out) {
+  std::string payload;
+  payload.reserve(16);
+  PutU64(&payload, ack.record_idx);
+  PutU64(&payload, ack.generation);
+  AppendFrame(FrameType::kAppendAck, payload, out);
+}
+
+util::StatusOr<AppendAck> DecodeAppendAck(const Frame& frame) {
+  if (frame.type != FrameType::kAppendAck) {
+    return util::Status::InvalidArgument("not an append ack frame");
+  }
+  PayloadReader r(frame.payload);
+  AppendAck ack;
+  if (!r.ReadU64(&ack.record_idx) || !r.ReadU64(&ack.generation)) {
+    return Truncated("append ack");
+  }
+  if (!r.Done()) return TrailingBytes("append ack");
+  return ack;
 }
 
 }  // namespace yver::serve::wire

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "data/record.h"
 #include "serve/query.h"
 #include "serve/resolution_service.h"
 #include "util/status.h"
@@ -33,21 +34,31 @@ namespace yver::serve::wire {
 /// an old capture stays replayable against a newer binary); versions
 /// beyond kVersion are rejected with INVALID_ARGUMENT ("speak an older
 /// dialect, never guess a newer one").
+///
+/// Version history:
+///   v1 — queries, results, errors, info.
+///   v2 — live index updates: kResult gains a trailing generation field,
+///        kInfo gains generation/publishes/pinned_readers, and the
+///        kAppendRequest/kAppendAck frames (record ingest) are added.
+///        v1 payloads decode with generation defaulted to 1 (the only
+///        generation a v1 server ever serves).
 
 inline constexpr uint8_t kMagic0 = 0x59;  // 'Y'
 inline constexpr uint8_t kMagic1 = 0x57;  // 'W'
-inline constexpr uint8_t kVersion = 1;
+inline constexpr uint8_t kVersion = 2;
 inline constexpr size_t kHeaderSize = 8;
 /// Upper bound on a single frame payload: a decode of a hostile length
 /// field fails typed instead of attempting a huge allocation.
 inline constexpr size_t kMaxFramePayload = 16u << 20;
 
 enum class FrameType : uint8_t {
-  kQuery = 1,        // client -> server: one serve::Query
-  kResult = 2,       // server -> client: the OK answer to a query
-  kError = 3,        // server -> client: a typed non-OK util::Status
-  kInfoRequest = 4,  // client -> server: corpus + metrics snapshot request
-  kInfo = 5,         // server -> client: ServerInfo
+  kQuery = 1,          // client -> server: one serve::Query
+  kResult = 2,         // server -> client: the OK answer to a query
+  kError = 3,          // server -> client: a typed non-OK util::Status
+  kInfoRequest = 4,    // client -> server: corpus + metrics snapshot request
+  kInfo = 5,           // server -> client: ServerInfo
+  kAppendRequest = 6,  // client -> server: one data::Record to ingest (v2)
+  kAppendAck = 7,      // server -> client: assigned index + generation (v2)
 };
 
 /// One decoded frame: the type plus the raw payload bytes. The payload is
@@ -132,8 +143,40 @@ void EncodeInfoRequest(std::string* out);
 /// Appends a kInfo frame for `info`.
 void EncodeInfo(const ServerInfo& info, std::string* out);
 
-/// Decodes a kInfo frame. DATA_LOSS on size mismatch.
+/// Decodes a kInfo frame. DATA_LOSS on size mismatch. A v1 payload
+/// decodes with metrics.generation = 1 and publishes/pinned_readers = 0.
 util::StatusOr<ServerInfo> DecodeInfo(const Frame& frame);
+
+// ---------------------------------------------------------------------------
+// Live ingest (v2)
+
+/// The server's answer to a kAppendRequest: the record index the appended
+/// report was assigned (it becomes queryable at that index once the
+/// builder publishes) and the generation being served at ack time — the
+/// client polls Info until the generation advances past this to know the
+/// record is live.
+struct AppendAck {
+  uint64_t record_idx = 0;
+  uint64_t generation = 0;
+};
+
+/// Appends a kAppendRequest frame carrying one report: source metadata
+/// plus the raw (attribute, value) entries. Values are length-prefixed
+/// bytes, entries travel in insertion order (the item-interning sequence
+/// depends on it, so the order is part of the determinism contract).
+void EncodeAppend(const data::Record& record, std::string* out);
+
+/// Decodes a kAppendRequest frame. DATA_LOSS on truncation or trailing
+/// bytes, INVALID_ARGUMENT on an unknown source kind, an out-of-schema
+/// attribute id, or an empty value (Record::Add would silently drop it,
+/// breaking the round trip — reject instead).
+util::StatusOr<data::Record> DecodeAppend(const Frame& frame);
+
+/// Appends a kAppendAck frame.
+void EncodeAppendAck(const AppendAck& ack, std::string* out);
+
+/// Decodes a kAppendAck frame. DATA_LOSS on size mismatch.
+util::StatusOr<AppendAck> DecodeAppendAck(const Frame& frame);
 
 }  // namespace yver::serve::wire
 

@@ -43,6 +43,8 @@ const char* FaultPointName(FaultPoint point) {
       return "net.socket.read";
     case FaultPoint::kSocketWrite:
       return "net.socket.write";
+    case FaultPoint::kIndexPublish:
+      return "serve.index.publish";
     case FaultPoint::kNumPoints:
       break;
   }

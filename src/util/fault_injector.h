@@ -23,6 +23,7 @@ enum class FaultPoint : uint8_t {
   kServiceCompute,      // serve: the query compute path (latency only)
   kSocketRead,          // net: per-read() of the wire transport
   kSocketWrite,         // net: per-write() of the wire transport
+  kIndexPublish,        // serve: installing a new index generation
   kNumPoints,           // sentinel — keep last
 };
 

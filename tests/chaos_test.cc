@@ -8,15 +8,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ranked_resolution.h"
 #include "core/resolution_io.h"
 #include "data/csv_io.h"
+#include "serve/index_manager.h"
 #include "serve/query.h"
 #include "serve/resolution_index.h"
 #include "serve/resolution_service.h"
@@ -319,6 +323,125 @@ TEST_F(ChaosTest, RetriesRecoverFaultedLoads) {
   ASSERT_FALSE(failed.ok());
   EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
   EXPECT_EQ(stats.attempts, 6) << "the whole budget was spent retrying";
+}
+
+// ---------------------------------------------------------------------------
+// Swap-under-load (DESIGN.md §13): queries race live index publishes.
+
+// The acceptance scenario of the live-update layer: across a {1, 2, 8}
+// reader-thread matrix (12K queries total), a writer keeps publishing new
+// index generations — with faults armed, including the serve.index.publish
+// point, so some installs fail and are retried — while every reader
+// hammers QueryRecord. Correctness bar: every OK answer byte-equals the
+// serial fault-free baseline of the exact generation it reports, each
+// reader observes a non-decreasing generation sequence, and once the run
+// drains, no snapshot beyond the current one is retained.
+TEST_F(ChaosTest, SwapUnderLoadServesSomeConsistentGeneration) {
+  constexpr uint64_t kGenerations = 6;  // 1 initial + 5 published
+  constexpr size_t kTotalQueries = 12000;
+
+  // Generation g serves its own index; pre-compute each generation's
+  // serial fault-free baseline over the shared workload.
+  std::vector<std::shared_ptr<const serve::ResolutionIndex>> indexes;
+  indexes.push_back(index_);  // generation 1 (SetUp's index)
+  for (uint64_t g = 2; g <= kGenerations; ++g) {
+    indexes.push_back(std::make_shared<const serve::ResolutionIndex>(
+        MakeResolution(kNumRecords, kNumMatches, /*seed=*/100 + g),
+        kNumRecords));
+  }
+  std::vector<std::vector<serve::QueryResult>> baselines;
+  for (const auto& index : indexes) {
+    serve::ServiceOptions serial;
+    serial.num_threads = 1;
+    serve::ResolutionService service(index, serial);
+    std::vector<serve::QueryResult> baseline;
+    baseline.reserve(workload_.size());
+    for (const auto& query : workload_) {
+      auto result = service.QueryRecord(query);
+      ASSERT_TRUE(result.ok());
+      baseline.push_back(*result);
+    }
+    baselines.push_back(std::move(baseline));
+  }
+
+  FaultConfig config;
+  config.seed = 97;
+  config.io_error_probability = 0.02;
+  config.latency_probability = 0.01;
+  config.short_read_probability = 0.01;
+  config.latency_micros = 20;
+  ScopedFaultInjection arm(config);
+
+  size_t ok_answers = 0;
+  for (size_t threads : {1u, 2u, 8u}) {
+    auto service = std::make_shared<serve::ResolutionService>(indexes[0]);
+
+    // Writer: install generations 2..kGenerations in order, retrying
+    // through injected serve.index.publish failures — a failed install
+    // must be invisible to readers.
+    std::thread writer([&] {
+      for (uint64_t g = 2; g <= kGenerations; ++g) {
+        for (;;) {
+          auto published = service->PublishIndex(indexes[g - 1]);
+          if (published.ok()) {
+            EXPECT_EQ(*published, g);
+            break;
+          }
+          EXPECT_EQ(published.status().code(), StatusCode::kUnavailable);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+    });
+
+    const size_t per_thread = kTotalQueries / 3 / threads;
+    std::atomic<size_t> ok_count{0};
+    std::vector<std::thread> readers;
+    for (size_t t = 0; t < threads; ++t) {
+      readers.emplace_back([&, t] {
+        util::Rng rng(900 + t);
+        uint64_t last_generation = 0;  // per-reader monotonicity
+        for (size_t i = 0; i < per_thread; ++i) {
+          const serve::Query& query =
+              workload_[static_cast<size_t>(rng.Next()) % workload_.size()];
+          auto result = service->QueryRecord(query);
+          if (!result.ok()) {
+            EXPECT_TRUE(IsAllowedFaultOutcome(result.status().code()))
+                << result.status().ToString();
+            continue;
+          }
+          ASSERT_GE(result->generation, 1u);
+          ASSERT_LE(result->generation, kGenerations);
+          // Generations are swapped in ascending order, so within one
+          // reader the served generation never goes backwards.
+          EXPECT_GE(result->generation, last_generation)
+              << "reader " << t << " saw the generation move backwards";
+          last_generation = result->generation;
+          // The answer must be internally consistent with exactly the
+          // generation it claims — byte-equal to that generation's serial
+          // fault-free baseline.
+          size_t w = (&query - workload_.data());
+          EXPECT_TRUE(
+              SameResult(*result, baselines[result->generation - 1][w]))
+              << "answer inconsistent with generation "
+              << result->generation;
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : readers) t.join();
+    writer.join();
+    ok_answers += ok_count.load();
+
+    // Drained: nothing pinned, every retired snapshot reclaimed.
+    const serve::IndexManager& manager = service->index_manager();
+    EXPECT_EQ(manager.generation(), kGenerations);
+    EXPECT_EQ(manager.pinned_readers(), 0u);
+    EXPECT_EQ(manager.retained_snapshots(), 1u)
+        << "retired generations leaked past the last release";
+  }
+  EXPECT_GT(ok_answers, 0u);
+  EXPECT_GT(FaultInjector::Global().hits(FaultPoint::kIndexPublish), 0u)
+      << "the publish fault point was never exercised";
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -16,11 +17,15 @@
 #include <gtest/gtest.h>
 
 #include "blocking/mfi_blocks.h"
+#include "core/incremental.h"
 #include "core/pipeline.h"
 #include "core/resolution_io.h"
 #include "mining/brute_force_miner.h"
 #include "mining/fp_growth.h"
+#include "serve/ingest.h"
+#include "serve/query.h"
 #include "serve/resolution_index.h"
+#include "serve/resolution_service.h"
 #include "synth/gazetteer.h"
 #include "synth/generator.h"
 #include "synth/tag_oracle.h"
@@ -199,6 +204,89 @@ TEST(DeterminismTest, ParallelMaximalMinerMatchesBruteForce) {
       EXPECT_EQ(parallel, serial)
           << "trial " << trial << " diverged at " << num_threads
           << " threads";
+    }
+  }
+}
+
+// Live-ingest determinism matrix (DESIGN.md §13): the final published
+// index is a pure function of (seed corpus, submission order). Splitting
+// the same K appends into different batches — one generation per record,
+// a couple of coarse waves, or one big batch — and running the service at
+// {1, 2, 8} threads with queries in flight must all converge on the
+// byte-identical final index checksum. Batch boundaries may change which
+// intermediate generations exist, never the bytes of the last one.
+TEST(DeterminismTest, IncrementalPublishMatrixConvergesOnOneChecksum) {
+  const synth::GeneratedData& corpus = Corpus();
+  const size_t total = corpus.dataset.size();
+  constexpr size_t kAppends = 24;
+  ASSERT_GT(total, kAppends * 2);
+  const size_t base_size = total - kAppends;
+
+  data::Dataset base;
+  for (data::RecordIdx r = 0; r < base_size; ++r) {
+    base.Add(corpus.dataset[r]);
+  }
+
+  // Reference: the same appends applied directly to a fresh resolver, no
+  // service, no threads — the value every matrix cell must reproduce.
+  uint64_t reference = 0;
+  {
+    core::IncrementalResolver resolver(base, core::RankedResolution(),
+                                       ml::AdTree());
+    for (size_t i = 0; i < kAppends; ++i) {
+      resolver.AddRecord(
+          corpus.dataset[static_cast<data::RecordIdx>(base_size + i)]);
+    }
+    serve::ResolutionIndex final_index(resolver.Resolution(),
+                                       resolver.dataset().size());
+    reference = final_index.Checksum();
+  }
+
+  const std::vector<std::vector<size_t>> splits = {
+      {kAppends},                        // one batch, one generation
+      {kAppends / 2, kAppends / 2},      // two coarse waves
+      std::vector<size_t>(kAppends, 1),  // a generation per record
+  };
+  for (size_t split_idx = 0; split_idx < splits.size(); ++split_idx) {
+    for (size_t num_threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      auto initial = std::make_shared<const serve::ResolutionIndex>(
+          core::RankedResolution(), base.size());
+      serve::ServiceOptions options;
+      options.num_threads = num_threads;
+      auto service =
+          std::make_shared<serve::ResolutionService>(initial, options);
+      auto resolver = std::make_unique<core::IncrementalResolver>(
+          base, core::RankedResolution(), ml::AdTree());
+      serve::LiveIndexBuilder builder(service, std::move(resolver));
+
+      size_t next = 0;
+      for (size_t batch : splits[split_idx]) {
+        for (size_t i = 0; i < batch; ++i) {
+          auto idx = builder.Submit(corpus.dataset[static_cast<data::RecordIdx>(
+              base_size + next)]);
+          ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+          ++next;
+        }
+        // The barrier between batches is what makes the splits genuinely
+        // different publish histories.
+        ASSERT_TRUE(builder.WaitForIdle().ok());
+        // Queries in flight against whatever generation is current: they
+        // must not perturb the ingest path.
+        std::vector<serve::Query> probes;
+        for (size_t q = 0; q < 32; ++q) {
+          serve::Query probe;
+          probe.record = static_cast<data::RecordIdx>(q % base.size());
+          probes.push_back(probe);
+        }
+        service->QueryBatch(probes);
+      }
+      ASSERT_EQ(next, kAppends);
+
+      auto pin = service->PinIndex();
+      EXPECT_EQ(pin->num_records(), total);
+      EXPECT_EQ(pin->Checksum(), reference)
+          << "split " << split_idx << " at " << num_threads
+          << " thread(s) diverged from the reference index";
     }
   }
 }

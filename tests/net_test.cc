@@ -19,7 +19,12 @@
 #include <thread>
 #include <vector>
 
+#include "core/incremental.h"
 #include "core/ranked_resolution.h"
+#include "data/dataset.h"
+#include "data/record.h"
+#include "ml/adtree.h"
+#include "serve/ingest.h"
 #include "serve/net/client.h"
 #include "serve/net/loadgen.h"
 #include "serve/net/replay.h"
@@ -429,6 +434,182 @@ TEST(NetLoadGenTest, OpenLoopPacingAnswersEverything) {
 
 // ---------------------------------------------------------------------------
 // Chaos at the socket: faults fragment or fail, never corrupt
+
+// ---------------------------------------------------------------------------
+// Live ingest over the wire (DESIGN.md §13)
+
+data::Record MakeWireReport(uint64_t book_id, const std::string& first,
+                            const std::string& last) {
+  data::Record r;
+  r.book_id = book_id;
+  r.source_id = 1;
+  r.Add(data::AttributeId::kFirstName, first);
+  r.Add(data::AttributeId::kLastName, last);
+  r.Add(data::AttributeId::kBirthCity, "vilna");
+  return r;
+}
+
+// A live server with a tiny real corpus behind it, so appended
+// near-duplicates actually match.
+struct LiveServer {
+  std::shared_ptr<ResolutionService> service;
+  std::shared_ptr<LiveIndexBuilder> builder;
+  std::unique_ptr<net::Server> server;
+
+  explicit LiveServer(net::ServerOptions options = {}) {
+    data::Dataset seed;
+    seed.Add(MakeWireReport(1, "chaim", "levi"));
+    seed.Add(MakeWireReport(2, "chaim", "levi"));
+    seed.Add(MakeWireReport(3, "sara", "cohen"));
+    auto index = std::make_shared<const ResolutionIndex>(
+        core::RankedResolution(), seed.size());
+    service = std::make_shared<ResolutionService>(index);
+    auto resolver = std::make_unique<core::IncrementalResolver>(
+        seed, core::RankedResolution(), ml::AdTree());
+    builder = std::make_shared<LiveIndexBuilder>(service,
+                                                 std::move(resolver));
+    server = std::make_unique<net::Server>(service, options, builder);
+  }
+};
+
+TEST(NetLiveIngestTest, AppendedRecordBecomesQueryableOverTheWire) {
+  LiveServer live;
+  ASSERT_TRUE(live.server->Start().ok());
+  auto client = net::Client::Connect(live.server->port());
+  ASSERT_TRUE(client.ok());
+
+  auto ack = client->Append(MakeWireReport(4, "chaim", "levi"));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->record_idx, 3u);
+  EXPECT_GE(ack->generation, 1u);
+
+  // The ack is acceptance; visibility is the published generation. Wait
+  // server-side, then confirm over the wire via Info.
+  ASSERT_TRUE(live.builder->WaitForIdle().ok());
+  auto info = client->Info();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->num_records, 4u);
+  EXPECT_GT(info->metrics.generation, ack->generation);
+  EXPECT_GE(info->metrics.publishes, 1u);
+
+  // The new record answers queries like any other — and matches the
+  // near-duplicates it was seeded next to.
+  Query query;
+  query.record = static_cast<data::RecordIdx>(ack->record_idx);
+  auto result = client->Call(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->generation, 2u);
+  EXPECT_FALSE(result->matches.empty());
+  live.server->Shutdown();
+  EXPECT_EQ(live.server->stats().appends_accepted, 1u);
+}
+
+TEST(NetLiveIngestTest, AppendWithoutBuilderIsTypedUnavailable) {
+  auto index = MakeIndex();
+  auto service = std::make_shared<ResolutionService>(index);
+  net::Server server(service);  // no builder: live ingest disabled
+  ASSERT_TRUE(server.Start().ok());
+  auto client = net::Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  auto ack = client->Append(MakeWireReport(9, "a", "b"));
+  ASSERT_FALSE(ack.ok());
+  EXPECT_EQ(ack.status().code(), StatusCode::kUnavailable);
+
+  // The connection lives on: a query still answers.
+  EXPECT_TRUE(client->Call(Query{}).ok());
+  server.Shutdown();
+  EXPECT_EQ(server.stats().appends_accepted, 0u);
+}
+
+TEST(NetLiveIngestTest, AppendsAndQueriesInterleaveInOrder) {
+  // Pipelining contract extended to appends: one response per request
+  // frame, in request order, across mixed query/append/info traffic.
+  LiveServer live;
+  ASSERT_TRUE(live.server->Start().ok());
+  auto client = net::Client::Connect(live.server->port());
+  ASSERT_TRUE(client.ok());
+
+  Query query;
+  query.record = 0;
+  ASSERT_TRUE(client->SendQuery(query).ok());
+  ASSERT_TRUE(client->SendAppend(MakeWireReport(4, "dvora", "katz")).ok());
+  ASSERT_TRUE(client->SendQuery(query).ok());
+  ASSERT_TRUE(client->SendAppend(MakeWireReport(5, "dvora", "katz")).ok());
+
+  auto r1 = client->ReadResult();
+  ASSERT_TRUE(r1.ok());
+  auto a1 = client->ReadAppendAck();
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(a1->record_idx, 3u);
+  auto r2 = client->ReadResult();
+  ASSERT_TRUE(r2.ok());
+  auto a2 = client->ReadAppendAck();
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->record_idx, 4u);
+
+  live.server->Shutdown();
+  EXPECT_EQ(live.server->stats().appends_accepted, 2u);
+}
+
+TEST(NetLiveIngestTest, GenerationIsMonotonicPerConnection) {
+  // While a client interleaves appends with queries, the generation its
+  // answers report never moves backwards — the reader-side monotonicity
+  // half of the swap contract, observed over the wire.
+  LiveServer live;
+  ASSERT_TRUE(live.server->Start().ok());
+  auto client = net::Client::Connect(live.server->port());
+  ASSERT_TRUE(client.ok());
+
+  uint64_t last_generation = 0;
+  Query query;
+  query.record = 1;
+  for (uint64_t i = 0; i < 16; ++i) {
+    auto ack = client->Append(
+        MakeWireReport(100 + i, "gen" + std::to_string(i), "x"));
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    auto result = client->Call(query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GE(result->generation, last_generation)
+        << "generation moved backwards on one connection";
+    last_generation = result->generation;
+  }
+  ASSERT_TRUE(live.builder->WaitForIdle().ok());
+  auto info = client->Info();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->num_records, 3u + 16u);
+  // The Info snapshot pins the index to read the corpus fields, so the
+  // gauge it reports includes its own pin — but never anyone else's on
+  // an otherwise idle server.
+  EXPECT_LE(info->metrics.pinned_readers, 1u)
+      << "idle server still holds pins";
+  live.server->Shutdown();
+}
+
+TEST(NetLiveIngestTest, MalformedAppendPayloadIsTypedAndOrdered) {
+  LiveServer live;
+  ASSERT_TRUE(live.server->Start().ok());
+  auto client = net::Client::Connect(live.server->port());
+  ASSERT_TRUE(client.ok());
+
+  // Hand-build an append frame whose payload is garbage: the server must
+  // answer INVALID_ARGUMENT in order and keep the connection alive.
+  std::string bad;
+  wire::AppendFrame(wire::FrameType::kAppendRequest, "garbage", &bad);
+  Query query;
+  query.record = 0;
+  ASSERT_TRUE(client->SendQuery(query).ok());
+  ASSERT_TRUE(client->SendBytes(bad).ok());
+  ASSERT_TRUE(client->SendQuery(query).ok());
+
+  ASSERT_TRUE(client->ReadResult().ok());
+  auto err = client->ReadAppendAck();
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client->ReadResult().ok()) << "connection died after a "
+                                            "malformed append";
+  live.server->Shutdown();
+}
 
 TEST(NetChaosTest, InjectedSocketFaultsNeverCorruptAnswers) {
   auto index = MakeIndex();

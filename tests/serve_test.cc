@@ -205,33 +205,54 @@ TEST_F(ResolutionIndexTest, ClustersMatchEntityClusters) {
 
 TEST(ShardedQueryCacheTest, EvictsLeastRecentlyUsed) {
   ShardedQueryCache cache(/*capacity=*/2, /*num_shards=*/1);
+  constexpr uint64_t kGen = 1;
   Query q1{1, 0.0, 0, Granularity::kMatches};
   Query q2{2, 0.0, 0, Granularity::kMatches};
   Query q3{3, 0.0, 0, Granularity::kMatches};
-  cache.Put(q1, std::make_shared<QueryResult>());
-  cache.Put(q2, std::make_shared<QueryResult>());
-  EXPECT_NE(cache.Get(q1), nullptr);  // q1 now MRU
-  cache.Put(q3, std::make_shared<QueryResult>());
-  EXPECT_EQ(cache.Get(q2), nullptr);  // q2 was LRU -> evicted
-  EXPECT_NE(cache.Get(q1), nullptr);
-  EXPECT_NE(cache.Get(q3), nullptr);
+  cache.Put(q1, kGen, std::make_shared<QueryResult>());
+  cache.Put(q2, kGen, std::make_shared<QueryResult>());
+  EXPECT_NE(cache.Get(q1, kGen), nullptr);  // q1 now MRU
+  cache.Put(q3, kGen, std::make_shared<QueryResult>());
+  EXPECT_EQ(cache.Get(q2, kGen), nullptr);  // q2 was LRU -> evicted
+  EXPECT_NE(cache.Get(q1, kGen), nullptr);
+  EXPECT_NE(cache.Get(q3, kGen), nullptr);
   EXPECT_EQ(cache.size(), 2u);
 }
 
 TEST(ShardedQueryCacheTest, DistinguishesAllKeyFields) {
   ShardedQueryCache cache(/*capacity=*/64);
+  constexpr uint64_t kGen = 3;
   Query base{5, 0.25, 0, Granularity::kMatches};
-  cache.Put(base, std::make_shared<QueryResult>());
+  cache.Put(base, kGen, std::make_shared<QueryResult>());
   Query other_certainty = base;
   other_certainty.certainty = 0.75;
   Query other_k = base;
   other_k.k = 3;
   Query other_granularity = base;
   other_granularity.granularity = Granularity::kEntity;
-  EXPECT_NE(cache.Get(base), nullptr);
-  EXPECT_EQ(cache.Get(other_certainty), nullptr);
-  EXPECT_EQ(cache.Get(other_k), nullptr);
-  EXPECT_EQ(cache.Get(other_granularity), nullptr);
+  EXPECT_NE(cache.Get(base, kGen), nullptr);
+  EXPECT_EQ(cache.Get(other_certainty, kGen), nullptr);
+  EXPECT_EQ(cache.Get(other_k, kGen), nullptr);
+  EXPECT_EQ(cache.Get(other_granularity, kGen), nullptr);
+}
+
+// The PR-7 bugfix regression: the key must carry the index generation, or
+// an answer computed against a retired snapshot would be served as fresh
+// after a publish. Same semantic query, different generation -> miss.
+TEST(ShardedQueryCacheTest, DistinguishesGenerations) {
+  ShardedQueryCache cache(/*capacity=*/64);
+  Query q{7, 0.5, 0, Granularity::kMatches};
+  auto gen1 = std::make_shared<QueryResult>();
+  gen1->generation = 1;
+  cache.Put(q, /*generation=*/1, gen1);
+  EXPECT_NE(cache.Get(q, /*generation=*/1), nullptr);
+  EXPECT_EQ(cache.Get(q, /*generation=*/2), nullptr);
+  auto gen2 = std::make_shared<QueryResult>();
+  gen2->generation = 2;
+  cache.Put(q, /*generation=*/2, gen2);
+  // Both generations coexist; each lookup gets its own generation's bytes.
+  EXPECT_EQ(cache.Get(q, /*generation=*/1)->generation, 1u);
+  EXPECT_EQ(cache.Get(q, /*generation=*/2)->generation, 2u);
 }
 
 // ---------------------------------------------------------------------------

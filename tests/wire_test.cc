@@ -347,6 +347,285 @@ TEST(WireCodecTest, PipelinedFramesExtractOneAtATime) {
 }
 
 // ---------------------------------------------------------------------------
+// Live-ingest frames (v2): kAppendRequest / kAppendAck
+
+data::Record RandomRecord(util::Rng& rng) {
+  data::Record record;
+  record.book_id = rng.Next();
+  record.source_id = static_cast<uint32_t>(rng.Next() & 0xffffffff);
+  record.source_kind = rng.Bernoulli(0.5) ? data::SourceKind::kPageOfTestimony
+                                          : data::SourceKind::kVictimList;
+  record.entity_id = static_cast<int64_t>(rng.Next());
+  record.family_id = static_cast<int64_t>(rng.Next());
+  size_t entries = static_cast<size_t>(rng.UniformInt(1, 8));
+  for (size_t i = 0; i < entries; ++i) {
+    auto attr = static_cast<data::AttributeId>(
+        rng.UniformInt(0, static_cast<int64_t>(data::kNumAttributes) - 1));
+    size_t len = static_cast<size_t>(rng.UniformInt(1, 12));
+    std::string value;
+    for (size_t c = 0; c < len; ++c) {
+      value.push_back(static_cast<char>('a' + rng.UniformInt(0, 25)));
+    }
+    record.Add(attr, value);
+  }
+  return record;
+}
+
+TEST(WireCodecTest, AppendRoundTripIsByteIdentical) {
+  util::Rng rng(37);
+  for (int i = 0; i < 200; ++i) {
+    data::Record record = RandomRecord(rng);
+    std::string bytes;
+    wire::EncodeAppend(record, &bytes);
+
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(bytes, &frame);
+    ASSERT_TRUE(consumed.ok());
+    ASSERT_EQ(*consumed, bytes.size());
+    ASSERT_EQ(frame.type, wire::FrameType::kAppendRequest);
+    auto decoded = wire::DecodeAppend(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->book_id, record.book_id);
+    EXPECT_EQ(decoded->source_id, record.source_id);
+    EXPECT_EQ(decoded->source_kind, record.source_kind);
+    EXPECT_EQ(decoded->entity_id, record.entity_id);
+    EXPECT_EQ(decoded->family_id, record.family_id);
+    ASSERT_EQ(decoded->entries().size(), record.entries().size());
+    for (size_t e = 0; e < record.entries().size(); ++e) {
+      EXPECT_EQ(decoded->entries()[e].attr, record.entries()[e].attr);
+      EXPECT_EQ(decoded->entries()[e].value, record.entries()[e].value);
+    }
+
+    std::string again;
+    wire::EncodeAppend(*decoded, &again);
+    EXPECT_EQ(bytes, again) << "append re-encode is not byte-identical";
+  }
+}
+
+TEST(WireCodecTest, AppendAckRoundTrip) {
+  wire::AppendAck ack;
+  ack.record_idx = 0x123456789abcdefULL;
+  ack.generation = 42;
+  std::string bytes;
+  wire::EncodeAppendAck(ack, &bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(bytes, &frame).ok());
+  ASSERT_EQ(frame.type, wire::FrameType::kAppendAck);
+  auto decoded = wire::DecodeAppendAck(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->record_idx, ack.record_idx);
+  EXPECT_EQ(decoded->generation, ack.generation);
+
+  frame.payload.push_back('\0');
+  EXPECT_EQ(wire::DecodeAppendAck(frame).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(WireCodecTest, TruncatedAppendPayloadIsTypedError) {
+  util::Rng rng(41);
+  data::Record record = RandomRecord(rng);
+  std::string bytes;
+  wire::EncodeAppend(record, &bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(bytes, &frame).ok());
+  for (size_t cut = 0; cut < frame.payload.size(); ++cut) {
+    wire::Frame shorter = frame;
+    shorter.payload.resize(cut);
+    auto decoded = wire::DecodeAppend(shorter);
+    ASSERT_FALSE(decoded.ok()) << "cut " << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss) << "cut " << cut;
+  }
+}
+
+TEST(WireCodecTest, MalformedAppendFieldsAreTypedErrors) {
+  data::Record record;
+  record.book_id = 7;
+  record.Add(data::AttributeId::kFirstName, "x");
+  std::string bytes;
+  wire::EncodeAppend(record, &bytes);
+  wire::Frame good;
+  ASSERT_TRUE(wire::ExtractFrame(bytes, &good).ok());
+  // Payload layout: book_id u64, source_id u32, source_kind u8, ...
+  {
+    wire::Frame bad = good;
+    bad.payload[12] = 99;  // source kind beyond the enum
+    EXPECT_EQ(wire::DecodeAppend(bad).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    wire::Frame bad = good;
+    // First entry's attribute byte sits right after the fixed header +
+    // entry count: 8 + 4 + 1 + 8 + 8 + 2 = 31.
+    bad.payload[31] = static_cast<char>(data::kNumAttributes);
+    EXPECT_EQ(wire::DecodeAppend(bad).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireCodecTest, AppendBitFlipsNeverCrashTheDecoder) {
+  util::Rng rng(43);
+  data::Record record = RandomRecord(rng);
+  std::string bytes;
+  wire::EncodeAppend(record, &bytes);
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = bytes;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      wire::Frame frame;
+      auto consumed = wire::ExtractFrame(flipped, &frame);
+      if (!consumed.ok()) continue;  // typed header rejection — fine
+      if (*consumed == 0) continue;  // looks incomplete now — fine
+      switch (frame.type) {
+        case wire::FrameType::kAppendRequest: {
+          auto decoded = wire::DecodeAppend(frame);
+          (void)decoded;
+          break;
+        }
+        case wire::FrameType::kAppendAck: {
+          auto decoded = wire::DecodeAppendAck(frame);
+          (void)decoded;
+          break;
+        }
+        default: {
+          auto decoded = wire::DecodeResult(frame);
+          (void)decoded;
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Version evolution: v2 payload additions, v1 decode defaults
+
+TEST(WireCodecTest, ResultCarriesItsGeneration) {
+  util::Rng rng(47);
+  QueryResult result = RandomResult(rng);
+  result.generation = 17;
+  std::string bytes;
+  wire::EncodeResult(result, &bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(bytes, &frame).ok());
+  auto decoded = wire::DecodeResult(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->generation, 17u);
+}
+
+TEST(WireCodecTest, InfoCarriesLiveIndexGauges) {
+  wire::ServerInfo info;
+  info.num_records = 10;
+  info.metrics.latency_histogram_ns.assign(kServiceLatencyBuckets, 0);
+  info.metrics.generation = 5;
+  info.metrics.publishes = 4;
+  info.metrics.pinned_readers = 2;
+  std::string bytes;
+  wire::EncodeInfo(info, &bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(bytes, &frame).ok());
+  auto decoded = wire::DecodeInfo(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->metrics.generation, 5u);
+  EXPECT_EQ(decoded->metrics.publishes, 4u);
+  EXPECT_EQ(decoded->metrics.pinned_readers, 2u);
+}
+
+// Rewrites an encoded frame as version 1 with `chop` trailing payload
+// bytes removed — a byte-faithful v1 frame as an old binary would have
+// written it (the v2 additions are strictly trailing).
+std::string AsV1Frame(std::string bytes, size_t chop) {
+  bytes[2] = 1;  // version byte
+  bytes.resize(bytes.size() - chop);
+  uint32_t len = static_cast<uint32_t>(bytes.size() - wire::kHeaderSize);
+  for (int i = 0; i < 4; ++i) {
+    bytes[4 + static_cast<size_t>(i)] =
+        static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  return bytes;
+}
+
+TEST(WireCodecTest, V1ResultDecodesWithGenerationOne) {
+  util::Rng rng(53);
+  QueryResult result = RandomResult(rng);
+  result.generation = 9;  // must NOT survive a v1 round trip
+  std::string bytes;
+  wire::EncodeResult(result, &bytes);
+  // v1 kResult = v2 minus the trailing 8-byte generation.
+  std::string v1 = AsV1Frame(bytes, 8);
+  wire::Frame frame;
+  auto consumed = wire::ExtractFrame(v1, &frame);
+  ASSERT_TRUE(consumed.ok()) << consumed.status().ToString();
+  EXPECT_EQ(frame.version, 1);
+  auto decoded = wire::DecodeResult(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->generation, 1u)
+      << "a v1 server only ever serves generation 1";
+  EXPECT_EQ(decoded->entity, result.entity);
+}
+
+TEST(WireCodecTest, V1InfoDecodesWithDefaultGauges) {
+  wire::ServerInfo info;
+  info.num_records = 77;
+  info.metrics.latency_histogram_ns.assign(kServiceLatencyBuckets, 3);
+  info.metrics.generation = 6;
+  info.metrics.publishes = 5;
+  info.metrics.pinned_readers = 4;
+  std::string bytes;
+  wire::EncodeInfo(info, &bytes);
+  // v1 kInfo = v2 minus the trailing generation/publishes/pinned u64s.
+  std::string v1 = AsV1Frame(bytes, 24);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(v1, &frame).ok());
+  auto decoded = wire::DecodeInfo(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_records, 77u);
+  EXPECT_EQ(decoded->metrics.generation, 1u);
+  EXPECT_EQ(decoded->metrics.publishes, 0u);
+  EXPECT_EQ(decoded->metrics.pinned_readers, 0u);
+}
+
+TEST(WireCodecTest, AppendFramesAreVersionTwoOnly) {
+  // An append frame claiming version 1 is a protocol violation: the frame
+  // type did not exist in v1. ExtractFrame's per-version type range check
+  // must reject it.
+  data::Record record;
+  record.book_id = 1;
+  record.Add(data::AttributeId::kFirstName, "x");
+  std::string bytes;
+  wire::EncodeAppend(record, &bytes);
+  bytes[2] = 1;  // lie about the version
+  wire::Frame frame;
+  auto consumed = wire::ExtractFrame(bytes, &frame);
+  ASSERT_FALSE(consumed.ok());
+  EXPECT_EQ(consumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The status-code map is wire ABI: these bytes are frozen forever. A new
+// code may only ever be appended (with its byte pinned here); renumbering
+// breaks every capture and every old client.
+TEST(WireCodecTest, StatusCodeWireBytesAreFrozen) {
+  const struct {
+    StatusCode code;
+    uint8_t wire_byte;
+  } kFrozen[] = {
+      {StatusCode::kOk, 0},
+      {StatusCode::kInvalidArgument, 1},
+      {StatusCode::kNotFound, 2},
+      {StatusCode::kOutOfRange, 3},
+      {StatusCode::kDataLoss, 4},
+      {StatusCode::kInternal, 5},
+      {StatusCode::kDeadlineExceeded, 6},
+      {StatusCode::kResourceExhausted, 7},
+      {StatusCode::kUnavailable, 8},
+  };
+  EXPECT_EQ(std::size(kFrozen), 9u) << "added a StatusCode? pin it here";
+  for (const auto& entry : kFrozen) {
+    EXPECT_EQ(static_cast<uint8_t>(entry.code), entry.wire_byte)
+        << util::StatusCodeName(entry.code) << " moved — wire ABI break";
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Capture files (record/replay)
 
 TEST(CaptureFileTest, RoundTripsFramesByteIdentically) {

@@ -16,6 +16,10 @@
 //   yver_cli serve       --in data.csv (--matches matches.csv | --index idx.yvx)
 //                        [--port P] [--port-file F] [--threads T]
 //                        [--dispatch-threads D] [--max-batch B] [--no-cache]
+//                        [--live] [--model model.adt] [--publish-batch N]
+//                        [--ingest-queue N]
+//   yver_cli append      --port P --in new.csv [--count N] [--wait-ms D]
+//                        [--verify]
 //   yver_cli loadgen     --port P [--connections C] [--queries N] [--qps Q]
 //                        [--certainty X] [--k K] [--deadline-ms D]
 //                        [--hot-set H] [--entity-fraction F] [--seed S]
@@ -43,6 +47,13 @@
 // `serve` puts the index on the wire (DESIGN.md §12): a binary TCP front
 // end on 127.0.0.1 that `loadgen` drives with a synthetic or replayed
 // workload. `yver_cli serve --help` documents every serving knob.
+//
+// `serve --live` watches for appends (DESIGN.md §13): kAppendRequest
+// frames feed a background IncrementalResolver that publishes fresh index
+// generations while queries keep flowing against pinned snapshots.
+// `append` is the matching client: it streams records from a CSV into a
+// live server, waits for the generation containing them to be served, and
+// optionally queries one back as an end-to-end proof.
 
 #include <atomic>
 #include <chrono>
@@ -62,6 +73,7 @@
 #include "core/entity_clusters.h"
 #include "core/evaluation.h"
 #include "core/family_resolution.h"
+#include "core/incremental.h"
 #include "core/knowledge_graph.h"
 #include "core/narrative.h"
 #include "core/pipeline.h"
@@ -70,6 +82,8 @@
 #include "data/sample.h"
 #include "data/stats.h"
 #include "ml/adtree_io.h"
+#include "serve/ingest.h"
+#include "serve/net/client.h"
 #include "serve/net/loadgen.h"
 #include "serve/net/server.h"
 #include "serve/query.h"
@@ -316,6 +330,22 @@ struct ServeOptions {
   std::string record_path;
   std::string replay_path;
   bool json = false;
+  // live ingest (serve --live) + append client:
+  bool live = false;
+  std::string model_path;      // ADTree for incremental scoring (optional;
+                               // without it, block-score ranking)
+  size_t publish_batch = 1;
+  size_t ingest_queue = 4096;
+  size_t append_count = 0;     // append: records to send (0 = all)
+  double wait_ms = 10000;      // append: bound on the publish wait
+  bool verify = false;         // append: query the last record back
+
+  serve::IngestOptions ToIngestOptions() const {
+    serve::IngestOptions o;
+    o.publish_batch = publish_batch;
+    o.max_queue_depth = ingest_queue;
+    return o;
+  }
 
   serve::ServiceOptions ToServiceOptions() const {
     serve::ServiceOptions o;
@@ -380,6 +410,15 @@ ServeOptions ParseServeOptions(const Flags& flags, bool needs_corpus) {
   options.record_path = flags.Get("record");
   options.replay_path = flags.Get("replay");
   options.json = flags.Has("json");
+  options.live = flags.Has("live") || flags.Has("watch-appends");
+  options.model_path = flags.Get("model");
+  options.publish_batch =
+      static_cast<size_t>(flags.GetInt("publish-batch", 1));
+  options.ingest_queue =
+      static_cast<size_t>(flags.GetInt("ingest-queue", 4096));
+  options.append_count = static_cast<size_t>(flags.GetInt("count", 0));
+  options.wait_ms = flags.GetDouble("wait-ms", 10000);
+  options.verify = flags.Has("verify");
   return options;
 }
 
@@ -395,6 +434,8 @@ constexpr const char kServeHelp[] =
     "              in-process batch benchmark (no socket)\n"
     "  loadgen     --port P\n"
     "              wire client driving a running `serve`\n"
+    "  append      --port P --in new.csv\n"
+    "              wire client streaming records into `serve --live`\n"
     "\n"
     "corpus (serve, serve-bench):\n"
     "  --in F                dataset CSV (required)\n"
@@ -427,7 +468,25 @@ constexpr const char kServeHelp[] =
     "  --seed S              workload RNG seed (17)\n"
     "  --record F            capture every query frame sent to F\n"
     "  --replay F            replay a capture byte-identically\n"
-    "  --json                machine-readable report on stdout\n";
+    "  --json                machine-readable report on stdout\n"
+    "\n"
+    "live index updates (serve):\n"
+    "  --live                accept kAppendRequest frames; a background\n"
+    "                        builder publishes new index generations while\n"
+    "                        queries keep flowing (alias: --watch-appends)\n"
+    "  --model F             ADTree for incremental match scoring\n"
+    "                        (default: block-score ranking)\n"
+    "  --publish-batch N     records applied per published generation (1)\n"
+    "  --ingest-queue N      append backpressure: queue cap before\n"
+    "                        RESOURCE_EXHAUSTED (4096)\n"
+    "\n"
+    "append client (append):\n"
+    "  --in F                CSV of records to append (required)\n"
+    "  --count N             send only the first N records (0 = all)\n"
+    "  --wait-ms D           bound on waiting for the generation that\n"
+    "                        contains every ack'd record (10000)\n"
+    "  --verify              query the last appended record back and\n"
+    "                        print its match count\n";
 
 data::Dataset LoadOrDie(const std::string& path) {
   auto dataset = data::LoadDatasetCsvLenient(path);
@@ -779,7 +838,30 @@ int CmdServe(const ServeOptions& options) {
   auto service = std::make_shared<serve::ResolutionService>(
       index, options.ToServiceOptions());
 
-  serve::net::Server server(service, options.ToServerOptions());
+  // --live: seed an incremental resolver with exactly the corpus +
+  // resolution the serving index was built over, and let a background
+  // builder publish new generations as appends arrive.
+  std::shared_ptr<serve::LiveIndexBuilder> builder;
+  if (options.live) {
+    ml::AdTree model;
+    if (!options.model_path.empty()) {
+      auto loaded = ml::LoadAdTree(options.model_path);
+      if (!loaded) {
+        std::fprintf(stderr, "cannot load model from %s\n",
+                     options.model_path.c_str());
+        return 1;
+      }
+      model = *std::move(loaded);
+    }
+    synth::Gazetteer gazetteer;
+    auto resolver = std::make_unique<core::IncrementalResolver>(
+        dataset, core::RankedResolution(index->matches()), std::move(model),
+        gazetteer.MakeGeoResolver());
+    builder = std::make_shared<serve::LiveIndexBuilder>(
+        service, std::move(resolver), options.ToIngestOptions());
+  }
+
+  serve::net::Server server(service, options.ToServerOptions(), builder);
   auto started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
@@ -800,6 +882,12 @@ int CmdServe(const ServeOptions& options) {
               "(%zu service thread(s), %zu dispatcher(s))\n",
               index->num_records(), index->num_matches(), server.port(),
               service->num_threads(), options.dispatch_threads);
+  if (builder) {
+    std::printf("live ingest on: appends publish every %zu record(s), "
+                "queue cap %zu\n",
+                options.publish_batch == 0 ? size_t{1} : options.publish_batch,
+                options.ingest_queue);
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleStopSignal);
@@ -816,6 +904,17 @@ int CmdServe(const ServeOptions& options) {
               static_cast<unsigned long long>(stats.connections_accepted),
               static_cast<unsigned long long>(stats.responses_sent),
               static_cast<unsigned long long>(stats.protocol_errors));
+  if (builder) {
+    builder->Stop();
+    auto ingest = builder->stats();
+    auto metrics = service->metrics();
+    std::printf("live ingest: %llu appended, %llu published generation(s) "
+                "(now serving generation %llu, %llu publish failure(s))\n",
+                static_cast<unsigned long long>(ingest.applied),
+                static_cast<unsigned long long>(ingest.published),
+                static_cast<unsigned long long>(metrics.generation),
+                static_cast<unsigned long long>(ingest.publish_failures));
+  }
   return 0;
 }
 
@@ -883,6 +982,97 @@ int CmdLoadGen(const ServeOptions& options) {
               100.0 * report->server_metrics.HitRate());
   std::printf("response hash: %016llx\n",
               static_cast<unsigned long long>(report->response_hash));
+  return 0;
+}
+
+// Streams records from a CSV into a `serve --live` server and waits until
+// the served generation contains every ack'd record — the end-to-end proof
+// the TSan loopback smoke runs: append over the wire, watch the generation
+// advance, query the new record back.
+int CmdAppend(const ServeOptions& options) {
+  if (options.port == 0) {
+    std::fprintf(stderr, "missing required flag --port\n");
+    return 2;
+  }
+  data::Dataset dataset = LoadOrDie(options.query.in);
+  if (dataset.size() == 0) {
+    std::fprintf(stderr, "no records to append in %s\n",
+                 options.query.in.c_str());
+    return 1;
+  }
+  size_t count = options.append_count == 0
+                     ? dataset.size()
+                     : std::min(options.append_count, dataset.size());
+  util::Deadline deadline = options.wait_ms > 0
+                                ? util::Deadline::AfterMillis(options.wait_ms)
+                                : util::Deadline();
+
+  auto client = serve::net::Client::Connect(options.port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t first_idx = 0;
+  uint64_t last_idx = 0;
+  for (size_t i = 0; i < count; ++i) {
+    auto ack = client->Append(dataset[static_cast<data::RecordIdx>(i)],
+                              deadline);
+    if (!ack.ok()) {
+      // A full ingest queue surfaces here as RESOURCE_EXHAUSTED, a server
+      // without --live as UNAVAILABLE — both are the server's typed answer.
+      std::fprintf(stderr, "append %zu/%zu: %s\n", i + 1, count,
+                   ack.status().ToString().c_str());
+      return 1;
+    }
+    if (i == 0) first_idx = ack->record_idx;
+    last_idx = ack->record_idx;
+  }
+
+  // The ack is acceptance, not visibility: poll Info until the serving
+  // generation covers the last assigned index.
+  serve::wire::ServerInfo info;
+  for (;;) {
+    auto got = client->Info(deadline);
+    if (!got.ok()) {
+      std::fprintf(stderr, "%s\n", got.status().ToString().c_str());
+      return 1;
+    }
+    info = *got;
+    if (info.num_records > last_idx) break;
+    if (!deadline.is_infinite() && deadline.HasExpired()) {
+      std::fprintf(stderr,
+                   "timed out waiting for a generation containing record "
+                   "%llu (server at %llu records, generation %llu)\n",
+                   static_cast<unsigned long long>(last_idx),
+                   static_cast<unsigned long long>(info.num_records),
+                   static_cast<unsigned long long>(info.metrics.generation));
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::printf("appended %zu record(s) as indices %llu..%llu; serving "
+              "generation %llu (%llu publish(es), %llu records)\n",
+              count, static_cast<unsigned long long>(first_idx),
+              static_cast<unsigned long long>(last_idx),
+              static_cast<unsigned long long>(info.metrics.generation),
+              static_cast<unsigned long long>(info.metrics.publishes),
+              static_cast<unsigned long long>(info.num_records));
+
+  if (options.verify) {
+    auto result = client->Call(options.query.ToServeQuery(
+        static_cast<data::RecordIdx>(last_idx),
+        serve::Granularity::kMatches));
+    if (!result.ok()) {
+      std::fprintf(stderr, "verify query: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("verify: record %llu answers with %zu match(es) above "
+                "certainty %.2f (generation %llu)\n",
+                static_cast<unsigned long long>(last_idx),
+                result->matches.size(), options.query.certainty,
+                static_cast<unsigned long long>(result->generation));
+  }
   return 0;
 }
 
@@ -967,7 +1157,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: yver_cli "
                "<generate|stats|normalize|resolve|index|query|serve|"
-               "serve-bench|loadgen|sample|graph|families> "
+               "serve-bench|loadgen|append|sample|graph|families> "
                "[flags]\n(see the header of tools/yver_cli.cc; "
                "`yver_cli serve --help` covers the serving knobs)\n");
   return 2;
@@ -983,8 +1173,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   Flags flags(argc, argv, 2);
-  bool serving =
-      cmd == "serve" || cmd == "serve-bench" || cmd == "loadgen";
+  bool serving = cmd == "serve" || cmd == "serve-bench" ||
+                 cmd == "loadgen" || cmd == "append";
   if (flags.Has("help")) {
     if (serving) {
       std::fputs(kServeHelp, stdout);
@@ -1004,6 +1194,7 @@ int main(int argc, char** argv) {
     return CmdServeBench(ParseServeOptions(flags, true));
   }
   if (cmd == "loadgen") return CmdLoadGen(ParseServeOptions(flags, false));
+  if (cmd == "append") return CmdAppend(ParseServeOptions(flags, true));
   if (cmd == "sample") return CmdSample(flags);
   if (cmd == "graph") return CmdGraph(ParseQueryOptions(flags));
   if (cmd == "families") return CmdFamilies(ParseQueryOptions(flags));
