@@ -20,7 +20,10 @@
 # recorded one — the wire determinism contract exercised end to end over
 # real sockets — followed by a live-append step: fresh reports streamed
 # in with `yver_cli append --verify`, which must see the served
-# generation advance and the appended record answer queries.
+# generation advance and the appended record answer queries. A
+# crash-recovery smoke follows: a WAL-backed `serve --live --wal-dir` is
+# SIGKILLed mid-append-stream, restarted on the same directory, and every
+# previously acked record must answer (`append --verify-from 0`).
 #
 #   scripts/check.sh            # all stages
 #   scripts/check.sh --no-tsan  # skip the TSan stage
@@ -62,7 +65,10 @@ if [[ "$run_tsan" == 1 ]]; then
   # code TSan exists for — readers pin generations wait-free while a
   # writer publishes — and ChaosTest.SwapUnderLoad* drives the full
   # swap-under-load consistency proof race-checked.
-  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*:Determinism*:GoldenPipeline*:*MfiBlocks*:*ThreadPool*:ChaosTest*:AdmissionController*:FaultInjector*:RetryTest*:DeadlineTest*:*Wire*:*Net*:CaptureFile*:IndexManager*:LiveIndexBuilder*'
+  # Wal* is the durability layer (DESIGN.md §14): group-commit batching
+  # means concurrent appenders hand frames to a leader thread, so the
+  # WAL unit and WAL-backed ingest suites run race-checked as well.
+  ./build-tsan/tests/yver_tests --gtest_filter='*Serve*:*Service*:ShardedQueryCache*:*ResolutionIndex*:StatusTest*:Determinism*:GoldenPipeline*:*MfiBlocks*:*ThreadPool*:ChaosTest*:AdmissionController*:FaultInjector*:RetryTest*:DeadlineTest*:*Wire*:*Net*:CaptureFile*:IndexManager*:LiveIndexBuilder*:Wal*:Gazetteer*'
 
   echo "==> tier-1: loopback serve/loadgen smoke (TSan binaries, record/replay)"
   # End-to-end over a real socket: a TSan-built server on an ephemeral
@@ -99,9 +105,48 @@ if [[ "$run_tsan" == 1 ]]; then
     echo "live append smoke failed" >&2; cat "$smoke_dir/serve.log" >&2; exit 1; }
   kill -TERM "$serve_pid"
   wait "$serve_pid" || { echo "serve exited non-zero after SIGTERM" >&2; cat "$smoke_dir/serve.log" >&2; exit 1; }
+
+  echo "==> tier-1: crash-recovery smoke (WAL-backed serve, SIGKILL mid-stream)"
+  # Durability end to end (DESIGN.md §14): a WAL-backed server takes a
+  # stream of appends, is SIGKILLed mid-stream with no chance to flush,
+  # and a restart on the same --wal-dir must replay every acked record —
+  # `append --verify-from 0` then queries every record in the recovered
+  # corpus, so a single lost ack fails the stage.
+  ./build-tsan/tools/yver_cli serve --in "$smoke_dir/data.csv" --index "$smoke_dir/idx.yvx" \
+      --live --wal-dir "$smoke_dir/wal" --port-file "$smoke_dir/port2" >"$smoke_dir/serve2.log" 2>&1 &
+  serve_pid=$!
+  for _ in $(seq 1 200); do [[ -s "$smoke_dir/port2" ]] && break; sleep 0.05; done
+  [[ -s "$smoke_dir/port2" ]] || { echo "WAL serve never wrote its port file" >&2; cat "$smoke_dir/serve2.log" >&2; exit 1; }
+  port2="$(cat "$smoke_dir/port2")"
+  ./build-tsan/tools/yver_cli append --port "$port2" --in "$smoke_dir/new.csv" --count 10 \
+      >"$smoke_dir/append.log" 2>&1 &
+  append_pid=$!
+  # Let a few appends land, then kill the server dead mid-stream: no
+  # SIGTERM handler runs, so only the WAL carries the acked records.
+  sleep 0.3
+  kill -KILL "$serve_pid"
+  wait "$serve_pid" 2>/dev/null || true
+  wait "$append_pid" 2>/dev/null || true  # appender may see the reset; that's the point
+  rm -f "$smoke_dir/port2"
+  ./build-tsan/tools/yver_cli serve --in "$smoke_dir/data.csv" --index "$smoke_dir/idx.yvx" \
+      --live --wal-dir "$smoke_dir/wal" --port-file "$smoke_dir/port2" >"$smoke_dir/serve3.log" 2>&1 &
+  serve_pid=$!
+  for _ in $(seq 1 200); do [[ -s "$smoke_dir/port2" ]] && break; sleep 0.05; done
+  [[ -s "$smoke_dir/port2" ]] || { echo "restarted WAL serve never wrote its port file" >&2; cat "$smoke_dir/serve3.log" >&2; exit 1; }
+  port2="$(cat "$smoke_dir/port2")"
+  grep -q "wal: recovered" "$smoke_dir/serve3.log" || {
+    echo "restarted serve did not report WAL recovery" >&2; cat "$smoke_dir/serve3.log" >&2; exit 1; }
+  recovered_line="$(grep "wal: recovered" "$smoke_dir/serve3.log")"
+  # Every record acked before the kill — and the seed corpus — must answer.
+  ./build-tsan/tools/yver_cli append --port "$port2" --in "$smoke_dir/new.csv" --count 5 \
+      --verify --verify-from 0 || {
+    echo "post-recovery append/verify failed" >&2; cat "$smoke_dir/serve3.log" >&2; exit 1; }
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" || { echo "WAL serve exited non-zero after SIGTERM" >&2; cat "$smoke_dir/serve3.log" >&2; exit 1; }
   trap - EXIT
   rm -rf "$smoke_dir"
   echo "loopback smoke: 3000 queries, replay hash $h0 reproduced twice"
+  echo "crash-recovery smoke: $recovered_line"
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -112,7 +157,11 @@ if [[ "$run_asan" == 1 ]]; then
   # (IndexManager*) is a lifetime protocol, the append codec (*Wire*) is
   # raw offset arithmetic over hostile bytes, and LiveIndexBuilder*/
   # ServicePublish* exercise the resolver-to-snapshot copy path.
-  ./build-asan/tests/yver_tests --gtest_filter='*Feature*:*Qgram*:*QGram*:*Jaccard*:*Geo*:Determinism*:GoldenPipeline*:*Incremental*:ChaosTest*:ArtifactFuzzTest*:CsvLenientTest*:ServiceRobustness*:IndexManager*:LiveIndexBuilder*:ServicePublish*:*Wire*:NetLiveIngest*'
+  # Wal* adds the durability layer: torn-tail recovery and the bit-flip
+  # fuzz walk raw offsets over deliberately corrupted segment bytes, which
+  # is exactly what ASan+UBSan exist to pin down; Gazetteer* covers the
+  # owned-resolver lifetime contract the serving path depends on.
+  ./build-asan/tests/yver_tests --gtest_filter='*Feature*:*Qgram*:*QGram*:*Jaccard*:*Geo*:Determinism*:GoldenPipeline*:*Incremental*:ChaosTest*:ArtifactFuzzTest*:CsvLenientTest*:ServiceRobustness*:IndexManager*:LiveIndexBuilder*:ServicePublish*:*Wire*:NetLiveIngest*:Wal*:Gazetteer*'
 fi
 
 echo "==> all checks passed"

@@ -5,6 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "data/csv_io.h"
+#include "data/dataset.h"
+#include "util/atomic_io.h"
 #include "util/check.h"
 
 namespace yver::serve {
@@ -20,6 +23,13 @@ LiveIndexBuilder::LiveIndexBuilder(
   YVER_CHECK_MSG(resolver_ != nullptr, "LiveIndexBuilder needs a resolver");
   if (options_.publish_batch == 0) options_.publish_batch = 1;
   base_records_ = resolver_->dataset().size();
+  if (options_.wal != nullptr) {
+    YVER_CHECK_MSG(options_.wal_base_records <= base_records_,
+                   "wal_base_records exceeds the seeded corpus");
+    // Whatever was already replayed into the resolver counts as covered:
+    // the next snapshot triggers snapshot_every appends from *here*.
+    last_snapshot_count_ = base_records_ - options_.wal_base_records;
+  }
   builder_ = std::thread([this] { Run(); });
 }
 
@@ -27,19 +37,55 @@ LiveIndexBuilder::~LiveIndexBuilder() { Stop(); }
 
 util::StatusOr<data::RecordIdx> LiveIndexBuilder::Submit(
     data::Record record) {
+  if (options_.wal == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return util::Status::Unavailable("live ingest is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      return util::Status::ResourceExhausted("ingest queue is full");
+    }
+    // The index is assigned here, at enqueue: base corpus + arrival
+    // position. The builder applies strictly in queue order, so the record
+    // is guaranteed to land at exactly this index in every generation that
+    // contains it.
+    data::RecordIdx idx =
+        static_cast<data::RecordIdx>(base_records_ + submitted_);
+    ++submitted_;
+    queue_.push_back(std::move(record));
+    work_cv_.notify_one();
+    return idx;
+  }
+
+  // Durable path: submitters serialize through submit_mu_ so the WAL's
+  // sequence order is exactly the queue's arrival order — the property
+  // that lets replay reassign the same corpus indices the acks promised.
+  // The fsync wait happens under submit_mu_ only; queries, stats, and the
+  // builder's drain never block on it.
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return util::Status::Unavailable("live ingest is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      return util::Status::ResourceExhausted("ingest queue is full");
+    }
+  }
+  auto sequence = options_.wal->Append(record);
+  if (!sequence.ok()) return sequence.status();
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) {
+    // The record is durable but the builder is gone: it will replay (and
+    // take this same index) on the next startup. The caller still gets a
+    // typed refusal — an ack must mean "in the index soon", not "maybe
+    // after a restart".
     return util::Status::Unavailable("live ingest is shutting down");
   }
-  if (queue_.size() >= options_.max_queue_depth) {
-    return util::Status::ResourceExhausted("ingest queue is full");
-  }
-  // The index is assigned here, at enqueue: base corpus + arrival
-  // position. The builder applies strictly in queue order, so the record
-  // is guaranteed to land at exactly this index in every generation that
-  // contains it.
   data::RecordIdx idx =
       static_cast<data::RecordIdx>(base_records_ + submitted_);
+  YVER_CHECK_MSG(WalSequenceFor(idx) == *sequence,
+                 "wal sequence diverged from the corpus index");
   ++submitted_;
   queue_.push_back(std::move(record));
   work_cv_.notify_one();
@@ -79,6 +125,8 @@ IngestStats LiveIndexBuilder::stats() const {
   s.applied = applied_;
   s.published = published_;
   s.publish_failures = publish_failures_;
+  s.snapshots = snapshots_;
+  s.snapshot_failures = snapshot_failures_;
   return s;
 }
 
@@ -132,7 +180,44 @@ void LiveIndexBuilder::Run() {
         ++publish_failures_;
       }
     }
+    if (published.ok()) MaybeSnapshot();
     idle_cv_.notify_all();
+  }
+}
+
+void LiveIndexBuilder::MaybeSnapshot() {
+  if (options_.wal == nullptr || options_.snapshot_every == 0 ||
+      options_.snapshot_path.empty()) {
+    return;
+  }
+  size_t appended = resolver_->dataset().size() - options_.wal_base_records;
+  if (appended < last_snapshot_count_ + options_.snapshot_every) return;
+  // Persist the appended suffix crash-atomically (stream the CSV to a tmp
+  // path, fsync, rename), then retire the WAL segments it covers. A crash
+  // between the rename and the Retire only leaves covered segments behind
+  // — startup skips their records (sequence <= snapshot size) and the
+  // next snapshot retires them.
+  data::Dataset suffix;
+  for (size_t i = options_.wal_base_records; i < resolver_->dataset().size();
+       ++i) {
+    suffix.Add(resolver_->dataset()[static_cast<data::RecordIdx>(i)]);
+  }
+  std::string tmp = options_.snapshot_path + ".tmp";
+  util::Status persisted =
+      data::SaveDatasetCsv(suffix, tmp)
+          ? util::PromoteFileAtomic(tmp, options_.snapshot_path)
+          : util::Status::Unavailable("cannot write " + tmp);
+  if (persisted.ok()) {
+    persisted = options_.wal->Retire(static_cast<uint64_t>(appended));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (persisted.ok()) {
+    last_snapshot_count_ = appended;
+    ++snapshots_;
+  } else {
+    // Non-fatal: the WAL still holds everything; retry at the next
+    // publish boundary.
+    ++snapshot_failures_;
   }
 }
 

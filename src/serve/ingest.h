@@ -11,6 +11,7 @@
 #include "core/incremental.h"
 #include "data/record.h"
 #include "serve/resolution_service.h"
+#include "serve/wal.h"
 #include "util/deadline.h"
 #include "util/status.h"
 
@@ -26,6 +27,20 @@ struct IngestOptions {
   /// Submissions beyond this many undrained records are shed with
   /// RESOURCE_EXHAUSTED — ingest backpressure mirrors query admission.
   size_t max_queue_depth = 4096;
+  /// Durable ingest (DESIGN.md §14): when set, Submit appends the record
+  /// to this log and returns only once it is fsync'd — the returned index
+  /// (and the wire ack built from it) means *durable*, not *enqueued*.
+  /// Not owned; must outlive the builder.
+  WriteAheadLog* wal = nullptr;
+  /// Corpus records that are NOT in the WAL (the seed corpus the log's
+  /// first record lands after): WAL sequence s occupies corpus index
+  /// wal_base_records + s - 1. Only meaningful with `wal`.
+  size_t wal_base_records = 0;
+  /// Every this many applied records the builder persists the appended
+  /// suffix as a crash-atomic CSV snapshot at `snapshot_path` and retires
+  /// WAL segments the snapshot covers (0 = never snapshot).
+  size_t snapshot_every = 0;
+  std::string snapshot_path;
 };
 
 /// Point-in-time ingest counters.
@@ -34,6 +49,8 @@ struct IngestStats {
   uint64_t applied = 0;          // records run through the resolver
   uint64_t published = 0;        // successful index publishes
   uint64_t publish_failures = 0; // failed publishes (retried next round)
+  uint64_t snapshots = 0;        // appended-suffix snapshots persisted
+  uint64_t snapshot_failures = 0;// failed snapshot writes (retried later)
 };
 
 /// The live half of the archive (DESIGN.md §13): a single background
@@ -75,7 +92,23 @@ class LiveIndexBuilder {
   /// after Stop. Thread-safe; arrival order across concurrent submitters
   /// is whatever order they won the queue lock in — each caller's records
   /// keep their relative order.
+  ///
+  /// With a WAL configured, Submit persists the record first (group
+  /// commit; the call blocks on the fsync) and only then lets the builder
+  /// see it, so a successful return means the record survives a crash.
+  /// Submitters serialize through the log: WAL order *is* arrival order,
+  /// which is what makes replay reproduce the exact corpus indices that
+  /// were acked.
   util::StatusOr<data::RecordIdx> Submit(data::Record record);
+
+  /// True when appends are written through a WAL (the ack means durable).
+  bool durable() const { return options_.wal != nullptr; }
+
+  /// The WAL sequence that produced (or will produce) corpus index `idx`.
+  /// Only meaningful when durable().
+  uint64_t WalSequenceFor(data::RecordIdx idx) const {
+    return static_cast<uint64_t>(idx) - options_.wal_base_records + 1;
+  }
 
   /// Blocks until everything submitted so far is applied AND published
   /// (the service is serving a generation that contains it), or the
@@ -97,10 +130,21 @@ class LiveIndexBuilder {
  private:
   void Run();
 
+  /// Builder-thread only: persists the appended suffix of the corpus as a
+  /// crash-atomic CSV and retires the WAL segments it covers.
+  void MaybeSnapshot();
+
   std::shared_ptr<ResolutionService> service_;
   std::unique_ptr<core::IncrementalResolver> resolver_;  // builder thread only
   IngestOptions options_;
   size_t base_records_ = 0;
+  uint64_t last_snapshot_count_ = 0;  // appended records covered (builder thread)
+
+  /// Serializes durable submits: the WAL append (including the group-
+  /// commit wait) and the enqueue happen under this lock so the log order
+  /// equals the queue order. Never held while mu_ is wanted by others for
+  /// long — the fsync wait happens here, not under mu_.
+  std::mutex submit_mu_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // builder wakes on submit/stop
@@ -113,6 +157,8 @@ class LiveIndexBuilder {
   uint64_t applied_ = 0;
   uint64_t published_ = 0;
   uint64_t publish_failures_ = 0;
+  uint64_t snapshots_ = 0;
+  uint64_t snapshot_failures_ = 0;
 
   std::thread builder_;
 };

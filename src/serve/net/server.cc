@@ -351,6 +351,13 @@ void Server::MaybeDispatch(uint64_t id, Connection& conn) {
         wire::AppendAck ack;
         ack.record_idx = *submitted;
         ack.generation = service_->index_manager().generation();
+        // v3: with a WAL behind the builder, Submit returned only after
+        // the fsync — tell the client this ack survives a crash.
+        ack.durable = builder_->durable();
+        ack.wal_sequence =
+            ack.durable ? builder_->WalSequenceFor(
+                              static_cast<data::RecordIdx>(*submitted))
+                        : 0;
         wire::EncodeAppendAck(ack, &bytes);
         break;
       }

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <limits>
 
+#include "util/atomic_io.h"
 #include "util/check.h"
 #include "util/fault_injector.h"
 
@@ -151,22 +152,33 @@ uint64_t ResolutionIndex::Checksum() const {
 }
 
 util::Status ResolutionIndex::Save(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) return util::Status::NotFound("cannot write " + path);
-  f.write(kMagic, sizeof(kMagic));
-  Writer w(f);
-  w.Put<uint64_t>(num_records_);
-  w.Put<uint64_t>(arena_.size());
+  // Crash-atomic: serialize in memory, write to path.tmp, fsync, then
+  // rename over the destination (DESIGN.md §14). A crash — or an injected
+  // serve.index.save fault — anywhere in here leaves whatever artifact
+  // stood at `path` fully intact; a torn .yvx can never replace a good
+  // one.
+  util::Status injected =
+      util::FaultInjector::Global().InjectIo(util::FaultPoint::kIndexSave);
+  if (!injected.ok()) return injected;
+  std::string bytes;
+  bytes.reserve(sizeof(kMagic) + 16 + arena_.size() * 24 + 8);
+  bytes.append(kMagic, sizeof(kMagic));
+  Fnv1a fnv;
+  auto put = [&bytes, &fnv](auto v) {
+    bytes.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    fnv.Update(&v, sizeof(v));
+  };
+  put(static_cast<uint64_t>(num_records_));
+  put(static_cast<uint64_t>(arena_.size()));
   for (const auto& m : arena_) {
-    w.Put<uint32_t>(m.pair.a);
-    w.Put<uint32_t>(m.pair.b);
-    w.Put<double>(m.confidence);
-    w.Put<double>(m.block_score);
+    put(static_cast<uint32_t>(m.pair.a));
+    put(static_cast<uint32_t>(m.pair.b));
+    put(m.confidence);
+    put(m.block_score);
   }
-  uint64_t digest = w.digest();
-  f.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
-  if (!f) return util::Status::DataLoss("short write to " + path);
-  return util::Status::Ok();
+  uint64_t digest = fnv.digest();
+  bytes.append(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  return util::WriteFileAtomic(path, bytes);
 }
 
 util::StatusOr<ResolutionIndex> ResolutionIndex::Load(

@@ -51,6 +51,16 @@ util::StatusOr<uint64_t> ResolutionService::PublishIndex(
       return kv.first.first < *published;
     });
   }
+  if (options_.max_stale_generations > 0) {
+    // Bound serve-stale degradation: entries older than the window can no
+    // longer be handed to a shed query, so "degraded" has a hard age cap
+    // instead of depending on LRU pressure.
+    uint64_t min_gen = *published > options_.max_stale_generations
+                           ? *published - options_.max_stale_generations
+                           : 0;
+    evicted_stale_.fetch_add(cache_.EvictOlderThan(min_gen),
+                             std::memory_order_relaxed);
+  }
   return published;
 }
 
@@ -247,6 +257,7 @@ ServiceMetrics ResolutionService::metrics() const {
   m.generation = manager_.generation();
   m.publishes = manager_.publishes();
   m.pinned_readers = manager_.pinned_readers();
+  m.evicted_stale = evicted_stale_.load(std::memory_order_relaxed);
   m.total_latency_ms =
       static_cast<double>(latency_ns_.load(std::memory_order_relaxed)) / 1e6;
   m.latency_histogram_ns.resize(kServiceLatencyBuckets);

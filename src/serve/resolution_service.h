@@ -40,6 +40,13 @@ struct ServiceOptions {
   /// max_in_flight == 0 disables admission entirely (the default).
   size_t max_in_flight = 0;
   size_t max_queue_depth = 0;
+  /// Bound on serve-stale degradation under live updates: on every
+  /// publish, cached results (and cluster memos) computed against a
+  /// generation more than this many publishes behind the new one are
+  /// evicted, so a degraded answer can never be older than
+  /// max_stale_generations generations. 0 disables the sweep (entries age
+  /// out under LRU pressure only).
+  uint64_t max_stale_generations = 4;
 };
 
 /// Number of power-of-two latency-histogram buckets a ResolutionService
@@ -66,6 +73,9 @@ struct ServiceMetrics {
   uint64_t generation = 1;
   uint64_t publishes = 0;
   uint64_t pinned_readers = 0;
+  /// Cache entries evicted by the staleness bound
+  /// (ServiceOptions::max_stale_generations) across all publishes.
+  uint64_t evicted_stale = 0;
   double total_latency_ms = 0.0;
   /// Log2-bucketed latency histogram of answered queries (see
   /// kServiceLatencyBuckets); feeds the percentile estimates below.
@@ -205,6 +215,7 @@ class ResolutionService {
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> evicted_stale_{0};
   std::atomic<uint64_t> latency_ns_{0};
   std::array<std::atomic<uint64_t>, kServiceLatencyBuckets> latency_hist_{};
 };

@@ -135,8 +135,9 @@ bool StatusCodeFromWire(uint8_t byte, util::StatusCode* code) {
 }
 
 // Frame types are versioned: v1 defined kQuery..kInfo, v2 added the
-// append pair. A frame whose version predates its own type is a protocol
-// violation, not a forward-compat case.
+// append pair (v3 added no types, only trailing payload fields). A frame
+// whose version predates its own type is a protocol violation, not a
+// forward-compat case.
 bool KnownFrameType(uint8_t byte, uint8_t version) {
   uint8_t last = static_cast<uint8_t>(version >= 2 ? FrameType::kAppendAck
                                                    : FrameType::kInfo);
@@ -404,6 +405,8 @@ void EncodeInfo(const ServerInfo& info, std::string* out) {
   PutU64(&payload, info.metrics.generation);
   PutU64(&payload, info.metrics.publishes);
   PutU64(&payload, info.metrics.pinned_readers);
+  // v3: staleness-bound eviction counter, appended likewise.
+  PutU64(&payload, info.metrics.evicted_stale);
   AppendFrame(FrameType::kInfo, payload, out);
 }
 
@@ -444,6 +447,11 @@ util::StatusOr<ServerInfo> DecodeInfo(const Frame& frame) {
     info.metrics.generation = 1;
     info.metrics.publishes = 0;
     info.metrics.pinned_readers = 0;
+  }
+  if (frame.version >= 3) {
+    if (!r.ReadU64(&info.metrics.evicted_stale)) return Truncated("info");
+  } else {
+    info.metrics.evicted_stale = 0;
   }
   if (!r.Done()) return TrailingBytes("info");
   return info;
@@ -519,9 +527,13 @@ util::StatusOr<data::Record> DecodeAppend(const Frame& frame) {
 
 void EncodeAppendAck(const AppendAck& ack, std::string* out) {
   std::string payload;
-  payload.reserve(16);
+  payload.reserve(25);
   PutU64(&payload, ack.record_idx);
   PutU64(&payload, ack.generation);
+  // v3: durability of the ack, appended so a v2 decoder's layout is a
+  // prefix.
+  PutU8(&payload, ack.durable ? 1 : 0);
+  PutU64(&payload, ack.wal_sequence);
   AppendFrame(FrameType::kAppendAck, payload, out);
 }
 
@@ -533,6 +545,20 @@ util::StatusOr<AppendAck> DecodeAppendAck(const Frame& frame) {
   AppendAck ack;
   if (!r.ReadU64(&ack.record_idx) || !r.ReadU64(&ack.generation)) {
     return Truncated("append ack");
+  }
+  if (frame.version >= 3) {
+    uint8_t durable = 0;
+    if (!r.ReadU8(&durable) || !r.ReadU64(&ack.wal_sequence)) {
+      return Truncated("append ack");
+    }
+    if (durable > 1) {
+      return util::Status::InvalidArgument("unknown durable flag " +
+                                           std::to_string(durable));
+    }
+    ack.durable = durable != 0;
+  } else {
+    ack.durable = false;
+    ack.wal_sequence = 0;
   }
   if (!r.Done()) return TrailingBytes("append ack");
   return ack;

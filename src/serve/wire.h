@@ -42,10 +42,15 @@ namespace yver::serve::wire {
 ///        kAppendRequest/kAppendAck frames (record ingest) are added.
 ///        v1 payloads decode with generation defaulted to 1 (the only
 ///        generation a v1 server ever serves).
+///   v3 — durable ingest: kAppendAck gains trailing durable/wal_sequence
+///        fields (an ack from a WAL-backed server means the record is
+///        fsync'd, DESIGN.md §14), kInfo gains evicted_stale (the
+///        serve-stale degradation bound). No new frame types; v2 payloads
+///        decode with durable = false and evicted_stale = 0.
 
 inline constexpr uint8_t kMagic0 = 0x59;  // 'Y'
 inline constexpr uint8_t kMagic1 = 0x57;  // 'W'
-inline constexpr uint8_t kVersion = 2;
+inline constexpr uint8_t kVersion = 3;
 inline constexpr size_t kHeaderSize = 8;
 /// Upper bound on a single frame payload: a decode of a hostile length
 /// field fails typed instead of attempting a huge allocation.
@@ -144,7 +149,8 @@ void EncodeInfoRequest(std::string* out);
 void EncodeInfo(const ServerInfo& info, std::string* out);
 
 /// Decodes a kInfo frame. DATA_LOSS on size mismatch. A v1 payload
-/// decodes with metrics.generation = 1 and publishes/pinned_readers = 0.
+/// decodes with metrics.generation = 1 and publishes/pinned_readers = 0;
+/// a pre-v3 payload decodes with metrics.evicted_stale = 0.
 util::StatusOr<ServerInfo> DecodeInfo(const Frame& frame);
 
 // ---------------------------------------------------------------------------
@@ -158,6 +164,16 @@ util::StatusOr<ServerInfo> DecodeInfo(const Frame& frame);
 struct AppendAck {
   uint64_t record_idx = 0;
   uint64_t generation = 0;
+  /// v3: true when the server wrote the record through a write-ahead log
+  /// before acking — this ack survives a server crash (DESIGN.md §14). A
+  /// v2 ack (or a server running without --wal-dir) decodes as false:
+  /// the record is enqueued but a crash before the next snapshot loses it.
+  bool durable = false;
+  /// v3: the WAL sequence the record occupies when durable (1-based;
+  /// 0 when not durable). Mostly diagnostic — the record_idx is the
+  /// queryable identity — but lets a client correlate acks with WAL
+  /// segment files during recovery drills.
+  uint64_t wal_sequence = 0;
 };
 
 /// Appends a kAppendRequest frame carrying one report: source metadata
@@ -175,7 +191,8 @@ util::StatusOr<data::Record> DecodeAppend(const Frame& frame);
 /// Appends a kAppendAck frame.
 void EncodeAppendAck(const AppendAck& ack, std::string* out);
 
-/// Decodes a kAppendAck frame. DATA_LOSS on size mismatch.
+/// Decodes a kAppendAck frame. DATA_LOSS on size mismatch. A v2 payload
+/// decodes with durable = false and wal_sequence = 0.
 util::StatusOr<AppendAck> DecodeAppendAck(const Frame& frame);
 
 }  // namespace yver::serve::wire

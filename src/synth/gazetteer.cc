@@ -1,6 +1,7 @@
 #include "synth/gazetteer.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/check.h"
 
@@ -196,6 +197,13 @@ std::optional<geo::GeoPoint> Gazetteer::Lookup(std::string_view city) const {
 data::GeoResolver Gazetteer::MakeGeoResolver() const {
   return [this](data::AttributeId, std::string_view value) {
     return Lookup(value);
+  };
+}
+
+data::GeoResolver Gazetteer::MakeOwnedGeoResolver() {
+  auto gazetteer = std::make_shared<const Gazetteer>();
+  return [gazetteer](data::AttributeId, std::string_view value) {
+    return gazetteer->Lookup(value);
   };
 }
 

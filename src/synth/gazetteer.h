@@ -58,6 +58,12 @@ class Gazetteer {
   /// attributes). The gazetteer must outlive the resolver.
   data::GeoResolver MakeGeoResolver() const;
 
+  /// A self-owning GeoResolver over a fresh gazetteer: the returned
+  /// callable keeps its gazetteer alive for its own lifetime, so it is
+  /// safe to hand to long-lived consumers — a serving resolver used from
+  /// a background thread — with no scoping contract to get wrong.
+  static data::GeoResolver MakeOwnedGeoResolver();
+
  private:
   std::vector<std::vector<Place>> cities_;  // by region
   std::vector<Place> wartime_;

@@ -45,6 +45,14 @@ const char* FaultPointName(FaultPoint point) {
       return "net.socket.write";
     case FaultPoint::kIndexPublish:
       return "serve.index.publish";
+    case FaultPoint::kIndexSave:
+      return "serve.index.save";
+    case FaultPoint::kWalAppend:
+      return "serve.wal.append";
+    case FaultPoint::kWalFsync:
+      return "serve.wal.fsync";
+    case FaultPoint::kWalReplay:
+      return "serve.wal.replay";
     case FaultPoint::kNumPoints:
       break;
   }

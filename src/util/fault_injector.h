@@ -24,6 +24,10 @@ enum class FaultPoint : uint8_t {
   kSocketRead,          // net: per-read() of the wire transport
   kSocketWrite,         // net: per-write() of the wire transport
   kIndexPublish,        // serve: installing a new index generation
+  kIndexSave,           // serve: writing the .yvx artifact
+  kWalAppend,           // serve: appending a record to the write-ahead log
+  kWalFsync,            // serve: the group-commit fsync of a WAL batch
+  kWalReplay,           // serve: per-record reads during WAL recovery
   kNumPoints,           // sentinel — keep last
 };
 

@@ -586,6 +586,78 @@ TEST(NetLiveIngestTest, GenerationIsMonotonicPerConnection) {
   live.server->Shutdown();
 }
 
+TEST(NetLiveIngestTest, NonDurableAcksSaySo) {
+  LiveServer live;  // no WAL behind the builder
+  ASSERT_TRUE(live.server->Start().ok());
+  auto client = net::Client::Connect(live.server->port());
+  ASSERT_TRUE(client.ok());
+  auto ack = client->Append(MakeWireReport(4, "chaim", "levi"));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_FALSE(ack->durable);
+  EXPECT_EQ(ack->wal_sequence, 0u);
+  live.server->Shutdown();
+}
+
+TEST(NetLiveIngestTest, DurableAcksCarryWalSequenceAndSurviveRestart) {
+  // An empty WAL directory for this run.
+  std::string dir = TempPath("net_wal_dir");
+  for (uint64_t s = 1; s <= 8; ++s) {
+    char name[40];
+    std::snprintf(name, sizeof(name), "/wal-%016llx.yvw",
+                  static_cast<unsigned long long>(s));
+    std::remove((dir + name).c_str());
+  }
+  std::vector<WalRecoveredRecord> recovered;
+  auto wal = WriteAheadLog::Open(dir, WalOptions{}, &recovered);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_TRUE(recovered.empty());
+
+  {
+    data::Dataset seed;
+    seed.Add(MakeWireReport(1, "chaim", "levi"));
+    seed.Add(MakeWireReport(2, "chaim", "levi"));
+    seed.Add(MakeWireReport(3, "sara", "cohen"));
+    auto index = std::make_shared<const ResolutionIndex>(
+        core::RankedResolution(), seed.size());
+    auto service = std::make_shared<ResolutionService>(index);
+    auto resolver = std::make_unique<core::IncrementalResolver>(
+        seed, core::RankedResolution(), ml::AdTree());
+    IngestOptions ingest;
+    ingest.wal = wal->get();
+    ingest.wal_base_records = seed.size();
+    auto builder = std::make_shared<LiveIndexBuilder>(
+        service, std::move(resolver), ingest);
+    net::Server server(service, {}, builder);
+    ASSERT_TRUE(server.Start().ok());
+    auto client = net::Client::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+
+    // A v3 ack from a WAL-backed server means durable: the record is
+    // fsync'd under the reported sequence before the ack is sent.
+    for (uint64_t i = 0; i < 3; ++i) {
+      auto ack = client->Append(
+          MakeWireReport(10 + i, "w" + std::to_string(i), "al"));
+      ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+      EXPECT_EQ(ack->record_idx, 3 + i);
+      EXPECT_TRUE(ack->durable);
+      EXPECT_EQ(ack->wal_sequence, i + 1);
+      EXPECT_LE(ack->wal_sequence, (*wal)->durable_sequence())
+          << "acked before durable";
+    }
+    server.Shutdown();
+    builder->Stop();
+  }
+  wal->reset();  // drop the fd; the bytes must carry everything
+
+  auto reopened = WriteAheadLog::Open(dir, WalOptions{}, &recovered);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(recovered.size(), 3u);
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_EQ(recovered[i].sequence, i + 1);
+    EXPECT_EQ(recovered[i].record.book_id, 10 + i);
+  }
+}
+
 TEST(NetLiveIngestTest, MalformedAppendPayloadIsTypedAndOrdered) {
   LiveServer live;
   ASSERT_TRUE(live.server->Start().ok());

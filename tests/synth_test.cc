@@ -125,6 +125,19 @@ TEST(GazetteerTest, GeoResolverResolvesCityClassValues) {
   EXPECT_FALSE(resolver(AttributeId::kBirthCity, "Nowhere").has_value());
 }
 
+// Lifetime regression (the `serve --live` crash): MakeGeoResolver captures
+// the gazetteer by reference, so a resolver handed to a long-lived
+// consumer must come from MakeOwnedGeoResolver, which keeps its gazetteer
+// alive inside the callable and stays valid after every local scope ends.
+TEST(GazetteerTest, OwnedGeoResolverOutlivesAnyScope) {
+  data::GeoResolver resolver;
+  { resolver = Gazetteer::MakeOwnedGeoResolver(); }
+  auto copy = resolver;  // copies share the same owned gazetteer
+  EXPECT_TRUE(resolver(AttributeId::kBirthCity, "Warszawa").has_value());
+  EXPECT_TRUE(copy(AttributeId::kBirthCity, "Torino").has_value());
+  EXPECT_FALSE(copy(AttributeId::kBirthCity, "Nowhere").has_value());
+}
+
 // ---------------------------------------------------------------------------
 // PersonSampler
 

@@ -406,6 +406,8 @@ TEST(WireCodecTest, AppendAckRoundTrip) {
   wire::AppendAck ack;
   ack.record_idx = 0x123456789abcdefULL;
   ack.generation = 42;
+  ack.durable = true;
+  ack.wal_sequence = 17;
   std::string bytes;
   wire::EncodeAppendAck(ack, &bytes);
   wire::Frame frame;
@@ -415,6 +417,8 @@ TEST(WireCodecTest, AppendAckRoundTrip) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->record_idx, ack.record_idx);
   EXPECT_EQ(decoded->generation, ack.generation);
+  EXPECT_TRUE(decoded->durable);
+  EXPECT_EQ(decoded->wal_sequence, 17u);
 
   frame.payload.push_back('\0');
   EXPECT_EQ(wire::DecodeAppendAck(frame).status().code(),
@@ -530,11 +534,11 @@ TEST(WireCodecTest, InfoCarriesLiveIndexGauges) {
   EXPECT_EQ(decoded->metrics.pinned_readers, 2u);
 }
 
-// Rewrites an encoded frame as version 1 with `chop` trailing payload
-// bytes removed — a byte-faithful v1 frame as an old binary would have
-// written it (the v2 additions are strictly trailing).
-std::string AsV1Frame(std::string bytes, size_t chop) {
-  bytes[2] = 1;  // version byte
+// Rewrites an encoded frame as an older `version` with `chop` trailing
+// payload bytes removed — a byte-faithful old frame as an old binary
+// would have written it (payload additions are strictly trailing).
+std::string AsOlderFrame(std::string bytes, uint8_t version, size_t chop) {
+  bytes[2] = static_cast<char>(version);
   bytes.resize(bytes.size() - chop);
   uint32_t len = static_cast<uint32_t>(bytes.size() - wire::kHeaderSize);
   for (int i = 0; i < 4; ++i) {
@@ -542,6 +546,10 @@ std::string AsV1Frame(std::string bytes, size_t chop) {
         static_cast<char>((len >> (8 * i)) & 0xff);
   }
   return bytes;
+}
+
+std::string AsV1Frame(std::string bytes, size_t chop) {
+  return AsOlderFrame(std::move(bytes), 1, chop);
 }
 
 TEST(WireCodecTest, V1ResultDecodesWithGenerationOne) {
@@ -572,8 +580,9 @@ TEST(WireCodecTest, V1InfoDecodesWithDefaultGauges) {
   info.metrics.pinned_readers = 4;
   std::string bytes;
   wire::EncodeInfo(info, &bytes);
-  // v1 kInfo = v2 minus the trailing generation/publishes/pinned u64s.
-  std::string v1 = AsV1Frame(bytes, 24);
+  // v1 kInfo = v3 minus the trailing v2 gauges (24 bytes) and the v3
+  // evicted_stale counter (8 bytes).
+  std::string v1 = AsV1Frame(bytes, 32);
   wire::Frame frame;
   ASSERT_TRUE(wire::ExtractFrame(v1, &frame).ok());
   auto decoded = wire::DecodeInfo(frame);
@@ -582,6 +591,67 @@ TEST(WireCodecTest, V1InfoDecodesWithDefaultGauges) {
   EXPECT_EQ(decoded->metrics.generation, 1u);
   EXPECT_EQ(decoded->metrics.publishes, 0u);
   EXPECT_EQ(decoded->metrics.pinned_readers, 0u);
+  EXPECT_EQ(decoded->metrics.evicted_stale, 0u);
+}
+
+TEST(WireCodecTest, V2InfoDecodesWithZeroEvictedStale) {
+  wire::ServerInfo info;
+  info.num_records = 31;
+  info.metrics.latency_histogram_ns.assign(kServiceLatencyBuckets, 1);
+  info.metrics.generation = 8;
+  info.metrics.publishes = 7;
+  info.metrics.pinned_readers = 2;
+  info.metrics.evicted_stale = 99;  // must NOT survive a v2 round trip
+  std::string bytes;
+  wire::EncodeInfo(info, &bytes);
+  // v2 kInfo = v3 minus the trailing 8-byte evicted_stale counter.
+  std::string v2 = AsOlderFrame(bytes, 2, 8);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(v2, &frame).ok());
+  EXPECT_EQ(frame.version, 2);
+  auto decoded = wire::DecodeInfo(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->metrics.generation, 8u);
+  EXPECT_EQ(decoded->metrics.publishes, 7u);
+  EXPECT_EQ(decoded->metrics.pinned_readers, 2u);
+  EXPECT_EQ(decoded->metrics.evicted_stale, 0u)
+      << "a v2 server never reported evicted_stale";
+}
+
+TEST(WireCodecTest, V2AppendAckDecodesAsNotDurable) {
+  wire::AppendAck ack;
+  ack.record_idx = 512;
+  ack.generation = 3;
+  ack.durable = true;  // must NOT survive a v2 round trip
+  ack.wal_sequence = 12;
+  std::string bytes;
+  wire::EncodeAppendAck(ack, &bytes);
+  // v2 kAppendAck = v3 minus the trailing durable u8 + wal_sequence u64.
+  std::string v2 = AsOlderFrame(bytes, 2, 9);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(v2, &frame).ok());
+  EXPECT_EQ(frame.version, 2);
+  auto decoded = wire::DecodeAppendAck(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->record_idx, 512u);
+  EXPECT_EQ(decoded->generation, 3u);
+  EXPECT_FALSE(decoded->durable)
+      << "a v2 server never promised durability";
+  EXPECT_EQ(decoded->wal_sequence, 0u);
+}
+
+TEST(WireCodecTest, AppendAckRejectsUnknownDurableFlag) {
+  wire::AppendAck ack;
+  ack.record_idx = 1;
+  ack.generation = 1;
+  std::string bytes;
+  wire::EncodeAppendAck(ack, &bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(bytes, &frame).ok());
+  // The durable byte sits after record_idx + generation (16 bytes in).
+  frame.payload[16] = 2;
+  EXPECT_EQ(wire::DecodeAppendAck(frame).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(WireCodecTest, AppendFramesAreVersionTwoOnly) {

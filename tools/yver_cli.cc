@@ -17,9 +17,10 @@
 //                        [--port P] [--port-file F] [--threads T]
 //                        [--dispatch-threads D] [--max-batch B] [--no-cache]
 //                        [--live] [--model model.adt] [--publish-batch N]
-//                        [--ingest-queue N]
+//                        [--ingest-queue N] [--wal-dir D]
+//                        [--wal-segment-bytes N] [--wal-snapshot-every N]
 //   yver_cli append      --port P --in new.csv [--count N] [--wait-ms D]
-//                        [--verify]
+//                        [--verify] [--verify-from I]
 //   yver_cli loadgen     --port P [--connections C] [--queries N] [--qps Q]
 //                        [--certainty X] [--k K] [--deadline-ms D]
 //                        [--hot-set H] [--entity-fraction F] [--seed S]
@@ -54,6 +55,13 @@
 // `append` is the matching client: it streams records from a CSV into a
 // live server, waits for the generation containing them to be served, and
 // optionally queries one back as an end-to-end proof.
+//
+// `serve --live --wal-dir D` makes ingest durable (DESIGN.md §14): every
+// append is written through a write-ahead log in D before it is ack'd, and
+// a restart replays D so previously ack'd records are served again —
+// `append --verify-from I` is the matching crash-recovery check.
+
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -89,10 +97,12 @@
 #include "serve/query.h"
 #include "serve/resolution_index.h"
 #include "serve/resolution_service.h"
+#include "serve/wal.h"
 #include "synth/gazetteer.h"
 #include "synth/generator.h"
 #include "synth/tag_oracle.h"
 #include "text/normalizer.h"
+#include "util/atomic_io.h"
 #include "util/deadline.h"
 #include "util/retry.h"
 #include "util/rng.h"
@@ -339,6 +349,13 @@ struct ServeOptions {
   size_t append_count = 0;     // append: records to send (0 = all)
   double wait_ms = 10000;      // append: bound on the publish wait
   bool verify = false;         // append: query the last record back
+  long verify_from = -1;       // append: query every record from this index
+                               // up (crash-recovery re-verification)
+  // durable ingest (serve --live --wal-dir):
+  std::string wal_dir;         // write-ahead log directory; empty = acks
+                               // mean enqueued, not durable
+  size_t wal_segment_bytes = 4u << 20;
+  size_t wal_snapshot_every = 256;
 
   serve::IngestOptions ToIngestOptions() const {
     serve::IngestOptions o;
@@ -419,6 +436,12 @@ ServeOptions ParseServeOptions(const Flags& flags, bool needs_corpus) {
   options.append_count = static_cast<size_t>(flags.GetInt("count", 0));
   options.wait_ms = flags.GetDouble("wait-ms", 10000);
   options.verify = flags.Has("verify");
+  options.verify_from = flags.GetInt("verify-from", -1);
+  options.wal_dir = flags.Get("wal-dir");
+  options.wal_segment_bytes = static_cast<size_t>(
+      flags.GetInt("wal-segment-bytes", long{4u << 20}));
+  options.wal_snapshot_every =
+      static_cast<size_t>(flags.GetInt("wal-snapshot-every", 256));
   return options;
 }
 
@@ -480,13 +503,25 @@ constexpr const char kServeHelp[] =
     "  --ingest-queue N      append backpressure: queue cap before\n"
     "                        RESOURCE_EXHAUSTED (4096)\n"
     "\n"
+    "durable ingest (serve --live):\n"
+    "  --wal-dir D           write appends through a write-ahead log in D\n"
+    "                        before acking; on startup, replay D so every\n"
+    "                        previously ack'd record is served again\n"
+    "                        (without it, acks mean enqueued, not durable)\n"
+    "  --wal-segment-bytes N rotate log segments at N bytes (4 MiB)\n"
+    "  --wal-snapshot-every N  snapshot the appended records to CSV and\n"
+    "                        retire covered segments every N appends (256)\n"
+    "\n"
     "append client (append):\n"
     "  --in F                CSV of records to append (required)\n"
     "  --count N             send only the first N records (0 = all)\n"
     "  --wait-ms D           bound on waiting for the generation that\n"
     "                        contains every ack'd record (10000)\n"
     "  --verify              query the last appended record back and\n"
-    "                        print its match count\n";
+    "                        print its match count\n"
+    "  --verify-from I       additionally query every record index in\n"
+    "                        [I, corpus size) — the crash-recovery check\n"
+    "                        that previously ack'd records still answer\n";
 
 data::Dataset LoadOrDie(const std::string& path) {
   auto dataset = data::LoadDatasetCsvLenient(path);
@@ -835,13 +870,18 @@ int CmdServe(const ServeOptions& options) {
   data::Dataset dataset = LoadOrDie(options.query.in);
   auto index = LoadIndexOrDie(dataset, options.query);
 
-  auto service = std::make_shared<serve::ResolutionService>(
-      index, options.ToServiceOptions());
-
   // --live: seed an incremental resolver with exactly the corpus +
   // resolution the serving index was built over, and let a background
-  // builder publish new generations as appends arrive.
+  // builder publish new generations as appends arrive. With --wal-dir the
+  // resolver additionally replays the durable history (snapshot CSV, then
+  // the log) before the first query is admitted, so every previously
+  // ack'd record is served again (DESIGN.md §14).
   std::shared_ptr<serve::LiveIndexBuilder> builder;
+  std::unique_ptr<serve::WriteAheadLog> wal;
+  size_t recovered_snapshot = 0;
+  size_t recovered_log = 0;
+  std::unique_ptr<core::IncrementalResolver> resolver;
+  serve::IngestOptions ingest = options.ToIngestOptions();
   if (options.live) {
     ml::AdTree model;
     if (!options.model_path.empty()) {
@@ -853,12 +893,65 @@ int CmdServe(const ServeOptions& options) {
       }
       model = *std::move(loaded);
     }
-    synth::Gazetteer gazetteer;
-    auto resolver = std::make_unique<core::IncrementalResolver>(
+    // The owned resolver keeps its gazetteer alive for as long as the
+    // serving resolver does — a scoped Gazetteer here would dangle once
+    // the builder thread starts calling AddRecord.
+    resolver = std::make_unique<core::IncrementalResolver>(
         dataset, core::RankedResolution(index->matches()), std::move(model),
-        gazetteer.MakeGeoResolver());
+        synth::Gazetteer::MakeOwnedGeoResolver());
+    if (!options.wal_dir.empty()) {
+      std::string snapshot_path = options.wal_dir + "/snapshot-appends.csv";
+      // Replay order is the determinism contract: snapshot rows first
+      // (they ARE the first appends, in arrival order), then every log
+      // record beyond what the snapshot covers.
+      if (::access(snapshot_path.c_str(), F_OK) == 0) {
+        auto snap = data::LoadDatasetCsvLenient(snapshot_path);
+        if (!snap.ok()) {
+          std::fprintf(stderr, "wal snapshot %s: %s\n", snapshot_path.c_str(),
+                       snap.status().ToString().c_str());
+          return 1;
+        }
+        for (const data::Record& r : snap->records()) resolver->AddRecord(r);
+        recovered_snapshot = snap->size();
+      }
+      serve::WalOptions wal_options;
+      wal_options.segment_bytes = options.wal_segment_bytes;
+      std::vector<serve::WalRecoveredRecord> recovered;
+      auto opened = serve::WriteAheadLog::Open(options.wal_dir, wal_options,
+                                              &recovered);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "wal recovery in %s: %s\n",
+                     options.wal_dir.c_str(),
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      wal = std::move(opened).value();
+      for (serve::WalRecoveredRecord& rec : recovered) {
+        // Sequences the snapshot covers are already in (their segments
+        // just haven't been retired yet).
+        if (rec.sequence <= recovered_snapshot) continue;
+        resolver->AddRecord(std::move(rec.record));
+        ++recovered_log;
+      }
+      ingest.wal = wal.get();
+      ingest.wal_base_records = dataset.size();
+      ingest.snapshot_every = options.wal_snapshot_every;
+      ingest.snapshot_path = snapshot_path;
+    }
+    if (resolver->dataset().size() > dataset.size()) {
+      // Serve the recovered corpus from generation 1: the index is a pure
+      // function of (seed corpus, ack'd-append prefix), exactly as if the
+      // crash never happened.
+      index = std::make_shared<const serve::ResolutionIndex>(
+          resolver->Resolution(), resolver->dataset().size());
+    }
+  }
+
+  auto service = std::make_shared<serve::ResolutionService>(
+      index, options.ToServiceOptions());
+  if (options.live) {
     builder = std::make_shared<serve::LiveIndexBuilder>(
-        service, std::move(resolver), options.ToIngestOptions());
+        service, std::move(resolver), ingest);
   }
 
   serve::net::Server server(service, options.ToServerOptions(), builder);
@@ -868,15 +961,17 @@ int CmdServe(const ServeOptions& options) {
     return 1;
   }
   if (!options.port_file.empty()) {
-    // Written after listen succeeds: a script that polls this file never
-    // connects to a port the server doesn't own yet.
-    std::ofstream f(options.port_file, std::ios::binary);
-    if (!f) {
-      std::fprintf(stderr, "cannot write %s\n", options.port_file.c_str());
+    // Written after listen succeeds, and write-then-rename so a polling
+    // script can never read a partially written port number: the file
+    // either doesn't exist yet or holds the complete port line.
+    util::Status wrote = util::WriteFileAtomic(
+        options.port_file, std::to_string(server.port()) + "\n");
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", options.port_file.c_str(),
+                   wrote.ToString().c_str());
       server.Shutdown();
       return 1;
     }
-    f << server.port() << "\n";
   }
   std::printf("serving %zu records / %zu matches on 127.0.0.1:%u "
               "(%zu service thread(s), %zu dispatcher(s))\n",
@@ -887,6 +982,13 @@ int CmdServe(const ServeOptions& options) {
                 "queue cap %zu\n",
                 options.publish_batch == 0 ? size_t{1} : options.publish_batch,
                 options.ingest_queue);
+  }
+  if (wal) {
+    std::printf("wal: recovered %zu record(s) (%zu from snapshot, %zu from "
+                "log) from %s; durable sequence %llu\n",
+                recovered_snapshot + recovered_log, recovered_snapshot,
+                recovered_log, options.wal_dir.c_str(),
+                static_cast<unsigned long long>(wal->durable_sequence()));
   }
   std::fflush(stdout);
 
@@ -906,14 +1008,26 @@ int CmdServe(const ServeOptions& options) {
               static_cast<unsigned long long>(stats.protocol_errors));
   if (builder) {
     builder->Stop();
-    auto ingest = builder->stats();
+    auto ingest_stats = builder->stats();
     auto metrics = service->metrics();
     std::printf("live ingest: %llu appended, %llu published generation(s) "
                 "(now serving generation %llu, %llu publish failure(s))\n",
-                static_cast<unsigned long long>(ingest.applied),
-                static_cast<unsigned long long>(ingest.published),
+                static_cast<unsigned long long>(ingest_stats.applied),
+                static_cast<unsigned long long>(ingest_stats.published),
                 static_cast<unsigned long long>(metrics.generation),
-                static_cast<unsigned long long>(ingest.publish_failures));
+                static_cast<unsigned long long>(ingest_stats.publish_failures));
+  }
+  if (wal) {
+    auto wal_stats = wal->stats();
+    std::printf("wal: %llu append(s) in %llu fsync batch(es), %llu "
+                "rotation(s), %llu segment(s) on disk, %llu snapshot(s)\n",
+                static_cast<unsigned long long>(wal_stats.appends),
+                static_cast<unsigned long long>(wal_stats.fsyncs),
+                static_cast<unsigned long long>(wal_stats.rotations),
+                static_cast<unsigned long long>(wal_stats.segments),
+                builder ? static_cast<unsigned long long>(
+                              builder->stats().snapshots)
+                        : 0ULL);
   }
   return 0;
 }
@@ -1014,6 +1128,8 @@ int CmdAppend(const ServeOptions& options) {
   }
   uint64_t first_idx = 0;
   uint64_t last_idx = 0;
+  size_t durable_acks = 0;
+  uint64_t last_wal_sequence = 0;
   for (size_t i = 0; i < count; ++i) {
     auto ack = client->Append(dataset[static_cast<data::RecordIdx>(i)],
                               deadline);
@@ -1026,6 +1142,10 @@ int CmdAppend(const ServeOptions& options) {
     }
     if (i == 0) first_idx = ack->record_idx;
     last_idx = ack->record_idx;
+    if (ack->durable) {
+      ++durable_acks;
+      last_wal_sequence = ack->wal_sequence;
+    }
   }
 
   // The ack is acceptance, not visibility: poll Info until the serving
@@ -1057,6 +1177,41 @@ int CmdAppend(const ServeOptions& options) {
               static_cast<unsigned long long>(info.metrics.generation),
               static_cast<unsigned long long>(info.metrics.publishes),
               static_cast<unsigned long long>(info.num_records));
+  if (durable_acks > 0) {
+    std::printf("durable: %zu/%zu ack(s) fsync'd through the server's WAL "
+                "(last wal sequence %llu)\n",
+                durable_acks, count,
+                static_cast<unsigned long long>(last_wal_sequence));
+  }
+
+  // --verify-from I: the crash-recovery check. Every corpus index in
+  // [I, num_records) — typically the records a previous process ack'd
+  // before being killed — must still answer OK from the recovered index.
+  if (options.verify_from >= 0) {
+    uint64_t from = static_cast<uint64_t>(options.verify_from);
+    if (from >= info.num_records) {
+      std::fprintf(stderr,
+                   "verify-from %llu is beyond the %llu-record corpus\n",
+                   static_cast<unsigned long long>(from),
+                   static_cast<unsigned long long>(info.num_records));
+      return 1;
+    }
+    for (uint64_t idx = from; idx < info.num_records; ++idx) {
+      auto result = client->Call(options.query.ToServeQuery(
+          static_cast<data::RecordIdx>(idx), serve::Granularity::kMatches));
+      if (!result.ok()) {
+        std::fprintf(stderr, "verify-from: record %llu: %s\n",
+                     static_cast<unsigned long long>(idx),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("verify-from: records %llu..%llu all answer OK "
+                "(generation %llu)\n",
+                static_cast<unsigned long long>(from),
+                static_cast<unsigned long long>(info.num_records - 1),
+                static_cast<unsigned long long>(info.metrics.generation));
+  }
 
   if (options.verify) {
     auto result = client->Call(options.query.ToServeQuery(
