@@ -15,12 +15,17 @@
 # the failure paths would hide.
 #
 # The TSan stage ends with a loopback serving smoke: a TSan-built
-# `yver_cli serve --live` on an ephemeral port, a recorded loadgen
-# workload, and two replays whose response hashes must reproduce the
-# recorded one — the wire determinism contract exercised end to end over
-# real sockets — followed by a live-append step: fresh reports streamed
-# in with `yver_cli append --verify`, which must see the served
-# generation advance and the appended record answer queries. A
+# `yver_cli serve --live` (hardened with the DESIGN.md §15 defense knobs)
+# on an ephemeral port, a recorded loadgen workload, and two replays whose
+# response hashes must reproduce the recorded one — the wire determinism
+# contract exercised end to end over real sockets. An adversarial smoke
+# follows: slow-loris and never-read fleets (`loadgen --adversary`)
+# attack the same server while a third replay runs beside them; the
+# replay must still reproduce the recorded hash and the server must
+# forcibly close every adversary connection. Then a live-append step:
+# fresh reports streamed in with `yver_cli append --verify`, which must
+# see the served generation advance and the appended record answer
+# queries. A
 # crash-recovery smoke follows: a WAL-backed `serve --live --wal-dir` is
 # SIGKILLed mid-append-stream, restarted on the same directory, and every
 # previously acked record must answer (`append --verify-from 0`).
@@ -80,8 +85,14 @@ if [[ "$run_tsan" == 1 ]]; then
   ./build-tsan/tools/yver_cli generate --persons 400 --out "$smoke_dir/data.csv" --seed 7 >/dev/null
   ./build-tsan/tools/yver_cli resolve --in "$smoke_dir/data.csv" --out "$smoke_dir/matches.csv" >/dev/null 2>&1
   ./build-tsan/tools/yver_cli index --in "$smoke_dir/data.csv" --matches "$smoke_dir/matches.csv" --out "$smoke_dir/idx.yvx" >/dev/null
+  # Hardened serve (DESIGN.md §15): tight slow-loris and slow-reader
+  # knobs so the adversarial smoke below trips them in seconds, while
+  # well-behaved loadgen traffic never notices.
   ./build-tsan/tools/yver_cli serve --in "$smoke_dir/data.csv" --index "$smoke_dir/idx.yvx" \
-      --live --port-file "$smoke_dir/port" --dispatch-threads 2 >"$smoke_dir/serve.log" 2>&1 &
+      --live --port-file "$smoke_dir/port" --dispatch-threads 2 \
+      --min-read-rate 256 --progress-window-ms 1000 \
+      --max-out-buffer 65536 --sndbuf 65536 \
+      --write-stall-timeout-ms 2000 >"$smoke_dir/serve.log" 2>&1 &
   serve_pid=$!
   for _ in $(seq 1 200); do [[ -s "$smoke_dir/port" ]] && break; sleep 0.05; done
   [[ -s "$smoke_dir/port" ]] || { echo "serve never wrote its port file" >&2; cat "$smoke_dir/serve.log" >&2; exit 1; }
@@ -96,6 +107,36 @@ if [[ "$run_tsan" == 1 ]]; then
   h0="$(hash_of "$smoke_dir/rec.json")"; h1="$(hash_of "$smoke_dir/rep1.json")"; h2="$(hash_of "$smoke_dir/rep2.json")"
   [[ -n "$h0" && "$h0" == "$h1" && "$h1" == "$h2" ]] || {
     echo "loopback replay hash diverged: $h0 $h1 $h2" >&2; exit 1; }
+
+  echo "==> tier-1: adversarial smoke (slowloris + never-read vs the hardened TSan server)"
+  # Hostile-network liveness (DESIGN.md §15): slow-loris and never-read
+  # fleets attack the server while a third replay of the same capture runs
+  # beside them — the replay must still reproduce the recorded hash
+  # bit-for-bit, and the defenses must actually fire (every adversary
+  # connection forcibly closed by the server).
+  ./build-tsan/tools/yver_cli loadgen --port "$port" --adversary slowloris \
+      --connections 2 --duration-ms 8000 --write-interval-ms 100 --json \
+      >"$smoke_dir/adv_slow.json" &
+  adv_slow_pid=$!
+  ./build-tsan/tools/yver_cli loadgen --port "$port" --adversary never-read \
+      --connections 2 --duration-ms 8000 --json >"$smoke_dir/adv_nr.json" &
+  adv_nr_pid=$!
+  ./build-tsan/tools/yver_cli loadgen --port "$port" --replay "$smoke_dir/cap.yvr" \
+      --connections 3 --json >"$smoke_dir/rep3.json"
+  wait "$adv_slow_pid" || { echo "slowloris adversary exited non-zero" >&2; exit 1; }
+  wait "$adv_nr_pid" || { echo "never-read adversary exited non-zero" >&2; exit 1; }
+  h3="$(hash_of "$smoke_dir/rep3.json")"
+  [[ "$h3" == "$h0" ]] || {
+    echo "replay under attack diverged: $h3 vs $h0" >&2; exit 1; }
+  closed_of() { sed -n 's/.*"server_closed": \([0-9]*\).*/\1/p' "$1"; }
+  adv_slow_closed="$(closed_of "$smoke_dir/adv_slow.json")"
+  adv_nr_closed="$(closed_of "$smoke_dir/adv_nr.json")"
+  [[ "$adv_slow_closed" -gt 0 ]] || {
+    echo "slowloris connections were never disconnected" >&2
+    cat "$smoke_dir/adv_slow.json" >&2; exit 1; }
+  [[ "$adv_nr_closed" -gt 0 ]] || {
+    echo "never-read connections were never disconnected" >&2
+    cat "$smoke_dir/adv_nr.json" >&2; exit 1; }
   # Live-update smoke against the same TSan server (it runs --live): append
   # fresh reports over the wire, wait for the served generation to contain
   # them, and query the last one back — the DESIGN.md §13 ingest path
@@ -145,7 +186,8 @@ if [[ "$run_tsan" == 1 ]]; then
   wait "$serve_pid" || { echo "WAL serve exited non-zero after SIGTERM" >&2; cat "$smoke_dir/serve3.log" >&2; exit 1; }
   trap - EXIT
   rm -rf "$smoke_dir"
-  echo "loopback smoke: 3000 queries, replay hash $h0 reproduced twice"
+  echo "loopback smoke: 4000 queries, replay hash $h0 reproduced three times (once under attack)"
+  echo "adversarial smoke: server closed $adv_slow_closed slowloris / $adv_nr_closed never-read connections"
   echo "crash-recovery smoke: $recovered_line"
 fi
 

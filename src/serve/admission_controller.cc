@@ -49,6 +49,13 @@ void AdmissionController::Release() {
   slot_free_.notify_one();
 }
 
+bool AdmissionController::Saturated() const {
+  if (unlimited()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_ >= options_.max_in_flight &&
+         queued_ >= options_.max_queue_depth;
+}
+
 AdmissionSnapshot AdmissionController::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   AdmissionSnapshot s;

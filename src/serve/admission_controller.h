@@ -58,6 +58,12 @@ class AdmissionController {
   /// Returns the slot taken by a successful Admit.
   void Release();
 
+  /// True when every in-flight slot and every queue slot is taken — the
+  /// next Admit would shed. Always false when unlimited. The wire front
+  /// end polls this to pause connection reads (DESIGN.md §15) instead of
+  /// decoding queries that would only be shed.
+  bool Saturated() const;
+
   AdmissionSnapshot snapshot() const;
 
   const AdmissionOptions& options() const { return options_; }

@@ -38,27 +38,29 @@ util::Status Client::SendInfoRequest() {
   return SendBytes(bytes);
 }
 
+util::Deadline Client::EffectiveDeadline(
+    const util::Deadline& deadline) const {
+  if (!deadline.is_infinite() || read_timeout_ms_ <= 0) return deadline;
+  return util::Deadline::AfterMillis(read_timeout_ms_);
+}
+
 util::StatusOr<std::string> Client::ReadFrameBytes(
     const util::Deadline& deadline) {
-  // Header first: the length field says how much more to read. Validation
-  // (magic, version, type, length bound) is ExtractFrame's job — done once
-  // the frame is whole, so client and server reject bad frames through the
-  // exact same code path.
+  // Header first: PeekFrameHeader validates the whole envelope (magic,
+  // version, type, declared length bound) from the 8 header bytes, so a
+  // hostile length field is rejected before a single payload byte is
+  // reserved or awaited — the same pre-allocation check the server runs.
+  util::Deadline budget = EffectiveDeadline(deadline);
   std::string frame(wire::kHeaderSize, '\0');
-  util::Status st = sock_.ReadFull(frame.data(), wire::kHeaderSize, deadline);
+  util::Status st = sock_.ReadFull(frame.data(), wire::kHeaderSize, budget);
   if (!st.ok()) return st;
-  uint32_t payload_len = 0;
-  for (int i = 3; i >= 0; --i) {
-    payload_len = (payload_len << 8) |
-                  static_cast<uint8_t>(frame[4 + static_cast<size_t>(i)]);
-  }
-  if (payload_len > wire::kMaxFramePayload) {
-    return util::Status::DataLoss("response frame length out of bounds");
-  }
+  wire::FrameHeader header;
+  auto peeked = wire::PeekFrameHeader(frame, &header);
+  if (!peeked.ok()) return peeked.status();
   size_t off = frame.size();
-  frame.resize(off + payload_len);
-  if (payload_len > 0) {
-    st = sock_.ReadFull(frame.data() + off, payload_len, deadline);
+  frame.resize(off + header.payload_length);
+  if (header.payload_length > 0) {
+    st = sock_.ReadFull(frame.data() + off, header.payload_length, budget);
     if (!st.ok()) return st;
   }
   return frame;

@@ -32,6 +32,15 @@ class Client {
 
   bool connected() const { return sock_.valid(); }
 
+  /// Default budget for every blocking read whose caller passes no
+  /// explicit deadline: after this many milliseconds without the frame
+  /// arriving, the read returns a typed DEADLINE_EXCEEDED instead of
+  /// hanging forever on a stalled or hostile server. 0 (the default)
+  /// keeps the historical block-forever behaviour. An explicit per-call
+  /// deadline always wins over this knob.
+  void set_read_timeout_ms(double ms) { read_timeout_ms_ = ms; }
+  double read_timeout_ms() const { return read_timeout_ms_; }
+
   /// Half-closes the send direction: the server sees EOF, answers every
   /// query already sent, then closes. Reads still work.
   util::Status FinishSending();
@@ -86,7 +95,12 @@ class Client {
  private:
   explicit Client(util::Socket sock) : sock_(std::move(sock)) {}
 
+  /// The caller's deadline when it has one; otherwise a fresh deadline
+  /// from read_timeout_ms (infinite when the knob is unset).
+  util::Deadline EffectiveDeadline(const util::Deadline& deadline) const;
+
   util::Socket sock_;
+  double read_timeout_ms_ = 0;
 };
 
 }  // namespace yver::serve::net

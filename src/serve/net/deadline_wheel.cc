@@ -1,0 +1,102 @@
+#include "serve/net/deadline_wheel.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace yver::serve::net {
+
+DeadlineWheel::DeadlineWheel(Clock::duration tick, size_t num_slots)
+    : tick_(tick),
+      num_slots_(num_slots),
+      slots_(num_slots),
+      cursor_(Clock::now()) {
+  YVER_CHECK_MSG(tick > Clock::duration::zero(),
+                 "DeadlineWheel tick must be positive");
+  YVER_CHECK_MSG(num_slots > 0, "DeadlineWheel needs at least one slot");
+}
+
+void DeadlineWheel::Schedule(uint64_t key, Clock::time_point deadline) {
+  // An already-due deadline still needs a slot the cursor will visit:
+  // bucket it at the cursor so the next ExpireUntil fires it.
+  Clock::time_point bucket_at = deadline;
+  if (bucket_at < cursor_) bucket_at = cursor_;
+  int64_t bucket = TickIndex(bucket_at);
+  auto& entry = live_[key];
+  if (entry.generation != 0 && entry.bucket_tick == bucket) {
+    // Rescheduled within the same tick window: the existing slot entry
+    // still covers it — just update the deadline. This keeps slots from
+    // growing under frequent reschedules (every read/write event
+    // reschedules its connection's timer).
+    entry.deadline = deadline;
+    return;
+  }
+  entry.generation = next_generation_++;
+  entry.deadline = deadline;
+  entry.bucket_tick = bucket;
+  slots_[static_cast<size_t>(bucket) % num_slots_].push_back(
+      SlotEntry{key, entry.generation});
+}
+
+void DeadlineWheel::Cancel(uint64_t key) { live_.erase(key); }
+
+std::vector<uint64_t> DeadlineWheel::ExpireUntil(Clock::time_point now) {
+  std::vector<uint64_t> expired;
+  if (now < cursor_) return expired;
+  int64_t from = TickIndex(cursor_);
+  int64_t to = TickIndex(now);
+  int64_t span = std::min<int64_t>(to - from + 1,
+                                   static_cast<int64_t>(num_slots_));
+  for (int64_t i = 0; i < span; ++i) {
+    auto& slot = slots_[static_cast<size_t>(from + i) % num_slots_];
+    for (size_t j = 0; j < slot.size();) {
+      const SlotEntry& entry = slot[j];
+      auto it = live_.find(entry.key);
+      if (it == live_.end() || it->second.generation != entry.generation) {
+        // Cancelled or rescheduled elsewhere: lazy cleanup.
+        slot[j] = slot.back();
+        slot.pop_back();
+        continue;
+      }
+      if (it->second.deadline <= now) {
+        expired.push_back(entry.key);
+        live_.erase(it);
+        slot[j] = slot.back();
+        slot.pop_back();
+        continue;
+      }
+      // A future round (or later this tick): stays for the next visit.
+      ++j;
+    }
+  }
+  cursor_ = now;
+  return expired;
+}
+
+int DeadlineWheel::MillisUntilNext(Clock::time_point now) const {
+  if (live_.empty()) return -1;
+  int64_t from = std::min(TickIndex(cursor_), TickIndex(now));
+  for (size_t i = 0; i < num_slots_; ++i) {
+    const auto& slot = slots_[static_cast<size_t>(from + static_cast<int64_t>(i)) %
+                              num_slots_];
+    Clock::time_point earliest = Clock::time_point::max();
+    for (const SlotEntry& entry : slot) {
+      auto it = live_.find(entry.key);
+      if (it != live_.end() && it->second.generation == entry.generation) {
+        earliest = std::min(earliest, it->second.deadline);
+      }
+    }
+    if (earliest == Clock::time_point::max()) continue;
+    if (earliest <= now) return 0;
+    // A far-round entry can sit in a near slot; wake at the slot boundary
+    // at the latest so the true deadline is never slept through.
+    Clock::time_point slot_end =
+        now + tick_ * static_cast<int64_t>(i + 1);
+    auto wait = std::min(earliest, slot_end) - now;
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(wait);
+    return static_cast<int>(std::max<int64_t>(1, ms.count()));
+  }
+  return -1;
+}
+
+}  // namespace yver::serve::net

@@ -1,0 +1,82 @@
+#ifndef YVER_SERVE_NET_DEADLINE_WHEEL_H_
+#define YVER_SERVE_NET_DEADLINE_WHEEL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace yver::serve::net {
+
+/// A hashed timer wheel for the epoll loop (DESIGN.md §15): at most one
+/// pending deadline per key (the connection id), O(1) schedule, cancel,
+/// and reschedule, and expiry by advancing a cursor over fixed-width time
+/// slots — the loop's idle/slow-loris/write-stall timeouts all ride on it
+/// without a per-connection heap.
+///
+/// Entries are bucketed by `tick_index(deadline) % num_slots`, so a slot
+/// mixes deadlines from different wheel "rounds". ExpireUntil walks only
+/// the slots the cursor passed and fires entries whose absolute deadline
+/// is actually due; far-future entries stay in place (no cascading) and
+/// are revisited a round later — a little repeat scanning traded for
+/// constant-time inserts. Cancellation is lazy: each Schedule/Cancel bumps
+/// the key's generation and stale slot entries are dropped when their slot
+/// is next visited.
+///
+/// Single-threaded by design: owned and driven by the event-loop thread.
+class DeadlineWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `tick` is the expiry granularity (deadlines may fire up to one tick
+  /// late); `num_slots * tick` is the horizon within which a deadline is
+  /// reached without spurious wakeups.
+  DeadlineWheel(Clock::duration tick, size_t num_slots);
+
+  /// Schedules (or reschedules) the deadline for `key`. A deadline at or
+  /// before the cursor fires on the next ExpireUntil.
+  void Schedule(uint64_t key, Clock::time_point deadline);
+
+  /// Drops `key`'s pending deadline, if any.
+  void Cancel(uint64_t key);
+
+  /// Advances the cursor to `now` and returns every key whose deadline has
+  /// passed. Each key fires at most once and is deregistered; reschedule
+  /// via Schedule if the timer should persist.
+  std::vector<uint64_t> ExpireUntil(Clock::time_point now);
+
+  /// Milliseconds the loop may sleep before the next live deadline could
+  /// come due: -1 (sleep forever) when nothing is scheduled. Conservative:
+  /// a far-round entry sharing a near slot can wake the loop early — a
+  /// spurious scan, never a late timer.
+  int MillisUntilNext(Clock::time_point now) const;
+
+  /// Live (scheduled, not yet expired or cancelled) keys.
+  size_t size() const { return live_.size(); }
+
+ private:
+  struct SlotEntry {
+    uint64_t key = 0;
+    uint64_t generation = 0;
+  };
+  struct LiveEntry {
+    uint64_t generation = 0;
+    Clock::time_point deadline;
+    int64_t bucket_tick = 0;  // tick index the slot entry was filed under
+  };
+
+  int64_t TickIndex(Clock::time_point t) const {
+    return static_cast<int64_t>(t.time_since_epoch() / tick_);
+  }
+
+  Clock::duration tick_;
+  size_t num_slots_;
+  std::vector<std::vector<SlotEntry>> slots_;
+  std::unordered_map<uint64_t, LiveEntry> live_;
+  uint64_t next_generation_ = 1;
+  Clock::time_point cursor_;  // slots up to here have been expired
+};
+
+}  // namespace yver::serve::net
+
+#endif  // YVER_SERVE_NET_DEADLINE_WHEEL_H_

@@ -182,6 +182,7 @@ util::StatusOr<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
     // Shape the synthetic workload from the server's own corpus size.
     auto info_client = Client::Connect(options.port);
     if (!info_client.ok()) return info_client.status();
+    info_client->set_read_timeout_ms(options.read_timeout_ms);
     auto info = info_client->Info();
     if (!info.ok()) return info.status();
     if (info->num_records == 0) {
@@ -230,6 +231,7 @@ util::StatusOr<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
   for (size_t c = 0; c < connections; ++c) {
     auto client = Client::Connect(options.port);
     if (!client.ok()) return client.status();
+    client->set_read_timeout_ms(options.read_timeout_ms);
     clients.push_back(std::move(*client));
   }
 
@@ -277,6 +279,7 @@ util::StatusOr<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
   // Server-side view, over the same wire.
   auto info_client = Client::Connect(options.port);
   if (info_client.ok()) {
+    info_client->set_read_timeout_ms(options.read_timeout_ms);
     auto info = info_client->Info();
     if (info.ok()) report.server_metrics = std::move(info->metrics);
   }

@@ -32,6 +32,11 @@ struct LoadGenOptions {
   size_t hot_set = 1024;        // distinct hot records (clamped to corpus)
   double entity_fraction = 0;   // fraction at entity granularity
   uint64_t seed = 17;
+  /// Client-side I/O budget per blocking read: a stalled or hostile
+  /// server surfaces as a typed DEADLINE_EXCEEDED instead of hanging the
+  /// load generator forever. 0 = block indefinitely (historical
+  /// behaviour).
+  double read_timeout_ms = 30000;
   /// Record mode: write every query frame sent (per-connection streams
   /// concatenated in connection order) to this capture file.
   std::string record_path;

@@ -2,6 +2,7 @@
 
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -19,8 +20,50 @@ namespace {
 constexpr uint64_t kListenerId = 0;
 constexpr uint64_t kWakeId = 1;
 constexpr size_t kReadChunk = 64 * 1024;
+// Per-wakeup ceiling on buffered-but-undecoded input. Without it a
+// firehose peer gets its whole kernel receive queue slurped into `in`
+// even though the pending cap will only admit a handful of frames —
+// megabytes of user-space buffer doing the kernel's job. Stopping here
+// leaves the backlog in the socket where TCP flow control pushes back on
+// the sender; level-triggered epoll re-fires while bytes remain, and a
+// frame larger than the cap still grows `in` one chunk per wakeup until
+// it completes.
+constexpr size_t kInSoftCap = 256 * 1024;
+// 512 slots x the (default 20ms) tick ≈ a 10s horizon: every defense
+// timeout inside it fires without spurious wakeups; longer ones (idle)
+// cost one early wake per wheel round.
+constexpr size_t kWheelSlots = 512;
+
+std::chrono::steady_clock::duration MillisDuration(double ms) {
+  return std::chrono::nanoseconds(static_cast<int64_t>(ms * 1e6));
+}
+
+void BumpPeak(std::atomic<uint64_t>& peak, uint64_t value) {
+  uint64_t current = peak.load(std::memory_order_relaxed);
+  while (value > current &&
+         !peak.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
 
 }  // namespace
+
+bool Server::TokenBucket::TryTake(double rate, double burst,
+                                  Clock::time_point now) {
+  if (rate <= 0) return true;
+  if (burst <= 0) burst = rate;
+  if (!primed) {
+    tokens = burst;
+    last = now;
+    primed = true;
+  }
+  double elapsed = std::chrono::duration<double>(now - last).count();
+  tokens = std::min(burst, tokens + elapsed * rate);
+  last = now;
+  if (tokens < 1.0) return false;
+  tokens -= 1.0;
+  return true;
+}
 
 Server::Server(std::shared_ptr<ResolutionService> service,
                ServerOptions options,
@@ -31,9 +74,21 @@ Server::Server(std::shared_ptr<ResolutionService> service,
   YVER_CHECK_MSG(service_ != nullptr, "Server needs a ResolutionService");
   if (options_.dispatch_threads == 0) options_.dispatch_threads = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.timer_tick_ms <= 0) options_.timer_tick_ms = 20;
 }
 
 Server::~Server() { Shutdown(); }
+
+size_t Server::PendingCap() const {
+  return options_.max_pending > 0 ? options_.max_pending
+                                  : 2 * options_.max_batch;
+}
+
+size_t Server::MaxFramePayload() const {
+  size_t cap = options_.max_frame_payload > 0 ? options_.max_frame_payload
+                                              : wire::kMaxFramePayload;
+  return std::min(cap, wire::kMaxFramePayload);
+}
 
 util::Status Server::Start() {
   if (running()) return util::Status::Ok();
@@ -62,6 +117,10 @@ util::Status Server::Start() {
   ev.data.u64 = kWakeId;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
+  wheel_ = std::make_unique<DeadlineWheel>(
+      MillisDuration(options_.timer_tick_ms), kWheelSlots);
+  global_bucket_ = TokenBucket{};
+  admission_saturated_ = false;
   dispatchers_ =
       std::make_unique<util::ThreadPool>(options_.dispatch_threads);
   stop_requested_.store(false, std::memory_order_release);
@@ -80,6 +139,7 @@ void Server::Shutdown() {
   // every connection is closed. Tear down the fds.
   dispatchers_.reset();
   conns_.clear();
+  wheel_.reset();
   listener_.Close();
   if (epoll_fd_ >= 0) {
     ::close(epoll_fd_);
@@ -102,6 +162,21 @@ ServerStats Server::stats() const {
   s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.socket_errors = socket_errors_.load(std::memory_order_relaxed);
+  s.open_connections = open_connections_.load(std::memory_order_relaxed);
+  s.paused_reads = paused_reads_.load(std::memory_order_relaxed);
+  s.disconnects_idle = disconnects_idle_.load(std::memory_order_relaxed);
+  s.disconnects_slowloris =
+      disconnects_slowloris_.load(std::memory_order_relaxed);
+  s.disconnects_oversize =
+      disconnects_oversize_.load(std::memory_order_relaxed);
+  s.disconnects_rate_limited =
+      disconnects_rate_limited_.load(std::memory_order_relaxed);
+  s.disconnects_write_stall =
+      disconnects_write_stall_.load(std::memory_order_relaxed);
+  s.rate_limited_frames =
+      rate_limited_frames_.load(std::memory_order_relaxed);
+  s.peak_out_buffer = peak_out_buffer_.load(std::memory_order_relaxed);
+  s.peak_in_buffer = peak_in_buffer_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -114,25 +189,49 @@ wire::ServerInfo Server::MakeInfo() const {
   info.num_matches = pin->num_matches();
   info.checksum = pin->Checksum();
   info.metrics = service_->metrics();
+  // v4: the defense layer's observable state.
+  info.net.open_connections =
+      open_connections_.load(std::memory_order_relaxed);
+  info.net.paused_reads = paused_reads_.load(std::memory_order_relaxed);
+  info.net.disconnects_idle =
+      disconnects_idle_.load(std::memory_order_relaxed);
+  info.net.disconnects_slowloris =
+      disconnects_slowloris_.load(std::memory_order_relaxed);
+  info.net.disconnects_oversize =
+      disconnects_oversize_.load(std::memory_order_relaxed);
+  info.net.disconnects_rate_limited =
+      disconnects_rate_limited_.load(std::memory_order_relaxed);
+  info.net.disconnects_write_stall =
+      disconnects_write_stall_.load(std::memory_order_relaxed);
+  info.net.rate_limited_frames =
+      rate_limited_frames_.load(std::memory_order_relaxed);
   return info;
 }
 
 void Server::Loop() {
   std::vector<epoll_event> events(128);
   bool draining = false;
-  std::chrono::steady_clock::time_point drain_deadline{};
+  Clock::time_point drain_deadline{};
   for (;;) {
     if (!draining && stop_requested_.load(std::memory_order_acquire)) {
       // Graceful shutdown begins: no new connections, no new reads; every
       // already-decoded query still gets dispatched, answered, flushed.
       draining = true;
-      drain_deadline = std::chrono::steady_clock::now() +
-                       std::chrono::microseconds(static_cast<int64_t>(
-                           options_.drain_timeout_ms * 1000));
+      drain_deadline = Clock::now() + MillisDuration(options_.drain_timeout_ms);
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listener_.fd(), nullptr);
       for (auto& [id, conn] : conns_) {
         if (conn.dead) continue;
         conn.closing = true;
+        // Buffered-but-undecoded bytes are abandoned at drain: decode
+        // while closing is reserved for peer EOF, where every complete
+        // frame already received still deserves its answer.
+        conn.in.clear();
+        conn.partial_frame = false;
+        conn.reads_armed = false;
+        if (conn.read_paused) {
+          conn.read_paused = false;
+          paused_reads_.fetch_sub(1, std::memory_order_relaxed);
+        }
         epoll_event ev{};
         ev.events = conn.want_write ? static_cast<uint32_t>(EPOLLOUT)
                                     : 0u;  // reads off
@@ -145,18 +244,18 @@ void Server::Loop() {
       for (auto& [id, conn] : conns_) {
         if (!conn.dead && !conn.in_flight && conn.pending.empty() &&
             conn.out_off >= conn.out.size()) {
-          MarkDead(conn);
+          MarkDead(id, conn);
         }
       }
     }
     ReapDead();
     if (draining &&
-        (conns_.empty() ||
-         std::chrono::steady_clock::now() >= drain_deadline)) {
+        (conns_.empty() || Clock::now() >= drain_deadline)) {
       break;
     }
 
-    int timeout_ms = draining ? 10 : -1;
+    int timeout_ms =
+        draining ? 10 : wheel_->MillisUntilNext(Clock::now());
     int n = ::epoll_wait(epoll_fd_, events.data(),
                          static_cast<int>(events.size()), timeout_ms);
     if (n < 0) {
@@ -182,19 +281,30 @@ void Server::Loop() {
       Connection& conn = it->second;
       if ((mask & (EPOLLHUP | EPOLLERR)) != 0 && !conn.in_flight &&
           conn.pending.empty()) {
-        MarkDead(conn);
+        MarkDead(id, conn);
         continue;
       }
-      if ((mask & EPOLLIN) != 0 && !draining) HandleReadable(id, conn);
+      // EPOLLRDHUP (peer half-closed) rides the read path: the next read
+      // returns EOF, which flips the connection to closing/draining.
+      if ((mask & (EPOLLIN | EPOLLRDHUP)) != 0 && !draining) {
+        HandleReadable(id, conn);
+      }
       if (!conn.dead && (mask & EPOLLOUT) != 0) HandleWritable(id, conn);
     }
     // Completions can land between epoll wakeups; always sweep.
     DrainCompletions();
+    if (!draining) {
+      for (uint64_t id : wheel_->ExpireUntil(Clock::now())) {
+        auto it = conns_.find(id);
+        if (it == conns_.end() || it->second.dead) continue;
+        OnConnDeadline(id, it->second);
+      }
+    }
   }
   // Drain-deadline expiry or epoll failure: force-close stragglers so
   // peers see EOF rather than a hung connection.
   for (auto& [id, conn] : conns_) {
-    if (!conn.dead) MarkDead(conn);
+    if (!conn.dead) MarkDead(id, conn);
   }
   ReapDead();
   // Dispatched batches may still be running; their completions go to a
@@ -220,9 +330,18 @@ void Server::AcceptAll() {
       socket_errors_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    if (options_.so_sndbuf > 0) {
+      // Best-effort: an unclamped kernel send buffer auto-tunes to MBs
+      // per peer, hiding a dead reader from the out-buffer cap.
+      int sndbuf = static_cast<int>(std::min<size_t>(
+          options_.so_sndbuf,
+          static_cast<size_t>(std::numeric_limits<int>::max())));
+      ::setsockopt(sock.fd(), SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                   sizeof(sndbuf));
+    }
     uint64_t id = next_conn_id_++;
     epoll_event ev{};
-    ev.events = EPOLLIN;
+    ev.events = EPOLLIN | EPOLLRDHUP;
     ev.data.u64 = id;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, sock.fd(), &ev) != 0) {
       socket_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -230,12 +349,18 @@ void Server::AcceptAll() {
     }
     Connection conn;
     conn.sock = std::move(sock);
-    conns_.emplace(id, std::move(conn));
+    Clock::time_point now = Clock::now();
+    conn.last_activity = now;
+    conn.last_write_progress = now;
+    auto [it, inserted] = conns_.emplace(id, std::move(conn));
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    UpdateConnState(id, it->second);  // arms the idle timer
   }
 }
 
 void Server::HandleReadable(uint64_t id, Connection& conn) {
+  if (conn.dead || conn.closing) return;
   char buf[kReadChunk];
   for (;;) {
     auto r = conn.sock.ReadSome(buf, sizeof(buf));
@@ -243,7 +368,7 @@ void Server::HandleReadable(uint64_t id, Connection& conn) {
       // Hard or injected socket error: the stream is gone; drop the
       // connection (in-flight work completes and is discarded).
       socket_errors_.fetch_add(1, std::memory_order_relaxed);
-      MarkDead(conn);
+      MarkDead(id, conn);
       return;
     }
     if (r->would_block) break;
@@ -253,26 +378,132 @@ void Server::HandleReadable(uint64_t id, Connection& conn) {
       break;
     }
     conn.in.append(buf, r->bytes);
+    conn.bytes_read += r->bytes;
+    conn.last_activity = Clock::now();
+    BumpPeak(peak_in_buffer_, conn.in.size());
+    if (options_.max_in_buffer > 0 &&
+        conn.in.size() > options_.max_in_buffer) {
+      Disconnect(id, conn, DisconnectReason::kOversize);
+      return;
+    }
     if (r->bytes < sizeof(buf)) break;  // level-triggered: rest next round
+    if (conn.in.size() >= kInSoftCap) break;  // decode before slurping more
   }
-  // Frame decode loop over whatever accumulated (partial frames stay).
-  while (!conn.dead && !conn.in.empty()) {
-    wire::Frame frame;
-    auto consumed = wire::ExtractFrame(conn.in, &frame);
-    if (!consumed.ok()) {
+  DecodeFrames(id, conn);
+  if (conn.dead) return;
+  MaybeDispatch(id, conn);
+  // EOF with nothing outstanding: close now.
+  if (!conn.dead && conn.closing && !conn.in_flight && conn.in.empty() &&
+      conn.pending.empty() && conn.out_off >= conn.out.size()) {
+    MarkDead(id, conn);
+    return;
+  }
+  if (!conn.dead) UpdateConnState(id, conn);
+}
+
+void Server::DecodeFrames(uint64_t id, Connection& conn) {
+  // Frame decode loop over whatever accumulated. It stops at the pending
+  // cap (backpressure: reads pause, frames stay buffered in `in` and the
+  // kernel) and on a partial frame (slow-loris tracking takes over).
+  // Consumed frames advance `off`; one erase at the end keeps the cost
+  // linear even when the cap leaves many decoded-but-not-admitted frames
+  // buffered (per-frame front erases on a large `in` are quadratic).
+  bool partial = false;
+  size_t off = 0;
+  // `closing` does not stop the loop: after a clean half-close (EOF with
+  // buffered frames) every complete frame already received is decoded and
+  // answered. The paths that must NOT decode further — poisoned framing
+  // and server drain — clear `in`, which stops the loop by emptiness.
+  while (!conn.dead && off < conn.in.size() &&
+         conn.pending.size() < PendingCap()) {
+    std::string_view rest = std::string_view(conn.in).substr(off);
+    wire::FrameHeader header;
+    auto peeked = wire::PeekFrameHeader(rest, &header);
+    if (!peeked.ok()) {
       // Framing is poisoned: one typed error frame, then close after
       // flushing (closing + cleared input stops further reads).
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       std::string bytes;
-      wire::EncodeResult(consumed.status(), &bytes);
+      wire::EncodeResult(peeked.status(), &bytes);
       conn.closing = true;
       conn.in.clear();
       responses_sent_.fetch_add(1, std::memory_order_relaxed);
       QueueWrite(id, conn, std::move(bytes));
+      return;
+    }
+    if (*peeked == 0) {
+      partial = true;  // header itself is incomplete
       break;
     }
-    if (*consumed == 0) break;  // partial frame: wait for more bytes
-    conn.in.erase(0, *consumed);
+    if (header.payload_length > MaxFramePayload()) {
+      // Rejected from the header alone — before one payload byte is
+      // buffered or a reservation made (DESIGN.md §15).
+      std::string bytes;
+      wire::EncodeResult(
+          util::Status::ResourceExhausted(
+              "frame payload length " +
+              std::to_string(header.payload_length) +
+              " exceeds the server limit (" +
+              std::to_string(MaxFramePayload()) + ")"),
+          &bytes);
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      QueueWrite(id, conn, std::move(bytes));
+      if (!conn.dead) Disconnect(id, conn, DisconnectReason::kOversize);
+      return;
+    }
+    if (rest.size() < wire::kHeaderSize + header.payload_length) {
+      partial = true;  // wait for the rest of the payload
+      break;
+    }
+    // A whole frame is present. Rate-gate queries/appends before paying
+    // for the payload decode; info requests are exempt (observability).
+    if (header.type == wire::FrameType::kQuery ||
+        header.type == wire::FrameType::kAppendRequest) {
+      Clock::time_point now = Clock::now();
+      bool admitted = conn.bucket.TryTake(options_.conn_rate_limit,
+                                          options_.conn_rate_burst, now) &&
+                      global_bucket_.TryTake(options_.global_rate_limit,
+                                             options_.global_rate_burst,
+                                             now);
+      if (!admitted) {
+        off += wire::kHeaderSize + header.payload_length;
+        frames_received_.fetch_add(1, std::memory_order_relaxed);
+        rate_limited_frames_.fetch_add(1, std::memory_order_relaxed);
+        conn.rate_limited_streak++;
+        conn.pending.push_back(
+            PendingEntry{PendingEntry::Kind::kRateLimited, Query{}, {}});
+        if (options_.rate_limit_disconnect_streak > 0 &&
+            conn.rate_limited_streak >=
+                options_.rate_limit_disconnect_streak) {
+          // A sustained flood: answer the queued typed errors in order,
+          // then drop the connection.
+          MaybeDispatch(id, conn);
+          if (!conn.dead) {
+            Disconnect(id, conn, DisconnectReason::kRateLimited);
+          }
+          return;
+        }
+        continue;
+      }
+      conn.rate_limited_streak = 0;
+    }
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(rest, &frame);
+    if (!consumed.ok() || *consumed == 0) {
+      // Unreachable after the header peek; defend anyway.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::string bytes;
+      wire::EncodeResult(consumed.ok()
+                             ? util::Status::Internal("frame decode stalled")
+                             : consumed.status(),
+                         &bytes);
+      conn.closing = true;
+      conn.in.clear();
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      QueueWrite(id, conn, std::move(bytes));
+      return;
+    }
+    off += *consumed;
     frames_received_.fetch_add(1, std::memory_order_relaxed);
     if (frame.type == wire::FrameType::kQuery) {
       auto decoded = wire::DecodeQuery(frame);
@@ -309,22 +540,31 @@ void Server::HandleReadable(uint64_t id, Connection& conn) {
       conn.in.clear();
       responses_sent_.fetch_add(1, std::memory_order_relaxed);
       QueueWrite(id, conn, std::move(bytes));
-      break;
+      return;
     }
   }
+  if (off > 0) conn.in.erase(0, off);
   if (conn.dead) return;
-  MaybeDispatch(id, conn);
-  // EOF with nothing outstanding: close now.
-  if (!conn.dead && conn.closing && !conn.in_flight &&
-      conn.pending.empty() && conn.out_off >= conn.out.size()) {
-    MarkDead(conn);
+  if (conn.closing && partial) {
+    // A truncated trailing frame at EOF can never complete (the peer is
+    // done writing): drop the fragment so the connection can drain shut.
+    conn.in.clear();
+    partial = false;
+  }
+  bool was_partial = conn.partial_frame;
+  conn.partial_frame = partial;
+  if (partial && !was_partial) {
+    // A frame prefix just appeared: start the slow-loris progress window.
+    conn.window_start = Clock::now();
+    conn.window_start_bytes = conn.bytes_read;
   }
 }
 
 void Server::MaybeDispatch(uint64_t id, Connection& conn) {
   if (conn.dead || conn.in_flight) return;
-  // Markers at the head of the line (decode errors / info requests that
-  // queued behind queries) are answered inline, in arrival order.
+  // Markers at the head of the line (decode errors / info requests /
+  // rate-limited frames that queued behind queries) are answered inline,
+  // in arrival order.
   while (!conn.dead && !conn.pending.empty() &&
          conn.pending.front().kind != PendingEntry::Kind::kQuery) {
     PendingEntry entry = std::move(conn.pending.front());
@@ -365,6 +605,10 @@ void Server::MaybeDispatch(uint64_t id, Connection& conn) {
         wire::EncodeResult(
             util::Status::InvalidArgument("malformed append payload"),
             &bytes);
+        break;
+      case PendingEntry::Kind::kRateLimited:
+        wire::EncodeResult(
+            util::Status::ResourceExhausted("rate limited"), &bytes);
         break;
       case PendingEntry::Kind::kDecodeError:
       default:
@@ -428,10 +672,26 @@ void Server::DrainCompletions() {
     responses_sent_.fetch_add(c.responses, std::memory_order_relaxed);
     QueueWrite(c.conn_id, conn, std::move(c.bytes));
     if (conn.dead) continue;
+    // Reads were paused for the in-flight batch; frames may be waiting
+    // already-buffered in `in` — decode them before re-arming EPOLLIN
+    // (level-triggered epoll only fires on new kernel bytes).
+    DecodeFrames(c.conn_id, conn);
+    if (conn.dead) continue;
     MaybeDispatch(c.conn_id, conn);
-    if (!conn.dead && conn.closing && !conn.in_flight &&
+    if (!conn.dead && conn.closing && !conn.in_flight && conn.in.empty() &&
         conn.pending.empty() && conn.out_off >= conn.out.size()) {
-      MarkDead(conn);
+      MarkDead(c.conn_id, conn);
+      continue;
+    }
+    if (!conn.dead) UpdateConnState(c.conn_id, conn);
+  }
+  // Admission saturation is shared state: a flip pauses or resumes reads
+  // on every connection, not just the ones with completions.
+  bool saturated = service_->admission().Saturated();
+  if (saturated != admission_saturated_) {
+    admission_saturated_ = saturated;
+    for (auto& [id, conn] : conns_) {
+      if (!conn.dead && !conn.closing) UpdateConnState(id, conn);
     }
   }
 }
@@ -444,7 +704,16 @@ void Server::QueueWrite(uint64_t id, Connection& conn, std::string bytes) {
   } else {
     conn.out.append(bytes);
   }
+  BumpPeak(peak_out_buffer_, conn.out.size() - conn.out_off);
   HandleWritable(id, conn);
+  if (conn.dead) return;
+  // The slow-reader bound: responses the peer refuses to drain pile up
+  // here; past the cap the connection is dropped instead of letting one
+  // peer hold server memory hostage.
+  if (options_.max_out_buffer > 0 &&
+      conn.out.size() - conn.out_off > options_.max_out_buffer) {
+    Disconnect(id, conn, DisconnectReason::kWriteStall);
+  }
 }
 
 void Server::HandleWritable(uint64_t id, Connection& conn) {
@@ -454,42 +723,165 @@ void Server::HandleWritable(uint64_t id, Connection& conn) {
                                  conn.out.size() - conn.out_off);
     if (!r.ok()) {
       socket_errors_.fetch_add(1, std::memory_order_relaxed);
-      MarkDead(conn);
+      MarkDead(id, conn);
       return;
     }
     if (r->would_block || r->bytes == 0) break;
     conn.out_off += r->bytes;
+    conn.last_write_progress = Clock::now();
+    conn.last_activity = conn.last_write_progress;
   }
   if (conn.out_off == conn.out.size()) {
     conn.out.clear();
     conn.out_off = 0;
-    if (conn.closing && !conn.in_flight && conn.pending.empty()) {
-      MarkDead(conn);
+    if (conn.closing && !conn.in_flight && conn.in.empty() &&
+        conn.pending.empty()) {
+      MarkDead(id, conn);
       return;
     }
   }
-  UpdateWriteInterest(id, conn);
+  UpdateConnState(id, conn);
 }
 
-void Server::UpdateWriteInterest(uint64_t id, Connection& conn) {
+void Server::UpdateConnState(uint64_t id, Connection& conn) {
   if (conn.dead) return;
-  bool want = conn.out_off < conn.out.size();
-  if (want == conn.want_write) return;
-  conn.want_write = want;
-  epoll_event ev{};
-  bool reading =
-      !conn.closing && !stop_requested_.load(std::memory_order_acquire);
-  ev.events = (reading ? EPOLLIN : 0u) | (want ? EPOLLOUT : 0u);
-  ev.data.u64 = id;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.sock.fd(), &ev);
+  bool stopping = stop_requested_.load(std::memory_order_acquire);
+  // The backpressure predicate: pause reads while a batch is in flight,
+  // while the pending queue is full, or while admission is saturated —
+  // the kernel socket buffer and TCP flow control take it from there.
+  bool pressure = conn.in_flight || conn.pending.size() >= PendingCap() ||
+                  admission_saturated_;
+  bool want_read = !conn.closing && !stopping && !pressure;
+  bool want_write = conn.out_off < conn.out.size();
+  bool was_armed = conn.reads_armed;
+  if (want_read != conn.reads_armed || want_write != conn.want_write) {
+    conn.reads_armed = want_read;
+    conn.want_write = want_write;
+    epoll_event ev{};
+    // EPOLLRDHUP only rides along with reads: once reads are off (paused
+    // or closing) a level-triggered RDHUP would spin the loop.
+    ev.events = (want_read ? (EPOLLIN | EPOLLRDHUP) : 0u) |
+                (want_write ? EPOLLOUT : 0u);
+    ev.data.u64 = id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.sock.fd(), &ev);
+  }
+  // The paused gauge counts backpressure pauses, not closing/draining.
+  bool paused = !conn.closing && !stopping && pressure;
+  if (paused != conn.read_paused) {
+    conn.read_paused = paused;
+    if (paused) {
+      paused_reads_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      paused_reads_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  // A pause the server imposed must not count against the peer's read
+  // rate: restart the slow-loris window when reads resume.
+  if (want_read && !was_armed && conn.partial_frame) {
+    conn.window_start = Clock::now();
+    conn.window_start_bytes = conn.bytes_read;
+  }
+  if (stopping) return;  // drain mode: the drain deadline governs
+  // Schedule the connection's nearest defense deadline on the wheel.
+  Clock::time_point next = Clock::time_point::max();
+  size_t backlog = conn.out.size() - conn.out_off;
+  bool quiescent = !conn.in_flight && conn.pending.empty() &&
+                   backlog == 0 && conn.in.empty();
+  if (options_.idle_timeout_ms > 0 && quiescent && !conn.closing) {
+    next = std::min(next, conn.last_activity +
+                              MillisDuration(options_.idle_timeout_ms));
+  }
+  if (conn.partial_frame && conn.reads_armed &&
+      options_.min_read_bytes_per_sec > 0 &&
+      options_.progress_window_ms > 0) {
+    next = std::min(next, conn.window_start +
+                              MillisDuration(options_.progress_window_ms));
+  }
+  if (backlog > 0 && options_.write_stall_timeout_ms > 0) {
+    next = std::min(next,
+                    conn.last_write_progress +
+                        MillisDuration(options_.write_stall_timeout_ms));
+  }
+  if (next == Clock::time_point::max()) {
+    wheel_->Cancel(id);
+  } else {
+    wheel_->Schedule(id, next);
+  }
 }
 
-void Server::MarkDead(Connection& conn) {
+void Server::OnConnDeadline(uint64_t id, Connection& conn) {
+  Clock::time_point now = Clock::now();
+  size_t backlog = conn.out.size() - conn.out_off;
+  bool quiescent = !conn.in_flight && conn.pending.empty() &&
+                   backlog == 0 && conn.in.empty();
+  if (options_.idle_timeout_ms > 0 && quiescent && !conn.closing &&
+      now - conn.last_activity >=
+          MillisDuration(options_.idle_timeout_ms)) {
+    Disconnect(id, conn, DisconnectReason::kIdle);
+    return;
+  }
+  if (conn.partial_frame && conn.reads_armed &&
+      options_.min_read_bytes_per_sec > 0 &&
+      options_.progress_window_ms > 0 &&
+      now - conn.window_start >=
+          MillisDuration(options_.progress_window_ms)) {
+    double window_sec =
+        std::chrono::duration<double>(now - conn.window_start).count();
+    double needed = options_.min_read_bytes_per_sec * window_sec;
+    double got =
+        static_cast<double>(conn.bytes_read - conn.window_start_bytes);
+    if (got < needed) {
+      Disconnect(id, conn, DisconnectReason::kSlowloris);
+      return;
+    }
+    // Progress was made: a fresh window.
+    conn.window_start = now;
+    conn.window_start_bytes = conn.bytes_read;
+  }
+  if (backlog > 0 && options_.write_stall_timeout_ms > 0 &&
+      now - conn.last_write_progress >=
+          MillisDuration(options_.write_stall_timeout_ms)) {
+    Disconnect(id, conn, DisconnectReason::kWriteStall);
+    return;
+  }
+  UpdateConnState(id, conn);  // reschedules whatever deadline is next
+}
+
+void Server::Disconnect(uint64_t id, Connection& conn,
+                        DisconnectReason reason) {
   if (conn.dead) return;
+  switch (reason) {
+    case DisconnectReason::kIdle:
+      disconnects_idle_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DisconnectReason::kSlowloris:
+      disconnects_slowloris_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DisconnectReason::kOversize:
+      disconnects_oversize_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DisconnectReason::kRateLimited:
+      disconnects_rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DisconnectReason::kWriteStall:
+      disconnects_write_stall_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  MarkDead(id, conn);
+}
+
+void Server::MarkDead(uint64_t id, Connection& conn) {
+  if (conn.dead) return;
+  if (wheel_ != nullptr) wheel_->Cancel(id);
+  if (conn.read_paused) {
+    conn.read_paused = false;
+    paused_reads_.fetch_sub(1, std::memory_order_relaxed);
+  }
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.sock.fd(), nullptr);
   conn.sock.Close();
   conn.dead = true;
   closed_.fetch_add(1, std::memory_order_relaxed);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void Server::ReapDead() {

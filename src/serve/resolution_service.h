@@ -167,6 +167,11 @@ class ResolutionService {
   /// gauges beyond what metrics() snapshots).
   const IndexManager& index_manager() const { return manager_; }
 
+  /// The admission gate in front of the query path. The wire front end
+  /// reads its saturation state to pause connection-level reads
+  /// (DESIGN.md §15) rather than decode queries that would be shed.
+  const AdmissionController& admission() const { return admission_; }
+
   const ServiceOptions& options() const { return options_; }
 
   /// Actual worker count (options().num_threads resolved against the

@@ -135,7 +135,7 @@ bool StatusCodeFromWire(uint8_t byte, util::StatusCode* code) {
 }
 
 // Frame types are versioned: v1 defined kQuery..kInfo, v2 added the
-// append pair (v3 added no types, only trailing payload fields). A frame
+// append pair (v3/v4 added no types, only trailing payload fields). A frame
 // whose version predates its own type is a protocol violation, not a
 // forward-compat case.
 bool KnownFrameType(uint8_t byte, uint8_t version) {
@@ -180,7 +180,8 @@ void AppendFrame(FrameType type, std::string_view payload, std::string* out) {
   out->append(payload);
 }
 
-util::StatusOr<size_t> ExtractFrame(std::string_view buffer, Frame* frame) {
+util::StatusOr<size_t> PeekFrameHeader(std::string_view buffer,
+                                       FrameHeader* header) {
   if (buffer.size() < kHeaderSize) return size_t{0};
   const auto* p = reinterpret_cast<const uint8_t*>(buffer.data());
   if (p[0] != kMagic0 || p[1] != kMagic1) {
@@ -206,11 +207,22 @@ util::StatusOr<size_t> ExtractFrame(std::string_view buffer, Frame* frame) {
                                   std::to_string(length) +
                                   " exceeds the protocol maximum");
   }
-  if (buffer.size() < kHeaderSize + length) return size_t{0};
-  frame->type = static_cast<FrameType>(p[3]);
-  frame->version = version;
-  frame->payload.assign(buffer.data() + kHeaderSize, length);
-  return kHeaderSize + length;
+  header->version = version;
+  header->type = static_cast<FrameType>(p[3]);
+  header->payload_length = length;
+  return kHeaderSize;
+}
+
+util::StatusOr<size_t> ExtractFrame(std::string_view buffer, Frame* frame) {
+  FrameHeader header;
+  auto peeked = PeekFrameHeader(buffer, &header);
+  if (!peeked.ok()) return peeked.status();
+  if (*peeked == 0) return size_t{0};
+  if (buffer.size() < kHeaderSize + header.payload_length) return size_t{0};
+  frame->type = header.type;
+  frame->version = header.version;
+  frame->payload.assign(buffer.data() + kHeaderSize, header.payload_length);
+  return kHeaderSize + header.payload_length;
 }
 
 // ---------------------------------------------------------------------------
@@ -407,6 +419,15 @@ void EncodeInfo(const ServerInfo& info, std::string* out) {
   PutU64(&payload, info.metrics.pinned_readers);
   // v3: staleness-bound eviction counter, appended likewise.
   PutU64(&payload, info.metrics.evicted_stale);
+  // v4: connection-lifecycle gauges (DESIGN.md §15), appended likewise.
+  PutU64(&payload, info.net.open_connections);
+  PutU64(&payload, info.net.paused_reads);
+  PutU64(&payload, info.net.disconnects_idle);
+  PutU64(&payload, info.net.disconnects_slowloris);
+  PutU64(&payload, info.net.disconnects_oversize);
+  PutU64(&payload, info.net.disconnects_rate_limited);
+  PutU64(&payload, info.net.disconnects_write_stall);
+  PutU64(&payload, info.net.rate_limited_frames);
   AppendFrame(FrameType::kInfo, payload, out);
 }
 
@@ -452,6 +473,20 @@ util::StatusOr<ServerInfo> DecodeInfo(const Frame& frame) {
     if (!r.ReadU64(&info.metrics.evicted_stale)) return Truncated("info");
   } else {
     info.metrics.evicted_stale = 0;
+  }
+  if (frame.version >= 4) {
+    if (!r.ReadU64(&info.net.open_connections) ||
+        !r.ReadU64(&info.net.paused_reads) ||
+        !r.ReadU64(&info.net.disconnects_idle) ||
+        !r.ReadU64(&info.net.disconnects_slowloris) ||
+        !r.ReadU64(&info.net.disconnects_oversize) ||
+        !r.ReadU64(&info.net.disconnects_rate_limited) ||
+        !r.ReadU64(&info.net.disconnects_write_stall) ||
+        !r.ReadU64(&info.net.rate_limited_frames)) {
+      return Truncated("info");
+    }
+  } else {
+    info.net = NetGauges{};
   }
   if (!r.Done()) return TrailingBytes("info");
   return info;

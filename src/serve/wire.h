@@ -47,10 +47,15 @@ namespace yver::serve::wire {
 ///        fsync'd, DESIGN.md §14), kInfo gains evicted_stale (the
 ///        serve-stale degradation bound). No new frame types; v2 payloads
 ///        decode with durable = false and evicted_stale = 0.
+///   v4 — connection-lifecycle defense (DESIGN.md §15): kInfo gains the
+///        NetGauges block — open connections, paused reads, disconnect
+///        counts by reason (idle, slowloris, oversize, rate-limited,
+///        write-stall), and rate-limited frame count. No new frame types;
+///        pre-v4 payloads decode with all gauges zero.
 
 inline constexpr uint8_t kMagic0 = 0x59;  // 'Y'
 inline constexpr uint8_t kMagic1 = 0x57;  // 'W'
-inline constexpr uint8_t kVersion = 3;
+inline constexpr uint8_t kVersion = 4;
 inline constexpr size_t kHeaderSize = 8;
 /// Upper bound on a single frame payload: a decode of a hostile length
 /// field fails typed instead of attempting a huge allocation.
@@ -76,6 +81,24 @@ struct Frame {
 
 /// Appends a complete frame (header + payload) to `out`.
 void AppendFrame(FrameType type, std::string_view payload, std::string* out);
+
+/// The fixed fields of one frame header, parsed without touching payload.
+struct FrameHeader {
+  uint8_t version = kVersion;
+  FrameType type = FrameType::kQuery;
+  uint32_t payload_length = 0;
+};
+
+/// Validates and parses just the 8-byte header at the start of `buffer`.
+/// Returns 0 when fewer than kHeaderSize bytes are available (read more
+/// and retry), kHeaderSize with `*header` filled when the header is
+/// well-formed, or the typed errors ExtractFrame gives for bad magic, an
+/// unsupported version, an unknown type, or a declared length beyond
+/// kMaxFramePayload. This is the hostile-input gate: callers learn the
+/// declared payload length — and can reject it against their own tighter
+/// caps — BEFORE reserving a single byte of payload buffer.
+util::StatusOr<size_t> PeekFrameHeader(std::string_view buffer,
+                                       FrameHeader* header);
 
 /// Tries to parse one frame from the start of `buffer`. Returns the number
 /// of bytes consumed (header + payload) with `*frame` filled, or 0 when
@@ -132,6 +155,23 @@ util::StatusOr<QueryResult> DecodeResult(const Frame& frame);
 // ---------------------------------------------------------------------------
 // Server info
 
+/// v4: connection-lifecycle gauges from the TCP front end (DESIGN.md §15)
+/// — how many peers are connected, how many have reads paused for
+/// backpressure, and why hostile ones were disconnected. The disconnect
+/// counters are the observable half of the defense layer's typed-reason
+/// taxonomy; the chaos harness asserts each adversary mode lands in the
+/// right one.
+struct NetGauges {
+  uint64_t open_connections = 0;   // live (not yet reaped) connections
+  uint64_t paused_reads = 0;       // connections with EPOLLIN deregistered
+  uint64_t disconnects_idle = 0;
+  uint64_t disconnects_slowloris = 0;
+  uint64_t disconnects_oversize = 0;
+  uint64_t disconnects_rate_limited = 0;
+  uint64_t disconnects_write_stall = 0;
+  uint64_t rate_limited_frames = 0;  // frames answered RESOURCE_EXHAUSTED
+};
+
 /// Corpus identity plus a ServiceMetrics snapshot: what a load generator
 /// needs to shape a workload (record count) and report the server-side
 /// latency histogram without a side channel.
@@ -140,6 +180,7 @@ struct ServerInfo {
   uint64_t num_matches = 0;
   uint64_t checksum = 0;
   ServiceMetrics metrics;
+  NetGauges net;  // v4; zero when decoded from a pre-v4 frame
 };
 
 /// Appends a kInfoRequest frame (empty payload).
@@ -150,7 +191,8 @@ void EncodeInfo(const ServerInfo& info, std::string* out);
 
 /// Decodes a kInfo frame. DATA_LOSS on size mismatch. A v1 payload
 /// decodes with metrics.generation = 1 and publishes/pinned_readers = 0;
-/// a pre-v3 payload decodes with metrics.evicted_stale = 0.
+/// a pre-v3 payload decodes with metrics.evicted_stale = 0; a pre-v4
+/// payload decodes with every NetGauges field zero.
 util::StatusOr<ServerInfo> DecodeInfo(const Frame& frame);
 
 // ---------------------------------------------------------------------------

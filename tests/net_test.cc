@@ -10,6 +10,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -36,6 +37,7 @@
 #include "util/deadline.h"
 #include "util/fault_injector.h"
 #include "util/rng.h"
+#include "util/socket.h"
 #include "util/status.h"
 
 namespace yver::serve {
@@ -367,6 +369,114 @@ TEST(NetServerTest, ClientEofGetsAllAnswersThenClose) {
   server.Shutdown();
 }
 
+TEST(NetServerTest, HalfCloseWhileBatchesAreInFlightDeliversEveryAnswer) {
+  auto index = MakeIndex();
+  auto workload = MakeWorkload(120, /*seed=*/31);
+  auto expected = ReferenceBytes(index, workload);
+
+  auto service = std::make_shared<ResolutionService>(index);
+  net::ServerOptions options;
+  options.max_batch = 4;  // the burst spans many batches, so the
+                          // half-close lands while work is in flight
+  net::Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The whole pipelined burst, then shutdown(SHUT_WR) before reading a
+  // single response: the server observes EPOLLRDHUP/EOF while earlier
+  // batches are still being dispatched, and frames that were buffered
+  // but not yet decoded when the EOF arrived must still be answered.
+  auto client = net::Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  client->set_read_timeout_ms(10000);
+  for (const Query& query : workload) {
+    ASSERT_TRUE(client->SendQuery(query).ok());
+  }
+  ASSERT_TRUE(client->FinishSending().ok());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto response = client->ReadFrameBytes();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(*response, expected[i]);
+  }
+  auto eof = client->ReadFrameBytes();
+  ASSERT_FALSE(eof.ok());
+
+  // A clean half-close is not an offense: no defense counter fires, and
+  // the connection is reaped once the last answer is flushed.
+  net::ServerStats stats = server.stats();
+  for (int i = 0; i < 500 && stats.open_connections > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stats = server.stats();
+  }
+  EXPECT_EQ(stats.open_connections, 0u);
+  EXPECT_EQ(stats.connections_closed, stats.connections_accepted);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.disconnects_idle, 0u);
+  EXPECT_EQ(stats.disconnects_slowloris, 0u);
+  EXPECT_EQ(stats.disconnects_oversize, 0u);
+  EXPECT_EQ(stats.disconnects_rate_limited, 0u);
+  EXPECT_EQ(stats.disconnects_write_stall, 0u);
+  server.Shutdown();
+}
+
+TEST(NetServerTest, AbruptCloseWithBatchesInFlightIsReapedWithoutHarm) {
+  auto index = MakeIndex();
+  auto workload = MakeWorkload(60, /*seed=*/33);
+  auto expected = ReferenceBytes(index, workload);
+
+  auto service = std::make_shared<ResolutionService>(index);
+  net::ServerOptions options;
+  options.max_batch = 4;
+  net::Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Three connections each blast a pipelined burst and vanish without
+  // reading a byte (full close): the loop sees EPOLLHUP/EPOLLRDHUP, a
+  // read reset, or a write failure on answers it is still producing, and
+  // must reap the connection — including any batch that completes after
+  // the socket died — without crashing or wedging.
+  std::string burst;
+  for (const Query& query : workload) {
+    std::string frame;
+    wire::EncodeQuery(query, 0, &frame);
+    burst.append(frame);
+  }
+  for (int c = 0; c < 3; ++c) {
+    auto sock = util::Socket::ConnectLoopback(server.port());
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(sock->WriteFull(burst.data(), burst.size(),
+                                util::Deadline::AfterMillis(5000))
+                    .ok());
+    sock->Close();
+  }
+
+  // The reaped connections must not harm anyone else: a well-behaved
+  // client connected afterwards still gets byte-equal ordered answers.
+  auto client = net::Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  client->set_read_timeout_ms(10000);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    ASSERT_TRUE(client->SendQuery(workload[i]).ok());
+  }
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto response = client->ReadFrameBytes();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(*response, expected[i]);
+  }
+
+  // Every vanished connection is eventually reaped; only the live client
+  // remains, and nothing was booked as a framing offense.
+  net::ServerStats stats = server.stats();
+  for (int i = 0; i < 500 && stats.open_connections > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stats = server.stats();
+  }
+  EXPECT_EQ(stats.open_connections, 1u);
+  EXPECT_EQ(stats.connections_accepted, 4u);
+  EXPECT_EQ(stats.connections_closed, 3u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  server.Shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // Load generator: record/replay determinism
 
@@ -489,7 +599,10 @@ TEST(NetLiveIngestTest, AppendedRecordBecomesQueryableOverTheWire) {
   auto info = client->Info();
   ASSERT_TRUE(info.ok());
   EXPECT_EQ(info->num_records, 4u);
-  EXPECT_GT(info->metrics.generation, ack->generation);
+  // The ack stamps the generation at acceptance time; a fast builder can
+  // publish before the stamp is read, so equality is legitimate here.
+  // Visibility is proven by num_records above, not by this comparison.
+  EXPECT_GE(info->metrics.generation, ack->generation);
   EXPECT_GE(info->metrics.publishes, 1u);
 
   // The new record answers queries like any other — and matches the

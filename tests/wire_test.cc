@@ -580,9 +580,9 @@ TEST(WireCodecTest, V1InfoDecodesWithDefaultGauges) {
   info.metrics.pinned_readers = 4;
   std::string bytes;
   wire::EncodeInfo(info, &bytes);
-  // v1 kInfo = v3 minus the trailing v2 gauges (24 bytes) and the v3
-  // evicted_stale counter (8 bytes).
-  std::string v1 = AsV1Frame(bytes, 32);
+  // v1 kInfo = v4 minus the trailing v2 gauges (24 bytes), the v3
+  // evicted_stale counter (8 bytes), and the v4 net gauges (64 bytes).
+  std::string v1 = AsV1Frame(bytes, 96);
   wire::Frame frame;
   ASSERT_TRUE(wire::ExtractFrame(v1, &frame).ok());
   auto decoded = wire::DecodeInfo(frame);
@@ -604,8 +604,9 @@ TEST(WireCodecTest, V2InfoDecodesWithZeroEvictedStale) {
   info.metrics.evicted_stale = 99;  // must NOT survive a v2 round trip
   std::string bytes;
   wire::EncodeInfo(info, &bytes);
-  // v2 kInfo = v3 minus the trailing 8-byte evicted_stale counter.
-  std::string v2 = AsOlderFrame(bytes, 2, 8);
+  // v2 kInfo = v4 minus the trailing 8-byte evicted_stale counter and the
+  // 64 bytes of v4 net gauges.
+  std::string v2 = AsOlderFrame(bytes, 2, 72);
   wire::Frame frame;
   ASSERT_TRUE(wire::ExtractFrame(v2, &frame).ok());
   EXPECT_EQ(frame.version, 2);
@@ -616,6 +617,117 @@ TEST(WireCodecTest, V2InfoDecodesWithZeroEvictedStale) {
   EXPECT_EQ(decoded->metrics.pinned_readers, 2u);
   EXPECT_EQ(decoded->metrics.evicted_stale, 0u)
       << "a v2 server never reported evicted_stale";
+}
+
+TEST(WireCodecTest, V3InfoDecodesWithZeroNetGauges) {
+  wire::ServerInfo info;
+  info.num_records = 12;
+  info.metrics.latency_histogram_ns.assign(kServiceLatencyBuckets, 2);
+  info.metrics.generation = 3;
+  info.metrics.evicted_stale = 5;
+  info.net.open_connections = 7;  // must NOT survive a v3 round trip
+  info.net.disconnects_slowloris = 9;
+  std::string bytes;
+  wire::EncodeInfo(info, &bytes);
+  // v3 kInfo = v4 minus the trailing 64 bytes of net gauges.
+  std::string v3 = AsOlderFrame(bytes, 3, 64);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(v3, &frame).ok());
+  EXPECT_EQ(frame.version, 3);
+  auto decoded = wire::DecodeInfo(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->metrics.generation, 3u);
+  EXPECT_EQ(decoded->metrics.evicted_stale, 5u);
+  EXPECT_EQ(decoded->net.open_connections, 0u)
+      << "a v3 server never reported net gauges";
+  EXPECT_EQ(decoded->net.disconnects_slowloris, 0u);
+  EXPECT_EQ(decoded->net.rate_limited_frames, 0u);
+}
+
+TEST(WireCodecTest, V4InfoRoundTripsNetGauges) {
+  wire::ServerInfo info;
+  info.metrics.latency_histogram_ns.assign(kServiceLatencyBuckets, 0);
+  info.net.open_connections = 3;
+  info.net.paused_reads = 1;
+  info.net.disconnects_idle = 2;
+  info.net.disconnects_slowloris = 4;
+  info.net.disconnects_oversize = 5;
+  info.net.disconnects_rate_limited = 6;
+  info.net.disconnects_write_stall = 7;
+  info.net.rate_limited_frames = 41;
+  std::string bytes;
+  wire::EncodeInfo(info, &bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(wire::ExtractFrame(bytes, &frame).ok());
+  EXPECT_EQ(frame.version, wire::kVersion);
+  auto decoded = wire::DecodeInfo(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->net.open_connections, 3u);
+  EXPECT_EQ(decoded->net.paused_reads, 1u);
+  EXPECT_EQ(decoded->net.disconnects_idle, 2u);
+  EXPECT_EQ(decoded->net.disconnects_slowloris, 4u);
+  EXPECT_EQ(decoded->net.disconnects_oversize, 5u);
+  EXPECT_EQ(decoded->net.disconnects_rate_limited, 6u);
+  EXPECT_EQ(decoded->net.disconnects_write_stall, 7u);
+  EXPECT_EQ(decoded->net.rate_limited_frames, 41u);
+}
+
+TEST(WireCodecTest, PeekFrameHeaderReportsDeclaredLengthBeforePayload) {
+  Query query;
+  query.record = static_cast<data::RecordIdx>(4);
+  query.certainty = 0.5;
+  std::string bytes;
+  wire::EncodeQuery(query, 0, &bytes);
+  // Peek succeeds on the bare 8-byte header — no payload bytes needed.
+  std::string header_only = bytes.substr(0, wire::kHeaderSize);
+  wire::FrameHeader header;
+  auto peeked = wire::PeekFrameHeader(header_only, &header);
+  ASSERT_TRUE(peeked.ok()) << peeked.status().ToString();
+  EXPECT_EQ(*peeked, wire::kHeaderSize);
+  EXPECT_EQ(header.type, wire::FrameType::kQuery);
+  EXPECT_EQ(header.version, wire::kVersion);
+  EXPECT_EQ(header.payload_length, bytes.size() - wire::kHeaderSize);
+  // Under kHeaderSize bytes: incomplete (0), never an error.
+  for (size_t n = 0; n < wire::kHeaderSize; ++n) {
+    auto partial = wire::PeekFrameHeader(bytes.substr(0, n), &header);
+    ASSERT_TRUE(partial.ok()) << "prefix length " << n;
+    EXPECT_EQ(*partial, 0u) << "prefix length " << n;
+  }
+}
+
+// Fuzz-style regression: an adversarial header declaring a giant payload
+// must be rejected from the 8 header bytes alone — no buffer is reserved,
+// no payload is awaited. This is the pre-allocation check ExtractFrame
+// callers rely on (DESIGN.md §15).
+TEST(WireCodecTest, GiantDeclaredLengthIsRejectedFromHeaderAlone) {
+  util::Rng rng(211);
+  for (int trial = 0; trial < 64; ++trial) {
+    uint64_t declared =
+        wire::kMaxFramePayload + 1 +
+        rng.UniformInt(0, std::numeric_limits<uint32_t>::max() -
+                              static_cast<int64_t>(wire::kMaxFramePayload) -
+                              1);
+    std::string header_bytes;
+    header_bytes.push_back(0x59);  // 'Y'
+    header_bytes.push_back(0x57);  // 'W'
+    header_bytes.push_back(static_cast<char>(wire::kVersion));
+    header_bytes.push_back(
+        static_cast<char>(wire::FrameType::kQuery));
+    for (int i = 0; i < 4; ++i) {
+      header_bytes.push_back(
+          static_cast<char>((declared >> (8 * i)) & 0xff));
+    }
+    wire::FrameHeader header;
+    auto peeked = wire::PeekFrameHeader(header_bytes, &header);
+    ASSERT_FALSE(peeked.ok()) << "declared " << declared;
+    EXPECT_EQ(peeked.status().code(), StatusCode::kDataLoss);
+    // ExtractFrame agrees and allocates nothing for the phantom payload.
+    wire::Frame frame;
+    auto consumed = wire::ExtractFrame(header_bytes, &frame);
+    ASSERT_FALSE(consumed.ok());
+    EXPECT_EQ(consumed.status().code(), StatusCode::kDataLoss);
+    EXPECT_TRUE(frame.payload.empty());
+  }
 }
 
 TEST(WireCodecTest, V2AppendAckDecodesAsNotDurable) {

@@ -91,6 +91,7 @@
 #include "data/stats.h"
 #include "ml/adtree_io.h"
 #include "serve/ingest.h"
+#include "serve/net/adversary.h"
 #include "serve/net/client.h"
 #include "serve/net/loadgen.h"
 #include "serve/net/server.h"
@@ -329,6 +330,22 @@ struct ServeOptions {
   size_t max_batch = 64;
   size_t max_connections = 1024;
   double drain_timeout_ms = 5000;
+  // Hostile-network defense (serve; DESIGN.md §15). Zeros disable the
+  // corresponding rate limits; buffer caps and timeouts default on.
+  double idle_timeout_ms = 300000;
+  double min_read_rate = 64;          // bytes/sec while a frame is partial
+  double progress_window_ms = 5000;
+  size_t max_out_buffer = 64u << 20;
+  size_t max_in_buffer = 64u << 20;
+  size_t sndbuf = 0;                  // SO_SNDBUF clamp; 0 = kernel default
+  size_t max_frame_bytes = 0;         // 0 = the protocol max (16 MiB)
+  size_t max_pending = 0;             // 0 = 2 * max_batch
+  double write_stall_timeout_ms = 30000;
+  double rate_limit = 0;              // per-connection queries/sec
+  double rate_burst = 0;
+  double global_rate_limit = 0;
+  double global_rate_burst = 0;
+  size_t rate_limit_streak = 1024;    // consecutive limited frames -> drop
   // Admission budgets (serve, serve-bench): 0 disables shedding.
   size_t max_in_flight = 0;
   size_t max_queue_depth = 0;
@@ -340,6 +357,11 @@ struct ServeOptions {
   std::string record_path;
   std::string replay_path;
   bool json = false;
+  // loadgen client I/O + adversary modes:
+  double io_timeout_ms = 30000;  // blocking-read budget; 0 = wait forever
+  std::string adversary;         // hostile mode; empty = normal loadgen
+  double duration_ms = 2000;     // adversary wall-clock budget
+  double write_interval_ms = 50; // adversary dribble pacing
   // live ingest (serve --live) + append client:
   bool live = false;
   std::string model_path;      // ADTree for incremental scoring (optional;
@@ -380,6 +402,33 @@ struct ServeOptions {
     o.max_batch = max_batch;
     o.max_connections = max_connections;
     o.drain_timeout_ms = drain_timeout_ms;
+    o.idle_timeout_ms = idle_timeout_ms;
+    o.min_read_bytes_per_sec = min_read_rate;
+    o.progress_window_ms = progress_window_ms;
+    o.max_out_buffer = max_out_buffer;
+    o.max_in_buffer = max_in_buffer;
+    o.so_sndbuf = sndbuf;
+    o.max_frame_payload = max_frame_bytes;
+    o.max_pending = max_pending;
+    o.write_stall_timeout_ms = write_stall_timeout_ms;
+    o.conn_rate_limit = rate_limit;
+    o.conn_rate_burst = rate_burst;
+    o.global_rate_limit = global_rate_limit;
+    o.global_rate_burst = global_rate_burst;
+    o.rate_limit_disconnect_streak = rate_limit_streak;
+    return o;
+  }
+
+  serve::net::AdversaryOptions ToAdversaryOptions(
+      serve::net::AdversaryMode mode) const {
+    serve::net::AdversaryOptions o;
+    o.port = port;
+    o.mode = mode;
+    o.connections = connections;
+    o.duration_ms = duration_ms;
+    o.write_interval_ms = write_interval_ms;
+    o.read_timeout_ms = io_timeout_ms;
+    o.seed = seed;
     return o;
   }
 
@@ -395,6 +444,7 @@ struct ServeOptions {
     o.hot_set = query.hot_set;
     o.entity_fraction = entity_fraction;
     o.seed = seed;
+    o.read_timeout_ms = io_timeout_ms;
     o.record_path = record_path;
     o.replay_path = replay_path;
     return o;
@@ -416,6 +466,26 @@ ServeOptions ParseServeOptions(const Flags& flags, bool needs_corpus) {
   options.max_connections =
       static_cast<size_t>(flags.GetInt("max-connections", 1024));
   options.drain_timeout_ms = flags.GetDouble("drain-timeout-ms", 5000);
+  options.idle_timeout_ms = flags.GetDouble("idle-timeout-ms", 300000);
+  options.min_read_rate = flags.GetDouble("min-read-rate", 64);
+  options.progress_window_ms =
+      flags.GetDouble("progress-window-ms", 5000);
+  options.max_out_buffer = static_cast<size_t>(
+      flags.GetInt("max-out-buffer", long{64u << 20}));
+  options.max_in_buffer = static_cast<size_t>(
+      flags.GetInt("max-in-buffer", long{64u << 20}));
+  options.sndbuf = static_cast<size_t>(flags.GetInt("sndbuf", 0));
+  options.max_frame_bytes =
+      static_cast<size_t>(flags.GetInt("max-frame-bytes", 0));
+  options.max_pending = static_cast<size_t>(flags.GetInt("max-pending", 0));
+  options.write_stall_timeout_ms =
+      flags.GetDouble("write-stall-timeout-ms", 30000);
+  options.rate_limit = flags.GetDouble("rate-limit", 0);
+  options.rate_burst = flags.GetDouble("rate-burst", 0);
+  options.global_rate_limit = flags.GetDouble("global-rate-limit", 0);
+  options.global_rate_burst = flags.GetDouble("global-rate-burst", 0);
+  options.rate_limit_streak =
+      static_cast<size_t>(flags.GetInt("rate-limit-streak", 1024));
   options.max_in_flight =
       static_cast<size_t>(flags.GetInt("max-in-flight", 0));
   options.max_queue_depth =
@@ -427,6 +497,10 @@ ServeOptions ParseServeOptions(const Flags& flags, bool needs_corpus) {
   options.record_path = flags.Get("record");
   options.replay_path = flags.Get("replay");
   options.json = flags.Has("json");
+  options.io_timeout_ms = flags.GetDouble("io-timeout-ms", 30000);
+  options.adversary = flags.Get("adversary");
+  options.duration_ms = flags.GetDouble("duration-ms", 2000);
+  options.write_interval_ms = flags.GetDouble("write-interval-ms", 50);
   options.live = flags.Has("live") || flags.Has("watch-appends");
   options.model_path = flags.Get("model");
   options.publish_batch =
@@ -477,6 +551,32 @@ constexpr const char kServeHelp[] =
     "  --max-connections N   accept cap; excess closed at once (1024)\n"
     "  --drain-timeout-ms D  graceful-shutdown bound (5000)\n"
     "\n"
+    "connection defense (serve; DESIGN.md \xc2\xa7" "15):\n"
+    "  --idle-timeout-ms D   drop a quiescent connection after D (300000)\n"
+    "  --min-read-rate R     min bytes/sec while a frame is partial;\n"
+    "                        slower is a slow-loris drop (64; 0 = off)\n"
+    "  --progress-window-ms W  window the read rate is judged over (5000)\n"
+    "  --max-out-buffer N    per-connection response backlog cap in bytes;\n"
+    "                        a reader that falls behind it is dropped\n"
+    "                        (67108864; 0 = unbounded)\n"
+    "  --max-in-buffer N     per-connection receive buffer cap (67108864)\n"
+    "  --sndbuf N            clamp SO_SNDBUF on accepted sockets so the\n"
+    "                        kernel cannot absorb a dead reader's backlog\n"
+    "                        past --max-out-buffer (0 = kernel default)\n"
+    "  --max-frame-bytes N   reject frames declaring > N payload bytes\n"
+    "                        before buffering any (0 = protocol max)\n"
+    "  --max-pending N       decoded-but-undispatched queries per\n"
+    "                        connection before reads pause (0 = 2*batch)\n"
+    "  --write-stall-timeout-ms D  drop if no response byte drains for D\n"
+    "                        while a backlog exists (30000; 0 = off)\n"
+    "  --rate-limit Q        per-connection queries/sec token bucket;\n"
+    "                        excess answered RESOURCE_EXHAUSTED (0 = off)\n"
+    "  --rate-burst B        bucket depth (0 = one second's worth)\n"
+    "  --global-rate-limit Q server-wide bucket across connections (0)\n"
+    "  --global-rate-burst B global bucket depth (0)\n"
+    "  --rate-limit-streak N consecutive limited frames before the\n"
+    "                        connection is dropped (1024; 0 = never)\n"
+    "\n"
     "workload shape (serve-bench, loadgen):\n"
     "  --queries N           total queries (10000 bench / 1000 loadgen)\n"
     "  --certainty C         confidence threshold in [0,1) (0)\n"
@@ -492,6 +592,16 @@ constexpr const char kServeHelp[] =
     "  --record F            capture every query frame sent to F\n"
     "  --replay F            replay a capture byte-identically\n"
     "  --json                machine-readable report on stdout\n"
+    "  --io-timeout-ms D     client blocking-read budget; a stalled\n"
+    "                        server is a typed DEADLINE_EXCEEDED, not a\n"
+    "                        hang (30000; 0 = wait forever)\n"
+    "\n"
+    "adversarial client (loadgen --adversary MODE):\n"
+    "  --adversary MODE      attack instead of load: slowloris | dribble\n"
+    "                        | never-read | garbage | half-close\n"
+    "  --duration-ms D       attack wall-clock budget (2000)\n"
+    "  --write-interval-ms I pause between dribbled bytes (50)\n"
+    "                        (--connections and --seed apply here too)\n"
     "\n"
     "live index updates (serve):\n"
     "  --live                accept kAppendRequest frames; a background\n"
@@ -1032,11 +1142,48 @@ int CmdServe(const ServeOptions& options) {
   return 0;
 }
 
+// loadgen --adversary MODE: run the hostile-client harness instead of a
+// load test, and report what the server's defense layer did about it.
+int CmdAdversary(const ServeOptions& options) {
+  auto mode = serve::net::ParseAdversaryMode(options.adversary);
+  if (!mode.ok()) {
+    std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+    return 2;
+  }
+  auto report = serve::net::RunAdversary(options.ToAdversaryOptions(*mode));
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  if (options.json) {
+    std::printf(
+        "{\"adversary\": \"%s\", \"connections_opened\": %llu, "
+        "\"bytes_sent\": %llu, \"frames_sent\": %llu, "
+        "\"responses_read\": %llu, \"ok_responses\": %llu, "
+        "\"error_responses\": %llu, \"server_closed\": %llu, "
+        "\"clean_eofs\": %llu}\n",
+        serve::net::AdversaryModeName(*mode),
+        static_cast<unsigned long long>(report->connections_opened),
+        static_cast<unsigned long long>(report->bytes_sent),
+        static_cast<unsigned long long>(report->frames_sent),
+        static_cast<unsigned long long>(report->responses_read),
+        static_cast<unsigned long long>(report->ok_responses),
+        static_cast<unsigned long long>(report->error_responses),
+        static_cast<unsigned long long>(report->server_closed),
+        static_cast<unsigned long long>(report->clean_eofs));
+    return 0;
+  }
+  std::printf("%s\n",
+              serve::net::FormatAdversaryReport(*mode, *report).c_str());
+  return 0;
+}
+
 int CmdLoadGen(const ServeOptions& options) {
   if (options.port == 0) {
     std::fprintf(stderr, "missing required flag --port\n");
     return 2;
   }
+  if (!options.adversary.empty()) return CmdAdversary(options);
   if (!options.record_path.empty() && !options.replay_path.empty()) {
     std::fprintf(stderr, "--record and --replay are mutually exclusive\n");
     return 2;
@@ -1126,6 +1273,9 @@ int CmdAppend(const ServeOptions& options) {
     std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
     return 1;
   }
+  // A wedged server must fail the append run with a typed status, not
+  // hang it: every blocking read below inherits this budget.
+  client->set_read_timeout_ms(options.io_timeout_ms);
   uint64_t first_idx = 0;
   uint64_t last_idx = 0;
   size_t durable_acks = 0;
